@@ -1,0 +1,310 @@
+//! A common object-safe interface over all sketches, used by the
+//! cross-algorithm experiments (Table 2, Figure 10, Figure 11).
+
+use crate::ehll::Ehll;
+use crate::hll::{HllEstimator, HyperLogLog};
+use crate::hll4::HyperLogLog4;
+use crate::hlll::HyperLogLogLog;
+use crate::pcsa::Pcsa;
+use crate::sparse_hll::SparseHyperLogLog;
+use crate::spike::SpikeLike;
+use crate::ull::Ull;
+use exaloglog::{EllConfig, ExaLogLog, MartingaleExaLogLog};
+
+/// Minimal interface every distinct-count sketch exposes to the
+/// experiment harness.
+pub trait DistinctCounter {
+    /// Display name used in experiment output tables.
+    fn name(&self) -> String;
+    /// Inserts an element by its 64-bit hash.
+    fn insert_hash(&mut self, h: u64);
+    /// Current distinct-count estimate.
+    fn estimate(&self) -> f64;
+    /// In-memory footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+    /// Serialized size in bytes.
+    fn serialized_bytes(&self) -> usize;
+    /// Whether the insert path runs in constant time regardless of the
+    /// sketch size (the last column of Table 2).
+    fn constant_time_insert(&self) -> bool;
+}
+
+impl DistinctCounter for ExaLogLog {
+    fn name(&self) -> String {
+        let c = self.config();
+        format!("ELL(t={},d={},p={},ML)", c.t(), c.d(), c.p())
+    }
+    fn insert_hash(&mut self, h: u64) {
+        ExaLogLog::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        ExaLogLog::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        ExaLogLog::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        self.register_bytes().len()
+    }
+    fn constant_time_insert(&self) -> bool {
+        true
+    }
+}
+
+impl DistinctCounter for MartingaleExaLogLog {
+    fn name(&self) -> String {
+        let c = self.sketch().config();
+        format!("ELL(t={},d={},p={},marting.)", c.t(), c.d(), c.p())
+    }
+    fn insert_hash(&mut self, h: u64) {
+        MartingaleExaLogLog::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        MartingaleExaLogLog::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        MartingaleExaLogLog::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        // Register payload + the 16-byte (estimate, μ) pair.
+        self.sketch().register_bytes().len() + 16
+    }
+    fn constant_time_insert(&self) -> bool {
+        true
+    }
+}
+
+impl DistinctCounter for HyperLogLog {
+    fn name(&self) -> String {
+        let est = match self.estimator() {
+            HllEstimator::Original => "orig",
+            HllEstimator::Improved => "impr",
+            HllEstimator::MaximumLikelihood => "ML",
+        };
+        format!(
+            "HLL({}-bit,p={},{est})",
+            self.serialized_bytes() * 8 / self.m(),
+            self.p()
+        )
+    }
+    fn insert_hash(&mut self, h: u64) {
+        HyperLogLog::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        HyperLogLog::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        HyperLogLog::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        HyperLogLog::serialized_bytes(self)
+    }
+    fn constant_time_insert(&self) -> bool {
+        true
+    }
+}
+
+impl DistinctCounter for HyperLogLog4 {
+    fn name(&self) -> String {
+        "HLL(4-bit)".to_string()
+    }
+    fn insert_hash(&mut self, h: u64) {
+        HyperLogLog4::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        HyperLogLog4::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        HyperLogLog4::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        HyperLogLog4::serialized_bytes(self)
+    }
+    fn constant_time_insert(&self) -> bool {
+        false // offset advances rebuild all registers
+    }
+}
+
+impl DistinctCounter for Ull {
+    fn name(&self) -> String {
+        format!("ULL(p={},ML)", self.p())
+    }
+    fn insert_hash(&mut self, h: u64) {
+        Ull::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        Ull::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        Ull::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        Ull::serialized_bytes(self)
+    }
+    fn constant_time_insert(&self) -> bool {
+        true
+    }
+}
+
+impl DistinctCounter for Ehll {
+    fn name(&self) -> String {
+        format!("EHLL(p={},ML)", self.p())
+    }
+    fn insert_hash(&mut self, h: u64) {
+        Ehll::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        Ehll::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        Ehll::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        Ehll::serialized_bytes(self)
+    }
+    fn constant_time_insert(&self) -> bool {
+        true
+    }
+}
+
+impl DistinctCounter for Pcsa {
+    fn name(&self) -> String {
+        "PCSA/CPC-proxy".to_string()
+    }
+    fn insert_hash(&mut self, h: u64) {
+        Pcsa::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        Pcsa::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        Pcsa::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        // The CPC-style range-coded serialization (see `cpc` module and
+        // DESIGN.md §3) — actually encoded, not the analytic entropy.
+        crate::cpc::compressed_size(self)
+    }
+    fn constant_time_insert(&self) -> bool {
+        // The in-memory representation inserts in constant time; the
+        // compression happens at serialization (like CPC).
+        false
+    }
+}
+
+impl DistinctCounter for SparseHyperLogLog {
+    fn name(&self) -> String {
+        format!("HLL(6-bit,p={},sparse)", self.p())
+    }
+    fn insert_hash(&mut self, h: u64) {
+        SparseHyperLogLog::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        SparseHyperLogLog::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        SparseHyperLogLog::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        SparseHyperLogLog::serialized_bytes(self)
+    }
+    fn constant_time_insert(&self) -> bool {
+        // Sorted coupon insertion costs O(list length) until break-even.
+        false
+    }
+}
+
+impl DistinctCounter for HyperLogLogLog {
+    fn name(&self) -> String {
+        "HLLL".to_string()
+    }
+    fn insert_hash(&mut self, h: u64) {
+        HyperLogLogLog::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        HyperLogLogLog::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        HyperLogLogLog::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        HyperLogLogLog::serialized_bytes(self)
+    }
+    fn constant_time_insert(&self) -> bool {
+        false
+    }
+}
+
+impl DistinctCounter for SpikeLike {
+    fn name(&self) -> String {
+        "SpikeSketch-like (substitute)".to_string()
+    }
+    fn insert_hash(&mut self, h: u64) {
+        SpikeLike::insert_hash(self, h);
+    }
+    fn estimate(&self) -> f64 {
+        SpikeLike::estimate(self)
+    }
+    fn memory_bytes(&self) -> usize {
+        SpikeLike::memory_bytes(self)
+    }
+    fn serialized_bytes(&self) -> usize {
+        SpikeLike::serialized_bytes(self)
+    }
+    fn constant_time_insert(&self) -> bool {
+        true
+    }
+}
+
+/// The Table 2 line-up: every algorithm configured for roughly 2 % RMSE,
+/// as in the paper. Returns freshly constructed empty sketches.
+#[must_use]
+pub fn table2_lineup() -> Vec<Box<dyn DistinctCounter>> {
+    vec![
+        Box::new(HyperLogLog::new(11, 8, HllEstimator::Improved)),
+        Box::new(HyperLogLog::new(11, 6, HllEstimator::Improved)),
+        Box::new(HyperLogLog::new(11, 6, HllEstimator::MaximumLikelihood)),
+        Box::new(HyperLogLog4::new(11)),
+        Box::new(Pcsa::new(10)),
+        Box::new(Ull::new(10)),
+        Box::new(HyperLogLogLog::new(11)),
+        Box::new(SpikeLike::new(128)),
+        Box::new(ExaLogLog::new(EllConfig::aligned32(8).expect("valid"))),
+        Box::new(ExaLogLog::new(EllConfig::optimal(8).expect("valid"))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::SplitMix64;
+
+    #[test]
+    fn lineup_is_complete_and_functional() {
+        let mut sketches = table2_lineup();
+        assert_eq!(sketches.len(), 10);
+        let mut rng = SplitMix64::new(51);
+        let hashes: Vec<u64> = (0..20_000).map(|_| rng.next_u64()).collect();
+        for sketch in &mut sketches {
+            for &h in &hashes {
+                sketch.insert_hash(h);
+            }
+            let est = sketch.estimate();
+            let rel = est / 20_000.0 - 1.0;
+            assert!(
+                rel.abs() < 0.15,
+                "{}: estimate {est} off by {rel:+.3}",
+                sketch.name()
+            );
+            assert!(sketch.memory_bytes() > 0);
+            assert!(sketch.serialized_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let sketches = table2_lineup();
+        let names: std::collections::HashSet<String> = sketches.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), sketches.len());
+    }
+}

@@ -1,0 +1,270 @@
+//! CPC-style compressed serialization of the PCSA state.
+//!
+//! The Apache DataSketches CPC sketch (Lang 2017) reaches its Table 2
+//! serialized MVP of ≈ 2.46 "by expensive compression during
+//! serialization" of a PCSA-information state. This module is the
+//! workspace's practical realization of that step: it entropy-codes the
+//! [`Pcsa`] bitmaps with the binary range coder from `ell-codec`, using
+//! the same fitted Poisson model that [`Pcsa::ideal_compressed_bits`]
+//! integrates analytically —
+//!
+//! > P(bit (i, k) set) = 1 − e^(−n̂·ρ(k)/m), ρ(k) = 2^(−min(k, 64−p)),
+//!
+//! where n̂ is the sketch's own ML estimate, carried bit-exactly in the
+//! header so the decoder refits the identical model. The achieved size
+//! lands within ~2 % of the Shannon bound (tests below), and the
+//! encode/decode cost is deliberately *not* constant-time — it is the
+//! "expensive compression" whose timing shape Figure 11's serialize
+//! panel shows for CPC.
+//!
+//! Wire format: `"CPC1"` magic, p, n̂ (f64 LE bits), a 8-byte FNV-1a
+//! checksum of the bitmaps, then the range-coded payload. The checksum
+//! catches corrupted payloads, which otherwise decode silently into
+//! garbage (an arithmetic coder has no internal redundancy).
+
+use crate::pcsa::Pcsa;
+use ell_codec::{RangeDecoder, RangeEncoder, PROB_ONE};
+
+/// Serialization magic for the compressed PCSA format.
+const MAGIC: &[u8; 4] = b"CPC1";
+/// Header: magic + p + n̂ + checksum.
+const HEADER_LEN: usize = 4 + 1 + 8 + 8;
+
+/// Errors from [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpcError {
+    /// Input shorter than the fixed header or with wrong magic/fields.
+    BadHeader(&'static str),
+    /// The decoded state does not match the transmitted checksum.
+    ChecksumMismatch,
+}
+
+impl core::fmt::Display for CpcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CpcError::BadHeader(reason) => write!(f, "bad header: {reason}"),
+            CpcError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CpcError {}
+
+/// FNV-1a over the little-endian bitmap words.
+fn checksum(bitmaps: impl Iterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in bitmaps {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// P(bit k set) for the fitted model, in the coder's fixed-point scale.
+fn bit_probability(n_hat: f64, m: f64, k: u32, cap: u32) -> u32 {
+    let rho = 2f64.powi(-(k.min(cap) as i32));
+    let p_set = -(-n_hat * rho / m).exp_m1(); // 1 − e^(−n̂ρ/m)
+    // Clamp into the codable range; the coder clamps again defensively.
+    (p_set * f64::from(PROB_ONE)) as u32
+}
+
+/// Compresses the PCSA state. The inverse is [`decompress`].
+///
+/// ```
+/// use ell_baselines::{cpc, Pcsa};
+///
+/// let mut sketch = Pcsa::new(10);
+/// for h in (0..100_000u64).map(ell_hash::mix64) {
+///     sketch.insert_hash(h);
+/// }
+/// let bytes = cpc::compress(&sketch);
+/// assert!(bytes.len() * 5 < sketch.serialized_bytes()); // ≥5× smaller
+/// assert_eq!(cpc::decompress(&bytes).unwrap(), sketch); // lossless
+/// ```
+#[must_use]
+pub fn compress(sketch: &Pcsa) -> Vec<u8> {
+    let n_hat = sketch.estimate();
+    let m = sketch.m() as f64;
+    let p = sketch.p();
+    let cap = 64 - u32::from(p);
+    let mut enc = RangeEncoder::new();
+    for i in 0..sketch.m() {
+        let b = sketch.bitmap(i);
+        for k in 1..=sketch.levels() {
+            let p1 = bit_probability(n_hat, m, k, cap);
+            enc.encode(b & (1u64 << (k - 1)) != 0, p1);
+        }
+    }
+    let payload = enc.finish();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.push(p);
+    out.extend_from_slice(&n_hat.to_bits().to_le_bytes());
+    out.extend_from_slice(&checksum((0..sketch.m()).map(|i| sketch.bitmap(i))).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+///
+/// # Errors
+///
+/// Fails on truncated/invalid headers and on any payload corruption
+/// (detected through the state checksum).
+pub fn decompress(bytes: &[u8]) -> Result<Pcsa, CpcError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CpcError::BadHeader("input shorter than the header"));
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CpcError::BadHeader("wrong magic"));
+    }
+    let p = bytes[4];
+    if !(2..=26).contains(&p) {
+        return Err(CpcError::BadHeader("precision outside 2..=26"));
+    }
+    let n_hat = f64::from_bits(u64::from_le_bytes(
+        bytes[5..13].try_into().expect("length checked"),
+    ));
+    if !n_hat.is_finite() || n_hat < 0.0 {
+        return Err(CpcError::BadHeader("estimate field not a finite count"));
+    }
+    let expect_sum = u64::from_le_bytes(bytes[13..21].try_into().expect("length checked"));
+
+    let mut sketch = Pcsa::new(p);
+    let m = sketch.m() as f64;
+    let cap = 64 - u32::from(p);
+    let mut dec = RangeDecoder::new(&bytes[HEADER_LEN..]);
+    for i in 0..sketch.m() {
+        let mut bitmap = 0u64;
+        for k in 1..=sketch.levels() {
+            let p1 = bit_probability(n_hat, m, k, cap);
+            if dec.decode(p1) {
+                bitmap |= 1u64 << (k - 1);
+            }
+        }
+        sketch.set_bitmap(i, bitmap);
+    }
+    if checksum((0..sketch.m()).map(|i| sketch.bitmap(i))) != expect_sum {
+        return Err(CpcError::ChecksumMismatch);
+    }
+    Ok(sketch)
+}
+
+/// Size in bytes of the compressed serialization — the "serialized"
+/// column entry for the CPC row of Table 2.
+#[must_use]
+pub fn compressed_size(sketch: &Pcsa) -> usize {
+    compress(sketch).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::SplitMix64;
+
+    fn fill(p: u8, n: usize, seed: u64) -> Pcsa {
+        let mut s = Pcsa::new(p);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..n {
+            s.insert_hash(rng.next_u64());
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip_across_fill_levels() {
+        for n in [0usize, 1, 10, 1_000, 100_000] {
+            let s = fill(10, n, 42 + n as u64);
+            let bytes = compress(&s);
+            let back = decompress(&bytes).unwrap();
+            assert_eq!(back, s, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_across_precisions() {
+        for p in [2u8, 5, 8, 12] {
+            let s = fill(p, 20_000, u64::from(p));
+            assert_eq!(decompress(&compress(&s)).unwrap(), s, "p={p}");
+        }
+    }
+
+    #[test]
+    fn size_close_to_shannon_bound() {
+        let s = fill(10, 100_000, 7);
+        let ideal_bytes = s.ideal_compressed_bits() / 8.0;
+        let actual = compressed_size(&s) as f64 - HEADER_LEN as f64;
+        let ratio = actual / ideal_bytes;
+        assert!(
+            (0.98..1.05).contains(&ratio),
+            "coded {actual:.0} bytes vs Shannon {ideal_bytes:.0} (ratio {ratio:.3})"
+        );
+    }
+
+    #[test]
+    fn compression_beats_raw_serialization() {
+        // Table 2: CPC serialized ≈ 656 bytes where the raw PCSA state
+        // would be m·(65−p)/8 ≈ 6.9 KiB — roughly a 10× reduction.
+        let s = fill(10, 1_000_000, 8);
+        let compressed = compressed_size(&s);
+        let raw = s.serialized_bytes();
+        assert!(
+            compressed * 5 < raw,
+            "compressed {compressed} vs raw {raw}: expected ≥5× reduction"
+        );
+    }
+
+    #[test]
+    fn header_validation() {
+        let s = fill(6, 100, 9);
+        let good = compress(&s);
+        assert!(matches!(
+            decompress(&good[..HEADER_LEN - 1]),
+            Err(CpcError::BadHeader(_))
+        ));
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(decompress(&bad), Err(CpcError::BadHeader(_))));
+        let mut bad = good.clone();
+        bad[4] = 1; // p below minimum
+        assert!(matches!(decompress(&bad), Err(CpcError::BadHeader(_))));
+        let mut bad = good.clone();
+        bad[5..13].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(decompress(&bad), Err(CpcError::BadHeader(_))));
+    }
+
+    #[test]
+    fn payload_corruption_detected() {
+        // The very first payload byte is the range coder's cache byte and
+        // genuinely redundant; the trailing flush bytes may be partially
+        // unconsumed. Mid-payload corruption must always be caught by the
+        // checksum.
+        let s = fill(8, 5_000, 10);
+        let good = compress(&s);
+        let mid = (HEADER_LEN + good.len()) / 2;
+        for pos in [HEADER_LEN + 1, HEADER_LEN + 5, mid, good.len() - 6] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                decompress(&bad).is_err(),
+                "corruption at byte {pos} went undetected"
+            );
+        }
+        // Corrupting the checksum itself is also caught.
+        let mut bad = good.clone();
+        bad[13] ^= 0x01;
+        assert_eq!(decompress(&bad), Err(CpcError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn empty_sketch_compresses_tiny() {
+        let s = Pcsa::new(10);
+        let bytes = compress(&s);
+        // All bits zero under a near-zero model: a handful of payload
+        // bytes on top of the header.
+        assert!(bytes.len() < HEADER_LEN + 64, "{} bytes", bytes.len());
+        assert_eq!(decompress(&bytes).unwrap(), s);
+    }
+}

@@ -1,0 +1,247 @@
+//! 4-bit HyperLogLog with a global offset and an exception map — the
+//! DataSketches "HLL_4" representation (Table 2's most compact HLL row).
+//!
+//! Registers store `value − offset` clamped to 4 bits; the pattern 15
+//! marks an exception whose exact value lives in an auxiliary map. When
+//! the minimum register value rises above the offset, the whole array is
+//! rebuilt with a larger offset — this is why the insert operation is
+//! *not* constant-time in the worst case (the "–" in Table 2's last
+//! column).
+
+use crate::estimators::{count_histogram, ertl_improved};
+use ell_bitpack::{mask, PackedArray};
+use std::collections::HashMap;
+
+/// Exception marker in the 4-bit array.
+const EXC: u64 = 15;
+
+/// DataSketches-style 4-bit HyperLogLog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperLogLog4 {
+    regs: PackedArray,
+    /// Global offset ("curMin" in DataSketches terms).
+    offset: u64,
+    /// Exact values of registers whose `value − offset` exceeds 14.
+    exceptions: HashMap<u32, u64>,
+    /// Registers currently storing 0 (i.e. at the offset). The offset can
+    /// only advance when this reaches zero, so tracking it keeps the
+    /// common-path insert O(1).
+    at_offset: usize,
+    p: u8,
+}
+
+impl HyperLogLog4 {
+    /// Creates an empty 4-bit HLL with 2^p registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ p ≤ 26`.
+    #[must_use]
+    pub fn new(p: u8) -> Self {
+        assert!((2..=26).contains(&p), "precision {p} outside 2..=26");
+        HyperLogLog4 {
+            regs: PackedArray::new(4, 1usize << p),
+            offset: 0,
+            exceptions: HashMap::new(),
+            at_offset: 1usize << p,
+            p,
+        }
+    }
+
+    /// Number of registers m = 2^p.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        1usize << self.p
+    }
+
+    /// The reconstructed (true) value of register `i`.
+    #[must_use]
+    pub fn value(&self, i: usize) -> u64 {
+        let stored = self.regs.get(i);
+        if stored == EXC {
+            self.exceptions[&(i as u32)]
+        } else {
+            self.offset + stored
+        }
+    }
+
+    /// Inserts an element by its 64-bit hash. Amortized constant time, but
+    /// an offset advance rebuilds all m registers.
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        let p = u32::from(self.p);
+        let i = (h >> (64 - p)) as usize;
+        let a = h & mask(64 - p);
+        let k = u64::from(a.leading_zeros()) - u64::from(p) + 1;
+        if k <= self.value(i) {
+            return false;
+        }
+        self.store(i, k);
+        // Advance the offset when no register sits at it any more.
+        if self.at_offset == 0 {
+            self.advance_offset();
+        }
+        true
+    }
+
+    fn store(&mut self, i: usize, value: u64) {
+        debug_assert!(value >= self.offset);
+        if self.regs.get(i) == 0 {
+            self.at_offset -= 1;
+        }
+        let delta = value - self.offset;
+        if delta >= EXC {
+            self.regs.set(i, EXC);
+            self.exceptions.insert(i as u32, value);
+        } else {
+            self.regs.set(i, delta);
+            self.exceptions.remove(&(i as u32));
+            if delta == 0 {
+                self.at_offset += 1;
+            }
+        }
+    }
+
+    /// O(m) rebuild that increments the offset as far as possible.
+    fn advance_offset(&mut self) {
+        let new_offset = (0..self.m()).map(|i| self.value(i)).min().unwrap_or(0);
+        if new_offset <= self.offset {
+            return;
+        }
+        let values: Vec<u64> = (0..self.m()).map(|i| self.value(i)).collect();
+        self.offset = new_offset;
+        self.exceptions.clear();
+        self.regs.clear();
+        self.at_offset = self.m();
+        for (i, &v) in values.iter().enumerate() {
+            self.store(i, v);
+        }
+    }
+
+    /// Merges another 4-bit HLL with the same precision (value-wise max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precisions differ.
+    pub fn merge_from(&mut self, other: &HyperLogLog4) {
+        assert_eq!(self.p, other.p, "precision mismatch");
+        for i in 0..self.m() {
+            let v = self.value(i).max(other.value(i));
+            if v > self.value(i) {
+                self.store(i, v);
+            }
+        }
+        if self.at_offset == 0 {
+            self.advance_offset();
+        }
+    }
+
+    /// Distinct-count estimate (Ertl improved estimator over the
+    /// reconstructed values).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        let q = 64 - usize::from(self.p);
+        let counts = count_histogram((0..self.m()).map(|i| self.value(i)), q + 1);
+        ertl_improved(&counts, self.m())
+    }
+
+    /// Serialized size: register array + one (index, value) pair per
+    /// exception + the offset byte.
+    #[must_use]
+    pub fn serialized_bytes(&self) -> usize {
+        self.regs.as_bytes().len() + self.exceptions.len() * 5 + 1
+    }
+
+    /// In-memory footprint: struct, register array, exception-map heap
+    /// space (HashMap entry ≈ key + value + bucket overhead).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>()
+            + self.regs.as_bytes().len()
+            + self.exceptions.capacity() * (4 + 8 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hll::{HllEstimator, HyperLogLog};
+    use ell_hash::SplitMix64;
+
+    #[test]
+    fn values_match_full_width_hll() {
+        let mut h4 = HyperLogLog4::new(9);
+        let mut h6 = HyperLogLog::new(9, 6, HllEstimator::Improved);
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..200_000 {
+            let h = rng.next_u64();
+            h4.insert_hash(h);
+            h6.insert_hash(h);
+        }
+        for i in 0..h4.m() {
+            assert_eq!(h4.value(i), h6.register(i), "register {i}");
+        }
+        assert!((h4.estimate() - h6.estimate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_advances_and_shrinks_exceptions() {
+        let mut h4 = HyperLogLog4::new(4);
+        let mut rng = SplitMix64::new(12);
+        // Enough inserts that every register exceeds zero.
+        for _ in 0..100_000 {
+            h4.insert_hash(rng.next_u64());
+        }
+        assert!(h4.offset > 0, "offset should have advanced");
+        // Exceptions should be rare once the offset tracks the minimum.
+        assert!(h4.exceptions.len() < h4.m() / 2);
+    }
+
+    #[test]
+    fn serialized_smaller_than_6bit() {
+        let mut h4 = HyperLogLog4::new(11);
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..1_000_000 {
+            h4.insert_hash(rng.next_u64());
+        }
+        // Table 2 ordering: 4-bit (≈1067±) < 6-bit (1536).
+        assert!(
+            h4.serialized_bytes() < 1536,
+            "4-bit serialized {} should beat 6-bit 1536",
+            h4.serialized_bytes()
+        );
+    }
+
+    #[test]
+    fn merge_is_valuewise_max() {
+        let mut a = HyperLogLog4::new(6);
+        let mut b = HyperLogLog4::new(6);
+        let mut rng = SplitMix64::new(14);
+        for _ in 0..5000 {
+            a.insert_hash(rng.next_u64());
+        }
+        for _ in 0..5000 {
+            b.insert_hash(rng.next_u64());
+        }
+        let expect: Vec<u64> = (0..a.m()).map(|i| a.value(i).max(b.value(i))).collect();
+        a.merge_from(&b);
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(a.value(i), e);
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut h4 = HyperLogLog4::new(5);
+        let mut rng = SplitMix64::new(15);
+        let hashes: Vec<u64> = (0..1000).map(|_| rng.next_u64()).collect();
+        for &x in &hashes {
+            h4.insert_hash(x);
+        }
+        let vals: Vec<u64> = (0..h4.m()).map(|i| h4.value(i)).collect();
+        for &x in &hashes {
+            assert!(!h4.insert_hash(x));
+        }
+        let vals2: Vec<u64> = (0..h4.m()).map(|i| h4.value(i)).collect();
+        assert_eq!(vals, vals2);
+    }
+}

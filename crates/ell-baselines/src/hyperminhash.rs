@@ -1,0 +1,379 @@
+//! HyperMinHash (Yu & Weber, TKDE 2022) — MinHash in LogLog space.
+//!
+//! Paper §2.5: "HyperMinHash corresponds to ELL(t, 0), whose registers
+//! only store the maxima of update values. HyperMinHash uses an update
+//! value distribution equivalent to (8) but defines the ordering of
+//! register and update values differently."
+//!
+//! Each bucket keeps the *minimum* hash seen, summarized as the pair
+//! (lz, r): the number of leading zeros `lz` of the value part
+//! (smaller hash ⇔ longer zero run) and the `t` trailing sub-bucket
+//! bits `r`, minimized among hashes of equal `lz`. The bijection
+//!
+//! > k = lz·2^t + (2^t − 1 − r) + 1
+//!
+//! maps a bucket to the ELL(t, 0) register maximum — maximizing k is
+//! exactly minimizing (−lz, r) lexicographically — which the tests
+//! verify state-for-state against `exaloglog::ExaLogLog`.
+//!
+//! Beyond distinct counting (delegated through that bijection to the
+//! ELL ML estimator), HyperMinHash's raison d'être is *similarity*: the
+//! sub-bucket bits make buckets collision-poor enough that the fraction
+//! of agreeing buckets estimates the Jaccard coefficient, which plain
+//! HLL cannot do. [`HyperMinHash::jaccard`] implements the uncorrected
+//! MinHash estimator (the full HMH collision correction matters only
+//! for similarities below ~2^−t at huge counts).
+
+use ell_bitpack::{mask, PackedArray};
+use exaloglog::{EllConfig, ExaLogLog};
+
+/// A HyperMinHash sketch with 2^p buckets of `6 + t` bits.
+///
+/// ```
+/// use ell_baselines::HyperMinHash;
+///
+/// let mut a = HyperMinHash::new(12, 4);
+/// let mut b = HyperMinHash::new(12, 4);
+/// for h in (0..30_000u64).map(ell_hash::mix64) {
+///     a.insert_hash(h); // A = {0..30000}
+/// }
+/// for h in (15_000..45_000u64).map(ell_hash::mix64) {
+///     b.insert_hash(h); // B = {15000..45000}, |A ∩ B| / |A ∪ B| = 1/3
+/// }
+/// let j = a.jaccard(&b);
+/// assert!((j - 1.0 / 3.0).abs() < 0.06, "J = {j}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperMinHash {
+    /// Bucket state, stored as the ELL(t, 0)-equivalent update value
+    /// (0 = empty) — see the module docs for the (lz, r) bijection.
+    regs: PackedArray,
+    p: u8,
+    t: u8,
+}
+
+impl HyperMinHash {
+    /// Creates an empty sketch with 2^p buckets and t sub-bucket bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ p ≤ 26` and `t ≤ 6`.
+    #[must_use]
+    pub fn new(p: u8, t: u8) -> Self {
+        assert!((2..=26).contains(&p), "precision {p} outside 2..=26");
+        assert!(t <= 6, "sub-bucket bits {t} exceed 6");
+        HyperMinHash {
+            regs: PackedArray::new(6 + u32::from(t), 1usize << p),
+            p,
+            t,
+        }
+    }
+
+    /// Number of buckets m = 2^p.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        1usize << self.p
+    }
+
+    /// The precision parameter p.
+    #[must_use]
+    pub fn p(&self) -> u8 {
+        self.p
+    }
+
+    /// The sub-bucket resolution t.
+    #[must_use]
+    pub fn t(&self) -> u8 {
+        self.t
+    }
+
+    /// Splits a hash into (bucket, lz, r) with the ELL-compatible bit
+    /// layout: bits `t..p+t` address the bucket, the leading zeros of
+    /// the bits above (capped at 64 − p − t) give `lz`, and the low t
+    /// bits — *complemented*, per the min-hash ordering — give `r`.
+    #[inline]
+    fn decompose(&self, h: u64) -> (usize, u64, u64) {
+        let t = u32::from(self.t);
+        let p = u32::from(self.p);
+        let i = ((h >> t) as usize) & (self.m() - 1);
+        let lz = u64::from((h | mask(p + t)).leading_zeros());
+        let r = (!h) & mask(t);
+        (i, lz, r)
+    }
+
+    /// Inserts an element by its 64-bit hash. Returns whether the state
+    /// changed. Constant time.
+    #[inline]
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        let (i, lz, r) = self.decompose(h);
+        let t = u32::from(self.t);
+        // Bucket comparison: keep the maximum of (lz, −r), i.e. the
+        // minimum hash. Encoded as the ELL(t,0) value k.
+        let k = (lz << t) + (mask(t) - r) + 1;
+        let cur = self.regs.get(i);
+        if k > cur {
+            self.regs.set(i, k);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The (lz, r) pair of bucket `i`, or `None` while the bucket is
+    /// empty.
+    #[must_use]
+    pub fn bucket(&self, i: usize) -> Option<(u64, u64)> {
+        let v = self.regs.get(i);
+        if v == 0 {
+            return None;
+        }
+        let t = u32::from(self.t);
+        let k = v - 1;
+        Some((k >> t, mask(t) - (k & mask(t))))
+    }
+
+    /// Merges another sketch with identical (p, t): bucket-wise minimum
+    /// hash, i.e. maximum encoded value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters differ.
+    pub fn merge_from(&mut self, other: &HyperMinHash) {
+        assert_eq!(self.p, other.p, "precision mismatch");
+        assert_eq!(self.t, other.t, "sub-bucket resolution mismatch");
+        for i in 0..self.m() {
+            let v = self.regs.get(i).max(other.regs.get(i));
+            self.regs.set(i, v);
+        }
+    }
+
+    /// Converts into the information-equivalent ELL(t, 0) sketch
+    /// (paper §2.5) — registers transfer verbatim under the bijection.
+    #[must_use]
+    pub fn to_ell(&self) -> ExaLogLog {
+        let cfg = EllConfig::new(self.t, 0, self.p).expect("validated parameters");
+        let mut ell = ExaLogLog::new(cfg);
+        for (i, v) in self.regs.iter().enumerate() {
+            if v > 0 {
+                ell.apply_update(i, v);
+            }
+        }
+        ell
+    }
+
+    /// The distinct-count estimate: ML estimation on the equivalent
+    /// ELL(t, 0) state.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.to_ell().estimate()
+    }
+
+    /// The MinHash Jaccard estimate J(A, B) ≈ |matching buckets| /
+    /// |jointly occupied buckets|. Buckets empty on both sides carry no
+    /// information and are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters differ.
+    #[must_use]
+    pub fn jaccard(&self, other: &HyperMinHash) -> f64 {
+        assert_eq!(self.p, other.p, "precision mismatch");
+        assert_eq!(self.t, other.t, "sub-bucket resolution mismatch");
+        let mut occupied = 0usize;
+        let mut matching = 0usize;
+        for i in 0..self.m() {
+            let (a, b) = (self.regs.get(i), other.regs.get(i));
+            if a != 0 || b != 0 {
+                occupied += 1;
+                if a == b {
+                    matching += 1;
+                }
+            }
+        }
+        if occupied == 0 {
+            return 0.0;
+        }
+        matching as f64 / occupied as f64
+    }
+
+    /// Estimated size of the intersection |A ∩ B| via J·|A ∪ B|.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters differ.
+    #[must_use]
+    pub fn intersection_estimate(&self, other: &HyperMinHash) -> f64 {
+        let mut union = self.clone();
+        union.merge_from(other);
+        self.jaccard(other) * union.estimate()
+    }
+
+    /// Serialized size in bytes: the packed (6+t)-bit bucket array.
+    #[must_use]
+    pub fn serialized_bytes(&self) -> usize {
+        self.regs.as_bytes().len()
+    }
+
+    /// In-memory footprint: struct plus bucket heap allocation.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.regs.as_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::SplitMix64;
+
+    fn hashes(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn state_equals_ell_t_0_paper_section_2_5() {
+        for (p, t) in [(4u8, 1u8), (8, 2), (10, 4)] {
+            let mut hmh = HyperMinHash::new(p, t);
+            let mut ell = ExaLogLog::with_params(t, 0, p).unwrap();
+            for &h in &hashes(40_000, u64::from(p) * 31 + u64::from(t)) {
+                let a = hmh.insert_hash(h);
+                let b = ell.insert_hash(h);
+                assert_eq!(a, b, "state-change disagreement p={p} t={t}");
+            }
+            for i in 0..ell.config().m() {
+                assert_eq!(
+                    hmh.to_ell().register(i),
+                    ell.register(i),
+                    "p={p} t={t} register {i}"
+                );
+            }
+            assert!((hmh.estimate() - ell.estimate()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bucket_pair_bijection() {
+        let mut hmh = HyperMinHash::new(4, 2);
+        assert_eq!(hmh.bucket(0), None);
+        // Craft a hash for bucket 0: bits 2..6 zero; low 2 bits = 0b01 →
+        // r = ~01 & 3 = 0b10; value part all-ones above → lz = 0.
+        let h = !0u64 << 6 | 0b01;
+        hmh.insert_hash(h);
+        assert_eq!(hmh.bucket(0), Some((0, 0b10)));
+        // A smaller hash (more leading zeros) displaces it.
+        let h2 = (1u64 << 40) | 0b01;
+        hmh.insert_hash(h2);
+        let (lz, _) = hmh.bucket(0).unwrap();
+        assert_eq!(lz, 23);
+    }
+
+    #[test]
+    fn min_r_wins_at_equal_lz() {
+        let mut hmh = HyperMinHash::new(4, 2);
+        // Equal value part (lz = 0), different sub-bucket bits.
+        let base = !0u64 << 6;
+        hmh.insert_hash(base | 0b11); // r = 0
+        assert_eq!(hmh.bucket(0), Some((0, 0)));
+        // r = 2 is larger → ignored (min-hash keeps the smaller r).
+        let changed = hmh.insert_hash(base | 0b01);
+        assert!(!changed);
+        assert_eq!(hmh.bucket(0), Some((0, 0)));
+    }
+
+    #[test]
+    fn estimate_tracks_truth() {
+        let mut hmh = HyperMinHash::new(10, 2);
+        for &h in &hashes(50_000, 71) {
+            hmh.insert_hash(h);
+        }
+        let est = hmh.estimate();
+        let rel = est / 50_000.0 - 1.0;
+        assert!(rel.abs() < 0.10, "estimate {est} ({rel:+.3})");
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = HyperMinHash::new(8, 2);
+        let mut b = HyperMinHash::new(8, 2);
+        let mut direct = HyperMinHash::new(8, 2);
+        for &h in &hashes(3000, 72) {
+            a.insert_hash(h);
+            direct.insert_hash(h);
+        }
+        for &h in &hashes(2500, 73) {
+            b.insert_hash(h);
+            direct.insert_hash(h);
+        }
+        a.merge_from(&b);
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn jaccard_tracks_overlap() {
+        // |A| = |B| = 20 000 with 10 000 shared → J = 1/3.
+        let shared = hashes(10_000, 74);
+        let only_a = hashes(10_000, 75);
+        let only_b = hashes(10_000, 76);
+        let mut a = HyperMinHash::new(12, 4);
+        let mut b = HyperMinHash::new(12, 4);
+        for &h in shared.iter().chain(only_a.iter()) {
+            a.insert_hash(h);
+        }
+        for &h in shared.iter().chain(only_b.iter()) {
+            b.insert_hash(h);
+        }
+        let j = a.jaccard(&b);
+        assert!(
+            (j - 1.0 / 3.0).abs() < 0.05,
+            "Jaccard estimate {j:.3} vs true 0.333"
+        );
+        let inter = a.intersection_estimate(&b);
+        let rel = inter / 10_000.0 - 1.0;
+        assert!(rel.abs() < 0.15, "intersection {inter:.0} ({rel:+.3})");
+    }
+
+    #[test]
+    fn jaccard_extremes() {
+        let mut a = HyperMinHash::new(10, 3);
+        let mut b = HyperMinHash::new(10, 3);
+        let hs = hashes(5000, 77);
+        for &h in &hs {
+            a.insert_hash(h);
+            b.insert_hash(h);
+        }
+        assert_eq!(a.jaccard(&b), 1.0, "identical sets");
+        // Disjoint sets: the uncorrected estimator has a collision floor
+        // of roughly P(same nlz)·2^−t ≈ 0.05 at t = 3 — the reason the
+        // full HyperMinHash paper adds its collision correction.
+        let mut c = HyperMinHash::new(10, 3);
+        for &h in &hashes(5000, 78) {
+            c.insert_hash(h);
+        }
+        assert!(a.jaccard(&c) < 0.09, "disjoint sets: {}", a.jaccard(&c));
+        let empty = HyperMinHash::new(10, 3);
+        assert_eq!(empty.jaccard(&HyperMinHash::new(10, 3)), 0.0);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut s = HyperMinHash::new(8, 2);
+        let hs = hashes(1000, 79);
+        for &h in &hs {
+            s.insert_hash(h);
+        }
+        let snap = s.clone();
+        for &h in &hs {
+            assert!(!s.insert_hash(h));
+        }
+        assert_eq!(s, snap);
+    }
+
+    #[test]
+    fn sizes() {
+        let s = HyperMinHash::new(10, 2);
+        assert_eq!(s.serialized_bytes(), 1024); // 8-bit buckets
+        let s = HyperMinHash::new(10, 4);
+        assert_eq!(s.serialized_bytes(), 1280); // 10-bit buckets
+    }
+}

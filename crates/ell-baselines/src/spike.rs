@@ -1,0 +1,234 @@
+//! A SpikeSketch-*like* lossy sketch — documented substitution.
+//!
+//! SpikeSketch (Du et al., INFOCOM 2023) is compared in the paper's
+//! Table 2 and Figure 10, but its description lives in a separate paper
+//! that is not available in this offline reproduction. Following the
+//! substitution rule of DESIGN.md §3, this module implements a sketch
+//! with the *properties the ExaLogLog paper attributes to SpikeSketch*:
+//!
+//! * bucketed, constant-time, mergeable, idempotent inserts;
+//! * ≈1 KiB of state at ~2.3 % error (128 buckets of 64 + 8 bits);
+//! * a *lossy* encoding whose information loss shows up as a pronounced
+//!   error floor at small distinct counts — the behaviour the paper
+//!   criticizes in §5.2.
+//!
+//! Design: 128 buckets × 16 cells of 4 bits sharing one 8-bit per-bucket
+//! offset. A cell stores `value − offset` clamped to \[0, 15\] — clamping
+//! and offset advancement both discard information (the lossiness). The
+//! estimator reconstructs cell values and applies the improved raw
+//! estimator.
+//!
+//! Results derived from this type are labelled "SpikeSketch-like
+//! (substitute)" in every experiment output.
+
+use crate::estimators::{count_histogram, ertl_improved};
+use ell_bitpack::{mask, PackedArray};
+
+/// Cells per bucket (one 64-bit word of 4-bit cells).
+const CELLS_PER_BUCKET: usize = 16;
+/// Saturation value of a 4-bit cell.
+const CELL_MAX: u64 = 15;
+
+/// A SpikeSketch-like lossy bucketed sketch (substitute — see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeLike {
+    cells: PackedArray,
+    offsets: Vec<u8>,
+    buckets: usize,
+}
+
+impl SpikeLike {
+    /// Creates a sketch with the given number of buckets (a power of two;
+    /// the paper's configuration uses 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two in `8..=2^20`.
+    #[must_use]
+    pub fn new(buckets: usize) -> Self {
+        assert!(
+            buckets.is_power_of_two() && (8..=1 << 20).contains(&buckets),
+            "buckets must be a power of two in 8..=2^20"
+        );
+        SpikeLike {
+            cells: PackedArray::new(4, buckets * CELLS_PER_BUCKET),
+            offsets: vec![0u8; buckets],
+            buckets,
+        }
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.buckets * CELLS_PER_BUCKET
+    }
+
+    fn cell_value(&self, cell: usize) -> u64 {
+        u64::from(self.offsets[cell / CELLS_PER_BUCKET]) + self.cells.get(cell)
+    }
+
+    /// Inserts an element by its 64-bit hash; constant time. Returns
+    /// whether the state changed.
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        let cells = self.cell_count();
+        let idx_bits = cells.trailing_zeros();
+        let cell = (h >> (64 - idx_bits)) as usize;
+        let a = h & mask(64 - idx_bits);
+        let k = u64::from(a.leading_zeros()) - u64::from(idx_bits) + 1;
+        let bucket = cell / CELLS_PER_BUCKET;
+        let offset = u64::from(self.offsets[bucket]);
+        if k <= offset {
+            return false; // lossy floor: below-offset information discarded
+        }
+        let clamped = (k - offset).min(CELL_MAX);
+        let old = self.cells.get(cell);
+        if clamped <= old {
+            return false; // also lossy: values above offset+15 saturate
+        }
+        self.cells.set(cell, clamped);
+        self.maybe_advance(bucket);
+        true
+    }
+
+    /// Advances the bucket offset when all its cells are nonzero
+    /// (constant time: one 16-cell scan).
+    fn maybe_advance(&mut self, bucket: usize) {
+        let base = bucket * CELLS_PER_BUCKET;
+        let min = (base..base + CELLS_PER_BUCKET)
+            .map(|c| self.cells.get(c))
+            .min()
+            .expect("bucket is never empty");
+        if min == 0 {
+            return;
+        }
+        // Lossy shift: cells at CELL_MAX keep saturating, information about
+        // their true value is gone.
+        for c in base..base + CELLS_PER_BUCKET {
+            let v = self.cells.get(c);
+            self.cells.set(c, v - min);
+        }
+        self.offsets[bucket] += min as u8;
+    }
+
+    /// Merges another sketch with the same geometry (cell-wise max of
+    /// reconstructed values; loss from clamping is inherited).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ.
+    pub fn merge_from(&mut self, other: &SpikeLike) {
+        assert_eq!(self.buckets, other.buckets, "bucket count mismatch");
+        for bucket in 0..self.buckets {
+            let base = bucket * CELLS_PER_BUCKET;
+            for c in base..base + CELLS_PER_BUCKET {
+                let v = self.cell_value(c).max(other.cell_value(c));
+                let offset = u64::from(self.offsets[bucket]);
+                let clamped = v.saturating_sub(offset).min(CELL_MAX);
+                if clamped > self.cells.get(c) {
+                    self.cells.set(c, clamped);
+                }
+            }
+            self.maybe_advance(bucket);
+        }
+    }
+
+    /// Distinct-count estimate (improved raw estimator over reconstructed
+    /// cell values).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        let cells = self.cell_count();
+        let q = 64 - cells.trailing_zeros() as usize;
+        let counts = count_histogram((0..cells).map(|c| self.cell_value(c)), q + 1);
+        ertl_improved(&counts, cells)
+    }
+
+    /// Serialized size: 4-bit cell array + one offset byte per bucket.
+    #[must_use]
+    pub fn serialized_bytes(&self) -> usize {
+        self.cells.as_bytes().len() + self.offsets.len()
+    }
+
+    /// In-memory footprint.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.cells.as_bytes().len() + self.offsets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::SplitMix64;
+
+    #[test]
+    fn size_matches_spike_row() {
+        // Table 2 lists SpikeSketch at ≥1024 bytes for 128 buckets.
+        let s = SpikeLike::new(128);
+        assert_eq!(s.serialized_bytes(), 128 * 8 + 128);
+    }
+
+    #[test]
+    fn estimate_tracks_truth_at_scale() {
+        // 2048 cells → σ ≈ 2.3 %; generous 4σ band at n = 10^6.
+        let mut s = SpikeLike::new(128);
+        let mut rng = SplitMix64::new(41);
+        for _ in 0..1_000_000 {
+            s.insert_hash(rng.next_u64());
+        }
+        let rel = s.estimate() / 1e6 - 1.0;
+        assert!(rel.abs() < 0.1, "{rel:+.4}");
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut s = SpikeLike::new(16);
+        let mut rng = SplitMix64::new(42);
+        let hashes: Vec<u64> = (0..5000).map(|_| rng.next_u64()).collect();
+        for &h in &hashes {
+            s.insert_hash(h);
+        }
+        let snap = s.clone();
+        for &h in &hashes {
+            assert!(!s.insert_hash(h), "duplicate changed state");
+        }
+        assert_eq!(s, snap);
+    }
+
+    #[test]
+    fn merge_approximates_union() {
+        let mut rng = SplitMix64::new(43);
+        let mut a = SpikeLike::new(64);
+        let mut b = SpikeLike::new(64);
+        let mut direct = SpikeLike::new(64);
+        for _ in 0..50_000 {
+            let h = rng.next_u64();
+            a.insert_hash(h);
+            direct.insert_hash(h);
+        }
+        for _ in 0..50_000 {
+            let h = rng.next_u64();
+            b.insert_hash(h);
+            direct.insert_hash(h);
+        }
+        a.merge_from(&b);
+        // Lossy encoding means merge need not be bit-identical to direct
+        // recording, but the estimates must agree closely.
+        let rel = a.estimate() / direct.estimate() - 1.0;
+        assert!(rel.abs() < 0.05, "merged vs direct: {rel:+.4}");
+    }
+
+    #[test]
+    fn lossiness_visible_at_small_counts() {
+        // The estimator over 2048 cells with only a handful of elements
+        // inserted cannot resolve small counts as precisely as an exact
+        // sketch — the documented SpikeSketch weakness. We just verify the
+        // estimate is in a sane band (not exact).
+        let mut s = SpikeLike::new(128);
+        let mut rng = SplitMix64::new(44);
+        for _ in 0..10 {
+            s.insert_hash(rng.next_u64());
+        }
+        let est = s.estimate();
+        assert!(est > 2.0 && est < 50.0, "small-n estimate {est}");
+    }
+}

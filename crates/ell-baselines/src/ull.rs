@@ -1,0 +1,349 @@
+//! UltraLogLog (Ertl, VLDB 2024) — the "Hash4j ULL" baseline of Table 2.
+//!
+//! ULL extends each HyperLogLog register by two indicator bits recording
+//! whether update values one and two below the maximum occurred, giving a
+//! ML-estimation MVP of 4.63 (28 % below 6-bit HLL). Paper §2.5
+//! identifies it as the special case ELL(0, 2) of ExaLogLog; this module
+//! implements it *independently*, with the byte-per-register layout and
+//! the most-significant-bits register addressing of the reference hash4j
+//! implementation, and the test suite verifies the §2.5 state-equivalence
+//! claim against `exaloglog::ExaLogLog` with (t, d) = (0, 2).
+
+use ell_bitpack::mask;
+use exaloglog::ml::{compute_coefficients, ml_estimate_from_coefficients};
+use exaloglog::theory::bias_correction_c;
+use exaloglog::EllConfig;
+
+/// Serialization magic for [`Ull::to_bytes`].
+const MAGIC: &[u8; 4] = b"ULL1";
+
+/// UltraLogLog sketch: 2^p one-byte registers `r = k·4 + ⟨l₁l₂⟩`, where
+/// `k` is the maximum update value and the two low bits indicate updates
+/// with values `k−1` and `k−2`.
+///
+/// Insertion follows the hash4j convention: the *top* p hash bits select
+/// the register, the update value is the number of leading zeros of the
+/// remaining bits plus one.
+///
+/// ```
+/// use ell_baselines::Ull;
+///
+/// let mut ull = Ull::new(10);
+/// for h in (0..100_000u64).map(ell_hash::mix64) {
+///     ull.insert_hash(h);
+/// }
+/// assert!((ull.estimate() / 100_000.0 - 1.0).abs() < 0.1);
+/// assert_eq!(ull.serialized_bytes(), 1024); // one byte per register
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ull {
+    regs: Vec<u8>,
+    p: u8,
+}
+
+/// Register-update core with the ULL window d = 2 hardcoded.
+#[inline]
+fn update_d2(r: u8, k: u8) -> u8 {
+    let u = r >> 2;
+    if k > u {
+        let delta = k - u;
+        let low = 0b100 | (r & 0b11);
+        (k << 2) | if delta <= 2 { low >> delta } else { 0 }
+    } else if k < u && u - k <= 2 {
+        r | (1 << (2 - (u - k)))
+    } else {
+        r
+    }
+}
+
+/// Register-merge core (Algorithm 5 with d = 2).
+#[inline]
+fn merge_d2(r: u8, r2: u8) -> u8 {
+    let (u, u2) = (r >> 2, r2 >> 2);
+    if u > u2 && u2 > 0 {
+        let delta = u - u2;
+        let low = 0b100 | (r2 & 0b11);
+        r | if delta <= 2 { low >> delta } else { 0 }
+    } else if u2 > u && u > 0 {
+        let delta = u2 - u;
+        let low = 0b100 | (r & 0b11);
+        r2 | if delta <= 2 { low >> delta } else { 0 }
+    } else {
+        r | r2
+    }
+}
+
+impl Ull {
+    /// Creates an empty UltraLogLog with 2^p registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ p ≤ 26`.
+    #[must_use]
+    pub fn new(p: u8) -> Self {
+        assert!((2..=26).contains(&p), "precision {p} outside 2..=26");
+        Ull {
+            regs: vec![0; 1usize << p],
+            p,
+        }
+    }
+
+    /// Number of registers m = 2^p.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// The precision parameter p.
+    #[must_use]
+    pub fn p(&self) -> u8 {
+        self.p
+    }
+
+    /// Inserts an element by its 64-bit hash. Returns whether the state
+    /// changed. Constant time.
+    #[inline]
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        let p = u32::from(self.p);
+        let i = (h >> (64 - p)) as usize;
+        let a = h & mask(64 - p);
+        let k = (a.leading_zeros() - p + 1) as u8; // ∈ [1, 65−p]
+        let r = self.regs[i];
+        let new = update_d2(r, k);
+        if new != r {
+            self.regs[i] = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Register value at index `i`.
+    #[must_use]
+    pub fn register(&self, i: usize) -> u64 {
+        u64::from(self.regs[i])
+    }
+
+    /// Merges another ULL with the same precision (register-wise
+    /// Algorithm 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precisions differ.
+    pub fn merge_from(&mut self, other: &Ull) {
+        assert_eq!(self.p, other.p, "precision mismatch");
+        for (r, &r2) in self.regs.iter_mut().zip(&other.regs) {
+            *r = merge_d2(*r, r2);
+        }
+    }
+
+    /// The bias-corrected ML estimate. ULL registers follow the
+    /// ELL(0, 2) value distribution, so Algorithm 3 + the Newton solver
+    /// of Algorithm 8 apply directly — this is the "ULL, ML estimator"
+    /// configuration of Table 2.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        let cfg = EllConfig::new(0, 2, self.p).expect("validated p");
+        let coeffs = compute_coefficients(&cfg, self.regs.iter().map(|&r| u64::from(r)));
+        let raw = ml_estimate_from_coefficients(&coeffs, self.m() as f64);
+        raw / (1.0 + bias_correction_c(0, 2) / self.m() as f64)
+    }
+
+    /// Serializes the sketch: magic, precision, then the one-byte-per-
+    /// register payload ("very convenient for standard compression
+    /// algorithms", paper §5.2).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.regs.len());
+        out.extend_from_slice(MAGIC);
+        out.push(self.p);
+        out.extend_from_slice(&self.regs);
+        out
+    }
+
+    /// Deserializes a sketch produced by [`Ull::to_bytes`], validating
+    /// header, length, and per-register structural invariants.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 5 {
+            return Err(format!("{} bytes is shorter than the header", bytes.len()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let p = bytes[4];
+        if !(2..=26).contains(&p) {
+            return Err(format!("precision {p} outside 2..=26"));
+        }
+        let m = 1usize << p;
+        let payload = &bytes[5..];
+        if payload.len() != m {
+            return Err(format!("expected {m} register bytes, got {}", payload.len()));
+        }
+        let cfg = EllConfig::new(0, 2, p).expect("validated p");
+        for (i, &r) in payload.iter().enumerate() {
+            if !exaloglog::registers::is_valid(&cfg, u64::from(r)) {
+                return Err(format!("register {i} holds unreachable value {r:#x}"));
+            }
+        }
+        Ok(Ull {
+            regs: payload.to_vec(),
+            p,
+        })
+    }
+
+    /// Serialized size in bytes (one byte per register plus no framing,
+    /// matching how Table 2 counts the hash4j ULL payload).
+    #[must_use]
+    pub fn serialized_bytes(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// In-memory footprint: struct plus register heap allocation.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.regs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::SplitMix64;
+    use exaloglog::ExaLogLog;
+
+    fn fill(p: u8, n: usize, seed: u64) -> Ull {
+        let mut u = Ull::new(p);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..n {
+            u.insert_hash(rng.next_u64());
+        }
+        u
+    }
+
+    /// Maps a hash from the ELL bit convention (low-bit register index,
+    /// NLZ of the high bits) to the ULL convention (top-bit index, NLZ
+    /// of the masked low bits) so that both sketches decompose it to the
+    /// same (register, update value) pair.
+    fn ell_to_ull_hash(h: u64, p: u8) -> u64 {
+        let p = u32::from(p);
+        ((h & mask(p)) << (64 - p)) | (h >> p)
+    }
+
+    #[test]
+    fn state_equals_ell_0_2_paper_section_2_5() {
+        // §2.5: "UltraLogLog … correspond[s] to ELL(0, 2)". Feeding both
+        // sketches equivalent hashes must produce identical registers.
+        for p in [4u8, 8, 11] {
+            let mut ull = Ull::new(p);
+            let mut ell = ExaLogLog::with_params(0, 2, p).unwrap();
+            let mut rng = SplitMix64::new(u64::from(p) + 77);
+            for _ in 0..50_000 {
+                let h = rng.next_u64();
+                ell.insert_hash(h);
+                ull.insert_hash(ell_to_ull_hash(h, p));
+            }
+            for i in 0..ull.m() {
+                assert_eq!(ull.register(i), ell.register(i), "p={p} register {i}");
+            }
+            assert!(
+                (ull.estimate() - ell.estimate()).abs() < 1e-9,
+                "p={p}: ML estimates diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_truth() {
+        for n in [100usize, 10_000, 1_000_000] {
+            let u = fill(10, n, 42);
+            let e = u.estimate();
+            let rel = e / n as f64 - 1.0;
+            // p = 10 → σ = √(4.63/(8·1024)) ≈ 2.4 %; allow 4σ.
+            assert!(rel.abs() < 0.10, "n={n}: {e} ({rel:+.3})");
+        }
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = fill(8, 5000, 1);
+        let b = fill(8, 4000, 2);
+        let mut direct = Ull::new(8);
+        for seed in [1u64, 2] {
+            let mut rng = SplitMix64::new(seed);
+            for _ in 0..if seed == 1 { 5000 } else { 4000 } {
+                direct.insert_hash(rng.next_u64());
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn merge_commutes_and_is_idempotent() {
+        let a = fill(6, 3000, 5);
+        let b = fill(6, 2000, 6);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+        let mut abb = ab.clone();
+        abb.merge_from(&b);
+        assert_eq!(abb, ab);
+    }
+
+    #[test]
+    fn idempotent_inserts() {
+        let mut u = Ull::new(8);
+        let mut rng = SplitMix64::new(9);
+        let hashes: Vec<u64> = (0..2000).map(|_| rng.next_u64()).collect();
+        for &h in &hashes {
+            u.insert_hash(h);
+        }
+        let snap = u.clone();
+        for &h in &hashes {
+            assert!(!u.insert_hash(h));
+        }
+        assert_eq!(u, snap);
+    }
+
+    #[test]
+    fn serialization_roundtrip_and_rejection() {
+        let u = fill(9, 20_000, 3);
+        let bytes = u.to_bytes();
+        assert_eq!(bytes.len(), 5 + 512);
+        assert_eq!(Ull::from_bytes(&bytes).unwrap(), u);
+        assert!(Ull::from_bytes(&bytes[..4]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0x80;
+        assert!(Ull::from_bytes(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 30; // precision out of range
+        assert!(Ull::from_bytes(&bad).is_err());
+        assert!(Ull::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        // Structural invariant: u = 1 requires the sentinel bit at d−1.
+        let mut bad = bytes;
+        bad[5] = 1 << 2; // u = 1, both indicators clear → unreachable
+        assert!(Ull::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn table2_row_sizes() {
+        // Table 2: ULL p = 10 serialized 1024 bytes, memory 1056.
+        let u = Ull::new(10);
+        assert_eq!(u.serialized_bytes(), 1024);
+        assert!(u.memory_bytes() >= 1024 && u.memory_bytes() <= 1088);
+    }
+
+    #[test]
+    fn update_value_range() {
+        let mut u = Ull::new(2);
+        // All-zero hash: k = 65 − p = 63 — the largest possible value.
+        u.insert_hash(0);
+        assert_eq!(u.register(0) >> 2, 63);
+        // All-ones hash: k = 1 into the last register.
+        let mut u = Ull::new(2);
+        u.insert_hash(u64::MAX);
+        assert_eq!(u.register(3) >> 2, 1);
+    }
+}

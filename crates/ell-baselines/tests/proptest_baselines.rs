@@ -1,0 +1,188 @@
+//! Property tests for the baseline sketches: the paper's §5 validation
+//! protocol (merge ≡ union, idempotency, order-independence) must hold
+//! for every comparison algorithm, not just ExaLogLog.
+
+use ell_baselines::{
+    cpc, Ehll, HllEstimator, HyperLogLog, HyperMinHash, Pcsa, SparseHyperLogLog, Ull,
+};
+use ell_hash::SplitMix64;
+use proptest::prelude::*;
+
+fn hashes(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+/// Checks merge(A, B) == direct(A ∪ B), commutativity, and idempotent
+/// re-merge for any sketch with `new`/`insert`/`merge` closures.
+fn merge_laws<S, New, Ins, Mrg>(
+    seed: u64,
+    na: usize,
+    nb: usize,
+    new: New,
+    insert: Ins,
+    merge: Mrg,
+) -> Result<(), TestCaseError>
+where
+    S: Clone + PartialEq + core::fmt::Debug,
+    New: Fn() -> S,
+    Ins: Fn(&mut S, u64),
+    Mrg: Fn(&mut S, &S),
+{
+    let stream_a = hashes(seed, na);
+    let stream_b = hashes(seed ^ 0x5DEECE66D, nb);
+    let mut a = new();
+    let mut b = new();
+    let mut direct = new();
+    for &h in &stream_a {
+        insert(&mut a, h);
+        insert(&mut direct, h);
+    }
+    for &h in &stream_b {
+        insert(&mut b, h);
+        insert(&mut direct, h);
+    }
+    let mut ab = a.clone();
+    merge(&mut ab, &b);
+    prop_assert_eq!(&ab, &direct, "merge != union");
+    let mut ba = b.clone();
+    merge(&mut ba, &a);
+    prop_assert_eq!(&ba, &direct, "merge not commutative");
+    let mut abb = ab.clone();
+    merge(&mut abb, &b);
+    prop_assert_eq!(&abb, &ab, "re-merge not idempotent");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ull_merge_laws(seed in any::<u64>(), na in 0usize..4000, nb in 0usize..4000, p in 4u8..10) {
+        merge_laws(seed, na, nb, || Ull::new(p), |s, h| { s.insert_hash(h); }, |a, b| a.merge_from(b))?;
+    }
+
+    #[test]
+    fn ehll_merge_laws(seed in any::<u64>(), na in 0usize..4000, nb in 0usize..4000, p in 4u8..10) {
+        merge_laws(seed, na, nb, || Ehll::new(p), |s, h| { s.insert_hash(h); }, |a, b| a.merge_from(b))?;
+    }
+
+    #[test]
+    fn hll_merge_laws(seed in any::<u64>(), na in 0usize..4000, nb in 0usize..4000, p in 4u8..10) {
+        merge_laws(
+            seed, na, nb,
+            || HyperLogLog::new(p, 6, HllEstimator::Improved),
+            |s, h| { s.insert_hash(h); },
+            HyperLogLog::merge_from,
+        )?;
+    }
+
+    #[test]
+    fn pcsa_merge_laws(seed in any::<u64>(), na in 0usize..4000, nb in 0usize..4000, p in 4u8..10) {
+        merge_laws(seed, na, nb, || Pcsa::new(p), |s, h| { s.insert_hash(h); }, Pcsa::merge_from)?;
+    }
+
+    #[test]
+    fn hyperminhash_merge_laws(
+        seed in any::<u64>(),
+        na in 0usize..4000,
+        nb in 0usize..4000,
+        p in 4u8..10,
+        t in 0u8..5,
+    ) {
+        merge_laws(
+            seed, na, nb,
+            || HyperMinHash::new(p, t),
+            |s, h| { s.insert_hash(h); },
+            HyperMinHash::merge_from,
+        )?;
+    }
+
+    #[test]
+    fn sparse_hll_merge_laws(
+        seed in any::<u64>(),
+        na in 0usize..3000,
+        nb in 0usize..3000,
+        p in 6u8..12,
+    ) {
+        // Stream sizes straddle the break-even, so sparse–sparse,
+        // sparse–dense, and dense–dense pairings all occur across cases.
+        merge_laws(
+            seed, na, nb,
+            || SparseHyperLogLog::new(p, 6, HllEstimator::Improved),
+            |s, h| { s.insert_hash(h); },
+            SparseHyperLogLog::merge_from,
+        )?;
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant_everywhere(seed in any::<u64>(), n in 1usize..2000) {
+        let mut stream = hashes(seed, n);
+        let mut fwd_ull = Ull::new(8);
+        let mut fwd_ehll = Ehll::new(8);
+        let mut fwd_hmh = HyperMinHash::new(8, 2);
+        for &h in &stream {
+            fwd_ull.insert_hash(h);
+            fwd_ehll.insert_hash(h);
+            fwd_hmh.insert_hash(h);
+        }
+        stream.reverse();
+        // Duplicate the stream too: idempotency under replay.
+        let replay: Vec<u64> = stream.iter().chain(stream.iter()).copied().collect();
+        let mut rev_ull = Ull::new(8);
+        let mut rev_ehll = Ehll::new(8);
+        let mut rev_hmh = HyperMinHash::new(8, 2);
+        for &h in &replay {
+            rev_ull.insert_hash(h);
+            rev_ehll.insert_hash(h);
+            rev_hmh.insert_hash(h);
+        }
+        prop_assert_eq!(fwd_ull, rev_ull);
+        prop_assert_eq!(fwd_ehll, rev_ehll);
+        prop_assert_eq!(fwd_hmh, rev_hmh);
+    }
+
+    #[test]
+    fn cpc_compression_roundtrips(seed in any::<u64>(), n in 0usize..20_000, p in 4u8..11) {
+        let mut s = Pcsa::new(p);
+        for &h in &hashes(seed, n) {
+            s.insert_hash(h);
+        }
+        let back = cpc::decompress(&cpc::compress(&s)).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn cpc_decompress_never_panics_on_arbitrary_input(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = cpc::decompress(&bytes);
+    }
+
+    #[test]
+    fn ull_from_bytes_never_panics_on_arbitrary_input(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Ull::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn ull_serialization_roundtrips(seed in any::<u64>(), n in 0usize..20_000, p in 4u8..11) {
+        let mut s = Ull::new(p);
+        for &h in &hashes(seed, n) {
+            s.insert_hash(h);
+        }
+        prop_assert_eq!(Ull::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn sparse_hll_upgrade_is_transparent(seed in any::<u64>(), n in 1usize..5000) {
+        // Forcing densify at any fill level never changes the estimate
+        // relative to inserting the same stream into a dense sketch.
+        let stream = hashes(seed, n);
+        let mut sparse = SparseHyperLogLog::new(9, 6, HllEstimator::Improved);
+        let mut dense = HyperLogLog::new(9, 6, HllEstimator::Improved);
+        for &h in &stream {
+            sparse.insert_hash(h);
+            dense.insert_hash(h);
+        }
+        sparse.densify();
+        prop_assert!((sparse.estimate() - dense.estimate()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Benchmarks for the coding substrate and the CPC-style compressed
+//! serialization built on it.
+//!
+//! The headline comparison: CPC serialization (range coding the PCSA
+//! state) versus the ELL serialization (a memcpy of the register
+//! array). The paper's Figure 11 shows CPC more than an order of
+//! magnitude slower — these benches regenerate that gap and break the
+//! codec cost into its parts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ell_baselines::{cpc, Pcsa};
+use ell_codec::codes::{read_rice, write_gamma, write_rice};
+use ell_codec::{AdaptiveBitModel, BitReader, BitWriter, RangeDecoder, RangeEncoder, PROB_ONE};
+use ell_hash::SplitMix64;
+use exaloglog::{EllConfig, ExaLogLog};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn values(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    // Geometric-flavoured values, like sketch column gaps.
+    (0..n).map(|_| rng.next_u64().trailing_ones() as u64).collect()
+}
+
+fn universal_codes(c: &mut Criterion) {
+    let input = values(N, 1);
+    let mut group = c.benchmark_group("codec/universal_codes");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("rice_k1 encode", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &v in &input {
+                write_rice(&mut w, v, 1);
+            }
+            black_box(w.into_bytes())
+        });
+    });
+    group.bench_function("rice_k1 decode", |b| {
+        let mut w = BitWriter::new();
+        for &v in &input {
+            write_rice(&mut w, v, 1);
+        }
+        let bytes = w.into_bytes();
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc ^= read_rice(&mut r, 1).expect("valid stream");
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("gamma encode", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &v in &input {
+                write_gamma(&mut w, v + 1);
+            }
+            black_box(w.into_bytes())
+        });
+    });
+    group.finish();
+}
+
+fn range_coder(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(2);
+    let bits: Vec<bool> = (0..N).map(|_| rng.next_u64().is_multiple_of(10)).collect();
+    let mut group = c.benchmark_group("codec/range_coder");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("static p=0.1 encode", |b| {
+        b.iter(|| {
+            let mut enc = RangeEncoder::new();
+            for &bit in &bits {
+                enc.encode(bit, PROB_ONE / 10);
+            }
+            black_box(enc.finish())
+        });
+    });
+    group.bench_function("adaptive encode+decode", |b| {
+        b.iter(|| {
+            let mut enc = RangeEncoder::new();
+            let mut m = AdaptiveBitModel::new();
+            for &bit in &bits {
+                enc.encode_adaptive(bit, &mut m);
+            }
+            let bytes = enc.finish();
+            let mut dec = RangeDecoder::new(&bytes);
+            let mut m = AdaptiveBitModel::new();
+            let mut acc = false;
+            for _ in 0..N {
+                acc ^= dec.decode_adaptive(&mut m);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn serialization_gap(c: &mut Criterion) {
+    // Fill both sketches to n = 10^6-equivalent occupancy.
+    let mut rng = SplitMix64::new(3);
+    let mut pcsa = Pcsa::new(10);
+    let mut ell = ExaLogLog::new(EllConfig::optimal(8).expect("valid"));
+    for _ in 0..1_000_000u32 {
+        let h = rng.next_u64();
+        pcsa.insert_hash(h);
+        ell.insert_hash(h);
+    }
+    let mut group = c.benchmark_group("codec/serialize_cpc_vs_ell");
+    group.bench_function("CPC compress (range-coded PCSA)", |b| {
+        b.iter(|| black_box(cpc::compress(&pcsa)));
+    });
+    group.bench_function("CPC decompress", |b| {
+        let bytes = cpc::compress(&pcsa);
+        b.iter(|| black_box(cpc::decompress(&bytes).expect("valid")));
+    });
+    group.bench_function("ELL to_bytes (memcpy)", |b| {
+        b.iter(|| black_box(ell.to_bytes()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = universal_codes, range_coder, serialization_gap
+}
+criterion_main!(benches);

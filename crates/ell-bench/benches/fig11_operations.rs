@@ -1,0 +1,206 @@
+//! Criterion version of Figure 11: insert, estimate, serialize, merge and
+//! merge+estimate timings across the compared algorithms.
+//!
+//! The paper's Figure 11 sweeps n ∈ {10, …, 10^6}; this bench uses
+//! n = 10^5 as the representative fill level (the per-figure binary
+//! `ell-repro/fig11_performance` prints the whole sweep). Elements are
+//! hashed with Murmur3 x64_128 inside the timed region, as in the paper.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ell_baselines::{HllEstimator, HyperLogLog, HyperLogLog4, HyperLogLogLog, Pcsa, SpikeLike};
+use ell_bench::elements;
+use ell_hash::{Hasher64, Murmur3_128};
+use exaloglog::{EllConfig, ExaLogLog, MartingaleExaLogLog};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const HASHER: Murmur3_128 = Murmur3_128::new(0);
+
+fn bench_algorithm<S, New, Ins, Est, Ser, Mrg>(
+    c: &mut Criterion,
+    name: &str,
+    new: New,
+    insert: Ins,
+    estimate: Est,
+    serialize: Ser,
+    merge: Option<Mrg>,
+) where
+    S: Clone,
+    New: Fn() -> S,
+    Ins: Fn(&mut S, u64) + Copy,
+    Est: Fn(&S) -> f64,
+    Ser: Fn(&S) -> usize,
+    Mrg: Fn(&mut S, &S),
+{
+    let input_a = elements(N, 1);
+    let input_b = elements(N, 2);
+    let build = |input: &[[u8; 16]]| {
+        let mut s = new();
+        for e in input {
+            insert(&mut s, HASHER.hash_bytes(e));
+        }
+        s
+    };
+
+    let mut group = c.benchmark_group(format!("insert/{name}"));
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("n=100k", |b| {
+        b.iter(|| black_box(build(&input_a)));
+    });
+    group.finish();
+
+    let filled_a = build(&input_a);
+    let filled_b = build(&input_b);
+
+    c.bench_function(&format!("estimate/{name}"), |b| {
+        b.iter(|| black_box(estimate(&filled_a)));
+    });
+    c.bench_function(&format!("serialize/{name}"), |b| {
+        b.iter(|| black_box(serialize(&filled_a)));
+    });
+    if let Some(merge) = merge {
+        c.bench_function(&format!("merge/{name}"), |b| {
+            b.iter_batched(
+                || filled_a.clone(),
+                |mut s| {
+                    merge(&mut s, &filled_b);
+                    black_box(s)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        c.bench_function(&format!("merge_estimate/{name}"), |b| {
+            b.iter_batched(
+                || filled_a.clone(),
+                |mut s| {
+                    merge(&mut s, &filled_b);
+                    black_box(estimate(&s))
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn fig11(c: &mut Criterion) {
+    bench_algorithm(
+        c,
+        "ELL_2_20_p8_ML",
+        || ExaLogLog::new(EllConfig::optimal(8).expect("valid")),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        ExaLogLog::estimate,
+        |s| s.to_bytes().len(),
+        Some(|a: &mut ExaLogLog, b: &ExaLogLog| a.merge_from(b).expect("same config")),
+    );
+    bench_algorithm(
+        c,
+        "ELL_2_24_p8_ML",
+        || ExaLogLog::new(EllConfig::aligned32(8).expect("valid")),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        ExaLogLog::estimate,
+        |s| s.to_bytes().len(),
+        Some(|a: &mut ExaLogLog, b: &ExaLogLog| a.merge_from(b).expect("same config")),
+    );
+    bench_algorithm(
+        c,
+        "ELL_2_20_p8_martingale",
+        || MartingaleExaLogLog::new(EllConfig::optimal(8).expect("valid")),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        MartingaleExaLogLog::estimate,
+        |s| s.sketch().to_bytes().len(),
+        None::<fn(&mut MartingaleExaLogLog, &MartingaleExaLogLog)>,
+    );
+    bench_algorithm(
+        c,
+        "ULL_p10",
+        || ExaLogLog::new(EllConfig::ull(10).expect("valid")),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        ExaLogLog::estimate,
+        |s| s.to_bytes().len(),
+        Some(|a: &mut ExaLogLog, b: &ExaLogLog| a.merge_from(b).expect("same config")),
+    );
+    bench_algorithm(
+        c,
+        "HLL6_p11",
+        || HyperLogLog::new(11, 6, HllEstimator::Improved),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        HyperLogLog::estimate,
+        HyperLogLog::serialized_bytes,
+        Some(HyperLogLog::merge_from),
+    );
+    bench_algorithm(
+        c,
+        "HLL8_p11",
+        || HyperLogLog::new(11, 8, HllEstimator::Improved),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        HyperLogLog::estimate,
+        HyperLogLog::serialized_bytes,
+        Some(HyperLogLog::merge_from),
+    );
+    bench_algorithm(
+        c,
+        "HLL4_p11",
+        || HyperLogLog4::new(11),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        HyperLogLog4::estimate,
+        HyperLogLog4::serialized_bytes,
+        Some(HyperLogLog4::merge_from),
+    );
+    bench_algorithm(
+        c,
+        "CPC_proxy_p10",
+        || Pcsa::new(10),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        Pcsa::estimate,
+        |s| s.ideal_compressed_bits() as usize / 8,
+        Some(Pcsa::merge_from),
+    );
+    bench_algorithm(
+        c,
+        "HLLL_p11",
+        || HyperLogLogLog::new(11),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        HyperLogLogLog::estimate,
+        HyperLogLogLog::serialized_bytes,
+        Some(HyperLogLogLog::merge_from),
+    );
+    bench_algorithm(
+        c,
+        "Spike_like_128",
+        || SpikeLike::new(128),
+        |s, h| {
+            s.insert_hash(h);
+        },
+        SpikeLike::estimate,
+        SpikeLike::serialized_bytes,
+        Some(SpikeLike::merge_from),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = fig11
+}
+criterion_main!(benches);

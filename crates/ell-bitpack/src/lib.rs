@@ -1,0 +1,481 @@
+//! Densely packed arrays of fixed-width bit fields.
+//!
+//! Probabilistic sketches such as HyperLogLog and ExaLogLog store their state
+//! in `m` registers of `w` bits each, packed back-to-back into a single byte
+//! array so that the whole state can be serialized with a `memcpy` and merged
+//! in place without allocations. This crate provides that storage substrate:
+//!
+//! * [`PackedArray`] — an array of `len` fields, each `width` bits wide
+//!   (1 ≤ `width` ≤ 64), packed little-endian into a contiguous byte buffer
+//!   of exactly `ceil(len * width / 8)` bytes.
+//!
+//! The bit layout is *little-endian within the buffer*: field `i` occupies
+//! bits `[i*width, (i+1)*width)` of the buffer, where bit `b` of the buffer
+//! is bit `b % 8` of byte `b / 8`. This layout means byte-aligned widths
+//! (8, 16, 24, 32, …) degenerate to plain byte slices, and the serialized
+//! form is identical on all platforms.
+//!
+//! # Example
+//!
+//! ```
+//! use ell_bitpack::PackedArray;
+//!
+//! // 4 registers of 28 bits each (the optimal ExaLogLog(2,20) width):
+//! // two registers pack into exactly 7 bytes.
+//! let mut regs = PackedArray::new(28, 4);
+//! assert_eq!(regs.as_bytes().len(), 14);
+//! regs.set(2, 0x0abc_def1);
+//! assert_eq!(regs.get(2), 0x0abc_def1);
+//! assert_eq!(regs.get(1), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// Maximum supported field width in bits.
+pub const MAX_WIDTH: u32 = 64;
+
+/// An array of `len` fields of `width` bits each, packed into a byte buffer.
+///
+/// See the [crate-level documentation](crate) for the bit layout.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PackedArray {
+    bits: Vec<u8>,
+    width: u32,
+    len: usize,
+}
+
+/// Errors returned when constructing a [`PackedArray`] from raw parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedArrayError {
+    /// The requested width was 0 or exceeded [`MAX_WIDTH`].
+    InvalidWidth {
+        /// The offending width.
+        width: u32,
+    },
+    /// The byte buffer length does not match `ceil(len * width / 8)`.
+    LengthMismatch {
+        /// Bytes expected from `(width, len)`.
+        expected: usize,
+        /// Bytes actually provided.
+        actual: usize,
+    },
+    /// Unused trailing bits in the last byte were not zero.
+    NonZeroPadding,
+}
+
+impl fmt::Display for PackedArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackedArrayError::InvalidWidth { width } => {
+                write!(f, "field width {width} out of range 1..={MAX_WIDTH}")
+            }
+            PackedArrayError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer holds {actual} bytes but layout requires {expected}"
+                )
+            }
+            PackedArrayError::NonZeroPadding => {
+                write!(f, "unused trailing bits of the last byte must be zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackedArrayError {}
+
+/// Number of bytes needed for `len` fields of `width` bits.
+#[inline]
+pub const fn bytes_for(width: u32, len: usize) -> usize {
+    (len * width as usize).div_ceil(8)
+}
+
+impl PackedArray {
+    /// Creates a zero-initialized array of `len` fields of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
+    #[must_use]
+    pub fn new(width: u32, len: usize) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "field width {width} out of range 1..={MAX_WIDTH}"
+        );
+        PackedArray {
+            bits: vec![0u8; bytes_for(width, len)],
+            width,
+            len,
+        }
+    }
+
+    /// Reconstructs an array from its serialized byte form.
+    ///
+    /// The buffer must be exactly `ceil(len * width / 8)` bytes and any
+    /// unused high bits of the final byte must be zero (as produced by
+    /// [`PackedArray::as_bytes`]); otherwise an error is returned. This
+    /// strictness turns many accidental corruptions into hard errors.
+    pub fn from_bytes(width: u32, len: usize, bytes: &[u8]) -> Result<Self, PackedArrayError> {
+        if width == 0 || width > MAX_WIDTH {
+            return Err(PackedArrayError::InvalidWidth { width });
+        }
+        // Checked layout computation: an attacker-controlled `len` (e.g. a
+        // corrupted length field in a serialized sketch) must surface as a
+        // LengthMismatch, not an arithmetic overflow.
+        let expected = match len
+            .checked_mul(width as usize)
+            .map(|bits| bits.div_ceil(8))
+        {
+            Some(expected) => expected,
+            None => {
+                return Err(PackedArrayError::LengthMismatch {
+                    expected: usize::MAX,
+                    actual: bytes.len(),
+                })
+            }
+        };
+        if bytes.len() != expected {
+            return Err(PackedArrayError::LengthMismatch {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        let used_bits = len * width as usize;
+        let trailing = expected * 8 - used_bits;
+        if trailing > 0 {
+            let last = bytes[expected - 1];
+            if last >> (8 - trailing) != 0 {
+                return Err(PackedArrayError::NonZeroPadding);
+            }
+        }
+        Ok(PackedArray {
+            bits: bytes.to_vec(),
+            width,
+            len,
+        })
+    }
+
+    /// Field width in bits.
+    #[inline]
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of fields.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array holds zero fields.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing byte buffer; also the canonical serialized form.
+    #[inline]
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Mask with the low `width` bits set.
+    #[inline]
+    #[must_use]
+    pub fn value_mask(&self) -> u64 {
+        mask(self.width)
+    }
+
+    /// Reads field `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let bit = i * self.width as usize;
+        let byte = bit >> 3;
+        let shift = (bit & 7) as u32;
+        // A field of up to 64 bits starting at an arbitrary bit offset spans
+        // at most 9 bytes; a 16-byte little-endian window covers it. The
+        // window is clipped at the buffer end (missing bytes read as zero,
+        // which is correct because those bits are past the last field).
+        let window = self.window16(byte);
+        ((window >> shift) as u64) & mask(self.width)
+    }
+
+    /// Writes field `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` or if `value` does not fit in `width` bits.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        assert!(
+            value <= mask(self.width),
+            "value {value:#x} does not fit in {} bits",
+            self.width
+        );
+        let bit = i * self.width as usize;
+        let byte = bit >> 3;
+        let shift = (bit & 7) as u32;
+        let end = (self.bits.len()).min(byte + 16);
+        let span = end - byte;
+        let mut window = [0u8; 16];
+        window[..span].copy_from_slice(&self.bits[byte..end]);
+        let mut w = u128::from_le_bytes(window);
+        w &= !((mask(self.width) as u128) << shift);
+        w |= (value as u128) << shift;
+        let out = w.to_le_bytes();
+        self.bits[byte..end].copy_from_slice(&out[..span]);
+    }
+
+    /// Iterates over all field values in index order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Resets every field to zero without reallocating.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Returns true if every field is zero.
+    #[must_use]
+    pub fn is_all_zero(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    #[inline]
+    fn window16(&self, byte: usize) -> u128 {
+        let end = self.bits.len().min(byte + 16);
+        let span = end - byte;
+        if span == 16 {
+            // Common case: full window available.
+            let mut window = [0u8; 16];
+            window.copy_from_slice(&self.bits[byte..end]);
+            u128::from_le_bytes(window)
+        } else {
+            let mut window = [0u8; 16];
+            window[..span].copy_from_slice(&self.bits[byte..end]);
+            u128::from_le_bytes(window)
+        }
+    }
+}
+
+impl fmt::Debug for PackedArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedArray(width={}, len={}, [", self.width, self.len)?;
+        for (i, v) in self.iter().enumerate().take(16) {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:#x}")?;
+        }
+        if self.len > 16 {
+            write!(f, ", …")?;
+        }
+        write!(f, "])")
+    }
+}
+
+/// Mask with the low `width` bits set (`width` ≤ 64).
+#[inline]
+#[must_use]
+pub const fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let a = PackedArray::new(6, 100);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.width(), 6);
+        assert_eq!(a.as_bytes().len(), 75); // 600 bits
+        assert!(a.iter().all(|v| v == 0));
+        assert!(a.is_all_zero());
+    }
+
+    #[test]
+    fn bytes_for_matches_manual() {
+        assert_eq!(bytes_for(6, 4), 3);
+        assert_eq!(bytes_for(28, 2), 7);
+        assert_eq!(bytes_for(28, 4), 14);
+        assert_eq!(bytes_for(1, 9), 2);
+        assert_eq!(bytes_for(64, 3), 24);
+        assert_eq!(bytes_for(8, 0), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_all_widths() {
+        for width in 1..=64u32 {
+            let len = 37;
+            let mut a = PackedArray::new(width, len);
+            let m = mask(width);
+            // A pattern that differs per index and exercises high bits.
+            for i in 0..len {
+                let v = (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)) & m;
+                a.set(i, v);
+            }
+            for i in 0..len {
+                let v = (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)) & m;
+                assert_eq!(a.get(i), v, "width={width} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_unaffected() {
+        for width in [3u32, 5, 7, 11, 13, 28, 31, 33, 63] {
+            let mut a = PackedArray::new(width, 9);
+            let m = mask(width);
+            for i in 0..9 {
+                a.set(i, m); // all ones
+            }
+            a.set(4, 0);
+            for i in 0..9 {
+                let expect = if i == 4 { 0 } else { m };
+                assert_eq!(a.get(i), expect, "width={width} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn last_field_at_buffer_end() {
+        // Width chosen so the final field ends exactly at the buffer edge
+        // and also so it does not (padding case).
+        let mut a = PackedArray::new(28, 2); // exactly 7 bytes
+        a.set(1, mask(28));
+        assert_eq!(a.get(1), mask(28));
+        let mut b = PackedArray::new(28, 3); // 84 bits -> 11 bytes, 4 bits padding
+        b.set(2, mask(28));
+        assert_eq!(b.get(2), mask(28));
+        assert_eq!(b.as_bytes().len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let a = PackedArray::new(6, 4);
+        let _ = a.get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn set_too_large_panics() {
+        let mut a = PackedArray::new(6, 4);
+        a.set(0, 64);
+    }
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let mut a = PackedArray::new(14, 5);
+        for i in 0..5 {
+            a.set(i, (i as u64 * 1234) & mask(14));
+        }
+        let b = PackedArray::from_bytes(14, 5, a.as_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_length() {
+        let err = PackedArray::from_bytes(14, 5, &[0u8; 8]).unwrap_err();
+        assert_eq!(
+            err,
+            PackedArrayError::LengthMismatch {
+                expected: 9,
+                actual: 8
+            }
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_nonzero_padding() {
+        // 5 fields of 14 bits = 70 bits = 9 bytes with 2 padding bits.
+        let mut bytes = [0u8; 9];
+        bytes[8] = 0b1100_0000; // high padding bits set
+        let err = PackedArray::from_bytes(14, 5, &bytes).unwrap_err();
+        assert_eq!(err, PackedArrayError::NonZeroPadding);
+        bytes[8] = 0b0011_1111; // all value bits set, padding clear
+        assert!(PackedArray::from_bytes(14, 5, &bytes).is_ok());
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_width() {
+        assert_eq!(
+            PackedArray::from_bytes(0, 5, &[]).unwrap_err(),
+            PackedArrayError::InvalidWidth { width: 0 }
+        );
+        assert_eq!(
+            PackedArray::from_bytes(65, 5, &[]).unwrap_err(),
+            PackedArrayError::InvalidWidth { width: 65 }
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = PackedArray::new(9, 20);
+        for i in 0..20 {
+            a.set(i, 0x1ff);
+        }
+        a.clear();
+        assert!(a.is_all_zero());
+        assert!(a.iter().all(|v| v == 0));
+    }
+
+    #[test]
+    fn little_endian_layout_is_stable() {
+        // Pin the serialized layout: field 0 occupies the lowest bits of
+        // byte 0. This is the on-disk format; changing it breaks
+        // serialization compatibility.
+        let mut a = PackedArray::new(6, 4);
+        a.set(0, 0b101011);
+        a.set(1, 0b000001);
+        // bits: [101011][000001] -> byte0 = 01_101011, byte1 = 0000_0000...
+        assert_eq!(a.as_bytes()[0], 0b0110_1011);
+        assert_eq!(a.as_bytes()[1], 0b0000_0000);
+        a.set(2, 0b111111);
+        // field 2 occupies bits 12..18: byte1 bits 4..8 and byte2 bits 0..2
+        assert_eq!(a.as_bytes()[1], 0b1111_0000);
+        assert_eq!(a.as_bytes()[2], 0b0000_0011);
+    }
+
+    #[test]
+    fn width_64_full_range() {
+        let mut a = PackedArray::new(64, 3);
+        a.set(0, u64::MAX);
+        a.set(1, 0x0123_4567_89ab_cdef);
+        a.set(2, 1);
+        assert_eq!(a.get(0), u64::MAX);
+        assert_eq!(a.get(1), 0x0123_4567_89ab_cdef);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn empty_array() {
+        let a = PackedArray::new(17, 0);
+        assert!(a.is_empty());
+        assert_eq!(a.as_bytes().len(), 0);
+        assert_eq!(a.iter().count(), 0);
+        let b = PackedArray::from_bytes(17, 0, &[]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests comparing `PackedArray` against a naive
+//! `Vec<u64>` reference model under random operation sequences.
+
+use ell_bitpack::{mask, PackedArray};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(usize, u64),
+    Get(usize),
+}
+
+fn ops_strategy(len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..len, any::<u64>()).prop_map(|(i, v)| Op::Set(i, v)),
+            (0..len).prop_map(Op::Get),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_reference_model(
+        width in 1u32..=64,
+        len in 1usize..100,
+        ops in (1usize..100).prop_flat_map(ops_strategy)
+    ) {
+        let mut packed = PackedArray::new(width, len);
+        let mut model = vec![0u64; len];
+        for op in ops {
+            match op {
+                Op::Set(i, v) => {
+                    let i = i % len;
+                    let v = v & mask(width);
+                    packed.set(i, v);
+                    model[i] = v;
+                }
+                Op::Get(i) => {
+                    let i = i % len;
+                    prop_assert_eq!(packed.get(i), model[i]);
+                }
+            }
+        }
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), m);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip(
+        width in 1u32..=64,
+        len in 0usize..80,
+        seed in any::<u64>()
+    ) {
+        let mut a = PackedArray::new(width, len);
+        let mut s = seed;
+        for i in 0..len {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            a.set(i, s & mask(width));
+        }
+        let b = PackedArray::from_bytes(width, len, a.as_bytes()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn buffer_size_is_minimal(width in 1u32..=64, len in 0usize..100) {
+        let a = PackedArray::new(width, len);
+        let bits = len * width as usize;
+        prop_assert_eq!(a.as_bytes().len(), bits.div_ceil(8));
+    }
+}

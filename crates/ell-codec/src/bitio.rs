@@ -1,0 +1,218 @@
+//! MSB-first bit-granular I/O over byte buffers.
+//!
+//! The writer accumulates bits most-significant-first into bytes — the
+//! conventional layout for universal codes, where a unary prefix must be
+//! scannable from the front. The reader mirrors it exactly: for every
+//! write sequence, reading the same widths returns the same values
+//! (round-trip property tests below and in `tests/proptest_codec.rs`).
+
+use crate::CodecError;
+
+/// Accumulates bits MSB-first into a growing byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already filled in the trailing partial byte (0..8).
+    fill: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        // `fill` holds the unused bit positions in the trailing byte.
+        self.bytes.len() * 8 - self.fill as usize
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.fill == 0 {
+            self.bytes.push(0);
+            self.fill = 8;
+        }
+        self.fill -= 1;
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << self.fill;
+        }
+    }
+
+    /// Appends the low `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} exceeds 64");
+        for i in (0..width).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Finishes the stream, zero-padding the final partial byte, and
+    /// returns the buffer.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Number of bits consumed so far.
+    #[must_use]
+    pub fn bits_consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of bits still available (including any zero padding the
+    /// writer added to the final byte).
+    #[must_use]
+    pub fn bits_remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEnd`] when the input is exhausted.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8) as u32)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `width` bits into the low bits of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEnd`] when fewer than `width` bits
+    /// remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, CodecError> {
+        assert!(width <= 64, "width {width} exceeds 64");
+        if self.bits_remaining() < width as usize {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | u64::from(self.read_bit().expect("bounds checked"));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+        // Padding bits are zero.
+        for _ in 9..16 {
+            assert!(!r.read_bit().unwrap());
+        }
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0b0110, 4);
+        assert_eq!(w.into_bytes(), vec![0b1011_0110]);
+    }
+
+    #[test]
+    fn wide_values_roundtrip() {
+        let values = [
+            (0u64, 1u32),
+            (1, 1),
+            (u64::MAX, 64),
+            (0xdead_beef, 32),
+            (0x1_0000_0001, 33),
+            (42, 17),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, width) in &values {
+            w.write_bits(v, width);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in &values {
+            assert_eq!(r.read_bits(width).unwrap(), v, "width {width}");
+        }
+    }
+
+    #[test]
+    fn zero_width_read_is_empty() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.bits_consumed(), 0);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xffff, 16);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..1]);
+        assert_eq!(r.read_bits(16), Err(CodecError::UnexpectedEnd));
+        // The cursor is unchanged after a failed wide read.
+        assert_eq!(r.bits_consumed(), 0);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn bit_len_accounting() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bit(true);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 11);
+    }
+}

@@ -1,0 +1,310 @@
+//! Universal integer codes over [`BitWriter`]/[`BitReader`].
+//!
+//! Three classic prefix-free codes, chosen because together they cover
+//! the value distributions arising in sketch compression:
+//!
+//! * **unary** — optimal for geometric(1/2) values such as PCSA bitmap
+//!   column gaps near the "waterline";
+//! * **Elias gamma / delta** — parameter-free codes for values with
+//!   unknown, heavy-tailed range (delta is asymptotically optimal);
+//! * **Rice(k)** — Golomb coding with a power-of-two divisor: the
+//!   near-optimal choice for geometric values with known rate, used by
+//!   the CPC-style PCSA compressor to tune each column band.
+//!
+//! Every encoder has a matching `*_len` function returning the exact
+//! code length in bits, so callers can size-account (and pick the best
+//! Rice parameter) without encoding.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CodecError;
+
+// ---------------------------------------------------------------------
+// Unary
+// ---------------------------------------------------------------------
+
+/// Writes `n` as `n` one-bits followed by a terminating zero.
+pub fn write_unary(w: &mut BitWriter, n: u64) {
+    for _ in 0..n {
+        w.write_bit(true);
+    }
+    w.write_bit(false);
+}
+
+/// Length of [`write_unary`] output in bits.
+#[must_use]
+pub fn unary_len(n: u64) -> u64 {
+    n + 1
+}
+
+/// Reads a unary-coded value.
+///
+/// # Errors
+///
+/// Fails with [`CodecError::UnexpectedEnd`] on truncated input.
+pub fn read_unary(r: &mut BitReader<'_>) -> Result<u64, CodecError> {
+    let mut n = 0u64;
+    while r.read_bit()? {
+        n += 1;
+    }
+    Ok(n)
+}
+
+// ---------------------------------------------------------------------
+// Elias gamma / delta
+// ---------------------------------------------------------------------
+
+/// Writes `n ≥ 1` in Elias gamma: ⌊log₂ n⌋ zeros, then `n` in binary.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (gamma codes positive integers; shift by one for
+/// nonnegative ranges).
+pub fn write_gamma(w: &mut BitWriter, n: u64) {
+    assert!(n >= 1, "Elias gamma codes positive integers");
+    let bits = 64 - n.leading_zeros(); // position of the highest set bit + 1
+    for _ in 0..bits - 1 {
+        w.write_bit(false);
+    }
+    w.write_bits(n, bits);
+}
+
+/// Length of [`write_gamma`] output in bits.
+#[must_use]
+pub fn gamma_len(n: u64) -> u64 {
+    let bits = u64::from(64 - n.leading_zeros());
+    2 * bits - 1
+}
+
+/// Reads an Elias-gamma-coded value.
+///
+/// # Errors
+///
+/// Fails on truncated input or a length prefix exceeding 64 bits.
+pub fn read_gamma(r: &mut BitReader<'_>) -> Result<u64, CodecError> {
+    let mut zeros = 0u32;
+    while !r.read_bit()? {
+        zeros += 1;
+        if zeros >= 64 {
+            return Err(CodecError::Malformed {
+                reason: "gamma length prefix exceeds 64 bits",
+            });
+        }
+    }
+    // The leading one-bit already consumed is the value's top bit.
+    let rest = r.read_bits(zeros)?;
+    Ok((1u64 << zeros) | rest)
+}
+
+/// Writes `n ≥ 1` in Elias delta: the bit length in gamma, then the
+/// value without its leading one.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn write_delta(w: &mut BitWriter, n: u64) {
+    assert!(n >= 1, "Elias delta codes positive integers");
+    let bits = 64 - n.leading_zeros();
+    write_gamma(w, u64::from(bits));
+    w.write_bits(n & !(1u64 << (bits - 1)), bits - 1);
+}
+
+/// Length of [`write_delta`] output in bits.
+#[must_use]
+pub fn delta_len(n: u64) -> u64 {
+    let bits = u64::from(64 - n.leading_zeros());
+    gamma_len(bits) + bits - 1
+}
+
+/// Reads an Elias-delta-coded value.
+///
+/// # Errors
+///
+/// Fails on truncated input or a bit-length field outside 1..=64.
+pub fn read_delta(r: &mut BitReader<'_>) -> Result<u64, CodecError> {
+    let bits = read_gamma(r)?;
+    if bits == 0 || bits > 64 {
+        return Err(CodecError::Malformed {
+            reason: "delta bit length outside 1..=64",
+        });
+    }
+    let bits = bits as u32;
+    let rest = r.read_bits(bits - 1)?;
+    Ok(if bits == 64 {
+        (1u64 << 63) | rest
+    } else {
+        (1u64 << (bits - 1)) | rest
+    })
+}
+
+// ---------------------------------------------------------------------
+// Rice (Golomb, power-of-two divisor)
+// ---------------------------------------------------------------------
+
+/// Writes `n ≥ 0` in Rice(k): the quotient `n >> k` in unary, then the
+/// `k` low-order remainder bits.
+pub fn write_rice(w: &mut BitWriter, n: u64, k: u32) {
+    write_unary(w, n >> k);
+    w.write_bits(n, k);
+}
+
+/// Length of [`write_rice`] output in bits.
+#[must_use]
+pub fn rice_len(n: u64, k: u32) -> u64 {
+    unary_len(n >> k) + u64::from(k)
+}
+
+/// Reads a Rice(k)-coded value.
+///
+/// # Errors
+///
+/// Fails on truncated input or a quotient that would overflow 64 bits.
+pub fn read_rice(r: &mut BitReader<'_>, k: u32) -> Result<u64, CodecError> {
+    let q = read_unary(r)?;
+    if k < 64 && q > (u64::MAX >> k) {
+        return Err(CodecError::Malformed {
+            reason: "Rice quotient overflows 64 bits",
+        });
+    }
+    let rem = r.read_bits(k)?;
+    Ok((q << k) | rem)
+}
+
+/// The Rice parameter minimizing the total coded size of `values`,
+/// searched over `0..=max_k`. Ties resolve to the smallest k.
+#[must_use]
+pub fn best_rice_parameter(values: &[u64], max_k: u32) -> u32 {
+    (0..=max_k)
+        .min_by_key(|&k| values.iter().map(|&v| rice_len(v, k)).sum::<u64>())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<W, R>(values: &[u64], write: W, read: R)
+    where
+        W: Fn(&mut BitWriter, u64),
+        R: Fn(&mut BitReader<'_>) -> Result<u64, CodecError>,
+    {
+        let mut w = BitWriter::new();
+        for &v in values {
+            write(&mut w, v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in values {
+            assert_eq!(read(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn unary_roundtrip_and_len() {
+        roundtrip(&[0, 1, 2, 5, 17, 100], write_unary, read_unary);
+        let mut w = BitWriter::new();
+        write_unary(&mut w, 5);
+        assert_eq!(w.bit_len() as u64, unary_len(5));
+        assert_eq!(unary_len(0), 1);
+    }
+
+    #[test]
+    fn gamma_roundtrip_and_len() {
+        let values = [1u64, 2, 3, 4, 7, 8, 255, 256, 1 << 20, u64::MAX];
+        roundtrip(&values, write_gamma, read_gamma);
+        for &v in &values {
+            let mut w = BitWriter::new();
+            write_gamma(&mut w, v);
+            assert_eq!(w.bit_len() as u64, gamma_len(v), "n={v}");
+        }
+        // Known codewords: 1 → "1", 2 → "010", 3 → "011", 4 → "00100".
+        let mut w = BitWriter::new();
+        write_gamma(&mut w, 4);
+        assert_eq!(w.bit_len(), 5);
+        assert_eq!(w.into_bytes(), vec![0b0010_0000]);
+    }
+
+    #[test]
+    fn delta_roundtrip_and_len() {
+        let values = [1u64, 2, 3, 16, 17, 100, 1 << 33, u64::MAX];
+        roundtrip(&values, write_delta, read_delta);
+        for &v in &values {
+            let mut w = BitWriter::new();
+            write_delta(&mut w, v);
+            assert_eq!(w.bit_len() as u64, delta_len(v), "n={v}");
+        }
+        // Delta beats gamma for large values.
+        assert!(delta_len(1 << 40) < gamma_len(1 << 40));
+    }
+
+    #[test]
+    fn rice_roundtrip_various_parameters() {
+        let values = [0u64, 1, 2, 3, 100, 1000, 65535];
+        for k in 0..16 {
+            roundtrip(&values, |w, v| write_rice(w, v, k), |r| read_rice(r, k));
+        }
+        // k = 0 degenerates to unary.
+        assert_eq!(rice_len(9, 0), unary_len(9));
+    }
+
+    #[test]
+    fn best_rice_parameter_matches_geometry() {
+        // Values around 2^k are coded best with Rice(≈k).
+        let small: Vec<u64> = (0..100).map(|i| i % 3).collect();
+        assert!(best_rice_parameter(&small, 20) <= 2);
+        let large: Vec<u64> = (0..100).map(|i| 1000 + i).collect();
+        let k = best_rice_parameter(&large, 20);
+        assert!((8..=11).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn gamma_zero_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut w = BitWriter::new();
+            write_gamma(&mut w, 0);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn decoders_reject_truncation() {
+        let mut w = BitWriter::new();
+        write_gamma(&mut w, 1 << 30);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..2]);
+        assert!(read_gamma(&mut r).is_err());
+
+        let mut w = BitWriter::new();
+        write_rice(&mut w, 500, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..bytes.len() - 1]);
+        assert!(read_rice(&mut r, 2).is_err());
+    }
+
+    #[test]
+    fn gamma_rejects_malformed_prefix() {
+        // 64+ leading zeros cannot occur in valid output.
+        let bytes = [0u8; 16];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(
+            read_gamma(&mut r),
+            Err(CodecError::Malformed {
+                reason: "gamma length prefix exceeds 64 bits"
+            })
+        );
+    }
+
+    #[test]
+    fn interleaved_mixed_codes() {
+        let mut w = BitWriter::new();
+        write_unary(&mut w, 3);
+        write_gamma(&mut w, 77);
+        write_rice(&mut w, 1234, 5);
+        write_delta(&mut w, 99);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_unary(&mut r).unwrap(), 3);
+        assert_eq!(read_gamma(&mut r).unwrap(), 77);
+        assert_eq!(read_rice(&mut r, 5).unwrap(), 1234);
+        assert_eq!(read_delta(&mut r).unwrap(), 99);
+    }
+}

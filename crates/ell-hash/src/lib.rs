@@ -1,0 +1,184 @@
+//! 64-bit hash functions for probabilistic distinct-count sketches.
+//!
+//! ExaLogLog — like HyperLogLog — consumes a high-quality, uniformly
+//! distributed 64-bit hash per element. The paper recommends WyHash,
+//! Komihash or PolymurHash and uses Murmur3 (128-bit) in its benchmark
+//! comparison because that is Apache DataSketches' built-in hash. This crate
+//! provides from-scratch implementations of:
+//!
+//! * [`WyHash`] — a port of wyhash *final 4*, the paper's first
+//!   recommendation; extremely fast on short keys.
+//! * [`Xxh64`] — XXH64, a widely deployed streaming-friendly hash.
+//! * [`Murmur3_128`] — MurmurHash3 `x64_128`; its low 64 bits are what
+//!   DataSketches feeds to its sketches, so Table 2 parity uses this.
+//! * [`SplitMix64`] — both a 64→64-bit finalizer ([`mix64`]) and a tiny
+//!   seedable RNG used by the simulation harness.
+//!
+//! All hashers implement the object-safe [`Hasher64`] trait so any sketch
+//! can be parameterized over the hash function.
+//!
+//! # Example
+//!
+//! ```
+//! use ell_hash::{Hasher64, WyHash};
+//!
+//! let h = WyHash::new(0);
+//! let a = h.hash_bytes(b"user-1842");
+//! let b = h.hash_bytes(b"user-1842");
+//! assert_eq!(a, b); // deterministic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod murmur3;
+mod splitmix;
+mod wyhash;
+mod xxh64;
+
+pub use murmur3::Murmur3_128;
+pub use splitmix::{mix64, unmix64, SplitMix64};
+pub use wyhash::WyHash;
+pub use xxh64::Xxh64;
+
+/// A stateless 64-bit hash function with an embedded seed.
+///
+/// Implementations must be deterministic: equal inputs always produce equal
+/// outputs for the same hasher value.
+pub trait Hasher64 {
+    /// Hashes a byte slice to a 64-bit value.
+    fn hash_bytes(&self, data: &[u8]) -> u64;
+
+    /// Hashes a `u64` key. The default implementation hashes its
+    /// little-endian byte representation; implementations may override this
+    /// with a faster specialization.
+    #[inline]
+    fn hash_u64(&self, x: u64) -> u64 {
+        self.hash_bytes(&x.to_le_bytes())
+    }
+
+    /// Hashes a string slice.
+    #[inline]
+    fn hash_str(&self, s: &str) -> u64 {
+        self.hash_bytes(s.as_bytes())
+    }
+}
+
+#[inline]
+pub(crate) fn read_u64_le(data: &[u8], offset: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&data[offset..offset + 8]);
+    u64::from_le_bytes(buf)
+}
+
+#[inline]
+pub(crate) fn read_u32_le(data: &[u8], offset: usize) -> u64 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&data[offset..offset + 4]);
+    u64::from(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hashers() -> Vec<(&'static str, Box<dyn Hasher64>)> {
+        vec![
+            ("wyhash", Box::new(WyHash::new(0))),
+            ("wyhash-seeded", Box::new(WyHash::new(0xdead_beef))),
+            ("xxh64", Box::new(Xxh64::new(0))),
+            ("murmur3", Box::new(Murmur3_128::new(0))),
+        ]
+    }
+
+    #[test]
+    fn deterministic() {
+        for (name, h) in hashers() {
+            for len in [0usize, 1, 3, 4, 8, 15, 16, 17, 31, 47, 48, 49, 100] {
+                let data: Vec<u8> = (0..len as u8).collect();
+                assert_eq!(h.hash_bytes(&data), h.hash_bytes(&data), "{name} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        // 20k distinct short keys; any collision in 64 bits would be
+        // astronomically unlikely for a sound hash.
+        for (name, h) in hashers() {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0u32..20_000 {
+                let v = h.hash_bytes(format!("key-{i}").as_bytes());
+                assert!(seen.insert(v), "{name}: collision at key-{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_output() {
+        let a = WyHash::new(1).hash_bytes(b"abc");
+        let b = WyHash::new(2).hash_bytes(b"abc");
+        assert_ne!(a, b);
+        let a = Xxh64::new(1).hash_bytes(b"abc");
+        let b = Xxh64::new(2).hash_bytes(b"abc");
+        assert_ne!(a, b);
+        let a = Murmur3_128::new(1).hash_bytes(b"abc");
+        let b = Murmur3_128::new(2).hash_bytes(b"abc");
+        assert_ne!(a, b);
+    }
+
+    /// Cheap avalanche check: flipping any single input bit should flip
+    /// roughly half the output bits on average. We test the mean flip count
+    /// over bit positions stays within a generous band around 32.
+    #[test]
+    fn avalanche_quality() {
+        for (name, h) in hashers() {
+            let base: Vec<u8> = (0..32u8).collect();
+            let h0 = h.hash_bytes(&base);
+            let mut total_flips = 0u32;
+            let nbits = base.len() * 8;
+            for bit in 0..nbits {
+                let mut flipped = base.clone();
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                total_flips += (h.hash_bytes(&flipped) ^ h0).count_ones();
+            }
+            let mean = f64::from(total_flips) / nbits as f64;
+            assert!(
+                (mean - 32.0).abs() < 3.0,
+                "{name}: mean avalanche {mean:.2} outside [29, 35]"
+            );
+        }
+    }
+
+    /// Output bits should be individually unbiased across many keys.
+    #[test]
+    fn bit_balance() {
+        for (name, h) in hashers() {
+            let n = 4096u64;
+            let mut ones = [0u32; 64];
+            for i in 0..n {
+                let v = h.hash_u64(i);
+                for (b, count) in ones.iter_mut().enumerate() {
+                    *count += ((v >> b) & 1) as u32;
+                }
+            }
+            for (b, &count) in ones.iter().enumerate() {
+                let frac = f64::from(count) / n as f64;
+                // ~4 sigma band for a fair coin over 4096 trials (sigma ~ 0.0078)
+                assert!(
+                    (frac - 0.5).abs() < 0.04,
+                    "{name}: output bit {b} biased: {frac:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_u64_matches_bytes() {
+        for (name, h) in hashers() {
+            for x in [0u64, 1, 42, u64::MAX, 0x0123_4567_89ab_cdef] {
+                assert_eq!(h.hash_u64(x), h.hash_bytes(&x.to_le_bytes()), "{name}");
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! MurmurHash3 `x64_128` (Austin Appleby).
+//!
+//! The Apache DataSketches library — the source of the HLL and CPC
+//! baselines in the paper's Table 2 — hashes every element with the 128-bit
+//! variant of Murmur3 and feeds the low 64 bits to its sketches. The paper
+//! therefore used Murmur3 for *all* algorithms in its performance
+//! comparison; this implementation provides the same for our benches.
+
+use crate::{read_u64_le, Hasher64};
+
+const C1: u64 = 0x87c3_7b91_1142_53d5;
+const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+#[inline]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// MurmurHash3 `x64_128` with a fixed seed.
+///
+/// [`Hasher64::hash_bytes`] returns the low 64 bits of the 128-bit digest
+/// (the same convention DataSketches uses); [`Murmur3_128::hash128`]
+/// exposes the full digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(non_camel_case_types)]
+pub struct Murmur3_128 {
+    seed: u64,
+}
+
+impl Murmur3_128 {
+    /// Creates a Murmur3 instance with the given seed.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Murmur3_128 { seed }
+    }
+
+    /// Hashes `data` and returns the full 128-bit digest as `(h1, h2)`.
+    #[must_use]
+    pub fn hash128(&self, data: &[u8]) -> (u64, u64) {
+        let len = data.len();
+        let nblocks = len / 16;
+        let mut h1 = self.seed;
+        let mut h2 = self.seed;
+
+        for i in 0..nblocks {
+            let mut k1 = read_u64_le(data, i * 16);
+            let mut k2 = read_u64_le(data, i * 16 + 8);
+
+            k1 = k1.wrapping_mul(C1);
+            k1 = k1.rotate_left(31);
+            k1 = k1.wrapping_mul(C2);
+            h1 ^= k1;
+            h1 = h1.rotate_left(27);
+            h1 = h1.wrapping_add(h2);
+            h1 = h1.wrapping_mul(5).wrapping_add(0x52dc_e729);
+
+            k2 = k2.wrapping_mul(C2);
+            k2 = k2.rotate_left(33);
+            k2 = k2.wrapping_mul(C1);
+            h2 ^= k2;
+            h2 = h2.rotate_left(31);
+            h2 = h2.wrapping_add(h1);
+            h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
+        }
+
+        let tail = &data[nblocks * 16..];
+        let mut k1: u64 = 0;
+        let mut k2: u64 = 0;
+        let rem = len & 15;
+        if rem > 8 {
+            for (j, &b) in tail[8..rem].iter().enumerate() {
+                k2 |= u64::from(b) << (8 * j);
+            }
+            k2 = k2.wrapping_mul(C2);
+            k2 = k2.rotate_left(33);
+            k2 = k2.wrapping_mul(C1);
+            h2 ^= k2;
+        }
+        if rem > 0 {
+            for (j, &b) in tail[..rem.min(8)].iter().enumerate() {
+                k1 |= u64::from(b) << (8 * j);
+            }
+            k1 = k1.wrapping_mul(C1);
+            k1 = k1.rotate_left(31);
+            k1 = k1.wrapping_mul(C2);
+            h1 ^= k1;
+        }
+
+        h1 ^= len as u64;
+        h2 ^= len as u64;
+        h1 = h1.wrapping_add(h2);
+        h2 = h2.wrapping_add(h1);
+        h1 = fmix64(h1);
+        h2 = fmix64(h2);
+        h1 = h1.wrapping_add(h2);
+        h2 = h2.wrapping_add(h1);
+        (h1, h2)
+    }
+}
+
+impl Hasher64 for Murmur3_128 {
+    #[inline]
+    fn hash_bytes(&self, data: &[u8]) -> u64 {
+        self.hash128(data).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_fox() {
+        // The widely published x64_128 vector: hashing "The quick brown fox
+        // jumps over the lazy dog" with seed 0 yields the byte string
+        // 6c1b07bc7bbc4be347939ac4a93c437a (little-endian h1 ‖ h2).
+        let (h1, h2) =
+            Murmur3_128::new(0).hash128(b"The quick brown fox jumps over the lazy dog");
+        assert_eq!(h1, 0xe34b_bc7b_bc07_1b6c);
+        assert_eq!(h2, 0x7a43_3ca9_c49a_9347);
+    }
+
+    #[test]
+    fn empty_seed_zero_is_zero() {
+        // Well-known property of the reference implementation: all-zero
+        // state, zero length, zero tail → both halves stay zero.
+        assert_eq!(Murmur3_128::new(0).hash128(b""), (0, 0));
+    }
+
+    #[test]
+    fn tail_lengths_all_distinct() {
+        let h = Murmur3_128::new(0);
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len).map(|i| (i + 1) as u8).collect();
+            assert!(seen.insert(h.hash128(&data)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn both_halves_depend_on_input() {
+        let h = Murmur3_128::new(0);
+        let (a1, a2) = h.hash128(b"abcdefgh12345678x");
+        let (b1, b2) = h.hash128(b"abcdefgh12345678y");
+        assert_ne!(a1, b1);
+        assert_ne!(a2, b2);
+    }
+
+    #[test]
+    fn block_and_tail_interact() {
+        // Inputs sharing a 16-byte prefix but different tails must differ,
+        // and inputs sharing a tail but different blocks must differ.
+        let h = Murmur3_128::new(42);
+        let a = h.hash128(b"0123456789abcdefTAIL");
+        let b = h.hash128(b"0123456789abcdefLIAT");
+        let c = h.hash128(b"fedcba9876543210TAIL");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,140 @@
+//! XXH64 (Yann Collet): a widely deployed 64-bit hash.
+//!
+//! XXH64 processes the input in 32-byte stripes across four rotating
+//! accumulators, then folds the remainder through 8-, 4- and 1-byte steps
+//! and a final avalanche. The empty-input vector `0xEF46DB3751D8E999`
+//! (seed 0) is pinned against the published reference value.
+
+use crate::{read_u32_le, read_u64_le, Hasher64};
+
+const P1: u64 = 0x9e37_79b1_85eb_ca87;
+const P2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const P3: u64 = 0x1656_67b1_9e37_79f9;
+const P4: u64 = 0x85eb_ca77_c2b2_ae63;
+const P5: u64 = 0x27d4_eb2f_1656_67c5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+/// XXH64 with a fixed seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xxh64 {
+    seed: u64,
+}
+
+impl Xxh64 {
+    /// Creates an XXH64 instance with the given seed.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Xxh64 { seed }
+    }
+
+    /// Hashes `data` and returns the 64-bit digest.
+    #[must_use]
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        let len = data.len();
+        let mut p = 0usize;
+        let mut h: u64;
+        if len >= 32 {
+            let mut v1 = self.seed.wrapping_add(P1).wrapping_add(P2);
+            let mut v2 = self.seed.wrapping_add(P2);
+            let mut v3 = self.seed;
+            let mut v4 = self.seed.wrapping_sub(P1);
+            while p + 32 <= len {
+                v1 = round(v1, read_u64_le(data, p));
+                v2 = round(v2, read_u64_le(data, p + 8));
+                v3 = round(v3, read_u64_le(data, p + 16));
+                v4 = round(v4, read_u64_le(data, p + 24));
+                p += 32;
+            }
+            h = v1
+                .rotate_left(1)
+                .wrapping_add(v2.rotate_left(7))
+                .wrapping_add(v3.rotate_left(12))
+                .wrapping_add(v4.rotate_left(18));
+            h = merge_round(h, v1);
+            h = merge_round(h, v2);
+            h = merge_round(h, v3);
+            h = merge_round(h, v4);
+        } else {
+            h = self.seed.wrapping_add(P5);
+        }
+        h = h.wrapping_add(len as u64);
+        while p + 8 <= len {
+            h ^= round(0, read_u64_le(data, p));
+            h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+            p += 8;
+        }
+        if p + 4 <= len {
+            h ^= read_u32_le(data, p).wrapping_mul(P1);
+            h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+            p += 4;
+        }
+        while p < len {
+            h ^= u64::from(data[p]).wrapping_mul(P5);
+            h = h.rotate_left(11).wrapping_mul(P1);
+            p += 1;
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(P2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(P3);
+        h ^= h >> 32;
+        h
+    }
+}
+
+impl Hasher64 for Xxh64 {
+    #[inline]
+    fn hash_bytes(&self, data: &[u8]) -> u64 {
+        self.hash(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_empty() {
+        // Published reference value for XXH64 of the empty input, seed 0.
+        assert_eq!(Xxh64::new(0).hash(b""), 0xef46_db37_51d8_e999);
+    }
+
+    #[test]
+    fn reference_vector_abc() {
+        // Published reference value for XXH64("abc"), seed 0.
+        assert_eq!(Xxh64::new(0).hash(b"abc"), 0x44bc_2cf5_ad77_0999);
+    }
+
+    #[test]
+    fn length_boundaries_distinct() {
+        let h = Xxh64::new(0);
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..128usize {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            assert!(seen.insert(h.hash(&data)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn seed_shifts_everything() {
+        let data = b"hello world";
+        let a = Xxh64::new(0).hash(data);
+        let b = Xxh64::new(1).hash(data);
+        assert_ne!(a, b);
+        assert!(
+            (a ^ b).count_ones() > 16,
+            "seeds should decorrelate outputs"
+        );
+    }
+}

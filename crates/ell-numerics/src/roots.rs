@@ -1,0 +1,111 @@
+//! Bracketed root finding for generic maximum-likelihood equations.
+
+/// Finds a root of `f` inside `[lo, hi]` given `f(lo)` and `f(hi)` have
+/// opposite signs (or one of them is zero).
+///
+/// Uses the Illinois variant of regula falsi, which retains the bracket of
+/// bisection but converges superlinearly on smooth functions — a good fit
+/// for the strictly monotone log-likelihood derivatives that arise in
+/// sketch estimation (where plain Newton can overshoot).
+///
+/// Returns the abscissa where `|f|` was smallest once the bracket width
+/// drops below `tol` (relative to the magnitude of the bracket) or after
+/// 200 iterations.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or if `f(lo)` and `f(hi)` have the same nonzero sign.
+#[must_use]
+pub fn find_root_bracketed<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64) -> f64 {
+    assert!(lo <= hi, "invalid bracket [{lo}, {hi}]");
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return a;
+    }
+    if fb == 0.0 {
+        return b;
+    }
+    assert!(
+        fa.signum() != fb.signum(),
+        "f must change sign over the bracket: f({a}) = {fa}, f({b}) = {fb}"
+    );
+    // Illinois: halve the retained endpoint's function value whenever the
+    // same endpoint is kept twice in a row.
+    let mut side = 0i8;
+    for _ in 0..200 {
+        let denom = fb - fa;
+        let mut x = if denom.abs() > f64::MIN_POSITIVE {
+            (a * fb - b * fa) / denom
+        } else {
+            0.5 * (a + b)
+        };
+        if !x.is_finite() || x <= a || x >= b {
+            x = 0.5 * (a + b);
+        }
+        let fx = f(x);
+        if fx == 0.0 || (b - a).abs() <= tol * (a.abs().max(b.abs()).max(1.0)) {
+            return x;
+        }
+        if fx.signum() == fa.signum() {
+            a = x;
+            fa = fx;
+            if side == -1 {
+                fb *= 0.5;
+            }
+            side = -1;
+        } else {
+            b = x;
+            fb = fx;
+            if side == 1 {
+                fa *= 0.5;
+            }
+            side = 1;
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_roots() {
+        let r = find_root_bracketed(|x| x * x - 2.0, 0.0, 2.0, 1e-14);
+        assert!((r - core::f64::consts::SQRT_2).abs() < 1e-10, "{r}");
+        let r = find_root_bracketed(|x| x.exp() - 3.0, 0.0, 2.0, 1e-14);
+        assert!((r - 3.0f64.ln()).abs() < 1e-10, "{r}");
+    }
+
+    #[test]
+    fn exact_endpoint_roots() {
+        assert_eq!(find_root_bracketed(|x| x, 0.0, 1.0, 1e-12), 0.0);
+        assert_eq!(find_root_bracketed(|x| x - 1.0, 0.0, 1.0, 1e-12), 1.0);
+    }
+
+    #[test]
+    fn steep_likelihood_shape() {
+        // Shape similar to a Poisson ML equation: 30 of 50 "registers"
+        // observed changed, so solve 30 = n·(1 − e^(−50/n))·… for n.
+        let f = |n: f64| 30.0 - n * (1.0 - (-50.0 / n).exp());
+        let r = find_root_bracketed(f, 1.0, 1e9, 1e-12);
+        assert!((f(r)).abs() < 1e-6, "residual {}", f(r));
+        // Analytic sanity: at the root, n(1−e^(−50/n)) = 30 → n ≈ 36.5.
+        assert!((30.0..45.0).contains(&r), "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "change sign")]
+    fn rejects_unbracketed() {
+        let _ = find_root_bracketed(|x| x * x + 1.0, -1.0, 1.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn rejects_reversed_bracket() {
+        let _ = find_root_bracketed(|x| x, 1.0, 0.0, 1e-12);
+    }
+}

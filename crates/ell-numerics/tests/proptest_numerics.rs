@@ -1,0 +1,79 @@
+//! Property tests for the numerics substrate: identities that must hold
+//! for *any* parameter value, not just the spot checks of the unit
+//! tests. The ML estimator and every MVP formula in the paper lean on
+//! these functions, so silent inaccuracies here surface as unexplainable
+//! experiment deviations.
+
+use ell_numerics::{binary_entropy, entropy_term, find_root_bracketed, hurwitz_zeta};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// ζ(s, q) = q^(−s) + ζ(s, q+1) — the defining recurrence.
+    #[test]
+    fn zeta_shift_identity(s in 1.1f64..6.0, q in 0.05f64..50.0) {
+        let lhs = hurwitz_zeta(s, q);
+        let rhs = q.powf(-s) + hurwitz_zeta(s, q + 1.0);
+        prop_assert!(
+            ((lhs - rhs) / lhs).abs() < 1e-10,
+            "ζ({s}, {q}) = {lhs} vs recurrence {rhs}"
+        );
+    }
+
+    /// ζ is positive and strictly decreasing in q.
+    #[test]
+    fn zeta_monotone_in_q(s in 1.1f64..6.0, q in 0.05f64..50.0, dq in 0.01f64..5.0) {
+        let a = hurwitz_zeta(s, q);
+        let b = hurwitz_zeta(s, q + dq);
+        prop_assert!(a > 0.0 && b > 0.0);
+        prop_assert!(a > b, "ζ({s}, ·) not decreasing: {a} ≤ {b}");
+    }
+
+    /// ζ is strictly decreasing in s for q ≥ 1 (each term (u+q)^−s is).
+    #[test]
+    fn zeta_monotone_in_s(s in 1.1f64..5.0, ds in 0.05f64..2.0, q in 1.0f64..50.0) {
+        prop_assert!(hurwitz_zeta(s, q) > hurwitz_zeta(s + ds, q));
+    }
+
+    /// ζ(s, q) is bracketed by the integral bounds
+    /// q^{1−s}/(s−1) ≤ ζ(s, q) ≤ q^{−s} + q^{1−s}/(s−1).
+    #[test]
+    fn zeta_integral_bounds(s in 1.05f64..6.0, q in 0.1f64..100.0) {
+        let z = hurwitz_zeta(s, q);
+        let tail = q.powf(1.0 - s) / (s - 1.0);
+        prop_assert!(z >= tail * (1.0 - 1e-12), "ζ = {z} below integral bound {tail}");
+        prop_assert!(
+            z <= q.powf(-s) + tail * (1.0 + 1e-12),
+            "ζ = {z} above integral bound {}",
+            q.powf(-s) + tail
+        );
+    }
+
+    /// Root finding recovers the known root of a shifted monotone cubic
+    /// anywhere in the bracket.
+    #[test]
+    fn root_finder_recovers_cubic_root(root in -50.0f64..50.0, scale in 0.1f64..10.0) {
+        let f = |x: f64| scale * ((x - root) + (x - root).powi(3));
+        let found = find_root_bracketed(f, root - 60.0, root + 60.0, 1e-12);
+        prop_assert!((found - root).abs() < 1e-6, "found {found} vs {root}");
+    }
+
+    /// Entropy properties: symmetry, boundedness, maximum at 1/2.
+    #[test]
+    fn binary_entropy_laws(p in 0.0f64..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-12, "symmetry");
+        prop_assert!(h <= binary_entropy(0.5) + 1e-12, "max at 1/2");
+    }
+
+    /// entropy_term(p) = −p·log2(p) is nonnegative on [0, 1] and
+    /// consistent with binary_entropy.
+    #[test]
+    fn entropy_term_consistency(p in 0.0f64..=1.0) {
+        let h = entropy_term(p) + entropy_term(1.0 - p);
+        prop_assert!((h - binary_entropy(p)).abs() < 1e-12);
+        prop_assert!(entropy_term(p) >= 0.0);
+    }
+}

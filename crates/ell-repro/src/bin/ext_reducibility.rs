@@ -1,0 +1,118 @@
+//! Extension experiment (§4.2): reducibility as a migration tool.
+//!
+//! The paper's reducibility property promises that a sketch recorded at
+//! (t, d, p) and later reduced to (t, d′, p′) is *identical* to direct
+//! recording at the reduced parameters — so archives can shrink without
+//! losing mergeability or calibration. This experiment measures what
+//! that costs in accuracy:
+//!
+//! * RMSE of ELL(2,20,p=11) reduced to each (d′, p′) on a grid, versus
+//! * the theoretical RMSE of direct recording at (2, d′, p′),
+//!
+//! over `--runs` simulation runs at n = 10^5. The two must agree — the
+//! table's last column is the ratio, all ≈ 1 — demonstrating that
+//! reduction costs exactly the theoretical difference between the
+//! configurations and nothing more.
+//!
+//! ```sh
+//! cargo run --release -p ell-repro --bin ext_reducibility
+//! ```
+
+use ell_hash::{mix64, SplitMix64};
+use ell_repro::{fmt_f, RunParams, Table};
+use ell_sim::ErrorAccumulator;
+use exaloglog::theory::{predicted_rmse, Estimator};
+use exaloglog::{EllConfig, ExaLogLog};
+
+const N: u64 = 100_000;
+
+fn main() {
+    let params = RunParams::parse(300, 10_000);
+    let source = EllConfig::new(2, 20, 11).expect("valid");
+    println!(
+        "Extension: error after lossless reduction of {source} at n = {N}, {} runs\n",
+        params.runs
+    );
+
+    let grid: Vec<(u8, u8)> = vec![
+        (20, 11), // identity
+        (20, 10),
+        (20, 8),
+        (16, 11),
+        (16, 9),
+        (8, 10),
+        (4, 11),
+        (0, 8), // HyperMinHash-like end point
+    ];
+
+    let mut accs: Vec<ErrorAccumulator> = vec![ErrorAccumulator::new(); grid.len()];
+    let threads = if params.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        params.threads
+    };
+    let mut partials: Vec<Vec<ErrorAccumulator>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let grid = &grid;
+                let runs = params.runs;
+                let seed = params.seed;
+                scope.spawn(move || {
+                    let mut acc = vec![ErrorAccumulator::new(); grid.len()];
+                    let mut run = tid;
+                    while run < runs {
+                        let mut rng = SplitMix64::new(mix64(seed ^ mix64(run as u64)));
+                        let mut sketch = ExaLogLog::new(source);
+                        for _ in 0..N {
+                            sketch.insert_hash(rng.next_u64());
+                        }
+                        for (gi, &(d, p)) in grid.iter().enumerate() {
+                            let reduced = sketch.reduce(d, p).expect("valid reduction");
+                            acc[gi].record(reduced.estimate(), N as f64);
+                        }
+                        run += threads;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    });
+    for part in &partials {
+        for (a, b) in accs.iter_mut().zip(part) {
+            a.merge(b);
+        }
+    }
+
+    let mut table = Table::new(&[
+        "reduced to",
+        "register bytes",
+        "measured rmse %",
+        "theory rmse %",
+        "ratio",
+    ]);
+    let tolerance = 0.10 + 4.0 / (2.0 * params.runs as f64).sqrt();
+    for (gi, &(d, p)) in grid.iter().enumerate() {
+        let cfg = EllConfig::new(2, d, p).expect("valid");
+        let measured = accs[gi].rmse();
+        let theory = predicted_rmse(&cfg, Estimator::MaximumLikelihood);
+        let ratio = measured / theory;
+        table.row(vec![
+            format!("(2,{d},{p})"),
+            cfg.register_array_bytes().to_string(),
+            fmt_f(measured * 100.0, 2),
+            fmt_f(theory * 100.0, 2),
+            fmt_f(ratio, 3),
+        ]);
+        assert!(
+            (ratio - 1.0).abs() < tolerance,
+            "(2,{d},{p}): reduced-sketch error {measured:.4} deviates from \
+             direct-recording theory {theory:.4} beyond tolerance {tolerance:.3}"
+        );
+    }
+    table.emit(&params, "ext_reducibility");
+    println!("\nall ratios ≈ 1: reduction is exactly as good as direct recording");
+}

@@ -1,0 +1,278 @@
+//! Figure 11: average execution time of insert, estimate, serialize,
+//! merge, and merge+estimate for n ∈ {10, 10², …, 10^6}.
+//!
+//! As in the paper, elements are random 16-byte arrays generated in
+//! advance, and every algorithm hashes them with Murmur3 (x64_128, low 64
+//! bits) — the DataSketches built-in — so the hashing cost is identical
+//! across rows. Insert times include the initial allocation of the data
+//! structure (which is why small n show higher per-element times).
+//!
+//! Absolute numbers depend on the host (the paper used an EC2 c5.metal
+//! with Turbo Boost off); the *shape* to check: all constant-time sketches
+//! insert within the same few-tens-of-ns band; ELL serialization ≈ memcpy;
+//! the CPC-proxy's entropy-coded serialization is an order of magnitude
+//! slower; martingale insertion costs a few ns extra but estimation is
+//! instant.
+//!
+//! Criterion microbenchmarks covering the same operations live in
+//! `crates/ell-bench` (`cargo bench -p ell-bench`); this binary prints the
+//! full figure series quickly with a simple median-of-reps timer.
+
+use ell_baselines::{HllEstimator, HyperLogLog, HyperLogLog4, HyperLogLogLog, Pcsa, SpikeLike, Ull};
+use ell_hash::{Hasher64, Murmur3_128, SplitMix64};
+use ell_repro::{fmt_f, RunParams, Table};
+use exaloglog::{EllConfig, ExaLogLog, MartingaleExaLogLog};
+use std::time::Instant;
+
+/// Per-element insert timing over a prepared element batch.
+type InsertFn = Box<dyn Fn(&[[u8; 16]]) -> f64>;
+/// (estimate, serialize, merge, merge+estimate) timings over two batches.
+type OpsFn = Box<dyn Fn(&[[u8; 16]], &[[u8; 16]]) -> (f64, f64, f64, f64)>;
+
+/// One benchmark subject: closures over a concrete sketch type.
+struct Subject {
+    name: &'static str,
+    run_insert: InsertFn,
+    run_ops: OpsFn,
+}
+
+const HASHER: Murmur3_128 = Murmur3_128::new(0);
+
+fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // Median of `reps` timings.
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[reps / 2]
+}
+
+fn subject<S, New, Ins, Est, Ser, Mrg>(
+    name: &'static str,
+    new: New,
+    insert: Ins,
+    estimate: Est,
+    serialize: Ser,
+    merge: Mrg,
+) -> Subject
+where
+    S: Clone + 'static,
+    New: Fn() -> S + Clone + 'static,
+    Ins: Fn(&mut S, u64) + Clone + 'static,
+    Est: Fn(&S) -> f64 + Clone + 'static,
+    Ser: Fn(&S) -> usize + Clone + 'static,
+    Mrg: Fn(&mut S, &S) + Clone + 'static,
+{
+    let build = {
+        let new = new.clone();
+        let insert = insert.clone();
+        move |elements: &[[u8; 16]]| {
+            let mut s = new();
+            for e in elements {
+                insert(&mut s, HASHER.hash_bytes(e));
+            }
+            s
+        }
+    };
+    let run_insert = {
+        let build = build.clone();
+        Box::new(move |elements: &[[u8; 16]]| {
+            time_reps(3, || {
+                let s = build(elements);
+                std::hint::black_box(&s);
+            }) / elements.len() as f64
+        })
+    };
+    let run_ops = Box::new(move |ea: &[[u8; 16]], eb: &[[u8; 16]]| {
+        let a = build(ea);
+        let b = build(eb);
+        let reps = 5;
+        let est = time_reps(reps, || {
+            std::hint::black_box(estimate(&a));
+        });
+        let ser = time_reps(reps, || {
+            std::hint::black_box(serialize(&a));
+        });
+        let mrg = time_reps(reps, || {
+            let mut c = a.clone();
+            merge(&mut c, &b);
+            std::hint::black_box(&c);
+        });
+        let mrg_est = time_reps(reps, || {
+            let mut c = a.clone();
+            merge(&mut c, &b);
+            std::hint::black_box(estimate(&c));
+        });
+        (est, ser, mrg, mrg_est)
+    });
+    Subject {
+        name,
+        run_insert,
+        run_ops,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn subjects() -> Vec<Subject> {
+    vec![
+        subject(
+            "ELL(2,20,p=8,ML)",
+            || ExaLogLog::new(EllConfig::optimal(8).expect("valid")),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            ExaLogLog::estimate,
+            |s| s.to_bytes().len(),
+            |a, b| a.merge_from(b).expect("same config"),
+        ),
+        subject(
+            "ELL(2,24,p=8,ML)",
+            || ExaLogLog::new(EllConfig::aligned32(8).expect("valid")),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            ExaLogLog::estimate,
+            |s| s.to_bytes().len(),
+            |a, b| a.merge_from(b).expect("same config"),
+        ),
+        subject(
+            "ELL(2,20,p=8,marting.)",
+            || MartingaleExaLogLog::new(EllConfig::optimal(8).expect("valid")),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            MartingaleExaLogLog::estimate,
+            |s| s.sketch().to_bytes().len(),
+            |_, _| {}, // martingale sketches do not merge (paper §3.3)
+        ),
+        subject(
+            "ULL(p=10,ML)",
+            || Ull::new(10),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            Ull::estimate,
+            |s| s.to_bytes().len(),
+            Ull::merge_from,
+        ),
+        subject(
+            "HLL(6-bit,p=11,impr)",
+            || HyperLogLog::new(11, 6, HllEstimator::Improved),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            HyperLogLog::estimate,
+            |s| s.serialized_bytes(),
+            HyperLogLog::merge_from,
+        ),
+        subject(
+            "HLL(8-bit,p=11,impr)",
+            || HyperLogLog::new(11, 8, HllEstimator::Improved),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            HyperLogLog::estimate,
+            |s| s.serialized_bytes(),
+            HyperLogLog::merge_from,
+        ),
+        subject(
+            "HLL(4-bit,p=11)",
+            || HyperLogLog4::new(11),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            HyperLogLog4::estimate,
+            HyperLogLog4::serialized_bytes,
+            HyperLogLog4::merge_from,
+        ),
+        subject(
+            "CPC-proxy(PCSA,p=10)",
+            || Pcsa::new(10),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            Pcsa::estimate,
+            // CPC-style serialization = range coding the state: expensive,
+            // exactly the Figure 11 shape the paper highlights for CPC.
+            |s| ell_baselines::cpc::compress(s).len(),
+            Pcsa::merge_from,
+        ),
+        subject(
+            "HLLL(p=11)",
+            || HyperLogLogLog::new(11),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            HyperLogLogLog::estimate,
+            HyperLogLogLog::serialized_bytes,
+            HyperLogLogLog::merge_from,
+        ),
+        subject(
+            "Spike-like(128)",
+            || SpikeLike::new(128),
+            |s, h| {
+                s.insert_hash(h);
+            },
+            SpikeLike::estimate,
+            SpikeLike::serialized_bytes,
+            SpikeLike::merge_from,
+        ),
+    ]
+}
+
+fn main() {
+    let params = RunParams::parse(1, 1);
+    println!("Figure 11: operation timings (ns unless noted); host-dependent absolute values\n");
+    let ns: Vec<usize> = vec![10, 100, 1_000, 10_000, 100_000, 1_000_000];
+    // Pre-generate random 16-byte elements (two disjoint sets for merge).
+    let mut rng = SplitMix64::new(params.seed);
+    let max_n = *ns.last().expect("nonempty");
+    let gen = |rng: &mut SplitMix64| {
+        let mut e = [0u8; 16];
+        e[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+        e[8..].copy_from_slice(&rng.next_u64().to_le_bytes());
+        e
+    };
+    let elements_a: Vec<[u8; 16]> = (0..max_n).map(|_| gen(&mut rng)).collect();
+    let elements_b: Vec<[u8; 16]> = (0..max_n).map(|_| gen(&mut rng)).collect();
+
+    // Measure everything once: results[subject][n] = [insert, est, ser,
+    // merge, merge+est] in seconds.
+    let subs = subjects();
+    let mut results: Vec<Vec<[f64; 5]>> = Vec::with_capacity(subs.len());
+    for s in &subs {
+        let mut per_n = Vec::with_capacity(ns.len());
+        for &n in &ns {
+            let ea = &elements_a[..n];
+            let eb = &elements_b[..n];
+            let insert = (s.run_insert)(ea);
+            let (est, ser, mrg, mrg_est) = (s.run_ops)(ea, eb);
+            per_n.push([insert, est, ser, mrg, mrg_est]);
+        }
+        results.push(per_n);
+    }
+
+    for (oi, op) in ["insert", "estimate", "serialize", "merge", "merge+estimate"]
+        .iter()
+        .enumerate()
+    {
+        println!("--- {op} (median time per operation; insert is per element)");
+        let mut headers = vec!["algorithm".to_string()];
+        headers.extend(ns.iter().map(|n| format!("n={n}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        for (si, s) in subs.iter().enumerate() {
+            let mut row = vec![s.name.to_string()];
+            for (ni, _) in ns.iter().enumerate() {
+                row.push(format!("{}ns", fmt_f(results[si][ni][oi] * 1e9, 1)));
+            }
+            table.row(row);
+        }
+        table.emit(&params, &format!("fig11_{}", op.replace('+', "_")));
+        println!();
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 1: memory required to reach a target relative standard error
+//! for memory-variance products MVP ∈ {2, …, 8}, following equation (1):
+//! memory_bits = MVP / error².
+//!
+//! The paper plots error 1–5 % against memory 128–8192 bytes; this binary
+//! prints the same series (one column per MVP).
+
+use ell_repro::{fmt_f, RunParams, Table};
+use exaloglog::theory::memory_bits_for_error;
+
+fn main() {
+    let params = RunParams::parse(1, 1);
+    let mvps = [2.0f64, 3.0, 4.0, 5.0, 6.0, 8.0];
+    let mut headers = vec!["error %".to_string()];
+    headers.extend(mvps.iter().map(|m| format!("MVP={m} (bytes)")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    let mut err = 1.0f64;
+    while err <= 5.0 + 1e-9 {
+        let mut row = vec![fmt_f(err, 2)];
+        for &mvp in &mvps {
+            let bytes = memory_bits_for_error(mvp, err / 100.0) / 8.0;
+            row.push(fmt_f(bytes, 0));
+        }
+        table.row(row);
+        err += 0.25;
+    }
+    println!("Figure 1: memory over relative standard error for different MVPs\n");
+    table.emit(&params, "fig1_mvp_tradeoff");
+    println!();
+    println!(
+        "Reference points: HLL-6bit (MVP 6.45) needs {} bytes for 2 % error;",
+        fmt_f(memory_bits_for_error(6.45, 0.02) / 8.0, 0)
+    );
+    println!(
+        "ELL(2,20) (MVP 3.67) needs {} bytes — a {} % saving.",
+        fmt_f(memory_bits_for_error(3.67, 0.02) / 8.0, 0),
+        fmt_f((1.0 - 3.67 / 6.45) * 100.0, 0)
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 5: theoretical MVP (equation (6)) of a bit-array ExaLogLog
+//! under martingale estimation, as a function of d for t ∈ {0,…,3}.
+//! The optimum — ELL(2,16), MVP 2.77, 33 % below HLL — is reported.
+
+use ell_repro::{fmt_f, RunParams, Table};
+use exaloglog::theory::mvp_martingale_dense;
+
+fn main() {
+    let params = RunParams::parse(1, 1);
+    println!("Figure 5: MVP (6), dense registers, martingale estimator\n");
+    let mut table = Table::new(&["d", "t=0", "t=1", "t=2", "t=3"]);
+    for d in 0..=64u8 {
+        let mut row = vec![d.to_string()];
+        for t in 0..=3u8 {
+            if 6 + u32::from(t) + u32::from(d) <= 64 {
+                row.push(fmt_f(mvp_martingale_dense(t, d), 4));
+            } else {
+                row.push("-".to_string());
+            }
+        }
+        table.row(row);
+    }
+    table.emit(&params, "fig5_mvp_martingale_dense");
+
+    println!("\nNamed configurations:");
+    let hll = mvp_martingale_dense(0, 0);
+    for (name, t, d) in [
+        ("HLL   = ELL(0,0) ", 0u8, 0u8),
+        ("EHLL  = ELL(0,1) ", 0, 1),
+        ("ULL   = ELL(0,2) ", 0, 2),
+        ("ELL(1,9)         ", 1, 9),
+        ("ELL(2,16)        ", 2, 16),
+        ("ELL(2,20)        ", 2, 20),
+        ("ELL(2,24)        ", 2, 24),
+    ] {
+        let mvp = mvp_martingale_dense(t, d);
+        println!(
+            "  {name} MVP = {mvp:.4}  ({:+.1} % vs HLL)",
+            (1.0 - mvp / hll) * 100.0
+        );
+    }
+    println!("\nPer-t minima (the arrows of Figure 5):");
+    for t in 0..=3u8 {
+        let (d_best, best) = (0..=(58 - t))
+            .map(|d| (d, mvp_martingale_dense(t, d)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty");
+        println!("  t={t}: minimum MVP {best:.4} at d={d_best}");
+    }
+}

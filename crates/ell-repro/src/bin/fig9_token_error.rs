@@ -1,0 +1,79 @@
+//! Figure 9: relative bias and RMSE when estimating the distinct count
+//! directly from a set of collected hash tokens (§4.3, Algorithm 7), for
+//! token parameters v ∈ {6, 8, 10, 12, 18, 26} and n up to 10^5.
+//!
+//! Expected shape: unbiased; the error for parameter v is slightly below
+//! that of a dense ELL sketch with p + t = v (the token set carries the
+//! information of d → ∞); for v = 26 (32-bit tokens) the error at n ≤ 10^5
+//! is below 0.01 %.
+
+use ell_hash::{mix64, SplitMix64};
+use ell_repro::{fmt_f, RunParams, Table};
+use ell_sim::{decade_checkpoints, ErrorAccumulator};
+use exaloglog::TokenSet;
+
+fn main() {
+    let params = RunParams::parse(1_000, 100_000);
+    let checkpoints = decade_checkpoints(100_000);
+    println!(
+        "Figure 9: token-set estimation error, {} runs (paper: 100000)\n",
+        params.runs
+    );
+    for v in [6u32, 8, 10, 12, 18, 26] {
+        let threads = if params.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            params.threads
+        };
+        let mut partials: Vec<Vec<ErrorAccumulator>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let checkpoints = &checkpoints;
+                    let runs = params.runs;
+                    let seed = params.seed;
+                    scope.spawn(move || {
+                        let mut acc = vec![ErrorAccumulator::new(); checkpoints.len()];
+                        let mut run = tid;
+                        while run < runs {
+                            let mut rng = SplitMix64::new(mix64(seed ^ mix64(run as u64)));
+                            // One growing hash buffer per run; token sets are
+                            // bulk-built per checkpoint (sort + dedup).
+                            let mut hashes: Vec<u64> = Vec::new();
+                            for (ci, &n) in checkpoints.iter().enumerate() {
+                                while (hashes.len() as u64) < n {
+                                    hashes.push(rng.next_u64());
+                                }
+                                let set = TokenSet::from_hashes(v, hashes.iter().copied())
+                                    .expect("valid v");
+                                acc[ci].record(set.estimate(), n as f64);
+                            }
+                            run += threads;
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("worker panicked"));
+            }
+        });
+        let mut total = vec![ErrorAccumulator::new(); checkpoints.len()];
+        for part in &partials {
+            for (ci, a) in part.iter().enumerate() {
+                total[ci].merge(a);
+            }
+        }
+        println!("--- v = {v}  (token size = {} bits)", v + 6);
+        let mut table = Table::new(&["n", "bias %", "rmse %"]);
+        for (ci, &n) in checkpoints.iter().enumerate() {
+            table.row(vec![
+                n.to_string(),
+                fmt_f(total[ci].bias() * 100.0, 4),
+                fmt_f(total[ci].rmse() * 100.0, 4),
+            ]);
+        }
+        table.emit(&params, &format!("fig9_v{v}"));
+        println!();
+    }
+}

@@ -1,0 +1,228 @@
+//! Shared infrastructure for the per-figure/per-table reproduction
+//! binaries (see DESIGN.md §2 for the experiment index).
+//!
+//! Every binary follows the same conventions:
+//!
+//! * `--runs N` — number of simulation runs (each binary has a laptop
+//!   -friendly default; `--full` switches to the paper's run counts);
+//! * `--seed N` — base RNG seed (default 42; results are deterministic
+//!   for a given seed, independent of thread count);
+//! * `--threads N` — worker threads (default: all cores);
+//! * `--csv DIR` — additionally write the printed series as CSV files.
+//!
+//! Output is printed as aligned text tables whose rows correspond to the
+//! series of the paper's figure or the rows of its table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Common command-line parameters of the reproduction binaries.
+#[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Number of simulation runs.
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+    /// Paper-fidelity mode (full run counts; hours of CPU time).
+    pub full: bool,
+    /// Optional CSV output directory.
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl RunParams {
+    /// Parses `std::env::args`, using `default_runs` when `--runs` is
+    /// absent and `full_runs` when `--full` is given.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn parse(default_runs: usize, full_runs: usize) -> Self {
+        let mut params = RunParams {
+            runs: default_runs,
+            seed: 42,
+            threads: 0,
+            full: false,
+            csv_dir: None,
+        };
+        let mut explicit_runs = None;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need_value = |i: usize| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value after {}", args[i]))
+            };
+            match args[i].as_str() {
+                "--runs" => {
+                    explicit_runs = Some(need_value(i).parse().expect("--runs expects an integer"));
+                    i += 2;
+                }
+                "--seed" => {
+                    params.seed = need_value(i).parse().expect("--seed expects an integer");
+                    i += 2;
+                }
+                "--threads" => {
+                    params.threads = need_value(i).parse().expect("--threads expects an integer");
+                    i += 2;
+                }
+                "--csv" => {
+                    params.csv_dir = Some(PathBuf::from(need_value(i)));
+                    i += 2;
+                }
+                "--full" => {
+                    params.full = true;
+                    i += 1;
+                }
+                "--help" | "-h" => {
+                    eprintln!("options: [--runs N] [--seed N] [--threads N] [--csv DIR] [--full]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other}; try --help"),
+            }
+        }
+        params.runs = explicit_runs.unwrap_or(if params.full { full_runs } else { default_runs });
+        if let Ok(env_runs) = std::env::var("ELL_REPRO_RUNS") {
+            if explicit_runs.is_none() {
+                params.runs = env_runs.parse().expect("ELL_REPRO_RUNS expects an integer");
+            }
+        }
+        params
+    }
+}
+
+/// A simple aligned text table that can also be dumped as CSV.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with aligned columns to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("{}", line.join("  "));
+        };
+        print_row(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            print_row(row);
+        }
+    }
+
+    /// Writes the table as CSV to `dir/name.csv` (creating `dir`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing.
+    pub fn write_csv(&self, dir: &std::path::Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        std::fs::write(dir.join(format!("{name}.csv")), out)
+    }
+
+    /// Prints the table and, when `csv_dir` is set, also writes the CSV.
+    pub fn emit(&self, params: &RunParams, name: &str) {
+        self.print();
+        if let Some(dir) = &params.csv_dir {
+            self.write_csv(dir, name)
+                .unwrap_or_else(|e| eprintln!("warning: CSV write failed: {e}"));
+        }
+    }
+}
+
+/// Formats a float with engineering-friendly precision.
+#[must_use]
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else if v == f64::INFINITY {
+        "inf".to_string()
+    } else {
+        format!("{v:.digits$}")
+    }
+}
+
+/// Formats a number in scientific notation (for distinct-count columns
+/// spanning 10^0 … 10^21).
+#[must_use]
+pub fn fmt_sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() < 1e6 && v.fract() == 0.0 {
+        format!("{v}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_roundtrip() {
+        let mut t = Table::new(&["n", "rmse"]);
+        t.row(vec!["100".into(), "0.0226".into()]);
+        t.row(vec!["1000000".into(), "0.0231".into()]);
+        let dir = std::env::temp_dir().join("ell_repro_test_csv");
+        t.write_csv(&dir, "unit").unwrap();
+        let content = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(content, "n,rmse\n100,0.0226\n1000000,0.0231\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.12345, 3), "0.123");
+        assert_eq!(fmt_f(f64::NAN, 3), "n/a");
+        assert_eq!(fmt_f(f64::INFINITY, 3), "inf");
+        assert_eq!(fmt_sci(1e21), "1.00e21");
+        assert_eq!(fmt_sci(100.0), "100");
+    }
+}

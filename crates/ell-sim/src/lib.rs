@@ -1,0 +1,30 @@
+//! Simulation harness for distinct-count estimator evaluation.
+//!
+//! Implements the paper's experimental methodology (§5.1):
+//!
+//! * [`exact`] — each distinct element is one uniform random 64-bit value
+//!   (statistically indistinguishable from hashing real data with a
+//!   field-tested hash function); estimates are recorded at checkpoints
+//!   and aggregated over many independent runs in parallel.
+//! * [`fast`] — the event-driven strategy for distinct counts beyond the
+//!   reach of element-wise insertion: sample the geometric
+//!   first-occurrence time of every (register, update value) pair and
+//!   replay them in time order, enabling sweeps to 10^21 (Figure 8).
+//! * [`stats`] — bias/RMSE accumulation with explicit accounting of
+//!   saturated (non-finite) estimates.
+//!
+//! All entry points are deterministic for a fixed seed, independent of
+//! the number of worker threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod fast;
+pub mod stats;
+pub mod workload;
+
+pub use exact::{decade_checkpoints, evaluate_error, measure_bias_rmse};
+pub use fast::{FastErrorReport, FastErrorSim};
+pub use stats::ErrorAccumulator;
+pub use workload::{distinct_stream, UniformStream, ZipfStream};

@@ -1,0 +1,136 @@
+//! Accumulation of relative-error statistics across simulation runs.
+
+/// Streaming accumulator of relative estimation errors (n̂/n − 1).
+///
+/// Tracks enough moments to report the relative bias and RMSE the paper's
+/// Figures 8 and 9 plot, plus the count of degenerate (non-finite)
+/// estimates, which occur only when a sketch saturates at the very top of
+/// its operating range.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ErrorAccumulator {
+    sum: f64,
+    sum_sq: f64,
+    count: u64,
+    non_finite: u64,
+}
+
+impl ErrorAccumulator {
+    /// A fresh, empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one estimate against the true count.
+    pub fn record(&mut self, estimate: f64, true_count: f64) {
+        let rel = estimate / true_count - 1.0;
+        if rel.is_finite() {
+            self.sum += rel;
+            self.sum_sq += rel * rel;
+            self.count += 1;
+        } else {
+            self.non_finite += 1;
+        }
+    }
+
+    /// Merges another accumulator (for cross-thread reduction).
+    pub fn merge(&mut self, other: &ErrorAccumulator) {
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.count += other.count;
+        self.non_finite += other.non_finite;
+    }
+
+    /// Number of finite estimates recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of non-finite (saturated-sketch) estimates.
+    #[must_use]
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// The relative bias: mean of (n̂/n − 1).
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        self.sum / self.count as f64
+    }
+
+    /// The relative root-mean-square error: √(mean of (n̂/n − 1)²).
+    #[must_use]
+    pub fn rmse(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        (self.sum_sq / self.count as f64).sqrt()
+    }
+
+    /// Standard error of the RMSE estimate itself (≈ rmse/√(2·runs)),
+    /// used by tests to set statistically sound tolerances.
+    #[must_use]
+    pub fn rmse_standard_error(&self) -> f64 {
+        if self.count < 2 {
+            return f64::NAN;
+        }
+        self.rmse() / (2.0 * self.count as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_and_rmse_of_known_sample() {
+        let mut acc = ErrorAccumulator::new();
+        // Estimates 90 and 110 against truth 100: errors ∓0.1.
+        acc.record(90.0, 100.0);
+        acc.record(110.0, 100.0);
+        assert!((acc.bias() - 0.0).abs() < 1e-15);
+        assert!((acc.rmse() - 0.1).abs() < 1e-15);
+        assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn non_finite_estimates_are_counted_not_mixed() {
+        let mut acc = ErrorAccumulator::new();
+        acc.record(f64::INFINITY, 100.0);
+        acc.record(100.0, 100.0);
+        assert_eq!(acc.count(), 1);
+        assert_eq!(acc.non_finite(), 1);
+        assert_eq!(acc.rmse(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = ErrorAccumulator::new();
+        let mut b = ErrorAccumulator::new();
+        let mut whole = ErrorAccumulator::new();
+        for i in 0..10 {
+            let est = 95.0 + f64::from(i);
+            a.record(est, 100.0);
+            whole.record(est, 100.0);
+        }
+        for i in 0..7 {
+            let est = 101.0 + f64::from(i);
+            b.record(est, 100.0);
+            whole.record(est, 100.0);
+        }
+        a.merge(&b);
+        assert!((a.bias() - whole.bias()).abs() < 1e-15);
+        assert!((a.rmse() - whole.rmse()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_reports_nan() {
+        let acc = ErrorAccumulator::new();
+        assert!(acc.bias().is_nan());
+        assert!(acc.rmse().is_nan());
+    }
+}

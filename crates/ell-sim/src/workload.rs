@@ -1,0 +1,174 @@
+//! Deterministic workload generators for examples and experiments.
+//!
+//! The paper's error experiments need no data at all (§5.1: uniform
+//! random values are statistically indistinguishable from hashed real
+//! elements), but the *application* scenarios its introduction motivates
+//! — analytics, network monitoring, genomics — process streams with
+//! heavy duplication and skew. This module provides reproducible
+//! generators for such streams:
+//!
+//! * [`ZipfStream`] — element ids drawn from a Zipf(s) rank distribution,
+//!   the standard model for web/page/IP popularity skew;
+//! * [`UniformStream`] — ids uniform over a fixed universe;
+//! * [`distinct_stream`] — a shuffled enumeration of exactly `n`
+//!   distinct ids (ground truth by construction).
+//!
+//! All generators are deterministic in their seed and independent of
+//! iteration chunking.
+
+use ell_hash::SplitMix64;
+
+/// Ids drawn from a Zipf distribution with exponent `s` over the ranks
+/// `0..universe`: rank r occurs with probability ∝ 1/(r+1)^s.
+///
+/// Sampling inverts the precomputed cumulative distribution by binary
+/// search — O(log universe) per draw, exact for any `s ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct ZipfStream {
+    cdf: Vec<f64>,
+    rng: SplitMix64,
+}
+
+impl ZipfStream {
+    /// Creates a generator over `universe` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `s < 0`.
+    #[must_use]
+    pub fn new(universe: usize, s: f64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be nonempty");
+        assert!(s >= 0.0, "Zipf exponent must be nonnegative");
+        let mut cdf = Vec::with_capacity(universe);
+        let mut total = 0.0;
+        for r in 0..universe {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfStream {
+            cdf,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Draws the next id (a rank in `0..universe`).
+    pub fn next_id(&mut self) -> u64 {
+        let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+impl Iterator for ZipfStream {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_id())
+    }
+}
+
+/// Ids uniform over `0..universe`.
+#[derive(Debug, Clone)]
+pub struct UniformStream {
+    universe: u64,
+    rng: SplitMix64,
+}
+
+impl UniformStream {
+    /// Creates a generator over `universe` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    #[must_use]
+    pub fn new(universe: u64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be nonempty");
+        UniformStream {
+            universe,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Draws the next id.
+    pub fn next_id(&mut self) -> u64 {
+        // Rejection-free multiply-shift reduction; the modulo bias is
+        // below 2^−53 of the universe for any practical size.
+        ((u128::from(self.rng.next_u64()) * u128::from(self.universe)) >> 64) as u64
+    }
+}
+
+impl Iterator for UniformStream {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_id())
+    }
+}
+
+/// Exactly `n` distinct ids (0..n) in a seeded random order — ground
+/// truth for estimator accuracy checks without duplicate bookkeeping.
+#[must_use]
+pub fn distinct_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut ids: Vec<u64> = (0..n as u64).collect();
+    // Fisher–Yates with the simulation RNG.
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..ids.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        ids.swap(i, j);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed() {
+        let a: Vec<u64> = ZipfStream::new(1000, 1.0, 7).take(5000).collect();
+        let b: Vec<u64> = ZipfStream::new(1000, 1.0, 7).take(5000).collect();
+        assert_eq!(a, b, "same seed must reproduce the stream");
+        // Rank 0 dominates: with s = 1 over 1000 ranks, p(0) ≈ 1/H_1000
+        // ≈ 13.4 %.
+        let zeros = a.iter().filter(|&&x| x == 0).count();
+        assert!(
+            (400..1000).contains(&zeros),
+            "rank-0 frequency {zeros}/5000 outside the Zipf expectation"
+        );
+        // All ids inside the universe.
+        assert!(a.iter().all(|&x| x < 1000));
+    }
+
+    #[test]
+    fn zipf_s0_is_uniform() {
+        let ids: Vec<u64> = ZipfStream::new(100, 0.0, 3).take(20_000).collect();
+        let mut counts = [0usize; 100];
+        for &x in &ids {
+            counts[x as usize] += 1;
+        }
+        // Each bin expects 200; 5σ ≈ 70.
+        assert!(counts.iter().all(|&c| (120..280).contains(&c)));
+    }
+
+    #[test]
+    fn uniform_covers_universe() {
+        let ids: Vec<u64> = UniformStream::new(50, 9).take(5000).collect();
+        let distinct: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), 50, "all ids should appear");
+        assert!(ids.iter().all(|&x| x < 50));
+    }
+
+    #[test]
+    fn distinct_stream_is_a_permutation() {
+        let ids = distinct_stream(1000, 11);
+        assert_eq!(ids.len(), 1000);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert!(sorted.iter().enumerate().all(|(i, &x)| x == i as u64));
+        // And actually shuffled.
+        assert_ne!(ids, sorted);
+        // Deterministic.
+        assert_eq!(ids, distinct_stream(1000, 11));
+        assert_ne!(ids, distinct_stream(1000, 12));
+    }
+}

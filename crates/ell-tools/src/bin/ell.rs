@@ -1,0 +1,169 @@
+//! The `ell` command-line tool: approximate distinct counting from the
+//! shell, with mergeable, reducible, compressible sketch files.
+//!
+//! ```text
+//! generate sketches:   ... | ell count --p 12 --out today.ell
+//! combine shards:      ell merge --out all.ell shard1.ell shard2.ell
+//! query:               ell estimate all.ell
+//! archive smaller:     ell reduce --d 16 --p 8 --out archive.ell all.ell
+//! entropy-code:        ell compress --out all.ellz all.ell
+//! debug:               ell inspect all.ell
+//! ```
+
+use ell_tools::{
+    collect_tokens, config_from_options, count_lines, inspect, load_any, load_sketch, merge_files,
+    parse_options, relate, save_compressed, save_sketch, save_tokens, ToolError,
+};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("ell: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), ToolError> {
+    let Some((command, rest)) = args.split_first() else {
+        print_help();
+        return Ok(());
+    };
+    match command.as_str() {
+        "count" => {
+            let (opts, positional) = parse_options(rest, &["t", "d", "p", "out"])?;
+            if !positional.is_empty() {
+                return Err(ToolError::Usage("count reads from stdin only".into()));
+            }
+            let cfg = config_from_options(opts.get("t"), opts.get("d"), opts.get("p"))?;
+            let stdin = std::io::stdin();
+            let sketch = count_lines(stdin.lock(), cfg)?;
+            println!("{:.0}", sketch.estimate());
+            if let Some(out) = opts.get("out") {
+                save_sketch(&sketch, Path::new(out))?;
+            }
+            Ok(())
+        }
+        "estimate" => {
+            let (_, positional) = parse_options(rest, &[])?;
+            if positional.is_empty() {
+                return Err(ToolError::Usage("estimate needs sketch files".into()));
+            }
+            for path in &positional {
+                let sketch = load_any(Path::new(path))?;
+                println!("{path}\t{:.0}", sketch.estimate());
+            }
+            Ok(())
+        }
+        "tokens" => {
+            let (opts, positional) = parse_options(rest, &["v", "out"])?;
+            if !positional.is_empty() {
+                return Err(ToolError::Usage("tokens reads from stdin only".into()));
+            }
+            let v: u32 = opts.get("v").map_or(Ok(26), |s| {
+                s.parse()
+                    .map_err(|_| ToolError::Usage("--v expects an integer".into()))
+            })?;
+            let stdin = std::io::stdin();
+            let tokens = collect_tokens(stdin.lock(), v)?;
+            println!("{:.0}", tokens.estimate());
+            if let Some(out) = opts.get("out") {
+                save_tokens(&tokens, Path::new(out))?;
+            }
+            Ok(())
+        }
+        "similarity" => {
+            let (_, positional) = parse_options(rest, &[])?;
+            let [pa, pb] = positional.as_slice() else {
+                return Err(ToolError::Usage(
+                    "similarity needs exactly two sketch files".into(),
+                ));
+            };
+            let a = load_sketch(Path::new(pa))?;
+            let b = load_sketch(Path::new(pb))?;
+            let rel = relate(&a, &b)?;
+            println!(
+                "|A|={:.0} |B|={:.0} |A∪B|={:.0} |A∩B|≈{:.0} J≈{:.3}",
+                rel.a, rel.b, rel.union, rel.intersection, rel.jaccard
+            );
+            Ok(())
+        }
+        "merge" => {
+            let (opts, positional) = parse_options(rest, &["out"])?;
+            let out = opts
+                .get("out")
+                .ok_or_else(|| ToolError::Usage("merge needs --out".into()))?;
+            let paths: Vec<PathBuf> = positional.iter().map(PathBuf::from).collect();
+            let path_refs: Vec<&Path> = paths.iter().map(PathBuf::as_path).collect();
+            let merged = merge_files(&path_refs)?;
+            save_sketch(&merged, Path::new(out))?;
+            println!("{:.0}", merged.estimate());
+            Ok(())
+        }
+        "reduce" => {
+            let (opts, positional) = parse_options(rest, &["d", "p", "out"])?;
+            let [input] = positional.as_slice() else {
+                return Err(ToolError::Usage("reduce needs exactly one input".into()));
+            };
+            let out = opts
+                .get("out")
+                .ok_or_else(|| ToolError::Usage("reduce needs --out".into()))?;
+            let sketch = load_sketch(Path::new(input))?;
+            let d = opts.get("d").map_or(Ok(sketch.config().d()), |v| {
+                v.parse()
+                    .map_err(|_| ToolError::Usage("--d expects an integer".into()))
+            })?;
+            let p = opts.get("p").map_or(Ok(sketch.config().p()), |v| {
+                v.parse()
+                    .map_err(|_| ToolError::Usage("--p expects an integer".into()))
+            })?;
+            let reduced = sketch.reduce(d, p)?;
+            save_sketch(&reduced, Path::new(out))?;
+            println!("{:.0}", reduced.estimate());
+            Ok(())
+        }
+        "compress" => {
+            let (opts, positional) = parse_options(rest, &["out"])?;
+            let [input] = positional.as_slice() else {
+                return Err(ToolError::Usage("compress needs exactly one input".into()));
+            };
+            let out = opts
+                .get("out")
+                .ok_or_else(|| ToolError::Usage("compress needs --out".into()))?;
+            let sketch = load_sketch(Path::new(input))?;
+            save_compressed(&sketch, Path::new(out))?;
+            let before = std::fs::metadata(input)?.len();
+            let after = std::fs::metadata(out)?.len();
+            println!("{before} -> {after} bytes");
+            Ok(())
+        }
+        "inspect" => {
+            let (_, positional) = parse_options(rest, &[])?;
+            for path in &positional {
+                let sketch = load_sketch(Path::new(path))?;
+                print!("{}", inspect(&sketch));
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(ToolError::Usage(format!("unknown command {other}"))),
+    }
+}
+
+fn print_help() {
+    eprintln!(
+        "ell — approximate distinct counting (ExaLogLog)\n\n\
+         commands:\n\
+         \x20 count   [--t T --d D --p P] [--out FILE]   count distinct stdin lines\n\
+         \x20 tokens  [--v V] [--out FILE]                sparse-mode token collection (§4.3)\n\
+         \x20 estimate FILE...                            print estimates (dense or token files)\n\
+         \x20 merge    --out FILE IN...                   union of sketches\n\
+         \x20 similarity A B                              Jaccard / intersection of two sketches\n\
+         \x20 reduce   [--d D] [--p P] --out FILE IN      lossless parameter reduction\n\
+         \x20 compress --out FILE IN                      entropy-coded copy\n\
+         \x20 inspect  FILE...                            state diagnostics"
+    );
+}

@@ -1,0 +1,339 @@
+//! Library backing the `ell` command-line tool.
+//!
+//! Every subcommand is implemented as a plain function over readers,
+//! writers and paths so integration tests can exercise them without
+//! spawning processes. The sketch file format is exactly
+//! [`ExaLogLog::to_bytes`] (or the entropy-coded [`exaloglog::compress`]
+//! format, auto-detected by magic), so files interoperate with any other
+//! consumer of the library.
+//!
+//! ```text
+//! ell count [--t T --d D --p P] [--out FILE]      # distinct lines of stdin
+//! ell estimate FILE...                            # print estimates
+//! ell merge --out FILE IN...                      # union of sketches
+//! ell reduce --d D --p P --out FILE IN            # lossless reduction
+//! ell compress --out FILE IN                      # entropy-coded copy
+//! ell inspect FILE                                # state diagnostics
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ell_hash::{Hasher64, WyHash};
+use exaloglog::compress::{compress, decompress, state_entropy_bits};
+use exaloglog::{EllConfig, EllError, ExaLogLog, TokenSet};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors surfaced by the CLI operations.
+#[derive(Debug)]
+pub enum ToolError {
+    /// Sketch-level failure (bad parameters, incompatible merge, …).
+    Sketch(EllError),
+    /// Filesystem / stream failure.
+    Io(std::io::Error),
+    /// Malformed command-line usage.
+    Usage(String),
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::Sketch(e) => write!(f, "{e}"),
+            ToolError::Io(e) => write!(f, "{e}"),
+            ToolError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+impl From<EllError> for ToolError {
+    fn from(e: EllError) -> Self {
+        ToolError::Sketch(e)
+    }
+}
+
+impl From<std::io::Error> for ToolError {
+    fn from(e: std::io::Error) -> Self {
+        ToolError::Io(e)
+    }
+}
+
+/// Reads a sketch file, auto-detecting the plain (`ELL1`) and
+/// entropy-coded (`ELLZ`) formats.
+pub fn load_sketch(path: &Path) -> Result<ExaLogLog, ToolError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() >= 4 && &bytes[..4] == b"ELLZ" {
+        Ok(decompress(&bytes)?)
+    } else {
+        Ok(ExaLogLog::from_bytes(&bytes)?)
+    }
+}
+
+/// Counts distinct lines from `input` into a fresh sketch.
+pub fn count_lines<R: BufRead>(input: R, cfg: EllConfig) -> Result<ExaLogLog, ToolError> {
+    let hasher = WyHash::new(0);
+    let mut sketch = ExaLogLog::new(cfg);
+    for line in input.lines() {
+        sketch.insert_hash(hasher.hash_bytes(line?.as_bytes()));
+    }
+    Ok(sketch)
+}
+
+/// A sketch file of either kind: a dense/compressed ExaLogLog or a
+/// sparse token set (§4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchFile {
+    /// A dense register-array sketch (`ELL1` or `ELLZ` on disk).
+    Dense(ExaLogLog),
+    /// A sparse token collection (`ELLT` on disk).
+    Tokens(TokenSet),
+}
+
+impl SketchFile {
+    /// The distinct-count estimate, regardless of representation.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        match self {
+            SketchFile::Dense(s) => s.estimate(),
+            SketchFile::Tokens(t) => t.estimate(),
+        }
+    }
+}
+
+/// Reads any sketch file, auto-detecting dense (`ELL1`), compressed
+/// (`ELLZ`), and token (`ELLT`) formats by magic.
+pub fn load_any(path: &Path) -> Result<SketchFile, ToolError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() >= 4 && &bytes[..4] == b"ELLT" {
+        Ok(SketchFile::Tokens(TokenSet::from_bytes(&bytes)?))
+    } else if bytes.len() >= 4 && &bytes[..4] == b"ELLZ" {
+        Ok(SketchFile::Dense(decompress(&bytes)?))
+    } else {
+        Ok(SketchFile::Dense(ExaLogLog::from_bytes(&bytes)?))
+    }
+}
+
+/// Collects distinct (v+6)-bit hash tokens from the lines of `input` —
+/// the paper's §4.3 sparse mode as a shell pipeline stage.
+pub fn collect_tokens<R: BufRead>(input: R, v: u32) -> Result<TokenSet, ToolError> {
+    let hasher = WyHash::new(0);
+    let mut tokens = TokenSet::new(v)?;
+    for line in input.lines() {
+        tokens.insert_hash(hasher.hash_bytes(line?.as_bytes()));
+    }
+    Ok(tokens)
+}
+
+/// Writes a token set in the `ELLT` format.
+pub fn save_tokens(tokens: &TokenSet, path: &Path) -> Result<(), ToolError> {
+    std::fs::write(path, tokens.to_bytes())?;
+    Ok(())
+}
+
+/// Cardinalities relating two sketches: |A|, |B|, |A ∪ B|, the
+/// inclusion–exclusion intersection, and the Jaccard coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetRelation {
+    /// Estimated |A|.
+    pub a: f64,
+    /// Estimated |B|.
+    pub b: f64,
+    /// Estimated |A ∪ B| (from the merged sketch).
+    pub union: f64,
+    /// |A| + |B| − |A ∪ B|, clamped at zero.
+    pub intersection: f64,
+    /// intersection / union (0 when the union is empty).
+    pub jaccard: f64,
+}
+
+/// Estimates the set relation between two sketch files via merge +
+/// inclusion–exclusion. Works across mixed d/p parameters (equal t).
+pub fn relate(a: &ExaLogLog, b: &ExaLogLog) -> Result<SetRelation, ToolError> {
+    let union_sketch = a.merged_with(b)?;
+    let (ea, eb, eu) = (a.estimate(), b.estimate(), union_sketch.estimate());
+    let intersection = (ea + eb - eu).max(0.0);
+    Ok(SetRelation {
+        a: ea,
+        b: eb,
+        union: eu,
+        intersection,
+        jaccard: if eu > 0.0 { intersection / eu } else { 0.0 },
+    })
+}
+
+/// Merges all input sketch files into one (mixed d/p allowed for equal t).
+pub fn merge_files(inputs: &[&Path]) -> Result<ExaLogLog, ToolError> {
+    let Some((first, rest)) = inputs.split_first() else {
+        return Err(ToolError::Usage("merge needs at least one input".into()));
+    };
+    let mut acc = load_sketch(first)?;
+    for path in rest {
+        let other = load_sketch(path)?;
+        acc = acc.merged_with(&other)?;
+    }
+    Ok(acc)
+}
+
+/// Human-readable diagnostics for a sketch state.
+#[must_use]
+pub fn inspect(sketch: &ExaLogLog) -> String {
+    let cfg = sketch.config();
+    let m = cfg.m();
+    let occupied = sketch.registers().filter(|&r| r != 0).count();
+    let coeffs = sketch.coefficients();
+    let entropy = state_entropy_bits(sketch);
+    let dense_bits = (cfg.register_array_bytes() * 8) as f64;
+    format!(
+        "configuration      : {cfg}\n\
+         registers          : {m} × {} bits = {} bytes\n\
+         occupied registers : {occupied} ({:.1} %)\n\
+         recorded events    : {}\n\
+         estimate (ML)      : {:.1}\n\
+         state-change prob  : {:.3e}\n\
+         state entropy      : {:.0} bits ({:.1} % of dense)\n",
+        cfg.register_width(),
+        cfg.register_array_bytes(),
+        occupied as f64 * 100.0 / m as f64,
+        coeffs.total_events(),
+        sketch.estimate(),
+        sketch.state_change_probability(),
+        entropy,
+        entropy * 100.0 / dense_bits,
+    )
+}
+
+/// Parses `--key value` style options from an argument list; returns the
+/// remaining positional arguments.
+pub fn parse_options(
+    args: &[String],
+    keys: &[&str],
+) -> Result<(std::collections::HashMap<String, String>, Vec<String>), ToolError> {
+    let mut opts = std::collections::HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if !keys.contains(&key) {
+                return Err(ToolError::Usage(format!("unknown option --{key}")));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| ToolError::Usage(format!("missing value for --{key}")))?;
+            opts.insert(key.to_string(), value.clone());
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((opts, positional))
+}
+
+/// Builds a configuration from optional `t`/`d`/`p` strings, defaulting to
+/// the paper's ELL(2, 20, 12).
+pub fn config_from_options(
+    t: Option<&String>,
+    d: Option<&String>,
+    p: Option<&String>,
+) -> Result<EllConfig, ToolError> {
+    let parse = |s: Option<&String>, default: u8, name: &str| -> Result<u8, ToolError> {
+        s.map_or(Ok(default), |v| {
+            v.parse()
+                .map_err(|_| ToolError::Usage(format!("--{name} expects a small integer")))
+        })
+    };
+    Ok(EllConfig::new(
+        parse(t, 2, "t")?,
+        parse(d, 20, "d")?,
+        parse(p, 12, "p")?,
+    )?)
+}
+
+/// Writes a sketch in the plain format.
+pub fn save_sketch(sketch: &ExaLogLog, path: &Path) -> Result<(), ToolError> {
+    std::fs::write(path, sketch.to_bytes())?;
+    Ok(())
+}
+
+/// Writes a sketch in the entropy-coded format.
+pub fn save_compressed(sketch: &ExaLogLog, path: &Path) -> Result<(), ToolError> {
+    std::fs::write(path, compress(sketch))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn count_lines_deduplicates() {
+        let cfg = EllConfig::new(2, 20, 10).unwrap();
+        let input = "alice\nbob\nalice\ncarol\nbob\n";
+        let sketch = count_lines(Cursor::new(input), cfg).unwrap();
+        assert_eq!(sketch.estimate().round() as u64, 3);
+    }
+
+    #[test]
+    fn inspect_reports_key_fields() {
+        let cfg = EllConfig::new(2, 20, 6).unwrap();
+        let sketch = count_lines(Cursor::new("a\nb\nc\n"), cfg).unwrap();
+        let report = inspect(&sketch);
+        assert!(report.contains("ELL(t=2, d=20, p=6)"));
+        assert!(report.contains("recorded events"));
+        assert!(report.contains("estimate"));
+    }
+
+    #[test]
+    fn option_parser() {
+        let args: Vec<String> = ["--p", "10", "file.ell", "--t", "2"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let (opts, pos) = parse_options(&args, &["p", "t", "d"]).unwrap();
+        assert_eq!(opts["p"], "10");
+        assert_eq!(opts["t"], "2");
+        assert_eq!(pos, vec!["file.ell"]);
+        assert!(parse_options(&args, &["p"]).is_err()); // unknown --t
+    }
+
+    #[test]
+    fn token_collection_counts() {
+        let tokens = collect_tokens(Cursor::new("a\nb\na\nc\nd\n"), 26).unwrap();
+        assert_eq!(tokens.len(), 4);
+        assert_eq!(tokens.estimate().round() as u64, 4);
+    }
+
+    #[test]
+    fn relation_between_overlapping_sketches() {
+        let cfg = EllConfig::new(2, 20, 12).unwrap();
+        let mut a = ExaLogLog::new(cfg);
+        let mut b = ExaLogLog::new(cfg);
+        let hasher = WyHash::new(0);
+        for i in 0..6000u32 {
+            a.insert(&hasher, format!("x{i}").as_bytes());
+        }
+        for i in 3000..9000u32 {
+            b.insert(&hasher, format!("x{i}").as_bytes());
+        }
+        let rel = relate(&a, &b).unwrap();
+        assert!((rel.union / 9000.0 - 1.0).abs() < 0.05, "union {}", rel.union);
+        assert!(
+            (rel.intersection / 3000.0 - 1.0).abs() < 0.25,
+            "intersection {}",
+            rel.intersection
+        );
+        assert!((rel.jaccard - 1.0 / 3.0).abs() < 0.1, "jaccard {}", rel.jaccard);
+    }
+
+    #[test]
+    fn config_defaults_to_paper_optimum() {
+        let cfg = config_from_options(None, None, None).unwrap();
+        assert_eq!((cfg.t(), cfg.d(), cfg.p()), (2, 20, 12));
+        let cfg = config_from_options(None, None, Some(&"8".to_string())).unwrap();
+        assert_eq!(cfg.p(), 8);
+        assert!(config_from_options(Some(&"bad".to_string()), None, None).is_err());
+    }
+}

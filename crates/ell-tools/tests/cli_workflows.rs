@@ -1,0 +1,171 @@
+//! End-to-end tests of the CLI workflows through the library functions
+//! (count → save → merge → reduce → compress → inspect, plus the sparse
+//! token pipeline and set-relation queries), using temp files.
+
+use ell_tools::{
+    collect_tokens, count_lines, inspect, load_any, load_sketch, merge_files, relate,
+    save_compressed, save_sketch, save_tokens, SketchFile,
+};
+use exaloglog::EllConfig;
+use std::io::Cursor;
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("ell_tools_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn lines(range: std::ops::Range<u32>) -> String {
+    range.map(|i| format!("user-{i}\n")).collect()
+}
+
+#[test]
+fn count_save_load_roundtrip() {
+    let dir = TempDir::new("roundtrip");
+    let cfg = EllConfig::new(2, 20, 10).unwrap();
+    let sketch = count_lines(Cursor::new(lines(0..5000)), cfg).unwrap();
+    let path = dir.path("a.ell");
+    save_sketch(&sketch, &path).unwrap();
+    let loaded = load_sketch(&path).unwrap();
+    assert_eq!(loaded, sketch);
+    assert!((loaded.estimate() / 5000.0 - 1.0).abs() < 0.1);
+}
+
+#[test]
+fn merge_workflow_counts_union() {
+    let dir = TempDir::new("merge");
+    let cfg = EllConfig::new(2, 20, 10).unwrap();
+    // Three shards with overlap: 0..4000, 2000..6000, 4000..9000.
+    let shards = [lines(0..4000), lines(2000..6000), lines(4000..9000)];
+    let mut paths = Vec::new();
+    for (i, content) in shards.iter().enumerate() {
+        let sketch = count_lines(Cursor::new(content.clone()), cfg).unwrap();
+        let path = dir.path(&format!("shard{i}.ell"));
+        save_sketch(&sketch, &path).unwrap();
+        paths.push(path);
+    }
+    let refs: Vec<&std::path::Path> = paths.iter().map(PathBuf::as_path).collect();
+    let merged = merge_files(&refs).unwrap();
+    assert!(
+        (merged.estimate() / 9000.0 - 1.0).abs() < 0.1,
+        "union estimate {}",
+        merged.estimate()
+    );
+}
+
+#[test]
+fn merge_mixed_precision_files() {
+    let dir = TempDir::new("mixed");
+    let a = count_lines(
+        Cursor::new(lines(0..3000)),
+        EllConfig::new(2, 20, 11).unwrap(),
+    )
+    .unwrap();
+    let b = count_lines(
+        Cursor::new(lines(1000..4000)),
+        EllConfig::new(2, 16, 9).unwrap(),
+    )
+    .unwrap();
+    let pa = dir.path("a.ell");
+    let pb = dir.path("b.ell");
+    save_sketch(&a, &pa).unwrap();
+    save_sketch(&b, &pb).unwrap();
+    let merged = merge_files(&[&pa, &pb]).unwrap();
+    // Result at the common parameters (t=2, d=16, p=9).
+    assert_eq!(merged.config(), &EllConfig::new(2, 16, 9).unwrap());
+    assert!((merged.estimate() / 4000.0 - 1.0).abs() < 0.15);
+}
+
+#[test]
+fn compressed_files_auto_detected() {
+    let dir = TempDir::new("compressed");
+    let cfg = EllConfig::new(2, 24, 10).unwrap();
+    let sketch = count_lines(Cursor::new(lines(0..50_000)), cfg).unwrap();
+    let plain = dir.path("s.ell");
+    let packed = dir.path("s.ellz");
+    save_sketch(&sketch, &plain).unwrap();
+    save_compressed(&sketch, &packed).unwrap();
+    // The compressed file must be smaller and load back identically.
+    let plain_len = std::fs::metadata(&plain).unwrap().len();
+    let packed_len = std::fs::metadata(&packed).unwrap().len();
+    assert!(packed_len < plain_len, "{packed_len} >= {plain_len}");
+    assert_eq!(load_sketch(&packed).unwrap(), sketch);
+    // Compressed files merge like plain ones (auto-detection).
+    let merged = merge_files(&[plain.as_path(), packed.as_path()]).unwrap();
+    assert_eq!(merged, sketch);
+}
+
+#[test]
+fn inspect_snapshot() {
+    let cfg = EllConfig::new(2, 20, 8).unwrap();
+    let sketch = count_lines(Cursor::new(lines(0..10_000)), cfg).unwrap();
+    let report = inspect(&sketch);
+    assert!(report.contains("ELL(t=2, d=20, p=8)"));
+    assert!(report.contains("256 × 28 bits = 896 bytes"));
+    // All registers should be occupied at n = 10^4 ≫ m = 256.
+    assert!(report.contains("(100.0 %)"), "{report}");
+}
+
+#[test]
+fn corrupted_file_is_rejected() {
+    let dir = TempDir::new("corrupt");
+    let path = dir.path("bad.ell");
+    std::fs::write(&path, b"not a sketch at all").unwrap();
+    assert!(load_sketch(&path).is_err());
+    assert!(load_any(&path).is_err());
+}
+
+#[test]
+fn token_pipeline_roundtrip() {
+    let dir = TempDir::new("tokens");
+    let tokens = collect_tokens(Cursor::new(lines(0..2000)), 26).unwrap();
+    assert!((tokens.estimate() / 2000.0 - 1.0).abs() < 0.01);
+    let path = dir.path("t.ellt");
+    save_tokens(&tokens, &path).unwrap();
+    match load_any(&path).unwrap() {
+        SketchFile::Tokens(loaded) => {
+            assert_eq!(loaded, tokens);
+            assert!((loaded.estimate() - tokens.estimate()).abs() < 1e-9);
+        }
+        SketchFile::Dense(_) => panic!("ELLT file detected as dense"),
+    }
+    // Dense files flow through the same loader.
+    let cfg = EllConfig::new(2, 20, 8).unwrap();
+    let sketch = count_lines(Cursor::new(lines(0..2000)), cfg).unwrap();
+    let dense_path = dir.path("d.ell");
+    save_sketch(&sketch, &dense_path).unwrap();
+    match load_any(&dense_path).unwrap() {
+        SketchFile::Dense(loaded) => assert_eq!(loaded, sketch),
+        SketchFile::Tokens(_) => panic!("ELL1 file detected as tokens"),
+    }
+}
+
+#[test]
+fn similarity_workflow() {
+    let cfg = EllConfig::new(2, 20, 11).unwrap();
+    // A = 0..6000, B = 3000..9000: |A∩B| = 3000, |A∪B| = 9000, J = 1/3.
+    let a = count_lines(Cursor::new(lines(0..6000)), cfg).unwrap();
+    let b = count_lines(Cursor::new(lines(3000..9000)), cfg).unwrap();
+    let rel = relate(&a, &b).unwrap();
+    assert!((rel.a / 6000.0 - 1.0).abs() < 0.06);
+    assert!((rel.b / 6000.0 - 1.0).abs() < 0.06);
+    assert!((rel.union / 9000.0 - 1.0).abs() < 0.06);
+    assert!((rel.jaccard - 1.0 / 3.0).abs() < 0.08, "J = {}", rel.jaccard);
+    // Self-similarity is exactly 1 (identical sketches merge to themselves).
+    let self_rel = relate(&a, &a).unwrap();
+    assert!((self_rel.jaccard - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,274 @@
+//! Lock-free concurrent ExaLogLog (paper §2.4).
+//!
+//! The paper singles out ELL(2, 24) because its 32-bit registers make the
+//! sketch "convenient for concurrent updates using compare-and-swap
+//! instructions". [`AtomicExaLogLog`] implements exactly that: registers
+//! live in a `Vec<AtomicU32>` and insertion retries a CAS loop. Because
+//! the register update function is monotone (values only grow) and the
+//! merge of concurrent updates equals their sequential application in
+//! either order, the final state is *identical* to single-threaded
+//! insertion of the same element set — concurrency costs no accuracy.
+//!
+//! Only configurations whose registers fit 32 bits are accepted (any
+//! `6 + t + d ≤ 32`; the paper's ELL(2, 24) is the canonical choice).
+//!
+//! ```
+//! use exaloglog::{atomic::AtomicExaLogLog, EllConfig};
+//! use std::sync::Arc;
+//!
+//! let sketch = Arc::new(AtomicExaLogLog::new(EllConfig::aligned32(10).unwrap()).unwrap());
+//! std::thread::scope(|s| {
+//!     for shard in 0..4u64 {
+//!         let sketch = Arc::clone(&sketch);
+//!         s.spawn(move || {
+//!             for i in 0..25_000u64 {
+//!                 sketch.insert_hash(ell_hash::mix64(shard * 25_000 + i));
+//!             }
+//!         });
+//!     }
+//! });
+//! let estimate = sketch.snapshot().estimate();
+//! assert!((estimate / 100_000.0 - 1.0).abs() < 0.1);
+//! ```
+
+use crate::config::{EllConfig, EllError};
+use crate::registers;
+use crate::sketch::ExaLogLog;
+use core::sync::atomic::{AtomicU32, Ordering};
+use ell_hash::Hasher64;
+
+/// A thread-safe ExaLogLog with lock-free inserts.
+#[derive(Debug)]
+pub struct AtomicExaLogLog {
+    cfg: EllConfig,
+    regs: Vec<AtomicU32>,
+}
+
+impl AtomicExaLogLog {
+    /// Creates an empty concurrent sketch.
+    ///
+    /// # Errors
+    ///
+    /// Rejects configurations whose registers exceed 32 bits.
+    pub fn new(cfg: EllConfig) -> Result<Self, EllError> {
+        if cfg.register_width() > 32 {
+            return Err(EllError::InvalidParameter {
+                reason: format!(
+                    "atomic sketch needs registers ≤ 32 bits, got {} (try ELL(2,24))",
+                    cfg.register_width()
+                ),
+            });
+        }
+        let mut regs = Vec::with_capacity(cfg.m());
+        regs.resize_with(cfg.m(), || AtomicU32::new(0));
+        Ok(AtomicExaLogLog { cfg, regs })
+    }
+
+    /// This sketch's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EllConfig {
+        &self.cfg
+    }
+
+    /// Inserts an element by its 64-bit hash; safe to call from any number
+    /// of threads concurrently. Returns whether this call changed the
+    /// state.
+    ///
+    /// Lock-free: a compare-exchange loop that retries only when another
+    /// thread raced on the same register; monotonicity guarantees
+    /// convergence in at most a handful of iterations.
+    pub fn insert_hash(&self, h: u64) -> bool {
+        // Same decomposition as the sequential sketch (Algorithm 2).
+        let t = u32::from(self.cfg.t());
+        let p = u32::from(self.cfg.p());
+        let i = ((h >> t) as usize) & (self.cfg.m() - 1);
+        let a = h | ell_bitpack::mask(p + t);
+        let k = (u64::from(a.leading_zeros()) << t) + (h & ell_bitpack::mask(t)) + 1;
+
+        let reg = &self.regs[i];
+        let mut current = reg.load(Ordering::Relaxed);
+        loop {
+            let updated = registers::update(u64::from(current), k, self.cfg.d()) as u32;
+            if updated == current {
+                return false;
+            }
+            match reg.compare_exchange_weak(current, updated, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Hashes `element` with `hasher` and inserts it.
+    pub fn insert<H: Hasher64 + ?Sized>(&self, hasher: &H, element: &[u8]) -> bool {
+        self.insert_hash(hasher.hash_bytes(element))
+    }
+
+    /// Takes a consistent-enough snapshot as a sequential [`ExaLogLog`]
+    /// for estimation, merging or serialization.
+    ///
+    /// Register loads are individually atomic; a concurrent writer may
+    /// land between loads, which is harmless for a monotone sketch (the
+    /// snapshot then represents some interleaving of the insert stream —
+    /// exactly what a sequential sketch would have seen).
+    #[must_use]
+    pub fn snapshot(&self) -> ExaLogLog {
+        let mut out = ExaLogLog::new(self.cfg);
+        for (i, reg) in self.regs.iter().enumerate() {
+            let v = u64::from(reg.load(Ordering::Acquire));
+            if v != 0 {
+                out.set_register_unchecked(i, v);
+            }
+        }
+        out
+    }
+
+    /// Merges a sequential sketch into this one (register-wise CAS max),
+    /// e.g. to fold shard-local sketches into a shared accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Fails when configurations differ.
+    pub fn merge_from(&self, other: &ExaLogLog) -> Result<(), EllError> {
+        if self.cfg != *other.config() {
+            return Err(EllError::IncompatibleSketches {
+                reason: format!("{} vs {}", self.cfg, other.config()),
+            });
+        }
+        for (i, reg) in self.regs.iter().enumerate() {
+            let incoming = other.register(i);
+            if incoming == 0 {
+                continue;
+            }
+            let mut current = reg.load(Ordering::Relaxed);
+            loop {
+                let merged = registers::merge(u64::from(current), incoming, self.cfg.d()) as u32;
+                if merged == current {
+                    break;
+                }
+                match reg.compare_exchange_weak(
+                    current,
+                    merged,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::{mix64, SplitMix64};
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_wide_registers() {
+        // ELL(2,28) needs 36-bit registers.
+        let cfg = EllConfig::new(2, 28, 8).unwrap();
+        assert!(AtomicExaLogLog::new(cfg).is_err());
+        assert!(AtomicExaLogLog::new(EllConfig::aligned32(8).unwrap()).is_ok());
+        assert!(AtomicExaLogLog::new(EllConfig::optimal(8).unwrap()).is_ok()); // 28-bit fits
+    }
+
+    #[test]
+    fn concurrent_equals_sequential() {
+        // The defining property: any interleaving produces the exact same
+        // final state as sequential insertion.
+        let cfg = EllConfig::aligned32(8).unwrap();
+        let atomic = Arc::new(AtomicExaLogLog::new(cfg).unwrap());
+        let hashes: Vec<u64> = {
+            let mut rng = SplitMix64::new(404);
+            (0..80_000).map(|_| rng.next_u64()).collect()
+        };
+        std::thread::scope(|s| {
+            for chunk in hashes.chunks(hashes.len() / 8) {
+                let atomic = Arc::clone(&atomic);
+                s.spawn(move || {
+                    for &h in chunk {
+                        atomic.insert_hash(h);
+                    }
+                });
+            }
+        });
+        let mut sequential = ExaLogLog::new(cfg);
+        for &h in &hashes {
+            sequential.insert_hash(h);
+        }
+        assert_eq!(atomic.snapshot(), sequential);
+    }
+
+    #[test]
+    fn contended_single_register() {
+        // All updates target one register: maximal contention; the CAS
+        // loop must still produce the sequential result.
+        let cfg = EllConfig::aligned32(4).unwrap();
+        let atomic = Arc::new(AtomicExaLogLog::new(cfg).unwrap());
+        // Hashes whose register index bits (t..p+t) are all zero.
+        let hashes: Vec<u64> = (0..20_000u64).map(|i| mix64(i) & !(0b1111 << 2)).collect();
+        std::thread::scope(|s| {
+            for chunk in hashes.chunks(hashes.len() / 4) {
+                let atomic = Arc::clone(&atomic);
+                s.spawn(move || {
+                    for &h in chunk {
+                        atomic.insert_hash(h);
+                    }
+                });
+            }
+        });
+        let mut sequential = ExaLogLog::new(cfg);
+        for &h in &hashes {
+            sequential.insert_hash(h);
+        }
+        assert_eq!(atomic.snapshot(), sequential);
+    }
+
+    #[test]
+    fn merge_from_sequential_shards() {
+        let cfg = EllConfig::aligned32(6).unwrap();
+        let atomic = AtomicExaLogLog::new(cfg).unwrap();
+        let mut direct = ExaLogLog::new(cfg);
+        for shard in 0..4u64 {
+            let mut local = ExaLogLog::new(cfg);
+            let mut rng = SplitMix64::new(shard);
+            for _ in 0..5_000 {
+                let h = rng.next_u64();
+                local.insert_hash(h);
+                direct.insert_hash(h);
+            }
+            atomic.merge_from(&local).unwrap();
+        }
+        assert_eq!(atomic.snapshot(), direct);
+        // Mismatched config rejected.
+        let other = ExaLogLog::new(EllConfig::aligned32(7).unwrap());
+        assert!(atomic.merge_from(&other).is_err());
+    }
+
+    #[test]
+    fn estimate_accuracy_preserved() {
+        let cfg = EllConfig::aligned32(10).unwrap();
+        let atomic = Arc::new(AtomicExaLogLog::new(cfg).unwrap());
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let atomic = Arc::clone(&atomic);
+                s.spawn(move || {
+                    let mut rng = SplitMix64::new(1000 + tid);
+                    for _ in 0..50_000 {
+                        atomic.insert_hash(rng.next_u64());
+                    }
+                });
+            }
+        });
+        let est = atomic.snapshot().estimate();
+        assert!(
+            (est / 200_000.0 - 1.0).abs() < 0.08,
+            "concurrent estimate {est}"
+        );
+    }
+}

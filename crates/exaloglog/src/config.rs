@@ -1,0 +1,343 @@
+//! Sketch configuration: the (t, d, p) parameter triple.
+
+use core::fmt;
+
+/// Errors arising from invalid configurations or incompatible operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EllError {
+    /// A parameter was outside its supported range.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Two sketches could not be merged or compared due to differing
+    /// parameters.
+    IncompatibleSketches {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// A serialized byte buffer could not be decoded.
+    CorruptSerialization {
+        /// Human-readable description of what failed to validate.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EllError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EllError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            EllError::IncompatibleSketches { reason } => {
+                write!(f, "incompatible sketches: {reason}")
+            }
+            EllError::CorruptSerialization { reason } => {
+                write!(f, "corrupt serialization: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EllError {}
+
+/// The ExaLogLog parameter triple (t, d, p).
+///
+/// * `t` — update-value resolution. The update-value distribution (8)
+///   approximates a geometric distribution with base b = 2^(2^−t); each
+///   extra unit of `t` doubles the value resolution. The paper finds
+///   t ∈ {1, 2} useful (t = 0 recovers the HLL/EHLL/ULL family).
+/// * `d` — number of additional register bits recording whether update
+///   values in `[u−d, u−1]` (relative to the register maximum `u`)
+///   occurred. `d = 0` stores only the maximum (HyperMinHash-like).
+/// * `p` — precision. The sketch has m = 2^p registers; the relative
+///   standard error scales as 1/√m.
+///
+/// Registers are `6 + t + d` bits wide; `q = 6 + t` bits hold the maximum
+/// update value, supporting distinct counts up to b^(2^q) = 2^64 ≈ 1.8·10^19
+/// (the "exa-scale").
+///
+/// # Named configurations
+///
+/// | Constructor | (t, d) | MVP (dense, ML) | Register size | Notes |
+/// |---|---|---|---|---|
+/// | [`EllConfig::optimal`] | (2, 20) | 3.67 | 28 bits | paper's optimum; 2 registers per 7 bytes |
+/// | [`EllConfig::aligned32`] | (2, 24) | 3.78 | 32 bits | u32-aligned, CAS-friendly |
+/// | [`EllConfig::aligned16`] | (1, 9) | 3.90 | 16 bits | u16-aligned |
+/// | [`EllConfig::martingale_optimal`] | (2, 16) | — (2.77 martingale) | 24 bits | non-distributed optimum |
+/// | [`EllConfig::hll`] | (0, 0) | 6.45 | 6 bits | classic HyperLogLog |
+/// | [`EllConfig::ehll`] | (0, 1) | 5.43 | 7 bits | ExtendedHyperLogLog |
+/// | [`EllConfig::ull`] | (0, 2) | 4.63 | 8 bits | UltraLogLog |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EllConfig {
+    t: u8,
+    d: u8,
+    p: u8,
+}
+
+/// Minimum supported precision (the paper's algorithms require p ≥ 2).
+pub const MIN_P: u8 = 2;
+/// Maximum supported precision (2^26 registers ≈ 224 MiB at 28 bits).
+pub const MAX_P: u8 = 26;
+/// Maximum supported update-value resolution.
+pub const MAX_T: u8 = 6;
+
+impl EllConfig {
+    /// Creates a validated configuration.
+    ///
+    /// Constraints: `MIN_P ≤ p ≤ MAX_P`, `t ≤ MAX_T`, and the register
+    /// width `6 + t + d` must not exceed 64 bits.
+    pub fn new(t: u8, d: u8, p: u8) -> Result<Self, EllError> {
+        if !(MIN_P..=MAX_P).contains(&p) {
+            return Err(EllError::InvalidParameter {
+                reason: format!("precision p = {p} outside {MIN_P}..={MAX_P}"),
+            });
+        }
+        if t > MAX_T {
+            return Err(EllError::InvalidParameter {
+                reason: format!("resolution t = {t} exceeds {MAX_T}"),
+            });
+        }
+        let width = 6 + t as u32 + d as u32;
+        if width > 64 {
+            return Err(EllError::InvalidParameter {
+                reason: format!("register width 6 + {t} + {d} = {width} exceeds 64 bits"),
+            });
+        }
+        Ok(EllConfig { t, d, p })
+    }
+
+    /// The paper's space-optimal configuration ELL(2, 20): MVP 3.67,
+    /// 43 % below 6-bit HyperLogLog.
+    pub fn optimal(p: u8) -> Result<Self, EllError> {
+        Self::new(2, 20, p)
+    }
+
+    /// ELL(2, 24): registers fill exactly 32 bits (MVP 3.78); convenient
+    /// for atomic updates and still 39 % below HLL.
+    pub fn aligned32(p: u8) -> Result<Self, EllError> {
+        Self::new(2, 24, p)
+    }
+
+    /// ELL(1, 9): registers fill exactly 16 bits (MVP 3.90).
+    pub fn aligned16(p: u8) -> Result<Self, EllError> {
+        Self::new(1, 9, p)
+    }
+
+    /// ELL(2, 16): optimal under martingale estimation (MVP 2.77,
+    /// 33 % below HLL); registers fill exactly 24 bits.
+    pub fn martingale_optimal(p: u8) -> Result<Self, EllError> {
+        Self::new(2, 16, p)
+    }
+
+    /// ELL(0, 0) — the classic HyperLogLog register semantics.
+    pub fn hll(p: u8) -> Result<Self, EllError> {
+        Self::new(0, 0, p)
+    }
+
+    /// ELL(0, 1) — ExtendedHyperLogLog (Ohayon 2021).
+    pub fn ehll(p: u8) -> Result<Self, EllError> {
+        Self::new(0, 1, p)
+    }
+
+    /// ELL(0, 2) — UltraLogLog (Ertl 2024).
+    pub fn ull(p: u8) -> Result<Self, EllError> {
+        Self::new(0, 2, p)
+    }
+
+    /// Update-value resolution parameter `t`.
+    #[inline]
+    #[must_use]
+    pub fn t(&self) -> u8 {
+        self.t
+    }
+
+    /// Indicator-bit count `d`.
+    #[inline]
+    #[must_use]
+    pub fn d(&self) -> u8 {
+        self.d
+    }
+
+    /// Precision parameter `p`.
+    #[inline]
+    #[must_use]
+    pub fn p(&self) -> u8 {
+        self.p
+    }
+
+    /// Number of registers m = 2^p.
+    #[inline]
+    #[must_use]
+    pub fn m(&self) -> usize {
+        1usize << self.p
+    }
+
+    /// Register width in bits: 6 + t + d.
+    #[inline]
+    #[must_use]
+    pub fn register_width(&self) -> u32 {
+        6 + self.t as u32 + self.d as u32
+    }
+
+    /// The largest possible update value, (65 − p − t)·2^t.
+    #[inline]
+    #[must_use]
+    pub fn max_update_value(&self) -> u64 {
+        (65 - self.p as u64 - self.t as u64) << self.t
+    }
+
+    /// The largest valid register value,
+    /// `max_update_value()·2^d + 2^d − 1`.
+    #[inline]
+    #[must_use]
+    pub fn max_register_value(&self) -> u64 {
+        (self.max_update_value() << self.d) + ((1u64 << self.d) - 1)
+    }
+
+    /// Size of the dense register array in bytes (the serialized register
+    /// payload, excluding any header).
+    #[inline]
+    #[must_use]
+    pub fn register_array_bytes(&self) -> usize {
+        ell_bitpack::bytes_for(self.register_width(), self.m())
+    }
+
+    /// The geometric-base equivalent b = 2^(2^−t) of this configuration's
+    /// update-value distribution.
+    #[inline]
+    #[must_use]
+    pub fn base_b(&self) -> f64 {
+        (core::f64::consts::LN_2 / f64::from(1u32 << self.t)).exp()
+    }
+}
+
+impl fmt::Display for EllConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ELL(t={}, d={}, p={})", self.t, self.d, self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations_are_valid() {
+        for cfg in [
+            EllConfig::optimal(8).unwrap(),
+            EllConfig::aligned32(8).unwrap(),
+            EllConfig::aligned16(8).unwrap(),
+            EllConfig::martingale_optimal(8).unwrap(),
+            EllConfig::hll(8).unwrap(),
+            EllConfig::ehll(8).unwrap(),
+            EllConfig::ull(8).unwrap(),
+        ] {
+            assert!(cfg.m() == 256);
+            assert!(cfg.register_width() <= 64);
+        }
+    }
+
+    #[test]
+    fn register_widths_match_paper() {
+        assert_eq!(EllConfig::optimal(8).unwrap().register_width(), 28);
+        assert_eq!(EllConfig::aligned32(8).unwrap().register_width(), 32);
+        assert_eq!(EllConfig::aligned16(8).unwrap().register_width(), 16);
+        assert_eq!(
+            EllConfig::martingale_optimal(8).unwrap().register_width(),
+            24
+        );
+        assert_eq!(EllConfig::hll(8).unwrap().register_width(), 6);
+        assert_eq!(EllConfig::ehll(8).unwrap().register_width(), 7);
+        assert_eq!(EllConfig::ull(8).unwrap().register_width(), 8);
+    }
+
+    #[test]
+    fn register_array_sizes_match_figure8_captions() {
+        // Figure 8 captions: (t=1,d=9,p=4) = 32 bytes … (t=2,d=24,p=10) = 4096 bytes.
+        assert_eq!(EllConfig::new(1, 9, 4).unwrap().register_array_bytes(), 32);
+        assert_eq!(EllConfig::new(2, 16, 4).unwrap().register_array_bytes(), 48);
+        assert_eq!(EllConfig::new(2, 20, 4).unwrap().register_array_bytes(), 56);
+        assert_eq!(EllConfig::new(2, 24, 4).unwrap().register_array_bytes(), 64);
+        assert_eq!(EllConfig::new(1, 9, 6).unwrap().register_array_bytes(), 128);
+        assert_eq!(
+            EllConfig::new(2, 16, 6).unwrap().register_array_bytes(),
+            192
+        );
+        assert_eq!(
+            EllConfig::new(2, 20, 6).unwrap().register_array_bytes(),
+            224
+        );
+        assert_eq!(
+            EllConfig::new(2, 24, 6).unwrap().register_array_bytes(),
+            256
+        );
+        assert_eq!(EllConfig::new(1, 9, 8).unwrap().register_array_bytes(), 512);
+        assert_eq!(
+            EllConfig::new(2, 16, 8).unwrap().register_array_bytes(),
+            768
+        );
+        assert_eq!(
+            EllConfig::new(2, 20, 8).unwrap().register_array_bytes(),
+            896
+        );
+        assert_eq!(
+            EllConfig::new(2, 24, 8).unwrap().register_array_bytes(),
+            1024
+        );
+        assert_eq!(
+            EllConfig::new(1, 9, 10).unwrap().register_array_bytes(),
+            2048
+        );
+        assert_eq!(
+            EllConfig::new(2, 16, 10).unwrap().register_array_bytes(),
+            3072
+        );
+        assert_eq!(
+            EllConfig::new(2, 20, 10).unwrap().register_array_bytes(),
+            3584
+        );
+        assert_eq!(
+            EllConfig::new(2, 24, 10).unwrap().register_array_bytes(),
+            4096
+        );
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        assert!(EllConfig::new(0, 0, 1).is_err()); // p too small
+        assert!(EllConfig::new(0, 0, 27).is_err()); // p too large
+        assert!(EllConfig::new(7, 0, 8).is_err()); // t too large
+        assert!(EllConfig::new(2, 57, 8).is_err()); // width 65
+        assert!(EllConfig::new(2, 56, 8).is_ok()); // width 64 is fine
+    }
+
+    #[test]
+    fn max_update_value_fits_register_high_bits() {
+        for t in 0..=3u8 {
+            for p in (MIN_P..=16).step_by(2) {
+                for d in [0u8, 2, 9, 16, 20, 24] {
+                    if let Ok(cfg) = EllConfig::new(t, d, p) {
+                        // (65 − p − t)·2^t must fit in q = 6 + t bits.
+                        assert!(
+                            cfg.max_update_value() < (1 << (6 + t)),
+                            "{cfg}: max update value overflows q bits"
+                        );
+                        assert_eq!(cfg.max_register_value() >> cfg.d(), cfg.max_update_value());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_b_matches_t() {
+        assert!((EllConfig::hll(4).unwrap().base_b() - 2.0).abs() < 1e-15);
+        assert!((EllConfig::aligned16(4).unwrap().base_b() - 2.0f64.sqrt()).abs() < 1e-15);
+        assert!((EllConfig::optimal(4).unwrap().base_b() - 2.0f64.powf(0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let cfg = EllConfig::optimal(10).unwrap();
+        assert_eq!(cfg.to_string(), "ELL(t=2, d=20, p=10)");
+    }
+}

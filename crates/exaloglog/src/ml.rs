@@ -1,0 +1,359 @@
+//! Maximum-likelihood estimation (paper §3.2 and Appendix A).
+//!
+//! Because every update-value probability is a power of two, the
+//! log-likelihood of an ExaLogLog state collapses to the two-parameter
+//! family of equation (15):
+//!
+//! ln L(n) = −(n/m)·α + Σ_u β_u · ln(1 − e^(−n/(m·2^u)))
+//!
+//! [`compute_coefficients`] extracts (α, β) from the registers with pure
+//! integer arithmetic (Algorithm 3); [`solve_ml_equation`] finds the ML
+//! root with the monotone, concave-safe Newton iteration of Algorithm 8,
+//! which converges in a handful of iterations from the Lemma B.3 starting
+//! point and never overshoots.
+//!
+//! The same machinery estimates from *hash-token* sets (Algorithm 7 uses
+//! m = 1) and from PCSA states, since those likelihoods share shape (15).
+
+use crate::config::EllConfig;
+use crate::pmf::{exp2_neg, omega_exact, phi};
+
+/// Exponent range of the β coefficients: β\[u\] multiplies
+/// ln(1 − e^(−n/(m·2^u))); valid u never exceeds 64.
+pub const MAX_EXPONENT: usize = 64;
+
+/// Coefficients (α, β) of the log-likelihood function (15).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlCoefficients {
+    /// The linear coefficient α ≥ 0, stored exactly as α·2^64 to keep
+    /// Algorithm 3's accumulation in integer arithmetic.
+    pub alpha_times_2_64: u128,
+    /// β\[u\] counts log terms with probability 2^(−u), u ∈ \[0, 64\].
+    pub beta: [u64; MAX_EXPONENT + 1],
+}
+
+impl MlCoefficients {
+    /// α as a float (exact to f64 precision).
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha_times_2_64 as f64 / 2f64.powi(64)
+    }
+
+    /// Total number of recorded update events Σ_u β_u.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.beta.iter().sum()
+    }
+}
+
+/// Extracts the log-likelihood coefficients from register values
+/// (Algorithm 3 of the paper).
+///
+/// `registers` must yield exactly the m = 2^p register values of a sketch
+/// with configuration `cfg`. All contributions to α are integer multiples
+/// of 2^(p−64), so the sum is exact.
+#[must_use]
+pub fn compute_coefficients(
+    cfg: &EllConfig,
+    registers: impl Iterator<Item = u64>,
+) -> MlCoefficients {
+    let d = cfg.d();
+    let p = u32::from(cfg.p());
+    let mut alpha_num: u128 = 0; // α·2^(64−p)
+    let mut beta = [0u64; MAX_EXPONENT + 1];
+    let mut count = 0usize;
+    for r in registers {
+        count += 1;
+        let u = r >> d;
+        let (num, e) = omega_exact(cfg, u);
+        debug_assert!(e <= 64 - p);
+        alpha_num += u128::from(num) << (64 - p - e);
+        if u >= 1 {
+            beta[phi(cfg, u) as usize] += 1;
+        }
+        if u >= 2 {
+            let k_lo = if u > u64::from(d) {
+                u - u64::from(d)
+            } else {
+                1
+            };
+            for k in k_lo..u {
+                let j = phi(cfg, k);
+                if r & (1u64 << (u64::from(d) - (u - k))) == 0 {
+                    alpha_num += 1u128 << (64 - p - j);
+                } else {
+                    beta[j as usize] += 1;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(count, cfg.m(), "register count must equal m");
+    MlCoefficients {
+        alpha_times_2_64: alpha_num << p,
+        beta,
+    }
+}
+
+/// Solves the ML equation f(x) = α·2^(u_max)·x − φ(x) = 0 and returns the
+/// distinct-count estimate n̂ = m·2^(u_max)·ln(1 + x̂)
+/// (Algorithm 8 of the paper, including the numerically robust recursions
+/// (20)–(22) and (30) and both stop conditions).
+///
+/// Returns 0 when all β_u are zero (pristine sketch) and `f64::INFINITY`
+/// when α = 0 (fully saturated sketch — unreachable for realistic counts).
+#[must_use]
+pub fn solve_ml_equation(alpha: f64, beta: &[u64; MAX_EXPONENT + 1], m: f64) -> f64 {
+    // Locate the support [u_min, u_max] of β and the Lemma B.3 sums.
+    let mut u_min = usize::MAX;
+    let mut u_max = 0usize;
+    let mut sigma0 = 0.0f64;
+    let mut sigma1 = 0.0f64; // Σ β_j 2^(−j), scaled by 2^(u_max) below
+    for (j, &b) in beta.iter().enumerate() {
+        if b > 0 {
+            if u_min == usize::MAX {
+                u_min = j;
+            }
+            u_max = j;
+            sigma0 += b as f64;
+            sigma1 += b as f64 * exp2_neg(j as u32);
+        }
+    }
+    if u_min == usize::MAX {
+        return 0.0;
+    }
+    if alpha <= 0.0 {
+        return f64::INFINITY;
+    }
+    let pow = 2f64.powi(u_max as i32);
+    sigma1 *= pow; // now Σ β_j 2^(u_max − j) ≥ σ0
+    let a2u = alpha * pow;
+    let mut x = sigma1 / a2u; // upper bound of Lemma B.3
+    if u_min < u_max {
+        // Lower-bound starting point: exp(ln(1 + σ1/(α 2^u))·σ0/σ1) − 1.
+        x = (x.ln_1p() * (sigma0 / sigma1)).exp_m1();
+        // Newton iterations (29); the sequence increases towards the root.
+        for _ in 0..64 {
+            // One simultaneous evaluation of φ (17) and ψ (28) via the
+            // shared recursions (20)–(22), (30).
+            let mut lambda = 1.0f64;
+            let mut eta = 0.0f64;
+            let mut y = x;
+            let mut u = u_max;
+            let mut phi_x = beta[u] as f64;
+            let mut psi = 0.0f64;
+            loop {
+                u -= 1;
+                let z = 2.0 / (2.0 + y); // z ∈ (0, 1]
+                lambda *= z;
+                eta = eta * (2.0 - z) + (1.0 - z);
+                let b = beta[u] as f64;
+                phi_x += b * lambda;
+                psi += b * lambda * eta;
+                if u <= u_min {
+                    break;
+                }
+                y *= y + 2.0; // y_{l+1} = y_l (2 + y_l), see (21)
+            }
+            let xp = a2u * x;
+            if phi_x <= xp {
+                // f(x) ≥ 0: reached (or numerically passed) the root.
+                break;
+            }
+            let x_new = x * (1.0 + (phi_x - xp) / (psi + xp));
+            // Negated form deliberately also stops on NaN.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(x_new > x) {
+                // Numerical convergence: the increasing sequence stalled.
+                break;
+            }
+            x = x_new;
+        }
+    }
+    m * pow * x.ln_1p()
+}
+
+/// Convenience wrapper: coefficients → estimate for a register-based
+/// sketch (without bias correction).
+#[must_use]
+pub fn ml_estimate_from_coefficients(coeffs: &MlCoefficients, m: f64) -> f64 {
+    solve_ml_equation(coeffs.alpha(), &coeffs.beta, m)
+}
+
+/// Evaluates the log-likelihood (15) at `n` given coefficients — used by
+/// tests to verify that the solver really lands on the maximizer.
+#[must_use]
+pub fn log_likelihood(coeffs: &MlCoefficients, m: f64, n: f64) -> f64 {
+    let mut ll = -n / m * coeffs.alpha();
+    for (u, &b) in coeffs.beta.iter().enumerate() {
+        if b > 0 {
+            let rate = n / (m * 2f64.powi(u as i32));
+            // ln(1 − e^(−rate)), stable for small rates via ln(−expm1).
+            ll += b as f64 * (-(-rate).exp_m1()).ln();
+        }
+    }
+    ll
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(t: u8, d: u8, p: u8) -> EllConfig {
+        EllConfig::new(t, d, p).unwrap()
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let c = cfg(2, 20, 4);
+        let coeffs = compute_coefficients(&c, std::iter::repeat_n(0, c.m()));
+        assert_eq!(coeffs.total_events(), 0);
+        // α = Σ_i ω(0) = m exactly (so ln L = −(n/m)·α = −n: the Poisson
+        // probability that all m registers stayed empty is e^(−n)).
+        assert_eq!(coeffs.alpha_times_2_64, (c.m() as u128) << 64);
+        assert_eq!(ml_estimate_from_coefficients(&coeffs, c.m() as f64), 0.0);
+    }
+
+    #[test]
+    fn alpha_plus_beta_mass_conserved() {
+        // Every probability unit is either in α (unseen) or in β (seen):
+        // α·2^64 + Σ_u β contributions... more precisely, for each register
+        // α-contribution + Σ seen ρ = contribution bookkeeping. We check a
+        // weaker exact invariant: α ∈ (0, 1] and decreases as events are
+        // recorded.
+        let c = cfg(0, 2, 2);
+        let empty = compute_coefficients(&c, std::iter::repeat_n(0, 4));
+        assert_eq!(empty.alpha(), 4.0); // = m
+                                        // One register with max value 3 and full indicators.
+        let r = crate::registers::update(
+            crate::registers::update(crate::registers::update(0, 3, 2), 2, 2),
+            1,
+            2,
+        );
+        let some = compute_coefficients(&c, [r, 0, 0, 0].into_iter());
+        assert!(some.alpha() < 4.0);
+        assert!(some.alpha() > 0.0);
+        assert_eq!(some.total_events(), 3);
+    }
+
+    #[test]
+    fn solver_single_level_is_closed_form() {
+        // When only one β level is populated the root is exactly
+        // x = β/(α·2^u), n̂ = m·2^u·ln(1+x).
+        let mut beta = [0u64; 65];
+        beta[5] = 7;
+        let alpha = 0.4;
+        let m = 16.0;
+        let got = solve_ml_equation(alpha, &beta, m);
+        let x = 7.0 / (alpha * 32.0);
+        let want = m * 32.0 * x.ln_1p();
+        assert!((got - want).abs() < 1e-12 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    fn solver_lands_on_likelihood_maximum() {
+        // Multi-level coefficients: verify the returned n̂ maximizes (15)
+        // against a fine grid scan.
+        let mut beta = [0u64; 65];
+        beta[3] = 10;
+        beta[4] = 7;
+        beta[6] = 3;
+        beta[9] = 1;
+        let coeffs = MlCoefficients {
+            alpha_times_2_64: (0.37 * 2f64.powi(64)) as u128,
+            beta,
+        };
+        let m = 64.0;
+        let n_hat = ml_estimate_from_coefficients(&coeffs, m);
+        let ll_hat = log_likelihood(&coeffs, m, n_hat);
+        for delta in [-0.1, -0.01, 0.01, 0.1] {
+            let n = n_hat * (1.0 + delta);
+            let ll = log_likelihood(&coeffs, m, n);
+            assert!(
+                ll <= ll_hat + 1e-9 * ll_hat.abs(),
+                "LL({n}) = {ll} exceeds LL(n̂={n_hat}) = {ll_hat}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_sketch_estimates_infinity() {
+        let mut beta = [0u64; 65];
+        beta[2] = 4;
+        assert_eq!(solve_ml_equation(0.0, &beta, 4.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn solver_bracket_of_lemma_b3_contains_root() {
+        let mut beta = [0u64; 65];
+        beta[2] = 9;
+        beta[5] = 4;
+        beta[7] = 2;
+        let alpha = 0.21;
+        let m = 32.0;
+        let n_hat = solve_ml_equation(alpha, &beta, m);
+        // Upper bound: x ≤ σ0/(α 2^umax) → n ≤ m 2^umax ln(1+σ0/(α 2^umax)).
+        let pow = 128.0;
+        let upper = m * pow * (15.0 / (alpha * pow)).ln_1p();
+        assert!(n_hat <= upper * (1.0 + 1e-12), "{n_hat} > {upper}");
+        assert!(n_hat > 0.0);
+    }
+
+    #[test]
+    fn coefficients_for_simple_known_state() {
+        // ELL(0,0) (= HLL semantics) with p = 2: registers are plain maxima.
+        // Registers [3, 0, 1, 0]: α must count the tails ω(3), ω(0), ω(1),
+        // ω(0); β gets one event at φ(3) = 3 and one at φ(1) = 1.
+        let c = cfg(0, 0, 2);
+        let coeffs = compute_coefficients(&c, [3u64, 0, 1, 0].into_iter());
+        assert_eq!(coeffs.beta[3], 1);
+        assert_eq!(coeffs.beta[1], 1);
+        assert_eq!(coeffs.total_events(), 2);
+        // ω(3) = 2^−3, ω(1) = 2^−1, ω(0) = 1 → α = 1/8 + 1 + 1/2 + 1.
+        let want = 0.125 + 1.0 + 0.5 + 1.0;
+        assert!((coeffs.alpha() - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn estimate_scales_linearly_with_m() {
+        // Duplicating every register (doubling m) must double the estimate.
+        let c4 = cfg(1, 9, 2);
+        let c8 = cfg(1, 9, 3);
+        let regs4: Vec<u64> = vec![
+            crate::registers::update(0, 4, 9),
+            crate::registers::update(0, 2, 9),
+            0,
+            crate::registers::update(0, 7, 9),
+        ];
+        let mut regs8 = regs4.clone();
+        regs8.extend_from_slice(&regs4);
+        let co4 = compute_coefficients(&c4, regs4.into_iter());
+        let co8 = compute_coefficients(&c8, regs8.into_iter());
+        let e4 = ml_estimate_from_coefficients(&co4, 4.0);
+        let e8 = ml_estimate_from_coefficients(&co8, 8.0);
+        // p enters φ only through the 64−p cap, untouched at these values.
+        assert!((e8 - 2.0 * e4).abs() < 1e-9 * e8, "{e4} vs {e8}");
+    }
+
+    #[test]
+    fn newton_converges_quickly() {
+        // The paper reports ≤ 10 iterations; our cap is 64. Spot-check
+        // convergence by ensuring the result is a fixed point (residual ~0).
+        let mut beta = [0u64; 65];
+        for (u, b) in [(3usize, 50u64), (4, 80), (5, 60), (6, 30), (7, 10), (10, 1)] {
+            beta[u] = b;
+        }
+        let alpha = 0.05;
+        let m = 256.0;
+        let n_hat = solve_ml_equation(alpha, &beta, m);
+        let coeffs = MlCoefficients {
+            alpha_times_2_64: (alpha * 2f64.powi(64)) as u128,
+            beta,
+        };
+        // Derivative of ln L at n̂ should be ≈ 0: compare symmetric LLs.
+        let eps = n_hat * 1e-6;
+        let l_minus = log_likelihood(&coeffs, m, n_hat - eps);
+        let l_plus = log_likelihood(&coeffs, m, n_hat + eps);
+        let l_mid = log_likelihood(&coeffs, m, n_hat);
+        assert!(l_mid >= l_minus && l_mid >= l_plus - 1e-10 * l_mid.abs());
+    }
+}

@@ -1,0 +1,256 @@
+//! Probability mass functions of the ExaLogLog update process.
+//!
+//! The sketch draws, per inserted element, an *update value* k ≥ 1 from
+//! the distribution of equation (8):
+//!
+//! ρ_update(k) = 2^(−(t + 1 + ⌊(k−1)/2^t⌋))
+//!
+//! which approximates a geometric distribution with base b = 2^(2^−t)
+//! (equation (2)): chunks of 2^t consecutive update values carry the same
+//! total probability 2^(−(c+1)) under both distributions. Because 64-bit
+//! hashes bound the attainable values, the deployed distribution is the
+//! truncated form of equation (10), expressed through the exponent
+//! function φ of equation (11):
+//!
+//! φ(k) = min(t + 1 + ⌊(k−1)/2^t⌋, 64 − p),    ρ_update(k) = 2^(−φ(k))
+//!
+//! and ω(u) = Σ_{k>u} ρ_update(k) has the closed form of Lemma B.1.
+//!
+//! All the probabilities are powers of two, which is what makes the
+//! maximum-likelihood equation collapse to the small number of terms that
+//! Algorithm 3 collects.
+
+use crate::config::EllConfig;
+
+/// The exponent function φ(k) of equation (11): ρ_update(k) = 2^(−φ(k)).
+///
+/// Defined for update values k in `[1, (65−p−t)·2^t]`.
+///
+/// # Panics
+///
+/// Panics (debug) if `k` is outside the valid update-value range.
+#[inline]
+#[must_use]
+pub fn phi(cfg: &EllConfig, k: u64) -> u32 {
+    debug_assert!(
+        k >= 1 && k <= cfg.max_update_value(),
+        "update value {k} outside [1, {}]",
+        cfg.max_update_value()
+    );
+    let raw = u64::from(cfg.t()) + 1 + ((k - 1) >> cfg.t());
+    raw.min(64 - u64::from(cfg.p())) as u32
+}
+
+/// The truncated update-value PMF ρ_update(k) of equation (10).
+#[inline]
+#[must_use]
+pub fn rho_update(cfg: &EllConfig, k: u64) -> f64 {
+    exp2_neg(phi(cfg, k))
+}
+
+/// The untruncated approximate PMF of equation (8), valid for any k ≥ 1.
+/// Useful for Figure 2 (comparison with the geometric distribution).
+#[inline]
+#[must_use]
+pub fn rho_update_untruncated(t: u8, k: u64) -> f64 {
+    assert!(k >= 1, "update values start at 1");
+    let e = u64::from(t) + 1 + ((k - 1) >> t);
+    if e >= 1075 {
+        0.0
+    } else {
+        exp2_neg(e as u32)
+    }
+}
+
+/// The geometric PMF of equation (2): ρ(k) = (b−1)·b^(−k), for b > 1.
+/// The paper's Figure 2 compares this (with b = 2^(2^−t)) against
+/// [`rho_update_untruncated`].
+#[inline]
+#[must_use]
+pub fn rho_geometric(b: f64, k: u64) -> f64 {
+    assert!(b > 1.0, "geometric base must exceed 1");
+    assert!(k >= 1, "update values start at 1");
+    (b - 1.0) * (-(k as f64) * b.ln()).exp()
+}
+
+/// The tail sum ω(u) = Σ_{k=u+1}^{kmax} ρ_update(k) in closed form
+/// (Lemma B.1):
+///
+/// ω(u) = (2^t·(1 − t + φ(u)) − u) / 2^(φ(u)),   with ω(0) = 1.
+#[inline]
+#[must_use]
+pub fn omega(cfg: &EllConfig, u: u64) -> f64 {
+    debug_assert!(
+        u <= cfg.max_update_value(),
+        "maximum update value {u} outside [0, {}]",
+        cfg.max_update_value()
+    );
+    if u == 0 {
+        return 1.0;
+    }
+    let (num, exponent) = omega_exact(cfg, u);
+    num as f64 * exp2_neg(exponent)
+}
+
+/// ω(u) as an exact dyadic rational `(numerator, exponent)` meaning
+/// `numerator / 2^exponent`. Algorithm 3 accumulates α' = α·2^(64−p) in
+/// integer arithmetic; this provides the exact numerator
+/// `ω(u)·2^(64−p) = numerator·2^(64−p−exponent)`.
+///
+/// For u = 0 returns `(1, 0)`.
+#[inline]
+#[must_use]
+pub fn omega_exact(cfg: &EllConfig, u: u64) -> (u64, u32) {
+    if u == 0 {
+        return (1, 0);
+    }
+    let ph = phi(cfg, u);
+    let num = ((1 + u64::from(ph) - u64::from(cfg.t())) << cfg.t()) - u;
+    (num, ph)
+}
+
+/// 2^(−e), exact for all e in the normal range (a direct exponent-field
+/// construction for the common case, `powi` for the subnormal tail).
+#[inline]
+#[must_use]
+pub(crate) fn exp2_neg(e: u32) -> f64 {
+    if e <= 1022 {
+        f64::from_bits(u64::from(1023 - e) << 52)
+    } else {
+        2f64.powi(-(e as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(t: u8, d: u8, p: u8) -> EllConfig {
+        EllConfig::new(t, d, p).unwrap()
+    }
+
+    #[test]
+    fn exp2_neg_matches_powi() {
+        for e in 0..=64u32 {
+            assert_eq!(exp2_neg(e), 2f64.powi(-(e as i32)), "e={e}");
+        }
+        assert_eq!(exp2_neg(1023), 2f64.powi(-1023));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        // Σ_k ρ_update(k) over the truncated support must be exactly 1.
+        for (t, p) in [(0u8, 2u8), (0, 8), (1, 4), (2, 8), (2, 12), (3, 10)] {
+            let c = cfg(t, 0, p);
+            let sum: f64 = (1..=c.max_update_value()).map(|k| rho_update(&c, k)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "t={t} p={p}: PMF sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn omega_matches_tail_sums() {
+        for (t, p) in [(0u8, 2u8), (0, 10), (1, 6), (2, 8), (3, 12)] {
+            let c = cfg(t, 0, p);
+            let kmax = c.max_update_value();
+            let mut tail = 0.0;
+            // Walk from the top so the float sum is exact (powers of two).
+            let mut expected = vec![0.0; (kmax + 1) as usize];
+            for k in (1..=kmax).rev() {
+                expected[(k - 1) as usize] = tail + rho_update(&c, k);
+                tail += rho_update(&c, k);
+            }
+            for u in 0..kmax {
+                let got = omega(&c, u);
+                let want = expected[u as usize];
+                assert!(
+                    (got - want).abs() < 1e-14,
+                    "t={t} p={p} u={u}: ω={got} tail={want}"
+                );
+            }
+            assert_eq!(omega(&c, kmax), 0.0, "ω(kmax) must be 0");
+            assert_eq!(omega(&c, 0), 1.0, "ω(0) must be 1");
+        }
+    }
+
+    #[test]
+    fn omega_exact_is_exact() {
+        for (t, p) in [(0u8, 2u8), (2, 8), (1, 4)] {
+            let c = cfg(t, 0, p);
+            for u in 0..=c.max_update_value() {
+                let (num, e) = omega_exact(&c, u);
+                assert_eq!(num as f64 * exp2_neg(e), omega(&c, u), "u={u}");
+                // ω·2^(64−p) must be integer: e ≤ 64−p.
+                assert!(e <= 64 - u32::from(p));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_probabilities_match_geometric() {
+        // Defining property of (8): chunks of 2^t consecutive values carry
+        // total probability 2^(−(c+1)), matching geometric with b = 2^(2^−t).
+        for t in 0..=3u8 {
+            let b = (core::f64::consts::LN_2 / f64::from(1u32 << t)).exp();
+            for chunk in 0..10u64 {
+                let lo = chunk * (1 << t) + 1;
+                let hi = lo + (1 << t);
+                let approx: f64 = (lo..hi).map(|k| rho_update_untruncated(t, k)).sum();
+                let geom: f64 = (lo..hi).map(|k| rho_geometric(b, k)).sum();
+                assert!(
+                    (approx - exp2_neg(chunk as u32 + 1)).abs() < 1e-15,
+                    "t={t} chunk={chunk}"
+                );
+                assert!(
+                    (geom - exp2_neg(chunk as u32 + 1)).abs() < 1e-12,
+                    "t={t} chunk={chunk}: geometric chunk sum {geom}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t0_pmf_is_exactly_geometric_base2() {
+        // For t = 0 the approximate distribution IS geometric with b = 2.
+        for k in 1..=40u64 {
+            assert!(
+                (rho_update_untruncated(0, k) - rho_geometric(2.0, k)).abs() < 1e-15,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn phi_is_capped_at_64_minus_p() {
+        let c = cfg(2, 20, 8);
+        let kmax = c.max_update_value();
+        assert_eq!(phi(&c, kmax), 64 - 8);
+        assert_eq!(phi(&c, 1), 2 + 1);
+        // φ is non-decreasing in k.
+        let mut prev = 0;
+        for k in 1..=kmax {
+            let v = phi(&c, k);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn update_values_per_nlz_level() {
+        // Exactly 2^t update values share each probability level below the
+        // truncation cap.
+        let c = cfg(2, 0, 8);
+        let mut counts = std::collections::HashMap::new();
+        for k in 1..=c.max_update_value() {
+            *counts.entry(phi(&c, k)).or_insert(0u64) += 1;
+        }
+        for (e, count) in counts {
+            if e < 64 - 8 {
+                assert_eq!(count, 4, "level {e}");
+            } else {
+                // The capped level absorbs the final chunk plus the extra
+                // 2^t − … values; it must make the PMF sum to one.
+                assert!(count >= 4, "capped level {e} has {count}");
+            }
+        }
+    }
+}

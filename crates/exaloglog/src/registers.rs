@@ -1,0 +1,369 @@
+//! Single-register semantics.
+//!
+//! An ExaLogLog register is a `6 + t + d`-bit value `r = u·2^d + ℓ` where
+//! `u` is the maximum update value observed so far and the `d` low bits `ℓ`
+//! record which update values in `[u−d, u−1]` have occurred: bit `d−j`
+//! (for j = 1..=d) is set iff value `u−j` was observed (Figure 3 of the
+//! paper).
+//!
+//! Two structural invariants follow from the update rule of Algorithm 2:
+//!
+//! * registers with `1 ≤ u ≤ d` carry a sentinel: bit `d−u` is always set
+//!   (it descends from the implicit `2^d` bit of the first recorded value)
+//!   and bits below `d−u` are always clear;
+//! * `u` never exceeds `(65−p−t)·2^t`.
+//!
+//! [`is_valid`] checks exactly these invariants; deserialization uses it to
+//! reject corrupted states.
+//!
+//! The functions here are pure value-level helpers; [`crate::sketch`] wires
+//! them to the packed register array.
+
+use crate::config::EllConfig;
+use crate::pmf::{omega, rho_update};
+
+/// Extracts the maximum update value `u` from a register value.
+#[inline]
+#[must_use]
+pub fn max_update_value(r: u64, d: u8) -> u64 {
+    r >> d
+}
+
+/// Applies an update with value `k` to register value `r`
+/// (the register-update core of Algorithm 2). Returns the new register
+/// value, which equals `r` when the update changes nothing.
+#[inline]
+#[must_use]
+pub fn update(r: u64, k: u64, d: u8) -> u64 {
+    let d32 = u32::from(d);
+    let u = r >> d;
+    if k > u {
+        // k becomes the new maximum; previous maximum and indicator bits
+        // shift down by Δ = k − u (the implicit 2^d bit records u itself).
+        let delta = k - u;
+        let low = (1u64 << d) | (r & low_mask(d));
+        let shifted = if delta <= u64::from(d32) {
+            low >> delta
+        } else {
+            0
+        };
+        (k << d) | shifted
+    } else if k < u && u - k <= u64::from(d32) {
+        // k is within the indicator window below the maximum.
+        r | (1u64 << (u64::from(d32) - (u - k)))
+    } else {
+        // Duplicate of the maximum or below the window: no information.
+        r
+    }
+}
+
+/// Merges two register values with equal parameters
+/// (Algorithm 5 of the paper). Commutative and idempotent.
+#[inline]
+#[must_use]
+pub fn merge(r: u64, r2: u64, d: u8) -> u64 {
+    let u = r >> d;
+    let u2 = r2 >> d;
+    if u > u2 && u2 > 0 {
+        let delta = u - u2;
+        let low = (1u64 << d) | (r2 & low_mask(d));
+        let shifted = if delta <= u64::from(d) {
+            low >> delta
+        } else {
+            0
+        };
+        r | shifted
+    } else if u2 > u && u > 0 {
+        let delta = u2 - u;
+        let low = (1u64 << d) | (r & low_mask(d));
+        let shifted = if delta <= u64::from(d) {
+            low >> delta
+        } else {
+            0
+        };
+        r2 | shifted
+    } else {
+        // Equal maxima (bitwise-or combines the indicator sets) or one of
+        // the registers is still empty.
+        r | r2
+    }
+}
+
+/// Whether the indicator bit for update value `k` is set in register `r`
+/// with maximum `u` (requires `u − d ≤ k ≤ u − 1`).
+#[inline]
+#[must_use]
+pub fn indicator_set(r: u64, u: u64, k: u64, d: u8) -> bool {
+    debug_assert!(k < u && u - k <= u64::from(d));
+    r & (1u64 << (u64::from(d) - (u - k))) != 0
+}
+
+/// The probability h(r) that the next *new* distinct element changes this
+/// register (equation (23) of the paper):
+///
+/// h(r) = (ω(u) + Σ_{k=max(1,u−d)}^{u−1} [value k unseen]·ρ_update(k)) / m
+///
+/// Summed over all registers this gives the sketch's state-change
+/// probability μ used by the martingale estimator.
+#[must_use]
+pub fn change_probability(cfg: &EllConfig, r: u64) -> f64 {
+    let d = cfg.d();
+    let u = r >> d;
+    let mut numerator = omega(cfg, u);
+    if u >= 2 {
+        let k_lo = if u > u64::from(d) {
+            u - u64::from(d)
+        } else {
+            1
+        };
+        for k in k_lo..u {
+            if !indicator_set(r, u, k, d) {
+                numerator += rho_update(cfg, k);
+            }
+        }
+    }
+    numerator / cfg.m() as f64
+}
+
+/// Validates the structural invariants of a register value (see the module
+/// docs). Returns `true` for every value reachable through
+/// [`update`]/[`merge`] from the empty register and `false` for values no
+/// insertion sequence can produce.
+#[must_use]
+pub fn is_valid(cfg: &EllConfig, r: u64) -> bool {
+    let d = cfg.d();
+    let u = r >> d;
+    if u > cfg.max_update_value() {
+        return false;
+    }
+    if u == 0 {
+        // An empty register carries no indicator bits.
+        return r == 0;
+    }
+    if u <= u64::from(d) {
+        // Sentinel bit at position d−u set, everything below clear.
+        let sentinel = u64::from(d) - u;
+        if r & (1u64 << sentinel) == 0 {
+            return false;
+        }
+        if sentinel > 0 && r & low_mask_u64(sentinel) != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+#[inline]
+fn low_mask(d: u8) -> u64 {
+    low_mask_u64(u64::from(d))
+}
+
+#[inline]
+fn low_mask_u64(d: u64) -> u64 {
+    if d >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << d) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(t: u8, d: u8, p: u8) -> EllConfig {
+        EllConfig::new(t, d, p).unwrap()
+    }
+
+    #[test]
+    fn update_from_empty_sets_sentinel() {
+        let d = 6u8;
+        for k in 1..=10u64 {
+            let r = update(0, k, d);
+            assert_eq!(r >> d, k);
+            if k <= u64::from(d) {
+                assert_eq!(r & ((1 << d) - 1), 1 << (u64::from(d) - k), "k={k}");
+            } else {
+                assert_eq!(r & ((1 << d) - 1), 0, "k={k}: window shifted out");
+            }
+        }
+    }
+
+    #[test]
+    fn update_is_idempotent() {
+        let d = 6u8;
+        let mut r = 0;
+        for k in [5u64, 3, 9, 9, 3, 5, 1] {
+            r = update(r, k, d);
+        }
+        for k in [5u64, 3, 9, 1] {
+            assert_eq!(update(r, k, d), r, "re-inserting {k} changed state");
+        }
+    }
+
+    #[test]
+    fn update_records_window_values() {
+        let d = 6u8;
+        let mut r = 0;
+        r = update(r, 9, d); // max = 9
+        r = update(r, 7, d); // in window: bit d−2
+        r = update(r, 4, d); // in window: bit d−5
+        r = update(r, 2, d); // below window (9−2 = 7 > 6): ignored
+        assert_eq!(r >> d, 9);
+        assert!(indicator_set(r, 9, 7, d));
+        assert!(indicator_set(r, 9, 4, d));
+        assert!(!indicator_set(r, 9, 8, d));
+        assert!(!indicator_set(r, 9, 3, d));
+    }
+
+    #[test]
+    fn update_shifts_window_on_new_maximum() {
+        let d = 6u8;
+        let mut r = 0;
+        r = update(r, 4, d);
+        r = update(r, 6, d); // now max 6; value 4 at bit d−2; sentinel at d−6
+        assert_eq!(r >> d, 6);
+        assert!(indicator_set(r, 6, 4, d));
+        r = update(r, 11, d); // Δ=5: value 6 at bit d−5, 4 falls out (11−4 > 6)... 11−4 = 7 > 6
+        assert_eq!(r >> d, 11);
+        assert!(indicator_set(r, 11, 6, d));
+        assert!(!indicator_set(r, 11, 5, d));
+        // Window only covers [5, 10]: value 4 is gone.
+    }
+
+    #[test]
+    fn figure3_example_trace() {
+        // Figure 3 parameters: p = 2, t = 2, d = 6 → 14-bit registers.
+        let c = cfg(2, 6, 2);
+        // Insert hash with some update value, then a larger one.
+        let r1 = update(0, 5, c.d());
+        assert_eq!(r1, (5 << 6) | (1 << 1)); // sentinel at bit 6−5=1
+        let r2 = update(r1, 9, c.d());
+        // Δ=4: (2^6 | 0b10) >> 4 = 0b100: value 5 at bit 2, sentinel shifted out…
+        // sentinel was at bit 1 → bit 1−4 < 0: gone; implicit bit 6 → bit 2.
+        assert_eq!(r2, (9 << 6) | (1 << 2));
+        assert!(is_valid(&c, r1));
+        assert!(is_valid(&c, r2));
+    }
+
+    #[test]
+    fn merge_equals_union_of_updates() {
+        // Exhaustive small-space check: all pairs of update sequences drawn
+        // from a small value set.
+        let d = 4u8;
+        let values: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![1],
+            vec![3],
+            vec![7],
+            vec![3, 5],
+            vec![1, 2, 3],
+            vec![8, 2],
+            vec![6, 6, 1],
+        ];
+        for a in &values {
+            for b in &values {
+                let ra = a.iter().fold(0, |r, &k| update(r, k, d));
+                let rb = b.iter().fold(0, |r, &k| update(r, k, d));
+                let merged = merge(ra, rb, d);
+                let direct = a.iter().chain(b.iter()).fold(0, |r, &k| update(r, k, d));
+                assert_eq!(merged, direct, "a={a:?} b={b:?}");
+                // Commutativity.
+                assert_eq!(merge(rb, ra, d), merged);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_identity_and_idempotence() {
+        let d = 6u8;
+        let r = [4u64, 9, 7].iter().fold(0, |r, &k| update(r, k, d));
+        assert_eq!(merge(r, 0, d), r);
+        assert_eq!(merge(0, r, d), r);
+        assert_eq!(merge(r, r, d), r);
+        assert_eq!(merge(0, 0, d), 0);
+    }
+
+    #[test]
+    fn d_zero_degenerates_to_max() {
+        // With d = 0 a register is just the maximum (HyperLogLog-like).
+        for seq in [[3u64, 1, 4], [1, 5, 9], [2, 6, 5]] {
+            let r = seq.iter().fold(0, |r, &k| update(r, k, 0));
+            assert_eq!(r, *seq.iter().max().unwrap());
+        }
+        assert_eq!(merge(7, 4, 0), 7);
+    }
+
+    #[test]
+    fn change_probability_decreases_with_updates() {
+        let c = cfg(2, 6, 4);
+        let mut r = 0;
+        let mut prev = change_probability(&c, r);
+        assert!((prev - 1.0 / 16.0).abs() < 1e-15, "empty register: 1/m");
+        for k in [3u64, 5, 9, 12, 20] {
+            r = update(r, k, c.d());
+            let h = change_probability(&c, r);
+            assert!(h < prev, "h must strictly decrease on state change");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn change_probability_zero_when_saturated() {
+        let c = cfg(0, 2, 2);
+        // Saturate: maximum update value with all indicator bits set.
+        let kmax = c.max_update_value();
+        let mut r = update(0, kmax, c.d());
+        r = update(r, kmax - 1, c.d());
+        r = update(r, kmax - 2, c.d());
+        let h = change_probability(&c, r);
+        // Only values below the d-window remain unseen but they cannot
+        // modify the register: h = ω(kmax) + 0 = 0.
+        assert!(
+            h < rho_update(&c, kmax - 2) / c.m() as f64,
+            "saturated register has (near-)zero change probability: {h}"
+        );
+    }
+
+    #[test]
+    fn validity_accepts_reachable_states() {
+        let c = cfg(1, 5, 4);
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        for _ in 0..2000 {
+            let mut r = 0u64;
+            for _ in 0..8 {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let k = (rng >> 33) % c.max_update_value() + 1;
+                r = update(r, k, c.d());
+                assert!(is_valid(&c, r), "unreachable state {r:#b} produced");
+            }
+        }
+    }
+
+    #[test]
+    fn validity_rejects_unreachable_states() {
+        let c = cfg(0, 6, 4);
+        // u = 3 requires sentinel at bit 3 and zeros below.
+        let bad_missing_sentinel = 3u64 << 6;
+        let bad_low_bits = (3u64 << 6) | (1 << 3) | 1;
+        let bad_u = (c.max_update_value() + 1) << 6;
+        assert!(!is_valid(&c, bad_missing_sentinel));
+        assert!(!is_valid(&c, bad_low_bits));
+        assert!(!is_valid(&c, bad_u));
+        assert!(!is_valid(&c, 1)); // u = 0 with indicator bits
+        assert!(is_valid(&c, 0));
+        assert!(is_valid(&c, (3 << 6) | (1 << 3)));
+    }
+
+    #[test]
+    fn update_beyond_window_is_noop_but_merge_keeps_info() {
+        let d = 2u8;
+        let r = update(0, 10, d);
+        // Value 3 is far below the window — discarded.
+        assert_eq!(update(r, 3, d), r);
+        // But merging with a register that saw 9 keeps the bit.
+        let r9 = update(0, 9, d);
+        let m = merge(r, r9, d);
+        assert!(indicator_set(m, 10, 9, d));
+    }
+}

@@ -1,0 +1,884 @@
+//! Hardcoded fast paths for the paper's highlighted configurations.
+//!
+//! The generic [`ExaLogLog`](crate::ExaLogLog) supports arbitrary
+//! (t, d, p). The paper closes its performance discussion (§5.3) with
+//! the remark that *"our ELL reference implementation is generic …
+//! hardcoding these values could potentially further improve its
+//! performance"*. This module does exactly that for the four
+//! configurations §2.4 singles out:
+//!
+//! | Type | (t, d) | Register | Storage | §2.4 rationale |
+//! |---|---|---|---|---|
+//! | [`EllT2D20`] | (2, 20) | 28 bit | two per `u64` word (low 56 bits) | space optimum, MVP 3.67; "two registers can be packed into exactly 7 bytes" |
+//! | [`EllT2D24`] | (2, 24) | 32 bit | one per `u32` | "very fast register access when stored in a 32-bit integer array" |
+//! | [`EllT2D16`] | (2, 16) | 24 bit | three bytes per register | martingale optimum, MVP 2.77; "fits exactly into 3 bytes" |
+//! | [`EllT1D9`] | (1, 9) | 16 bit | one per `u16` | byte-aligned fallback, MVP 3.90 |
+//!
+//! Every specialized sketch is *bit-for-bit state-equivalent* to the
+//! generic sketch with the same configuration: inserting the same hash
+//! stream yields identical register values, and [`to_dense`](EllT2D20::to_dense)
+//! /[`from_dense`](EllT2D20::from_dense) convert losslessly in both
+//! directions. The equivalence is enforced by the unit tests below and by
+//! property tests in the crate's test suite; the speedup is measured by
+//! the `ablation` benchmark of the `ell-bench` crate.
+
+use crate::config::{EllConfig, EllError};
+use crate::martingale::MartingaleEstimator;
+use crate::ml;
+use crate::registers;
+use crate::sketch::ExaLogLog;
+use crate::theory;
+use ell_hash::Hasher64;
+
+/// The common interface of the hardcoded sketches, enabling generic
+/// composition such as [`SpecializedMartingale`].
+pub trait SpecializedSketch {
+    /// The configuration this sketch is specialized for.
+    fn config(&self) -> &EllConfig;
+    /// Inserts a hash; on a state change returns the modified register's
+    /// `(old, new)` values.
+    fn insert_hash_tracked(&mut self, h: u64) -> Option<(u64, u64)>;
+    /// The bias-corrected ML estimate.
+    fn ml_estimate(&self) -> f64;
+}
+
+/// Generates the shared (storage-independent) API surface of a
+/// specialized sketch. The storage layout, `register`/`set_register`,
+/// and `insert_hash` stay hand-written per type — they *are* the
+/// specialization.
+macro_rules! specialized_common {
+    ($name:ident, $t:literal, $d:literal) => {
+        impl $name {
+            /// Update-value resolution parameter (fixed at compile time).
+            pub const T: u8 = $t;
+            /// Indicator-bit count (fixed at compile time).
+            pub const D: u8 = $d;
+
+            /// The configuration this sketch is specialized for.
+            #[inline]
+            #[must_use]
+            pub fn config(&self) -> &EllConfig {
+                &self.cfg
+            }
+
+            /// Precision parameter p.
+            #[inline]
+            #[must_use]
+            pub fn p(&self) -> u8 {
+                self.cfg.p()
+            }
+
+            /// Number of registers m = 2^p.
+            #[inline]
+            #[must_use]
+            pub fn m(&self) -> usize {
+                self.cfg.m()
+            }
+
+            /// Hashes `element` with `hasher` and inserts it.
+            #[inline]
+            pub fn insert<H: Hasher64 + ?Sized>(&mut self, hasher: &H, element: &[u8]) -> bool {
+                self.insert_hash(hasher.hash_bytes(element))
+            }
+
+            /// Iterates over all m register values.
+            pub fn registers(&self) -> impl Iterator<Item = u64> + '_ {
+                (0..self.m()).map(move |i| self.register(i))
+            }
+
+            /// Whether no element has been recorded yet.
+            #[must_use]
+            pub fn is_empty(&self) -> bool {
+                self.registers().all(|r| r == 0)
+            }
+
+            /// The bias-corrected maximum-likelihood estimate, identical
+            /// to [`ExaLogLog::estimate`] on the equivalent dense state.
+            #[must_use]
+            pub fn estimate(&self) -> f64 {
+                let coeffs = ml::compute_coefficients(&self.cfg, self.registers());
+                let raw = ml::ml_estimate_from_coefficients(&coeffs, self.cfg.m() as f64);
+                let c = theory::bias_correction_c(Self::T, Self::D);
+                raw / (1.0 + c / self.cfg.m() as f64)
+            }
+
+            /// In-place merge with a sketch of the same precision
+            /// (Algorithm 5 applied register-wise).
+            pub fn merge_from(&mut self, other: &Self) -> Result<(), EllError> {
+                if self.cfg != other.cfg {
+                    return Err(EllError::IncompatibleSketches {
+                        reason: format!("{} vs {}", self.cfg, other.cfg),
+                    });
+                }
+                for i in 0..self.m() {
+                    let merged = registers::merge(self.register(i), other.register(i), Self::D);
+                    self.set_register(i, merged);
+                }
+                Ok(())
+            }
+
+            /// Converts into the equivalent generic sketch.
+            #[must_use]
+            pub fn to_dense(&self) -> ExaLogLog {
+                let mut dense = ExaLogLog::new(self.cfg);
+                for (i, r) in self.registers().enumerate() {
+                    dense.set_register_unchecked(i, r);
+                }
+                dense
+            }
+
+            /// Builds a specialized sketch from a generic one with the
+            /// matching configuration.
+            pub fn from_dense(dense: &ExaLogLog) -> Result<Self, EllError> {
+                let cfg = *dense.config();
+                if cfg.t() != Self::T || cfg.d() != Self::D {
+                    return Err(EllError::IncompatibleSketches {
+                        reason: format!(
+                            "{cfg} cannot back a specialized ELL({}, {}) sketch",
+                            Self::T,
+                            Self::D
+                        ),
+                    });
+                }
+                let mut s = Self::new(cfg.p())?;
+                for (i, r) in dense.registers().enumerate() {
+                    s.set_register(i, r);
+                }
+                Ok(s)
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!(stringify!($name), "(p={})"), self.p())
+            }
+        }
+
+        impl SpecializedSketch for $name {
+            fn config(&self) -> &EllConfig {
+                &self.cfg
+            }
+            fn insert_hash_tracked(&mut self, h: u64) -> Option<(u64, u64)> {
+                $name::insert_hash_tracked(self, h)
+            }
+            fn ml_estimate(&self) -> f64 {
+                self.estimate()
+            }
+        }
+    };
+}
+
+/// Martingale (HIP) estimation over a hardcoded sketch — the pairing
+/// the paper's §2.4 singles out: the martingale optimum ELL(2, 16) with
+/// its 3-byte registers gets both the fast insert path *and* the
+/// stronger single-stream estimator.
+///
+/// State-change probabilities are maintained exactly as in
+/// [`crate::MartingaleExaLogLog`]; for the same hash stream both
+/// produce bit-identical estimates (verified by the tests).
+///
+/// ```
+/// use exaloglog::{EllT2D16, SpecializedMartingale};
+///
+/// let mut counter = SpecializedMartingale::new(EllT2D16::new(10).unwrap());
+/// for h in (0..50_000u64).map(ell_hash::mix64) {
+///     counter.insert_hash(h);
+/// }
+/// let est = counter.estimate();
+/// assert!((est / 50_000.0 - 1.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecializedMartingale<S> {
+    sketch: S,
+    estimator: MartingaleEstimator,
+}
+
+impl<S: SpecializedSketch> SpecializedMartingale<S> {
+    /// Wraps an (empty) specialized sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch has already recorded elements — the
+    /// martingale estimator must observe every state change from the
+    /// start.
+    #[must_use]
+    pub fn new(sketch: S) -> Self
+    where
+        S: Clone,
+    {
+        SpecializedMartingale {
+            sketch,
+            estimator: MartingaleEstimator::new(),
+        }
+    }
+
+    /// Inserts an element by its 64-bit hash, updating the online
+    /// estimate on every state change. Returns whether the state changed.
+    #[inline]
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        if let Some((old, new)) = self.sketch.insert_hash_tracked(h) {
+            let cfg = *self.sketch.config();
+            let h_old = registers::change_probability(&cfg, old);
+            let h_new = registers::change_probability(&cfg, new);
+            self.estimator.on_state_change(h_old, h_new);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hashes `element` with `hasher` and inserts it.
+    #[inline]
+    pub fn insert<H: Hasher64 + ?Sized>(&mut self, hasher: &H, element: &[u8]) -> bool {
+        self.insert_hash(hasher.hash_bytes(element))
+    }
+
+    /// The unbiased martingale estimate (equation (23) bookkeeping).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.estimator.estimate()
+    }
+
+    /// The ML estimate of the wrapped sketch (useful after merging
+    /// elsewhere invalidated the martingale stream assumption).
+    #[must_use]
+    pub fn ml_estimate(&self) -> f64 {
+        self.sketch.ml_estimate()
+    }
+
+    /// The wrapped sketch.
+    #[must_use]
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+
+    /// Unwraps into the plain sketch, discarding the estimator.
+    #[must_use]
+    pub fn into_sketch(self) -> S {
+        self.sketch
+    }
+}
+
+// ---------------------------------------------------------------------
+// ELL(2, 20) — 28-bit registers, two per u64 word.
+// ---------------------------------------------------------------------
+
+/// Hardcoded ELL(2, 20): the paper's space optimum (MVP 3.67, 43 % below
+/// 6-bit HLL). Registers are 28 bits; a pair occupies the low 56 bits of
+/// one `u64` word, realizing the paper's "two registers per 7 bytes"
+/// observation without sub-byte addressing.
+///
+/// ```
+/// use exaloglog::{EllT2D20, ExaLogLog};
+///
+/// let mut fast = EllT2D20::new(10).unwrap();
+/// let mut generic = ExaLogLog::with_params(2, 20, 10).unwrap();
+/// for h in (0..10_000u64).map(ell_hash::mix64) {
+///     fast.insert_hash(h);
+///     generic.insert_hash(h);
+/// }
+/// // Bit-identical state and estimate — just a faster insert path.
+/// assert_eq!(fast.to_dense(), generic);
+/// assert_eq!(fast.estimate(), generic.estimate());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct EllT2D20 {
+    cfg: EllConfig,
+    /// `m/2` words, each holding registers `2w` (bits 0..28) and
+    /// `2w + 1` (bits 28..56).
+    words: Vec<u64>,
+    /// `h | nlz_cap` caps the number of leading zeros at 64 − p − t.
+    nlz_cap: u64,
+}
+
+const MASK28: u64 = (1 << 28) - 1;
+const IND20: u64 = (1 << 20) - 1;
+
+/// Register-update core with d = 20 hardcoded; mirrors
+/// [`registers::update`] exactly.
+#[inline]
+fn update_d20(r: u64, k: u64) -> u64 {
+    let u = r >> 20;
+    if k > u {
+        let delta = k - u;
+        let low = (1u64 << 20) | (r & IND20);
+        (k << 20) | if delta <= 20 { low >> delta } else { 0 }
+    } else if k < u && u - k <= 20 {
+        r | (1u64 << (20 - (u - k)))
+    } else {
+        r
+    }
+}
+
+impl EllT2D20 {
+    /// Creates an empty sketch with m = 2^p registers.
+    pub fn new(p: u8) -> Result<Self, EllError> {
+        let cfg = EllConfig::new(2, 20, p)?;
+        Ok(EllT2D20 {
+            words: vec![0; cfg.m() / 2],
+            nlz_cap: ell_bitpack::mask(u32::from(p) + 2),
+            cfg,
+        })
+    }
+
+    /// Inserts an element by its 64-bit hash (Algorithm 2 with t = 2,
+    /// d = 20 folded into constants). Returns whether the state changed.
+    #[inline]
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        self.insert_hash_tracked(h).is_some()
+    }
+
+    /// Like [`EllT2D20::insert_hash`] but reports the modified register's
+    /// `(old, new)` values, enabling martingale bookkeeping.
+    #[inline]
+    pub fn insert_hash_tracked(&mut self, h: u64) -> Option<(u64, u64)> {
+        let i = ((h >> 2) as usize) & (self.cfg.m() - 1);
+        let a = h | self.nlz_cap;
+        let k = (u64::from(a.leading_zeros()) << 2) + (h & 3) + 1;
+        let shift = ((i & 1) as u32) * 28;
+        let word = self.words[i >> 1];
+        let r = (word >> shift) & MASK28;
+        let new = update_d20(r, k);
+        if new != r {
+            self.words[i >> 1] = (word & !(MASK28 << shift)) | (new << shift);
+            Some((r, new))
+        } else {
+            None
+        }
+    }
+
+    /// Value of register `i`.
+    #[inline]
+    #[must_use]
+    pub fn register(&self, i: usize) -> u64 {
+        (self.words[i >> 1] >> (((i & 1) as u32) * 28)) & MASK28
+    }
+
+    #[inline]
+    fn set_register(&mut self, i: usize, r: u64) {
+        let shift = ((i & 1) as u32) * 28;
+        let word = self.words[i >> 1];
+        self.words[i >> 1] = (word & !(MASK28 << shift)) | ((r & MASK28) << shift);
+    }
+
+    /// Resets the sketch to its empty state without reallocating.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Total in-memory footprint in bytes. The word array spends 8 bytes
+    /// per register pair where the dense bit-packed layout spends 7 — the
+    /// specialization trades 1 bit/register of space for word-aligned
+    /// access (convert to [`ExaLogLog`] for wire-format serialization).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.words.len() * 8
+    }
+}
+
+specialized_common!(EllT2D20, 2, 20);
+
+// ---------------------------------------------------------------------
+// ELL(2, 24) — 32-bit registers in a u32 array.
+// ---------------------------------------------------------------------
+
+/// Hardcoded ELL(2, 24): registers fill exactly 32 bits (MVP 3.78). The
+/// paper recommends this configuration for "very fast register access
+/// when stored in a 32-bit integer array" and for CAS-based concurrent
+/// updates (see [`crate::atomic`] for the lock-free variant).
+#[derive(Clone, PartialEq, Eq)]
+pub struct EllT2D24 {
+    cfg: EllConfig,
+    regs: Vec<u32>,
+    nlz_cap: u64,
+}
+
+const IND24: u32 = (1 << 24) - 1;
+
+/// Register-update core with d = 24 hardcoded, operating on `u32`.
+#[inline]
+fn update_d24(r: u32, k: u32) -> u32 {
+    let u = r >> 24;
+    if k > u {
+        let delta = k - u;
+        let low = (1u32 << 24) | (r & IND24);
+        (k << 24) | if delta <= 24 { low >> delta } else { 0 }
+    } else if k < u && u - k <= 24 {
+        r | (1u32 << (24 - (u - k)))
+    } else {
+        r
+    }
+}
+
+impl EllT2D24 {
+    /// Creates an empty sketch with m = 2^p registers.
+    pub fn new(p: u8) -> Result<Self, EllError> {
+        let cfg = EllConfig::new(2, 24, p)?;
+        Ok(EllT2D24 {
+            regs: vec![0; cfg.m()],
+            nlz_cap: ell_bitpack::mask(u32::from(p) + 2),
+            cfg,
+        })
+    }
+
+    /// Inserts an element by its 64-bit hash. Returns whether the state
+    /// changed.
+    #[inline]
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        self.insert_hash_tracked(h).is_some()
+    }
+
+    /// Like [`EllT2D24::insert_hash`] but reports the modified register's
+    /// `(old, new)` values, enabling martingale bookkeeping.
+    #[inline]
+    pub fn insert_hash_tracked(&mut self, h: u64) -> Option<(u64, u64)> {
+        let i = ((h >> 2) as usize) & (self.cfg.m() - 1);
+        let a = h | self.nlz_cap;
+        let k = (a.leading_zeros() << 2) + ((h & 3) as u32) + 1;
+        let r = self.regs[i];
+        let new = update_d24(r, k);
+        if new != r {
+            self.regs[i] = new;
+            Some((u64::from(r), u64::from(new)))
+        } else {
+            None
+        }
+    }
+
+    /// Value of register `i`.
+    #[inline]
+    #[must_use]
+    pub fn register(&self, i: usize) -> u64 {
+        u64::from(self.regs[i])
+    }
+
+    #[inline]
+    fn set_register(&mut self, i: usize, r: u64) {
+        self.regs[i] = r as u32;
+    }
+
+    /// Resets the sketch to its empty state without reallocating.
+    pub fn clear(&mut self) {
+        self.regs.fill(0);
+    }
+
+    /// Total in-memory footprint in bytes; identical to the dense layout
+    /// because 32-bit registers are already byte-aligned.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.regs.len() * 4
+    }
+}
+
+specialized_common!(EllT2D24, 2, 24);
+
+// ---------------------------------------------------------------------
+// ELL(2, 16) — 24-bit registers, three bytes each.
+// ---------------------------------------------------------------------
+
+/// Hardcoded ELL(2, 16): the martingale-estimation optimum (MVP 2.77,
+/// 33 % below HLL). Registers are 24 bits and stored as three
+/// little-endian bytes each — "the register size is 24 bits and
+/// therefore fits exactly into 3 bytes, register access is also
+/// relatively simple" (§2.4).
+#[derive(Clone, PartialEq, Eq)]
+pub struct EllT2D16 {
+    cfg: EllConfig,
+    /// `3·m` bytes; register `i` occupies bytes `3i..3i+3`.
+    bytes: Vec<u8>,
+    nlz_cap: u64,
+}
+
+const IND16: u32 = (1 << 16) - 1;
+
+/// Register-update core with d = 16 hardcoded, operating on `u32`
+/// (values never exceed 24 bits).
+#[inline]
+fn update_d16(r: u32, k: u32) -> u32 {
+    let u = r >> 16;
+    if k > u {
+        let delta = k - u;
+        let low = (1u32 << 16) | (r & IND16);
+        (k << 16) | if delta <= 16 { low >> delta } else { 0 }
+    } else if k < u && u - k <= 16 {
+        r | (1u32 << (16 - (u - k)))
+    } else {
+        r
+    }
+}
+
+impl EllT2D16 {
+    /// Creates an empty sketch with m = 2^p registers.
+    pub fn new(p: u8) -> Result<Self, EllError> {
+        let cfg = EllConfig::new(2, 16, p)?;
+        Ok(EllT2D16 {
+            bytes: vec![0; cfg.m() * 3],
+            nlz_cap: ell_bitpack::mask(u32::from(p) + 2),
+            cfg,
+        })
+    }
+
+    /// Inserts an element by its 64-bit hash. Returns whether the state
+    /// changed.
+    #[inline]
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        self.insert_hash_tracked(h).is_some()
+    }
+
+    /// Like [`EllT2D16::insert_hash`] but reports the modified register's
+    /// `(old, new)` values, enabling martingale bookkeeping.
+    #[inline]
+    pub fn insert_hash_tracked(&mut self, h: u64) -> Option<(u64, u64)> {
+        let i = ((h >> 2) as usize) & (self.cfg.m() - 1);
+        let a = h | self.nlz_cap;
+        let k = (a.leading_zeros() << 2) + ((h & 3) as u32) + 1;
+        let r = self.load(i);
+        let new = update_d16(r, k);
+        if new != r {
+            self.store(i, new);
+            Some((u64::from(r), u64::from(new)))
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn load(&self, i: usize) -> u32 {
+        let b = &self.bytes[3 * i..3 * i + 3];
+        u32::from(b[0]) | u32::from(b[1]) << 8 | u32::from(b[2]) << 16
+    }
+
+    #[inline]
+    fn store(&mut self, i: usize, r: u32) {
+        let b = &mut self.bytes[3 * i..3 * i + 3];
+        b[0] = r as u8;
+        b[1] = (r >> 8) as u8;
+        b[2] = (r >> 16) as u8;
+    }
+
+    /// Value of register `i`.
+    #[inline]
+    #[must_use]
+    pub fn register(&self, i: usize) -> u64 {
+        u64::from(self.load(i))
+    }
+
+    #[inline]
+    fn set_register(&mut self, i: usize, r: u64) {
+        self.store(i, r as u32);
+    }
+
+    /// Resets the sketch to its empty state without reallocating.
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+
+    /// Total in-memory footprint in bytes; identical to the dense layout
+    /// (24-bit registers are byte-aligned).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.bytes.len()
+    }
+}
+
+specialized_common!(EllT2D16, 2, 16);
+
+// ---------------------------------------------------------------------
+// ELL(1, 9) — 16-bit registers in a u16 array.
+// ---------------------------------------------------------------------
+
+/// Hardcoded ELL(1, 9): registers fill exactly 16 bits (MVP 3.90). Less
+/// space-efficient than the t = 2 configurations but with the simplest
+/// possible register access.
+#[derive(Clone, PartialEq, Eq)]
+pub struct EllT1D9 {
+    cfg: EllConfig,
+    regs: Vec<u16>,
+    nlz_cap: u64,
+}
+
+const IND9: u16 = (1 << 9) - 1;
+
+/// Register-update core with d = 9 hardcoded, operating on `u16`.
+#[inline]
+fn update_d9(r: u16, k: u16) -> u16 {
+    let u = r >> 9;
+    if k > u {
+        let delta = k - u;
+        let low = (1u16 << 9) | (r & IND9);
+        (k << 9) | if delta <= 9 { low >> delta } else { 0 }
+    } else if k < u && u - k <= 9 {
+        r | (1u16 << (9 - (u - k)))
+    } else {
+        r
+    }
+}
+
+impl EllT1D9 {
+    /// Creates an empty sketch with m = 2^p registers.
+    pub fn new(p: u8) -> Result<Self, EllError> {
+        let cfg = EllConfig::new(1, 9, p)?;
+        Ok(EllT1D9 {
+            regs: vec![0; cfg.m()],
+            nlz_cap: ell_bitpack::mask(u32::from(p) + 1),
+            cfg,
+        })
+    }
+
+    /// Inserts an element by its 64-bit hash. Returns whether the state
+    /// changed.
+    #[inline]
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        self.insert_hash_tracked(h).is_some()
+    }
+
+    /// Like [`EllT1D9::insert_hash`] but reports the modified register's
+    /// `(old, new)` values, enabling martingale bookkeeping.
+    #[inline]
+    pub fn insert_hash_tracked(&mut self, h: u64) -> Option<(u64, u64)> {
+        let i = ((h >> 1) as usize) & (self.cfg.m() - 1);
+        let a = h | self.nlz_cap;
+        let k = ((a.leading_zeros() << 1) + ((h & 1) as u32) + 1) as u16;
+        let r = self.regs[i];
+        let new = update_d9(r, k);
+        if new != r {
+            self.regs[i] = new;
+            Some((u64::from(r), u64::from(new)))
+        } else {
+            None
+        }
+    }
+
+    /// Value of register `i`.
+    #[inline]
+    #[must_use]
+    pub fn register(&self, i: usize) -> u64 {
+        u64::from(self.regs[i])
+    }
+
+    #[inline]
+    fn set_register(&mut self, i: usize, r: u64) {
+        self.regs[i] = r as u16;
+    }
+
+    /// Resets the sketch to its empty state without reallocating.
+    pub fn clear(&mut self) {
+        self.regs.fill(0);
+    }
+
+    /// Total in-memory footprint in bytes; identical to the dense layout
+    /// (16-bit registers are byte-aligned).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.regs.len() * 2
+    }
+}
+
+specialized_common!(EllT1D9, 1, 9);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::SplitMix64;
+
+    fn stream(seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    /// Inserts `hashes` into both the specialized and the generic sketch
+    /// and asserts bit-identical register state plus identical estimates.
+    macro_rules! equivalence_test {
+        ($name:ident, $ty:ty, $t:literal, $d:literal) => {
+            #[test]
+            fn $name() {
+                for p in [2u8, 4, 8, 11] {
+                    let mut fast = <$ty>::new(p).unwrap();
+                    let mut dense = ExaLogLog::with_params($t, $d, p).unwrap();
+                    for &h in &stream(1000 + u64::from(p), 30_000) {
+                        let changed_fast = fast.insert_hash(h);
+                        let changed_dense = dense.insert_hash(h);
+                        assert_eq!(changed_fast, changed_dense, "p={p} h={h:#x}");
+                    }
+                    for i in 0..dense.config().m() {
+                        assert_eq!(fast.register(i), dense.register(i), "p={p} register {i}");
+                    }
+                    assert_eq!(fast.estimate(), dense.estimate(), "p={p}");
+                    // Conversions are lossless in both directions.
+                    assert_eq!(fast.to_dense(), dense);
+                    assert_eq!(<$ty>::from_dense(&dense).unwrap(), fast);
+                }
+            }
+        };
+    }
+
+    equivalence_test!(t2d20_matches_generic, EllT2D20, 2, 20);
+    equivalence_test!(t2d24_matches_generic, EllT2D24, 2, 24);
+    equivalence_test!(t2d16_matches_generic, EllT2D16, 2, 16);
+    equivalence_test!(t1d9_matches_generic, EllT1D9, 1, 9);
+
+    #[test]
+    fn merge_matches_generic_merge() {
+        let mut a = EllT2D20::new(6).unwrap();
+        let mut b = EllT2D20::new(6).unwrap();
+        let mut da = ExaLogLog::with_params(2, 20, 6).unwrap();
+        let mut db = da.clone();
+        for &h in &stream(7, 5000) {
+            a.insert_hash(h);
+            da.insert_hash(h);
+        }
+        for &h in &stream(8, 4000) {
+            b.insert_hash(h);
+            db.insert_hash(h);
+        }
+        a.merge_from(&b).unwrap();
+        da.merge_from(&db).unwrap();
+        assert_eq!(a.to_dense(), da);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_precision() {
+        let mut a = EllT2D24::new(6).unwrap();
+        let b = EllT2D24::new(7).unwrap();
+        assert!(a.merge_from(&b).is_err());
+    }
+
+    #[test]
+    fn from_dense_rejects_wrong_parameters() {
+        let dense = ExaLogLog::with_params(2, 20, 6).unwrap();
+        assert!(EllT2D24::from_dense(&dense).is_err());
+        assert!(EllT2D16::from_dense(&dense).is_err());
+        assert!(EllT1D9::from_dense(&dense).is_err());
+        assert!(EllT2D20::from_dense(&dense).is_ok());
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s = EllT2D16::new(5).unwrap();
+        assert!(s.is_empty());
+        for &h in &stream(3, 100) {
+            s.insert_hash(h);
+        }
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.estimate(), 0.0);
+    }
+
+    #[test]
+    fn estimates_track_truth() {
+        let n = 50_000usize;
+        let hashes = stream(99, n);
+        macro_rules! check {
+            ($ty:ty) => {
+                let mut s = <$ty>::new(10).unwrap();
+                for &h in &hashes {
+                    s.insert_hash(h);
+                }
+                let est = s.estimate();
+                let rel = est / n as f64 - 1.0;
+                assert!(
+                    rel.abs() < 0.08,
+                    concat!(stringify!($ty), ": estimate {} off by {:+.2} %"),
+                    est,
+                    rel * 100.0
+                );
+            };
+        }
+        check!(EllT2D20);
+        check!(EllT2D24);
+        check!(EllT2D16);
+        check!(EllT1D9);
+    }
+
+    #[test]
+    fn specialized_martingale_matches_generic_martingale() {
+        // The fast-path martingale must be bit-identical to
+        // MartingaleExaLogLog on the same stream: same register values,
+        // same μ trajectory, same estimate.
+        use crate::martingale::MartingaleExaLogLog;
+        let mut fast = SpecializedMartingale::new(EllT2D16::new(8).unwrap());
+        let mut generic = MartingaleExaLogLog::with_params(2, 16, 8).unwrap();
+        for &h in &stream(404, 20_000) {
+            assert_eq!(fast.insert_hash(h), generic.insert_hash(h));
+        }
+        assert_eq!(fast.estimate(), generic.estimate());
+        assert_eq!(fast.ml_estimate(), generic.ml_estimate());
+        let n = 20_000.0;
+        let rel = fast.estimate() / n - 1.0;
+        assert!(rel.abs() < 0.10, "martingale estimate off by {rel:+.3}");
+    }
+
+    #[test]
+    fn specialized_martingale_over_every_type() {
+        let hashes = stream(505, 5000);
+        macro_rules! check {
+            ($ty:ty) => {
+                let mut m = SpecializedMartingale::new(<$ty>::new(8).unwrap());
+                for &h in &hashes {
+                    m.insert_hash(h);
+                }
+                let rel = m.estimate() / 5000.0 - 1.0;
+                assert!(
+                    rel.abs() < 0.12,
+                    concat!(stringify!($ty), " martingale estimate off by {:.3}"),
+                    rel
+                );
+                // ML estimate remains available from the wrapped sketch.
+                assert!((m.ml_estimate() / 5000.0 - 1.0).abs() < 0.12);
+                let inner = m.into_sketch();
+                assert!(!inner.is_empty());
+            };
+        }
+        check!(EllT2D20);
+        check!(EllT2D24);
+        check!(EllT2D16);
+        check!(EllT1D9);
+    }
+
+    #[test]
+    fn memory_layouts_match_expectation() {
+        // p = 8 → 256 registers.
+        let base20 = EllT2D20::new(8).unwrap().memory_bytes();
+        assert!(base20 >= 128 * 8, "128 words of 8 bytes");
+        let base24 = EllT2D24::new(8).unwrap().memory_bytes();
+        assert!((1024..1024 + 96).contains(&base24));
+        let base16 = EllT2D16::new(8).unwrap().memory_bytes();
+        assert!((768..768 + 96).contains(&base16));
+        let base9 = EllT1D9::new(8).unwrap().memory_bytes();
+        assert!((512..512 + 96).contains(&base9));
+    }
+
+    #[test]
+    fn update_cores_match_generic_register_update() {
+        // Exhaustive-ish cross-check of the hardcoded update cores against
+        // the generic register update over random value sequences.
+        let mut rng = SplitMix64::new(0xDEC0DE);
+        for _ in 0..2000 {
+            let mut r20 = 0u64;
+            let mut r24 = 0u32;
+            let mut r16 = 0u32;
+            let mut r9 = 0u16;
+            let mut g20 = 0u64;
+            let mut g24 = 0u64;
+            let mut g16 = 0u64;
+            let mut g9 = 0u64;
+            for _ in 0..12 {
+                let k = rng.next_u64() % 200 + 1;
+                r20 = update_d20(r20, k);
+                g20 = registers::update(g20, k, 20);
+                assert_eq!(r20, g20);
+                r24 = update_d24(r24, k as u32);
+                g24 = registers::update(g24, k, 24);
+                assert_eq!(u64::from(r24), g24);
+                r16 = update_d16(r16, k as u32);
+                g16 = registers::update(g16, k, 16);
+                assert_eq!(u64::from(r16), g16);
+                let k9 = k % 120 + 1;
+                r9 = update_d9(r9, k9 as u16);
+                g9 = registers::update(g9, k9, 9);
+                assert_eq!(u64::from(r9), g9);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Edge-of-the-envelope tests: extreme parameters, saturation, operating
+//! range boundaries, and composition laws not covered by the main suites.
+
+use ell_hash::SplitMix64;
+use exaloglog::{EllConfig, ExaLogLog, MartingaleExaLogLog};
+
+#[test]
+fn minimal_precision_works() {
+    // p = 2: four registers — the smallest sketch the paper permits.
+    let mut s = ExaLogLog::with_params(2, 20, 2).unwrap();
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..1000 {
+        s.insert_hash(rng.next_u64());
+    }
+    let est = s.estimate();
+    // σ = √(3.67/(28·4)) ≈ 18 %; just require the right ballpark.
+    assert!((300.0..3000.0).contains(&est), "{est}");
+}
+
+#[test]
+fn maximal_t_and_width() {
+    // t = 6 (b = 2^(1/64)) with a 64-bit register: the widest layout.
+    let cfg = EllConfig::new(6, 52, 4).unwrap();
+    assert_eq!(cfg.register_width(), 64);
+    let mut s = ExaLogLog::new(cfg);
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..5000 {
+        s.insert_hash(rng.next_u64());
+    }
+    let est = s.estimate();
+    assert!((est / 5000.0 - 1.0).abs() < 0.6, "{est}");
+    // Serialization handles the full-width registers.
+    let back = ExaLogLog::from_bytes(&s.to_bytes()).unwrap();
+    assert_eq!(back, s);
+}
+
+#[test]
+fn d_zero_is_hyperminhash_like() {
+    // ELL(t, 0): registers hold only the maximum (paper §2.5 relates this
+    // to HyperMinHash). Everything must still work.
+    let mut s = ExaLogLog::with_params(2, 0, 8).unwrap();
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..20_000 {
+        s.insert_hash(rng.next_u64());
+    }
+    let est = s.estimate();
+    // MVP(2,0) ≈ 8.04 → σ ≈ 6.3 % at p = 8; allow 4σ.
+    assert!((est / 20_000.0 - 1.0).abs() < 0.25, "{est}");
+    let back = ExaLogLog::from_bytes(&s.to_bytes()).unwrap();
+    assert_eq!(back, s);
+}
+
+#[test]
+fn saturated_sketch_is_handled_gracefully() {
+    // Force full saturation through apply_update: every (register, value)
+    // pair observed. The ML estimate must be +∞, nothing may panic, and
+    // the state must round-trip.
+    let cfg = EllConfig::new(0, 2, 2).unwrap();
+    let mut s = ExaLogLog::new(cfg);
+    for i in 0..cfg.m() {
+        for k in 1..=cfg.max_update_value() {
+            s.apply_update(i, k);
+        }
+    }
+    assert_eq!(s.estimate_ml_raw(), f64::INFINITY);
+    assert_eq!(s.estimate(), f64::INFINITY);
+    assert!((s.state_change_probability()).abs() < 1e-12);
+    let back = ExaLogLog::from_bytes(&s.to_bytes()).unwrap();
+    assert_eq!(back, s);
+    // A saturated register no longer changes.
+    assert!(!s.insert_hash(0));
+    assert!(!s.insert_hash(u64::MAX));
+}
+
+#[test]
+fn apply_update_equals_insert_hash() {
+    // For every hash, insert_hash(h) must equal
+    // apply_update(decompose_hash(h)).
+    let cfg = EllConfig::optimal(6).unwrap();
+    let mut via_hash = ExaLogLog::new(cfg);
+    let mut via_update = ExaLogLog::new(cfg);
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..10_000 {
+        let h = rng.next_u64();
+        via_hash.insert_hash(h);
+        let (i, k) = via_update.decompose_hash(h);
+        via_update.apply_update(i, k);
+    }
+    assert_eq!(via_hash, via_update);
+}
+
+#[test]
+fn reduction_composes() {
+    // reduce(d1,p1) ∘ reduce(d2,p2) == reduce(d2,p2) directly.
+    let mut s = ExaLogLog::with_params(2, 24, 10).unwrap();
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..30_000 {
+        s.insert_hash(rng.next_u64());
+    }
+    let two_step = s.reduce(16, 8).unwrap().reduce(4, 5).unwrap();
+    let one_step = s.reduce(4, 5).unwrap();
+    assert_eq!(two_step, one_step);
+    // Order of d- vs p-reduction does not matter either.
+    let d_then_p = s.reduce(4, 10).unwrap().reduce(4, 5).unwrap();
+    let p_then_d = s.reduce(24, 5).unwrap().reduce(4, 5).unwrap();
+    assert_eq!(d_then_p, one_step);
+    assert_eq!(p_then_d, one_step);
+}
+
+#[test]
+fn martingale_estimate_counts_exactly_until_first_collision() {
+    // While every update hits a fresh register cell, μ decreases exactly
+    // as information accrues and the estimate equals n exactly.
+    let mut s = MartingaleExaLogLog::with_params(2, 24, 14).unwrap();
+    let mut rng = SplitMix64::new(6);
+    let mut exact = 0u64;
+    for _ in 0..200 {
+        if s.insert_hash(rng.next_u64()) {
+            exact += 1;
+        }
+    }
+    // With m = 16384 registers, 200 random inserts virtually never
+    // collide on (register, value): each changed the state.
+    assert_eq!(exact, 200);
+    assert!((s.estimate() - 200.0).abs() < 0.2, "{}", s.estimate());
+}
+
+#[test]
+fn extreme_hash_values_decompose_correctly() {
+    let cfg = EllConfig::new(2, 20, 8).unwrap();
+    let s = ExaLogLog::new(cfg);
+    for h in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1] {
+        let (i, k) = s.decompose_hash(h);
+        assert!(i < cfg.m());
+        assert!(k >= 1 && k <= cfg.max_update_value(), "h={h:#x}: k={k}");
+    }
+}
+
+#[test]
+fn estimate_at_every_fill_level_is_finite_and_monotoneish() {
+    // Sweep fill levels from empty to heavily loaded; the estimate should
+    // be finite and roughly track n throughout (no estimator handoff
+    // artifacts — the single ML estimator covers the whole range).
+    let mut s = ExaLogLog::with_params(2, 20, 6).unwrap();
+    let mut rng = SplitMix64::new(7);
+    let mut n = 0u64;
+    let mut last_est = 0.0f64;
+    for step in 0..20 {
+        let target = 1u64 << step;
+        while n < target {
+            s.insert_hash(rng.next_u64());
+            n += 1;
+        }
+        let est = s.estimate();
+        assert!(est.is_finite() && est > 0.0, "n={n}: {est}");
+        assert!(
+            (est / n as f64 - 1.0).abs() < 0.7,
+            "n={n}: estimate {est} wildly off"
+        );
+        assert!(
+            est > last_est * 0.7,
+            "estimate collapsed between fill levels: {last_est} → {est}"
+        );
+        last_est = est;
+    }
+}
+
+#[test]
+fn merge_of_saturated_with_empty() {
+    let cfg = EllConfig::new(0, 2, 2).unwrap();
+    let mut saturated = ExaLogLog::new(cfg);
+    for i in 0..cfg.m() {
+        for k in 1..=cfg.max_update_value() {
+            saturated.apply_update(i, k);
+        }
+    }
+    let empty = ExaLogLog::new(cfg);
+    let mut merged = saturated.clone();
+    merged.merge_from(&empty).unwrap();
+    assert_eq!(merged, saturated);
+    let mut merged2 = empty.clone();
+    merged2.merge_from(&saturated).unwrap();
+    assert_eq!(merged2, saturated);
+}

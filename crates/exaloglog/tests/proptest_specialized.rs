@@ -1,0 +1,60 @@
+//! Property tests for the hardcoded fast paths of `exaloglog::specialized`:
+//! for arbitrary hash streams and precisions, the specialized sketches
+//! must be bit-for-bit state-equivalent to the generic implementation —
+//! the invariant that makes the §5.3 "hardcode the parameters" speedup
+//! a pure optimization.
+
+use ell_hash::SplitMix64;
+use exaloglog::{EllT1D9, EllT2D16, EllT2D20, EllT2D24, ExaLogLog};
+use proptest::prelude::*;
+
+fn hashes(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+macro_rules! equivalence_property {
+    ($fwd:ident, $merge:ident, $ty:ty, $t:literal, $d:literal) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn $fwd(seed in any::<u64>(), n in 0usize..8000, p in 2u8..12) {
+                let mut fast = <$ty>::new(p).unwrap();
+                let mut dense = ExaLogLog::with_params($t, $d, p).unwrap();
+                for &h in &hashes(seed, n) {
+                    prop_assert_eq!(fast.insert_hash(h), dense.insert_hash(h));
+                }
+                prop_assert_eq!(fast.to_dense(), dense.clone());
+                prop_assert_eq!(fast.estimate(), dense.estimate());
+                prop_assert_eq!(<$ty>::from_dense(&dense).unwrap(), fast);
+            }
+
+            #[test]
+            fn $merge(seed in any::<u64>(), na in 0usize..4000, nb in 0usize..4000, p in 2u8..10) {
+                let sa = hashes(seed, na);
+                let sb = hashes(seed ^ 0xA5A5_A5A5, nb);
+                let mut fa = <$ty>::new(p).unwrap();
+                let mut fb = <$ty>::new(p).unwrap();
+                let mut da = ExaLogLog::with_params($t, $d, p).unwrap();
+                let mut db = da.clone();
+                for &h in &sa {
+                    fa.insert_hash(h);
+                    da.insert_hash(h);
+                }
+                for &h in &sb {
+                    fb.insert_hash(h);
+                    db.insert_hash(h);
+                }
+                fa.merge_from(&fb).unwrap();
+                da.merge_from(&db).unwrap();
+                prop_assert_eq!(fa.to_dense(), da);
+            }
+        }
+    };
+}
+
+equivalence_property!(t2d20_equivalent, t2d20_merge, EllT2D20, 2, 20);
+equivalence_property!(t2d24_equivalent, t2d24_merge, EllT2D24, 2, 24);
+equivalence_property!(t2d16_equivalent, t2d16_merge, EllT2D16, 2, 16);
+equivalence_property!(t1d9_equivalent, t1d9_merge, EllT1D9, 1, 9);

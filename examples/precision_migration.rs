@@ -1,0 +1,128 @@
+//! Precision migration over a sketch archive (paper §4.1/§4.2).
+//!
+//! The operational scenario the paper designs reducibility for: a
+//! service has recorded months of per-day sketches at a generous
+//! precision, and storage pressure (or a standardization decision)
+//! requires moving to smaller parameters — *without* losing the ability
+//! to merge new data with the archive.
+//!
+//! The walkthrough covers the full lifecycle:
+//!
+//! 1. **Archive era** — daily ELL(2, 24, 12) sketches (the CAS-friendly
+//!    configuration, 16 KiB/day);
+//! 2. **Policy change** — new nodes record at ELL(2, 16, 10) (the
+//!    martingale optimum, 3 KiB/day);
+//! 3. **Cross-era queries** — `merged_with` reduces both sides to the
+//!    common parameters (t, min d, min p) automatically, so month-level
+//!    distinct counts spanning the migration remain exact-to-the-model;
+//! 4. **Cold storage** — archived days are reduced in place and
+//!    entropy-coded (`compress`), cutting bytes at a quantified error
+//!    cost, while staying mergeable forever.
+//!
+//! ```sh
+//! cargo run --release --example precision_migration
+//! ```
+
+use ell_hash::WyHash;
+use exaloglog::compress::compress;
+use exaloglog::theory::{predicted_rmse, Estimator};
+use exaloglog::{EllConfig, ExaLogLog};
+
+/// Day `d` sees a sliding block of user ids: heavy day-over-day overlap.
+fn day_events(d: u64) -> impl Iterator<Item = u64> {
+    let daily_audience = 80_000u64;
+    let churn = 15_000u64;
+    (d * churn..d * churn + daily_audience).map(move |u| u)
+}
+
+fn main() {
+    let hasher = WyHash::new(1);
+    let old_cfg = EllConfig::aligned32(12).expect("valid"); // archive era
+    let new_cfg = EllConfig::martingale_optimal(10).expect("valid"); // after migration
+
+    // --- 1. The archive: days 0..14 at the old configuration. ----------
+    let archive: Vec<ExaLogLog> = (0..14)
+        .map(|d| {
+            let mut s = ExaLogLog::new(old_cfg);
+            for u in day_events(d) {
+                s.insert(&hasher, &u.to_le_bytes());
+            }
+            s
+        })
+        .collect();
+
+    // --- 2. The new era: days 14..28 at the new configuration. ---------
+    let recent: Vec<ExaLogLog> = (14..28)
+        .map(|d| {
+            let mut s = ExaLogLog::new(new_cfg);
+            for u in day_events(d) {
+                s.insert(&hasher, &u.to_le_bytes());
+            }
+            s
+        })
+        .collect();
+
+    // --- 3. A month-level query spanning the migration. ----------------
+    let mut month = archive[0].clone();
+    for day in archive.iter().skip(1) {
+        month = month.merged_with(day).expect("same t");
+    }
+    for day in &recent {
+        month = month.merged_with(day).expect("same t");
+    }
+    // 28 days × 15k churn + 65k base audience.
+    let truth = 27 * 15_000 + 80_000;
+    let estimate = month.estimate();
+    let rel = estimate / f64::from(truth) - 1.0;
+    println!(
+        "month spanning the migration: ≈{estimate:.0} distinct users \
+         (true {truth}, {:+.2} %)",
+        rel * 100.0
+    );
+    println!(
+        "  query ran at the common parameters {} (reduced automatically)",
+        month.config()
+    );
+    let sigma = predicted_rmse(month.config(), Estimator::MaximumLikelihood);
+    assert!(
+        rel.abs() < 4.0 * sigma,
+        "cross-era estimate off by {rel:+.4} (>4σ of {sigma:.4})"
+    );
+
+    // --- 4. Cold storage: shrink the archive in place. -----------------
+    println!("\narchiving day 0 through the reduction ladder:");
+    println!(
+        "{:>24} {:>10} {:>12} {:>10}",
+        "representation", "bytes", "estimate", "σ (theory)"
+    );
+    let day0 = &archive[0];
+    let ladder = [
+        ("original (2,24,12)", day0.clone()),
+        ("reduced (2,16,10)", day0.reduce(16, 10).expect("valid")),
+        ("reduced (2,8,9)", day0.reduce(8, 9).expect("valid")),
+    ];
+    for (label, sketch) in &ladder {
+        let packed = compress(sketch);
+        println!(
+            "{label:>24} {:>10} {:>12.0} {:>9.2}%",
+            sketch.register_bytes().len(),
+            sketch.estimate(),
+            predicted_rmse(sketch.config(), Estimator::MaximumLikelihood) * 100.0
+        );
+        println!(
+            "{:>24} {:>10}   (entropy-coded copy of the same state)",
+            "→ compressed", packed.len()
+        );
+        // Every rung still answers the query within its own theory band.
+        let rung_rel = sketch.estimate() / 80_000.0 - 1.0;
+        let rung_sigma = predicted_rmse(sketch.config(), Estimator::MaximumLikelihood);
+        assert!(rung_rel.abs() < 4.0 * rung_sigma, "{label}: {rung_rel:+.4}");
+    }
+
+    // The reduced archive day still merges with a new-era day, exactly.
+    let bridged = ladder[1].1.merged_with(&recent[0]).expect("same t");
+    println!(
+        "\nreduced day 0 ∪ new-era day 14: ≈{:.0} distinct (both eras remain mergeable)",
+        bridged.estimate()
+    );
+}

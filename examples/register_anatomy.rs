@@ -1,0 +1,83 @@
+//! A walkthrough of Figure 3: what happens inside a register when
+//! elements are inserted.
+//!
+//! Uses the figure's parameters — p = 2, t = 2, d = 6, i.e. four 14-bit
+//! registers — and prints the bit-level state after each insertion.
+//!
+//! ```sh
+//! cargo run --example register_anatomy
+//! ```
+
+use exaloglog::{EllConfig, ExaLogLog};
+
+fn print_register(sketch: &ExaLogLog, i: usize) {
+    let cfg = sketch.config();
+    let r = sketch.register(i);
+    let d = u32::from(cfg.d());
+    let u = r >> d;
+    let indicators = r & ((1 << d) - 1);
+    println!(
+        "  register {i}: {:014b} = (u = {u:2}) ++ (indicators = {indicators:06b})",
+        r
+    );
+    if u > 0 {
+        for j in 1..=u64::from(cfg.d()) {
+            if j >= u {
+                break;
+            }
+            let bit = (r >> (u64::from(cfg.d()) - j)) & 1;
+            if bit == 1 {
+                println!("      bit d-{j}: update value {} was observed", u - j);
+            }
+        }
+    }
+}
+
+fn main() {
+    // Figure 3 parameters: 2^p = 4 registers of 6 + t + d = 14 bits.
+    let cfg = EllConfig::new(2, 6, 2).expect("figure 3 parameters");
+    let mut sketch = ExaLogLog::new(cfg);
+    println!(
+        "ExaLogLog with p=2, t=2, d=6: {} registers x {} bits\n",
+        cfg.m(),
+        cfg.register_width()
+    );
+
+    // Craft hashes that decompose to chosen (register, update value)
+    // pairs. Layout: [63..p+t: NLZ region][p+t-1..t: index][t-1..0: low].
+    // An update value k = nlz·2^t + low + 1.
+    let make_hash = |index: u64, nlz: u32, low: u64| -> u64 {
+        let h = (index << 2) | low;
+        if nlz == 0 {
+            h | (1 << 63)
+        } else {
+            h | (1 << (63 - nlz))
+        }
+    };
+
+    let steps: [(u64, u32, u64, &str); 4] = [
+        (1, 1, 0, "element A: register 1, k = 1*4+0+1 = 5"),
+        (1, 2, 0, "element B: register 1, k = 2*4+0+1 = 9  (new maximum; A's value shifts into the indicator window)"),
+        (1, 1, 2, "element C: register 1, k = 1*4+2+1 = 7  (below maximum: sets indicator bit d-2)"),
+        (3, 0, 3, "element D: register 3, k = 0*4+3+1 = 4"),
+    ];
+    for (index, nlz, low, label) in steps {
+        let h = make_hash(index, nlz, low);
+        let (i, k) = sketch.decompose_hash(h);
+        assert_eq!(i as u64, index);
+        println!("insert {label}");
+        println!("  hash = {h:#018x} → (register {i}, update value {k})");
+        sketch.insert_hash(h);
+        print_register(&sketch, i);
+        println!();
+    }
+
+    println!("final state of all registers:");
+    for i in 0..cfg.m() {
+        print_register(&sketch, i);
+    }
+    println!(
+        "\nML estimate: {:.2} (4 distinct elements inserted)",
+        sketch.estimate()
+    );
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate of the ExaLogLog reproduction workspace.
+//!
+//! Re-exports the member crates so the examples under `examples/` and the
+//! cross-crate integration tests under `tests/` can address the whole
+//! system through one dependency. Library users should depend on the
+//! individual crates directly:
+//!
+//! * [`exaloglog`] — the sketch itself (start at `exaloglog::ExaLogLog`);
+//! * [`ell_hash`] — 64-bit hash functions;
+//! * [`ell_bitpack`] — packed register storage;
+//! * [`ell_numerics`] — special functions for the theory module;
+//! * [`ell_baselines`] — comparison sketches (HLL + sparse coupon mode,
+//!   ULL, EHLL, HyperMinHash, PCSA + CPC serialization, HLLL, …);
+//! * [`ell_sim`] — the error-simulation harness and workload generators.
+
+#![forbid(unsafe_code)]
+
+pub use ell_baselines;
+pub use ell_bitpack;
+pub use ell_hash;
+pub use ell_numerics;
+pub use ell_sim;
+pub use exaloglog;

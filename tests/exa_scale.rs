@@ -1,0 +1,97 @@
+//! The title claim: distinct counting *up to the exa-scale*. These tests
+//! drive the event-driven simulator to the top of the operating range and
+//! check the paper's stated behaviours there.
+
+use ell_sim::FastErrorSim;
+use exaloglog::theory::{predicted_rmse, Estimator};
+use exaloglog::EllConfig;
+
+/// At 10^18 — a quintillion distinct elements — both estimators must
+/// still deliver their theoretical accuracy (Figure 8's flat curves).
+#[test]
+fn accuracy_holds_at_one_exa() {
+    let cfg = EllConfig::optimal(8).unwrap();
+    let sim = FastErrorSim {
+        cfg,
+        runs: 100,
+        seed: 0xE8A,
+        exact_limit: 1_000,
+        threads: 0,
+    };
+    let report = sim.run(&[1e18]);
+    let ml = report.ml[0].rmse();
+    let mart = report.martingale[0].rmse();
+    let pred_ml = predicted_rmse(&cfg, Estimator::MaximumLikelihood);
+    let pred_mart = predicted_rmse(&cfg, Estimator::Martingale);
+    assert_eq!(report.ml[0].non_finite(), 0, "no saturation at 10^18");
+    assert!(
+        (ml / pred_ml - 1.0).abs() < 0.35,
+        "ML at 1e18: {ml:.4} vs theory {pred_ml:.4}"
+    );
+    assert!(
+        (mart / pred_mart - 1.0).abs() < 0.35,
+        "martingale at 1e18: {mart:.4} vs theory {pred_mart:.4}"
+    );
+    assert!(
+        report.ml[0].bias().abs() < 0.02,
+        "bias {:.4}",
+        report.ml[0].bias()
+    );
+}
+
+/// The error *decreases slightly* at the end of the operating range
+/// (~2·10^19), as the paper observes in Figure 8, before the sketch
+/// saturates at entirely unrealistic counts.
+#[test]
+fn error_dips_then_saturates_beyond_the_range() {
+    let cfg = EllConfig::new(2, 20, 6).unwrap();
+    let sim = FastErrorSim {
+        cfg,
+        runs: 150,
+        seed: 0xD1B,
+        exact_limit: 1_000,
+        threads: 0,
+    };
+    let report = sim.run(&[1e15, 1e19, 1e21]);
+    let mid = report.ml[0].rmse();
+    let edge = report.ml[1].rmse();
+    assert!(
+        edge < mid * 1.08,
+        "error at the range edge ({edge:.4}) should not exceed mid-range ({mid:.4})"
+    );
+    // At 10^21 every register has seen every possible update value: the
+    // ML estimate diverges (counted as non-finite, never averaged).
+    assert!(
+        report.ml[2].non_finite() > 100,
+        "expected widespread saturation at 10^21, got {}",
+        report.ml[2].non_finite()
+    );
+    // The martingale estimate stays finite (it simply stops growing).
+    assert_eq!(
+        report.martingale[2].count() + report.martingale[2].non_finite(),
+        150
+    );
+}
+
+/// A single fast-simulation run to 10^21 covers 21 orders of magnitude
+/// in well under a second — the methodology that makes Figure 8 feasible.
+#[test]
+fn fast_simulation_is_actually_fast() {
+    let cfg = EllConfig::optimal(6).unwrap();
+    let sim = FastErrorSim {
+        cfg,
+        runs: 4,
+        seed: 1,
+        exact_limit: 1_000,
+        threads: 1,
+    };
+    let checkpoints: Vec<f64> = (0..=21).map(|e| 10f64.powi(e)).collect();
+    let t0 = std::time::Instant::now();
+    let report = sim.run(&checkpoints);
+    let elapsed = t0.elapsed();
+    assert_eq!(report.checkpoints.len(), 22);
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "4 runs to 10^21 took {elapsed:?}"
+    );
+}

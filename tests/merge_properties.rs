@@ -1,0 +1,148 @@
+//! Cross-crate property tests of the algebraic laws the paper's §1 lists
+//! as essential: mergeability, idempotency, reproducibility, reducibility,
+//! and their interactions (reduce/merge commutation, §4.1).
+
+use ell_hash::SplitMix64;
+use exaloglog::{EllConfig, ExaLogLog};
+use proptest::prelude::*;
+
+/// A strategy producing a valid small configuration (kept small so each
+/// case is fast but covers the t/d/p interaction space).
+fn config_strategy() -> impl Strategy<Value = EllConfig> {
+    (0u8..=3, 0u8..=24, 2u8..=8)
+        .prop_map(|(t, d, p)| EllConfig::new(t, d, p).expect("generated in-range"))
+}
+
+fn build(cfg: EllConfig, seed: u64, n: usize) -> ExaLogLog {
+    let mut s = ExaLogLog::new(cfg);
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..n {
+        s.insert_hash(rng.next_u64());
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// merge(a, b) must equal inserting the concatenated streams — the
+    /// paper's own validation protocol for Algorithm 5 (§5).
+    #[test]
+    fn merge_equals_union(cfg in config_strategy(), seed in any::<u64>(), na in 0usize..3000, nb in 0usize..3000) {
+        let a = build(cfg, seed, na);
+        let b = build(cfg, seed.wrapping_add(1), nb);
+        let mut merged = a.clone();
+        merged.merge_from(&b).unwrap();
+        let mut direct = ExaLogLog::new(cfg);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..na { direct.insert_hash(rng.next_u64()); }
+        let mut rng = SplitMix64::new(seed.wrapping_add(1));
+        for _ in 0..nb { direct.insert_hash(rng.next_u64()); }
+        prop_assert_eq!(merged, direct);
+    }
+
+    /// Merge is commutative, associative, idempotent; empty is identity.
+    #[test]
+    fn merge_algebra(cfg in config_strategy(), seed in any::<u64>()) {
+        let a = build(cfg, seed, 500);
+        let b = build(cfg, seed ^ 1, 700);
+        let c = build(cfg, seed ^ 2, 300);
+        // commutative
+        let mut ab = a.clone(); ab.merge_from(&b).unwrap();
+        let mut ba = b.clone(); ba.merge_from(&a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        // associative
+        let mut ab_c = ab.clone(); ab_c.merge_from(&c).unwrap();
+        let mut bc = b.clone(); bc.merge_from(&c).unwrap();
+        let mut a_bc = a.clone(); a_bc.merge_from(&bc).unwrap();
+        prop_assert_eq!(&ab_c, &a_bc);
+        // idempotent
+        let mut aa = a.clone(); aa.merge_from(&a).unwrap();
+        prop_assert_eq!(&aa, &a);
+        // identity
+        let mut ae = a.clone(); ae.merge_from(&ExaLogLog::new(cfg)).unwrap();
+        prop_assert_eq!(&ae, &a);
+    }
+
+    /// Reduction commutes with merging: reduce(merge(a,b)) ==
+    /// merge(reduce(a), reduce(b)) — this is what makes precision
+    /// migration safe while old records are still being merged (§4.1).
+    #[test]
+    fn reduce_merge_commute(
+        cfg in config_strategy(),
+        seed in any::<u64>(),
+        d_drop in 0u8..=4,
+        p_drop in 0u8..=3,
+    ) {
+        let d2 = cfg.d().saturating_sub(d_drop);
+        let p2 = cfg.p().saturating_sub(p_drop).max(2);
+        let a = build(cfg, seed, 1500);
+        let b = build(cfg, seed ^ 42, 1500);
+        let mut merged = a.clone();
+        merged.merge_from(&b).unwrap();
+        let reduced_after = merged.reduce(d2, p2).unwrap();
+        let mut reduced_before = a.reduce(d2, p2).unwrap();
+        reduced_before.merge_from(&b.reduce(d2, p2).unwrap()).unwrap();
+        prop_assert_eq!(reduced_after, reduced_before);
+    }
+
+    /// Reduction equals direct recording at the smaller parameters — the
+    /// paper's validation protocol for Algorithm 6 (§5).
+    #[test]
+    fn reduce_equals_direct(
+        cfg in config_strategy(),
+        seed in any::<u64>(),
+        d_drop in 0u8..=6,
+        p_drop in 0u8..=4,
+    ) {
+        let d2 = cfg.d().saturating_sub(d_drop);
+        let p2 = cfg.p().saturating_sub(p_drop).max(2);
+        let big = build(cfg, seed, 2000);
+        let small_cfg = EllConfig::new(cfg.t(), d2, p2).unwrap();
+        let small = build(small_cfg, seed, 2000);
+        prop_assert_eq!(big.reduce(d2, p2).unwrap(), small);
+    }
+
+    /// Mixed-parameter merge (same t) equals direct recording at the
+    /// common parameters.
+    #[test]
+    fn mixed_parameter_merge(t in 0u8..=2, seed in any::<u64>()) {
+        let cfg_a = EllConfig::new(t, 20, 7).unwrap();
+        let cfg_b = EllConfig::new(t, 12, 5).unwrap();
+        let a = build(cfg_a, seed, 1000);
+        let b = build(cfg_b, seed ^ 9, 800);
+        let merged = a.merged_with(&b).unwrap();
+        let common = EllConfig::new(t, 12, 5).unwrap();
+        let mut direct = ExaLogLog::new(common);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..1000 { direct.insert_hash(rng.next_u64()); }
+        let mut rng = SplitMix64::new(seed ^ 9);
+        for _ in 0..800 { direct.insert_hash(rng.next_u64()); }
+        prop_assert_eq!(merged, direct);
+    }
+
+    /// Idempotency and reproducibility: permuted, duplicated streams give
+    /// identical states.
+    #[test]
+    fn insert_order_and_duplicates_irrelevant(
+        cfg in config_strategy(),
+        hashes in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let mut forward = ExaLogLog::new(cfg);
+        for &h in &hashes { forward.insert_hash(h); }
+        let mut shuffled = ExaLogLog::new(cfg);
+        // Deterministic shuffle: interleave from both ends, insert twice.
+        let mut left = 0;
+        let mut right = hashes.len();
+        while left < right {
+            right -= 1;
+            shuffled.insert_hash(hashes[right]);
+            if left < right {
+                shuffled.insert_hash(hashes[left]);
+                left += 1;
+            }
+            shuffled.insert_hash(hashes[right]); // duplicate
+        }
+        prop_assert_eq!(forward, shuffled);
+    }
+}

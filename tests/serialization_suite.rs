@@ -1,0 +1,103 @@
+//! Serialization integration tests: byte-level round trips across the
+//! full configuration space, stability of the wire format, and fuzzing of
+//! the decoder with corrupted input (it must reject or parse — never
+//! panic, never round-trip to a different state).
+
+use ell_hash::SplitMix64;
+use exaloglog::{EllConfig, ExaLogLog};
+use proptest::prelude::*;
+
+fn build(cfg: EllConfig, seed: u64, n: usize) -> ExaLogLog {
+    let mut s = ExaLogLog::new(cfg);
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..n {
+        s.insert_hash(rng.next_u64());
+    }
+    s
+}
+
+#[test]
+fn roundtrip_every_paper_configuration() {
+    for (t, d, p) in [
+        (0u8, 0u8, 11u8), // HLL
+        (0, 1, 11),       // EHLL
+        (0, 2, 10),       // ULL
+        (1, 9, 8),
+        (2, 16, 8),
+        (2, 20, 8),
+        (2, 24, 8),
+        (2, 20, 4),
+        (2, 20, 12),
+    ] {
+        let cfg = EllConfig::new(t, d, p).unwrap();
+        for n in [0usize, 1, 100, 50_000] {
+            let s = build(cfg, 1234, n);
+            let restored = ExaLogLog::from_bytes(&s.to_bytes()).unwrap();
+            assert_eq!(restored, s, "t={t} d={d} p={p} n={n}");
+        }
+    }
+}
+
+#[test]
+fn wire_format_is_pinned() {
+    // The serialized header must stay stable: magic "ELL1", then t, d, p.
+    let s = ExaLogLog::with_params(2, 20, 4).unwrap();
+    let bytes = s.to_bytes();
+    assert_eq!(&bytes[..4], b"ELL1");
+    assert_eq!(&bytes[4..7], &[2, 20, 4]);
+    assert_eq!(bytes.len(), 7 + 56); // 16 registers × 28 bits
+    assert!(
+        bytes[7..].iter().all(|&b| b == 0),
+        "empty sketch is all zeros"
+    );
+}
+
+#[test]
+fn serialized_size_matches_paper_table2() {
+    // Table 2: ELL(2,20,p=8) serializes to 896 register bytes,
+    // ELL(2,24,p=8) to 1024.
+    let s = build(EllConfig::optimal(8).unwrap(), 7, 10_000);
+    assert_eq!(s.register_bytes().len(), 896);
+    let s = build(EllConfig::aligned32(8).unwrap(), 7, 10_000);
+    assert_eq!(s.register_bytes().len(), 1024);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decoding arbitrary bytes must never panic; when it succeeds, the
+    /// result must re-serialize to the same bytes (canonical form).
+    #[test]
+    fn decoder_handles_arbitrary_input(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(sketch) = ExaLogLog::from_bytes(&bytes) {
+            prop_assert_eq!(sketch.to_bytes(), bytes);
+        }
+    }
+
+    /// Single-byte corruptions of a valid serialization either fail to
+    /// parse or parse to a state that re-serializes canonically (they can
+    /// never round-trip to the ORIGINAL state).
+    #[test]
+    fn corruption_is_contained(seed in any::<u64>(), pos_seed in any::<usize>(), flip in 1u8..=255) {
+        let s = build(EllConfig::new(1, 9, 4).unwrap(), seed, 500);
+        let good = s.to_bytes();
+        let pos = pos_seed % good.len();
+        let mut bad = good.clone();
+        bad[pos] ^= flip;
+        // Rejection is the expected common case; acceptance must still
+        // be canonical and must not resurrect the original state.
+        if let Ok(decoded) = ExaLogLog::from_bytes(&bad) {
+            prop_assert_eq!(decoded.to_bytes(), bad);
+            prop_assert!(decoded != s, "corrupted bytes decoded to the original state");
+        }
+    }
+
+    /// Register-payload round trip through the bare (header-less) format.
+    #[test]
+    fn register_payload_roundtrip(seed in any::<u64>(), n in 0usize..5000) {
+        let cfg = EllConfig::new(2, 16, 6).unwrap();
+        let s = build(cfg, seed, n);
+        let restored = ExaLogLog::from_register_bytes(cfg, s.register_bytes()).unwrap();
+        prop_assert_eq!(restored, s);
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-crate similarity estimation: HyperMinHash's bucket-matching
+//! Jaccard estimator versus ELL-based inclusion–exclusion, checked
+//! against exact set arithmetic over a range of overlap levels.
+//!
+//! Distinct counting is the paper's subject, but its §2.5 relatives are
+//! chosen for set *relations* (HyperMinHash = MinHash in LogLog space);
+//! this suite pins down how the two estimation routes behave so
+//! downstream users can pick deliberately.
+
+use ell_baselines::HyperMinHash;
+use ell_hash::mix64;
+use ell_tools::relate;
+use exaloglog::{EllConfig, ExaLogLog};
+
+/// Builds element streams A = [0, n), B = [n − overlap, 2n − overlap):
+/// |A| = |B| = n, |A ∩ B| = overlap.
+fn streams(n: u64, overlap: u64) -> (Vec<u64>, Vec<u64>) {
+    let a = (0..n).map(mix64).collect();
+    let b = (n - overlap..2 * n - overlap).map(mix64).collect();
+    (a, b)
+}
+
+#[test]
+fn inclusion_exclusion_tracks_true_jaccard() {
+    let cfg = EllConfig::optimal(12).unwrap();
+    let n = 40_000u64;
+    for overlap in [0u64, 4_000, 20_000, 36_000, 40_000] {
+        let (sa, sb) = streams(n, overlap);
+        let mut a = ExaLogLog::new(cfg);
+        let mut b = ExaLogLog::new(cfg);
+        a.extend(sa.iter().copied());
+        b.extend(sb.iter().copied());
+        let rel = relate(&a, &b).unwrap();
+        let true_union = (2 * n - overlap) as f64;
+        let true_j = overlap as f64 / true_union;
+        assert!(
+            (rel.union / true_union - 1.0).abs() < 0.04,
+            "overlap {overlap}: union {} vs {true_union}",
+            rel.union
+        );
+        // Inclusion–exclusion error is absolute in the union scale, so
+        // compare Jaccard with an absolute tolerance.
+        assert!(
+            (rel.jaccard - true_j).abs() < 0.05,
+            "overlap {overlap}: J {} vs {true_j}",
+            rel.jaccard
+        );
+    }
+}
+
+#[test]
+fn hyperminhash_matches_inclusion_exclusion() {
+    // Both estimators on the same streams must agree with each other
+    // and with the truth for moderate-to-high similarity.
+    let n = 30_000u64;
+    for overlap in [10_000u64, 20_000, 27_000] {
+        let (sa, sb) = streams(n, overlap);
+        let mut hmh_a = HyperMinHash::new(12, 4);
+        let mut hmh_b = HyperMinHash::new(12, 4);
+        let mut ell_a = ExaLogLog::new(EllConfig::optimal(12).unwrap());
+        let mut ell_b = ExaLogLog::new(EllConfig::optimal(12).unwrap());
+        for &h in &sa {
+            hmh_a.insert_hash(h);
+            ell_a.insert_hash(h);
+        }
+        for &h in &sb {
+            hmh_b.insert_hash(h);
+            ell_b.insert_hash(h);
+        }
+        let true_j = overlap as f64 / (2 * n - overlap) as f64;
+        let j_hmh = hmh_a.jaccard(&hmh_b);
+        let j_ie = relate(&ell_a, &ell_b).unwrap().jaccard;
+        assert!(
+            (j_hmh - true_j).abs() < 0.05,
+            "overlap {overlap}: HMH J {j_hmh} vs {true_j}"
+        );
+        assert!(
+            (j_ie - true_j).abs() < 0.05,
+            "overlap {overlap}: I–E J {j_ie} vs {true_j}"
+        );
+        assert!(
+            (j_hmh - j_ie).abs() < 0.08,
+            "estimators disagree: {j_hmh} vs {j_ie}"
+        );
+    }
+}
+
+#[test]
+fn intersection_estimates_scale_with_overlap() {
+    // Monotonicity: larger true overlap ⇒ larger estimated intersection,
+    // for both routes.
+    let n = 25_000u64;
+    let mut last_hmh = -1.0f64;
+    let mut last_ie = -1.0f64;
+    for overlap in [2_500u64, 10_000, 17_500, 25_000] {
+        let (sa, sb) = streams(n, overlap);
+        let mut hmh_a = HyperMinHash::new(12, 4);
+        let mut hmh_b = HyperMinHash::new(12, 4);
+        let cfg = EllConfig::optimal(12).unwrap();
+        let mut ell_a = ExaLogLog::new(cfg);
+        let mut ell_b = ExaLogLog::new(cfg);
+        for &h in &sa {
+            hmh_a.insert_hash(h);
+            ell_a.insert_hash(h);
+        }
+        for &h in &sb {
+            hmh_b.insert_hash(h);
+            ell_b.insert_hash(h);
+        }
+        let inter_hmh = hmh_a.intersection_estimate(&hmh_b);
+        let inter_ie = relate(&ell_a, &ell_b).unwrap().intersection;
+        assert!(inter_hmh > last_hmh, "HMH not monotone at {overlap}");
+        assert!(inter_ie > last_ie, "I–E not monotone at {overlap}");
+        // The uncorrected HMH estimator carries a collision floor of
+        // ≈ P(equal nlz)·2^−t on J (module docs), i.e. an additive bias
+        // of up to a few percent of the *union* at low overlap.
+        let union = (2 * n - overlap) as f64;
+        let hmh_tolerance = 0.12 * overlap as f64 + 0.05 * union;
+        assert!(
+            (inter_hmh - overlap as f64).abs() < hmh_tolerance,
+            "overlap {overlap}: HMH intersection {inter_hmh}"
+        );
+        assert!(
+            (inter_ie / overlap as f64 - 1.0).abs() < 0.12,
+            "overlap {overlap}: I–E intersection {inter_ie}"
+        );
+        last_hmh = inter_hmh;
+        last_ie = inter_ie;
+    }
+}
+
+#[test]
+fn mixed_parameter_similarity_works() {
+    // relate() reduces to common parameters first, so sketches recorded
+    // at different precisions still compare.
+    let (sa, sb) = streams(20_000, 10_000);
+    let mut a = ExaLogLog::new(EllConfig::new(2, 20, 13).unwrap());
+    let mut b = ExaLogLog::new(EllConfig::new(2, 16, 11).unwrap());
+    a.extend(sa.iter().copied());
+    b.extend(sb.iter().copied());
+    let rel = relate(&a, &b).unwrap();
+    let true_j = 10_000.0 / 30_000.0;
+    assert!(
+        (rel.jaccard - true_j).abs() < 0.06,
+        "mixed-parameter J {} vs {true_j}",
+        rel.jaccard
+    );
+}
