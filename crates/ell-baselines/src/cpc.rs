@@ -66,6 +66,7 @@ fn checksum(bitmaps: impl Iterator<Item = u64>) -> u64 {
 fn bit_probability(n_hat: f64, m: f64, k: u32, cap: u32) -> u32 {
     let rho = 2f64.powi(-(k.min(cap) as i32));
     let p_set = -(-n_hat * rho / m).exp_m1(); // 1 − e^(−n̂ρ/m)
+
     // Clamp into the codable range; the coder clamps again defensively.
     (p_set * f64::from(PROB_ONE)) as u32
 }

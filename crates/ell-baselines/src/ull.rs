@@ -177,7 +177,10 @@ impl Ull {
         let m = 1usize << p;
         let payload = &bytes[5..];
         if payload.len() != m {
-            return Err(format!("expected {m} register bytes, got {}", payload.len()));
+            return Err(format!(
+                "expected {m} register bytes, got {}",
+                payload.len()
+            ));
         }
         let cfg = EllConfig::new(0, 2, p).expect("validated p");
         for (i, &r) in payload.iter().enumerate() {

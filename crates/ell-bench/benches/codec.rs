@@ -20,7 +20,9 @@ const N: usize = 100_000;
 fn values(n: usize, seed: u64) -> Vec<u64> {
     let mut rng = SplitMix64::new(seed);
     // Geometric-flavoured values, like sketch column gaps.
-    (0..n).map(|_| rng.next_u64().trailing_ones() as u64).collect()
+    (0..n)
+        .map(|_| rng.next_u64().trailing_ones() as u64)
+        .collect()
 }
 
 fn universal_codes(c: &mut Criterion) {

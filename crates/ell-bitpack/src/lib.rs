@@ -125,10 +125,7 @@ impl PackedArray {
         // Checked layout computation: an attacker-controlled `len` (e.g. a
         // corrupted length field in a serialized sketch) must surface as a
         // LengthMismatch, not an arithmetic overflow.
-        let expected = match len
-            .checked_mul(width as usize)
-            .map(|bits| bits.div_ceil(8))
-        {
+        let expected = match len.checked_mul(width as usize).map(|bits| bits.div_ceil(8)) {
             Some(expected) => expected,
             None => {
                 return Err(PackedArrayError::LengthMismatch {

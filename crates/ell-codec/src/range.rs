@@ -244,7 +244,11 @@ mod tests {
             assert_eq!(dec.decode(PROB_ONE / 2), b);
         }
         // Uniform bits are incompressible: ≈ n/8 bytes.
-        assert!((bytes.len() as f64 - 1250.0).abs() < 30.0, "{}", bytes.len());
+        assert!(
+            (bytes.len() as f64 - 1250.0).abs() < 30.0,
+            "{}",
+            bytes.len()
+        );
     }
 
     #[test]
@@ -294,7 +298,11 @@ mod tests {
             assert_eq!(dec.decode_adaptive(&mut model), b);
         }
         // Must beat the uniform-model size of 2500 bytes clearly.
-        assert!(bytes.len() < 1500, "adaptive coding too weak: {}", bytes.len());
+        assert!(
+            bytes.len() < 1500,
+            "adaptive coding too weak: {}",
+            bytes.len()
+        );
     }
 
     #[test]

@@ -119,8 +119,7 @@ mod tests {
         // The widely published x64_128 vector: hashing "The quick brown fox
         // jumps over the lazy dog" with seed 0 yields the byte string
         // 6c1b07bc7bbc4be347939ac4a93c437a (little-endian h1 ‖ h2).
-        let (h1, h2) =
-            Murmur3_128::new(0).hash128(b"The quick brown fox jumps over the lazy dog");
+        let (h1, h2) = Murmur3_128::new(0).hash128(b"The quick brown fox jumps over the lazy dog");
         assert_eq!(h1, 0xe34b_bc7b_bc07_1b6c);
         assert_eq!(h2, 0x7a43_3ca9_c49a_9347);
     }

@@ -107,10 +107,8 @@ fn main() {
     // Machine-checkable summary: the error after the transition region
     // must not exceed the theoretical dense RMSE by more than the
     // simulation tolerance.
-    let theory = exaloglog::theory::predicted_rmse(
-        &cfg,
-        exaloglog::theory::Estimator::MaximumLikelihood,
-    );
+    let theory =
+        exaloglog::theory::predicted_rmse(&cfg, exaloglog::theory::Estimator::MaximumLikelihood);
     let last = err_at.last().expect("nonempty").rmse();
     println!(
         "\nfinal rmse {:.2} % vs dense theory {:.2} % (ratio {:.2})",

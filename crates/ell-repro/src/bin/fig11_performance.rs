@@ -18,7 +18,9 @@
 //! `crates/ell-bench` (`cargo bench -p ell-bench`); this binary prints the
 //! full figure series quickly with a simple median-of-reps timer.
 
-use ell_baselines::{HllEstimator, HyperLogLog, HyperLogLog4, HyperLogLogLog, Pcsa, SpikeLike, Ull};
+use ell_baselines::{
+    HllEstimator, HyperLogLog, HyperLogLog4, HyperLogLogLog, Pcsa, SpikeLike, Ull,
+};
 use ell_hash::{Hasher64, Murmur3_128, SplitMix64};
 use ell_repro::{fmt_f, RunParams, Table};
 use exaloglog::{EllConfig, ExaLogLog, MartingaleExaLogLog};

@@ -319,13 +319,21 @@ mod tests {
             b.insert(&hasher, format!("x{i}").as_bytes());
         }
         let rel = relate(&a, &b).unwrap();
-        assert!((rel.union / 9000.0 - 1.0).abs() < 0.05, "union {}", rel.union);
+        assert!(
+            (rel.union / 9000.0 - 1.0).abs() < 0.05,
+            "union {}",
+            rel.union
+        );
         assert!(
             (rel.intersection / 3000.0 - 1.0).abs() < 0.25,
             "intersection {}",
             rel.intersection
         );
-        assert!((rel.jaccard - 1.0 / 3.0).abs() < 0.1, "jaccard {}", rel.jaccard);
+        assert!(
+            (rel.jaccard - 1.0 / 3.0).abs() < 0.1,
+            "jaccard {}",
+            rel.jaccard
+        );
     }
 
     #[test]

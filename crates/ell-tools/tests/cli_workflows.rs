@@ -164,7 +164,11 @@ fn similarity_workflow() {
     assert!((rel.a / 6000.0 - 1.0).abs() < 0.06);
     assert!((rel.b / 6000.0 - 1.0).abs() < 0.06);
     assert!((rel.union / 9000.0 - 1.0).abs() < 0.06);
-    assert!((rel.jaccard - 1.0 / 3.0).abs() < 0.08, "J = {}", rel.jaccard);
+    assert!(
+        (rel.jaccard - 1.0 / 3.0).abs() < 0.08,
+        "J = {}",
+        rel.jaccard
+    );
     // Self-similarity is exactly 1 (identical sketches merge to themselves).
     let self_rel = relate(&a, &a).unwrap();
     assert!((self_rel.jaccard - 1.0).abs() < 1e-9);

@@ -1,6 +1,6 @@
 //! Hardcoded fast paths for the paper's highlighted configurations.
 //!
-//! The generic [`ExaLogLog`](crate::ExaLogLog) supports arbitrary
+//! The generic [`ExaLogLog`] supports arbitrary
 //! (t, d, p). The paper closes its performance discussion (§5.3) with
 //! the remark that *"our ELL reference implementation is generic …
 //! hardcoding these values could potentially further improve its

@@ -1,0 +1,94 @@
+//! Collection strategies (`vec`, `btree_map`), mirroring
+//! `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specification for collection strategies, mirroring
+/// `proptest::collection::SizeRange` conversions.
+pub trait SizeRange {
+    /// Draws one length from the specification.
+    fn sample(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.next_index(self.end - self.start)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty size range");
+        self.start() + rng.next_index(self.end() - self.start() + 1)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from `R`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vector strategy, mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeMap<K::Value, V::Value>` with entry counts drawn
+/// from `R`.
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V, R> {
+    keys: K,
+    values: V,
+    size: R,
+}
+
+impl<K, V, R> Strategy for BTreeMapStrategy<K, V, R>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    R: SizeRange,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = self.size.sample(rng);
+        let mut map = BTreeMap::new();
+        // Like real proptest, duplicate keys merely shrink the map, so
+        // the entry count is at most (not exactly) the sampled size.
+        for _ in 0..n {
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        map
+    }
+}
+
+/// Ordered-map strategy, mirroring `proptest::collection::btree_map`.
+pub fn btree_map<K, V, R>(keys: K, values: V, size: R) -> BTreeMapStrategy<K, V, R>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+    R: SizeRange,
+{
+    BTreeMapStrategy { keys, values, size }
+}

@@ -79,7 +79,10 @@ fn main() {
 
     let exact = exact_neighborhood(max_t);
     println!("HyperANF with ExaLogLog({}): N(t) vs exact BFS", config);
-    println!("{:>3} {:>14} {:>14} {:>8}", "t", "estimated", "exact", "error");
+    println!(
+        "{:>3} {:>14} {:>14} {:>8}",
+        "t", "estimated", "exact", "error"
+    );
 
     let mut estimated = Vec::with_capacity(max_t + 1);
     for (t, &exact_t) in exact.iter().enumerate() {

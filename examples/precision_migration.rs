@@ -32,7 +32,7 @@ use exaloglog::{EllConfig, ExaLogLog};
 fn day_events(d: u64) -> impl Iterator<Item = u64> {
     let daily_audience = 80_000u64;
     let churn = 15_000u64;
-    (d * churn..d * churn + daily_audience).map(move |u| u)
+    d * churn..d * churn + daily_audience
 }
 
 fn main() {
@@ -111,7 +111,8 @@ fn main() {
         );
         println!(
             "{:>24} {:>10}   (entropy-coded copy of the same state)",
-            "→ compressed", packed.len()
+            "→ compressed",
+            packed.len()
         );
         // Every rung still answers the query within its own theory band.
         let rung_rel = sketch.estimate() / 80_000.0 - 1.0;

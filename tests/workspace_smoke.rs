@@ -1,0 +1,71 @@
+//! Workspace-wiring smoke test.
+//!
+//! Exercises every member crate *through the umbrella crate's
+//! re-exports* (`ell::…`), so a broken manifest, a dropped `pub use`,
+//! or a cross-crate version mismatch fails tier-1 (`cargo test`) and
+//! not just the CI compile-smoke jobs. Each section touches one crate's
+//! core entry point: construct a sketch, hash, pack registers, evaluate
+//! a special function, run a baseline, and generate a workload.
+
+use ell::ell_baselines::Ull;
+use ell::ell_bitpack::PackedArray;
+use ell::ell_hash::{Hasher64, SplitMix64, WyHash};
+use ell::ell_numerics::hurwitz_zeta;
+use ell::ell_sim::workload::distinct_stream;
+use ell::exaloglog::{EllConfig, ExaLogLog};
+
+#[test]
+fn every_member_crate_is_usable_through_the_umbrella() {
+    // ell-hash: deterministic 64-bit hashing.
+    let hasher = WyHash::new(7);
+    let h1 = hasher.hash_str("exaloglog");
+    let h2 = hasher.hash_str("exaloglog");
+    assert_eq!(h1, h2, "hashing must be deterministic");
+
+    // ell-bitpack: packed register storage round-trips values.
+    let mut packed = PackedArray::new(6, 64);
+    packed.set(3, 41);
+    assert_eq!(packed.get(3), 41);
+    assert_eq!(packed.get(4), 0);
+
+    // ell-numerics: the Hurwitz zeta function behind the ML estimator.
+    let z = hurwitz_zeta(2.0, 1.0);
+    assert!(
+        (z - std::f64::consts::PI * std::f64::consts::PI / 6.0).abs() < 1e-9,
+        "zeta(2, 1) should equal pi^2/6, got {z}"
+    );
+
+    // exaloglog: insert a known universe and estimate it.
+    let mut sketch = ExaLogLog::new(EllConfig::optimal(10).expect("valid precision"));
+    let n = 10_000u64;
+    for x in 0..n {
+        sketch.insert(&hasher, &x.to_le_bytes());
+    }
+    let estimate = sketch.estimate();
+    let rel = estimate / n as f64 - 1.0;
+    assert!(
+        rel.abs() < 0.15,
+        "estimate {estimate:.0} for n={n} is off by {:.1} %",
+        rel * 100.0
+    );
+
+    // Serialization round-trip through the public byte format.
+    let restored = ExaLogLog::from_bytes(&sketch.to_bytes()).expect("canonical bytes");
+    assert_eq!(restored.estimate(), estimate);
+
+    // ell-baselines: UltraLogLog counts the same stream.
+    let mut ull = Ull::new(10);
+    for x in 0..n {
+        ull.insert_hash(hasher.hash_u64(x));
+    }
+    let ull_rel = ull.estimate() / n as f64 - 1.0;
+    assert!(ull_rel.abs() < 0.15, "ULL off by {:.1} %", ull_rel * 100.0);
+
+    // ell-sim: workload generation produces the advertised cardinality.
+    let stream = distinct_stream(1000, 42);
+    assert_eq!(stream.len(), 1000);
+
+    // ell-hash again: SplitMix64 is the workspace's seedable PRNG.
+    let mut rng = SplitMix64::new(1);
+    assert_ne!(rng.next_u64(), rng.next_u64());
+}
