@@ -1,0 +1,276 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! statistical benchmark harness.
+//!
+//! The build environment for this workspace has no registry access, so the
+//! benches in `ell-bench` link against this API-compatible subset instead.
+//! It implements exactly the surface those benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a deliberately simple measurement loop: a short warm-up, then a timed
+//! run whose mean per-iteration wall time is printed.
+//!
+//! To switch to real criterion, point the `criterion` entry in the root
+//! `[workspace.dependencies]` at the registry version; no bench source
+//! changes are needed.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement settings shared by `Criterion` and each benchmark group.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration run before measurement starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window; sampling stops once it is exhausted.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs a standalone benchmark function.
+    ///
+    /// Takes `&str` like real criterion's `Criterion::bench_function`
+    /// (only `BenchmarkGroup::bench_function` accepts owned ids there),
+    /// so call sites stay source-compatible with the registry crate.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.settings, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            settings: Settings::default(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs, enabling
+    /// elements/sec or bytes/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the target number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let mean = run_one(&full, self.settings, &mut f);
+        if let (Some(t), Some(mean)) = (&self.throughput, mean) {
+            report_throughput(t, mean);
+        }
+        self
+    }
+
+    /// Finishes the group. (The real harness renders summaries here.)
+    pub fn finish(self) {}
+}
+
+/// Work-per-iteration declaration, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batching hint for `Bencher::iter_batched`, mirroring
+/// `criterion::BatchSize`. The stand-in times one routine call per batch
+/// regardless of the hint.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input: many iterations per batch.
+    SmallInput,
+    /// Large per-iteration input: few iterations per batch.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    settings: Settings,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_until {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F>(id: &str, settings: Settings, f: &mut F) -> Option<Duration>
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        settings,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id}: no iterations recorded");
+        return None;
+    }
+    let mean = b.total / u32::try_from(b.iters).unwrap_or(u32::MAX);
+    println!("{id}: mean {mean:?} over {} iteration(s)", b.iters);
+    Some(mean)
+}
+
+fn report_throughput(t: &Throughput, mean: Duration) {
+    let secs = mean.as_secs_f64();
+    if secs <= 0.0 {
+        return;
+    }
+    match t {
+        Throughput::Elements(n) => {
+            println!("    throughput: {:.3} Melem/s", *n as f64 / secs / 1e6);
+        }
+        Throughput::Bytes(n) => {
+            println!(
+                "    throughput: {:.3} MiB/s",
+                *n as f64 / secs / (1 << 20) as f64
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
