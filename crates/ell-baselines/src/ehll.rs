@@ -12,6 +12,9 @@ use exaloglog::ml::{compute_coefficients, ml_estimate_from_coefficients};
 use exaloglog::theory::bias_correction_c;
 use exaloglog::EllConfig;
 
+/// Serialization magic of the EHLL format.
+const MAGIC: &[u8; 4] = b"BEH1";
+
 /// ExtendedHyperLogLog sketch: 2^p seven-bit registers `r = k·2 + l`,
 /// where `k` is the maximum update value and bit `l` indicates an update
 /// with value `k − 1`.
@@ -127,6 +130,43 @@ impl Ehll {
         let coeffs = compute_coefficients(&cfg, self.regs.iter());
         let raw = ml_estimate_from_coefficients(&coeffs, self.m() as f64);
         raw / (1.0 + bias_correction_c(0, 1) / self.m() as f64)
+    }
+
+    /// Serializes the sketch: magic `"BEH1"`, p, then the packed 7-bit
+    /// register array.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.regs.as_bytes();
+        let mut out = Vec::with_capacity(5 + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.push(self.p);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Deserializes a sketch produced by [`Ehll::to_bytes`], validating
+    /// the header, the payload length, and every register's value range
+    /// (the NLZ part is capped at 65 − p).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 5 {
+            return Err(format!("{} bytes is shorter than the header", bytes.len()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let p = bytes[4];
+        if !(2..=26).contains(&p) {
+            return Err(format!("precision {p} outside 2..=26"));
+        }
+        let regs =
+            PackedArray::from_bytes(7, 1usize << p, &bytes[5..]).map_err(|e| e.to_string())?;
+        let max = ((65 - u64::from(p)) << 1) | 1;
+        for (i, r) in regs.iter().enumerate() {
+            if r > max {
+                return Err(format!("register {i} holds unreachable value {r}"));
+            }
+        }
+        Ok(Ehll { regs, p })
     }
 
     /// Serialized size in bytes: the packed 7-bit register array.

@@ -21,6 +21,30 @@ pub enum HllEstimator {
     MaximumLikelihood,
 }
 
+impl HllEstimator {
+    /// One-byte wire tag for serialization.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            HllEstimator::Original => 0,
+            HllEstimator::Improved => 1,
+            HllEstimator::MaximumLikelihood => 2,
+        }
+    }
+
+    /// Inverse of [`HllEstimator::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Result<Self, String> {
+        match tag {
+            0 => Ok(HllEstimator::Original),
+            1 => Ok(HllEstimator::Improved),
+            2 => Ok(HllEstimator::MaximumLikelihood),
+            other => Err(format!("unknown estimator tag {other}")),
+        }
+    }
+}
+
+/// Serialization magic of the dense-HLL format.
+const MAGIC: &[u8; 4] = b"BHL1";
+
 /// Dense HyperLogLog sketch with `width` ∈ {6, 8} bits per register.
 ///
 /// Inserting consumes the hash exactly as the paper's Algorithm 1: the top
@@ -57,6 +81,12 @@ impl HyperLogLog {
     #[must_use]
     pub fn m(&self) -> usize {
         1usize << self.p
+    }
+
+    /// Bits per register (6 or 8).
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.regs.width()
     }
 
     /// The precision parameter p.
@@ -150,6 +180,48 @@ impl HyperLogLog {
                 ml_estimate_from_coefficients(&coeffs, self.m() as f64)
             }
         }
+    }
+
+    /// Serializes the sketch: magic `"BHL1"`, the (p, width, estimator)
+    /// header, then the packed register array.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.regs.as_bytes();
+        let mut out = Vec::with_capacity(7 + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&[self.p, self.regs.width() as u8, self.estimator.tag()]);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Deserializes a sketch produced by [`HyperLogLog::to_bytes`],
+    /// validating the header, the payload length, and that every register
+    /// holds a reachable value (≤ 65 − p).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 7 {
+            return Err(format!("{} bytes is shorter than the header", bytes.len()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let p = bytes[4];
+        if !(2..=26).contains(&p) {
+            return Err(format!("precision {p} outside 2..=26"));
+        }
+        let width = u32::from(bytes[5]);
+        if width != 6 && width != 8 {
+            return Err(format!("register width {width} must be 6 or 8"));
+        }
+        let estimator = HllEstimator::from_tag(bytes[6])?;
+        let regs =
+            PackedArray::from_bytes(width, 1usize << p, &bytes[7..]).map_err(|e| e.to_string())?;
+        let max = 65 - u64::from(p);
+        for (i, r) in regs.iter().enumerate() {
+            if r > max {
+                return Err(format!("register {i} holds unreachable value {r}"));
+            }
+        }
+        Ok(HyperLogLog { regs, p, estimator })
     }
 
     /// Serialized size: the packed register array.

@@ -15,6 +15,9 @@ use std::collections::HashMap;
 /// Exception marker in the 4-bit array.
 const EXC: u64 = 15;
 
+/// Serialization magic of the 4-bit-HLL format.
+const MAGIC: &[u8; 4] = b"BHL4";
+
 /// DataSketches-style 4-bit HyperLogLog.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HyperLogLog4 {
@@ -142,6 +145,99 @@ impl HyperLogLog4 {
         let q = 64 - usize::from(self.p);
         let counts = count_histogram((0..self.m()).map(|i| self.value(i)), q + 1);
         ertl_improved(&counts, self.m())
+    }
+
+    /// Serializes the sketch: magic `"BHL4"`, p, the global offset, the
+    /// packed 4-bit register array, then the exception table sorted by
+    /// register index (so equal states always produce equal bytes).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.regs.as_bytes();
+        let mut out = Vec::with_capacity(17 + payload.len() + self.exceptions.len() * 12);
+        out.extend_from_slice(MAGIC);
+        out.push(self.p);
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(payload);
+        let mut exceptions: Vec<(u32, u64)> =
+            self.exceptions.iter().map(|(&i, &v)| (i, v)).collect();
+        exceptions.sort_unstable();
+        out.extend_from_slice(&(exceptions.len() as u32).to_le_bytes());
+        for (i, v) in exceptions {
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a sketch produced by [`HyperLogLog4::to_bytes`],
+    /// validating the header, lengths, and the consistency of the
+    /// exception table with the register array.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 13 {
+            return Err(format!("{} bytes is shorter than the header", bytes.len()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let p = bytes[4];
+        if !(2..=26).contains(&p) {
+            return Err(format!("precision {p} outside 2..=26"));
+        }
+        let m = 1usize << p;
+        let offset = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes"));
+        let reg_bytes = (m * 4).div_ceil(8);
+        let exc_start = 13 + reg_bytes;
+        if bytes.len() < exc_start + 4 {
+            return Err("truncated register/exception payload".into());
+        }
+        let regs =
+            PackedArray::from_bytes(4, m, &bytes[13..exc_start]).map_err(|e| e.to_string())?;
+        let count = u32::from_le_bytes(bytes[exc_start..exc_start + 4].try_into().expect("4 bytes"))
+            as usize;
+        let mut rest = &bytes[exc_start + 4..];
+        if rest.len() != count * 12 {
+            return Err(format!(
+                "expected {} exception bytes, got {}",
+                count * 12,
+                rest.len()
+            ));
+        }
+        let mut exceptions = HashMap::with_capacity(count);
+        let mut last: Option<u32> = None;
+        while !rest.is_empty() {
+            let i = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+            let v = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+            rest = &rest[12..];
+            if last.is_some_and(|prev| prev >= i) {
+                return Err("exception indices must be strictly ascending".into());
+            }
+            last = Some(i);
+            if (i as usize) >= m {
+                return Err(format!("exception index {i} outside 0..{m}"));
+            }
+            if regs.get(i as usize) != EXC {
+                return Err(format!("exception entry {i} without its marker nibble"));
+            }
+            if v <= offset + 14 {
+                return Err(format!("exception value {v} representable inline"));
+            }
+            exceptions.insert(i, v);
+        }
+        let marker_count = regs.iter().filter(|&r| r == EXC).count();
+        if marker_count != exceptions.len() {
+            return Err(format!(
+                "{marker_count} exception markers but {} table entries",
+                exceptions.len()
+            ));
+        }
+        let at_offset = regs.iter().filter(|&r| r == 0).count();
+        Ok(HyperLogLog4 {
+            regs,
+            offset,
+            exceptions,
+            at_offset,
+            p,
+        })
     }
 
     /// Serialized size: register array + one (index, value) pair per

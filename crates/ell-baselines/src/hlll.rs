@@ -20,6 +20,9 @@ use ell_bitpack::{mask, PackedArray};
 /// Exception marker in the 3-bit array.
 const EXC: u64 = 7;
 
+/// Serialization magic of the HLLL format.
+const MAGIC: &[u8; 4] = b"BHLL";
+
 /// HyperLogLogLog sketch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HyperLogLogLog {
@@ -155,6 +158,89 @@ impl HyperLogLogLog {
     #[must_use]
     pub fn estimate(&self) -> f64 {
         ffgm_raw((0..self.m()).map(|i| self.value(i)), self.m())
+    }
+
+    /// Serializes the sketch: magic `"BHLL"`, p, the offset, the packed
+    /// 3-bit register array, then the exception list (already sorted by
+    /// register index as an invariant of the structure).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.regs.as_bytes();
+        let mut out = Vec::with_capacity(17 + payload.len() + self.exceptions.len() * 5);
+        out.extend_from_slice(MAGIC);
+        out.push(self.p);
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&(self.exceptions.len() as u32).to_le_bytes());
+        for &(i, v) in &self.exceptions {
+            out.extend_from_slice(&i.to_le_bytes());
+            out.push(v);
+        }
+        out
+    }
+
+    /// Deserializes a sketch produced by [`HyperLogLogLog::to_bytes`],
+    /// validating the header, lengths, and the consistency of the
+    /// exception list with the register array.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 13 {
+            return Err(format!("{} bytes is shorter than the header", bytes.len()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let p = bytes[4];
+        if !(2..=26).contains(&p) {
+            return Err(format!("precision {p} outside 2..=26"));
+        }
+        let m = 1usize << p;
+        let offset = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes"));
+        let reg_bytes = (m * 3).div_ceil(8);
+        let exc_start = 13 + reg_bytes;
+        if bytes.len() < exc_start + 4 {
+            return Err("truncated register/exception payload".into());
+        }
+        let regs =
+            PackedArray::from_bytes(3, m, &bytes[13..exc_start]).map_err(|e| e.to_string())?;
+        let count = u32::from_le_bytes(bytes[exc_start..exc_start + 4].try_into().expect("4 bytes"))
+            as usize;
+        let mut rest = &bytes[exc_start + 4..];
+        if rest.len() != count * 5 {
+            return Err(format!(
+                "expected {} exception bytes, got {}",
+                count * 5,
+                rest.len()
+            ));
+        }
+        let mut exceptions = Vec::with_capacity(count);
+        while !rest.is_empty() {
+            let i = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+            let v = rest[4];
+            rest = &rest[5..];
+            if exceptions.last().is_some_and(|&(prev, _)| prev >= i) {
+                return Err("exception indices must be strictly ascending".into());
+            }
+            if (i as usize) >= m {
+                return Err(format!("exception index {i} outside 0..{m}"));
+            }
+            if regs.get(i as usize) != EXC {
+                return Err(format!("exception entry {i} without its marker"));
+            }
+            exceptions.push((i, v));
+        }
+        let marker_count = regs.iter().filter(|&r| r == EXC).count();
+        if marker_count != exceptions.len() {
+            return Err(format!(
+                "{marker_count} exception markers but {} list entries",
+                exceptions.len()
+            ));
+        }
+        Ok(HyperLogLogLog {
+            regs,
+            exceptions,
+            offset,
+            p,
+        })
     }
 
     /// Serialized size: the 3-bit array plus a compact exception encoding

@@ -27,6 +27,9 @@
 use ell_bitpack::{mask, PackedArray};
 use exaloglog::{EllConfig, ExaLogLog};
 
+/// Serialization magic of the HyperMinHash format.
+const MAGIC: &[u8; 4] = b"BHMH";
+
 /// A HyperMinHash sketch with 2^p buckets of `6 + t` bits.
 ///
 /// ```
@@ -206,6 +209,48 @@ impl HyperMinHash {
         let mut union = self.clone();
         union.merge_from(other);
         self.jaccard(other) * union.estimate()
+    }
+
+    /// Serializes the sketch: magic `"BHMH"`, (p, t), then the packed
+    /// (6+t)-bit bucket array.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.regs.as_bytes();
+        let mut out = Vec::with_capacity(6 + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&[self.p, self.t]);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Deserializes a sketch produced by [`HyperMinHash::to_bytes`],
+    /// validating the header, the payload length, and each bucket's
+    /// update-value range.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 6 {
+            return Err(format!("{} bytes is shorter than the header", bytes.len()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let p = bytes[4];
+        if !(2..=26).contains(&p) {
+            return Err(format!("precision {p} outside 2..=26"));
+        }
+        let t = bytes[5];
+        if t > 6 {
+            return Err(format!("sub-bucket bits {t} exceed 6"));
+        }
+        let regs = PackedArray::from_bytes(6 + u32::from(t), 1usize << p, &bytes[6..])
+            .map_err(|e| e.to_string())?;
+        // Buckets store ELL(t, 0) update values: k ≤ (64−p−t)·2^t + 2^t.
+        let max = (64 - u64::from(p) - u64::from(t) + 1) << t;
+        for (i, r) in regs.iter().enumerate() {
+            if r > max {
+                return Err(format!("bucket {i} holds unreachable value {r}"));
+            }
+        }
+        Ok(HyperMinHash { regs, p, t })
     }
 
     /// Serialized size in bytes: the packed (6+t)-bit bucket array.

@@ -16,9 +16,11 @@
 //! | [`HyperLogLogLog`] | HLLL | 3-bit registers + offset + exception list; re-base sweeps |
 //! | [`SpikeLike`] | SpikeSketch | documented substitute — the reference paper is unavailable offline |
 //!
-//! The [`DistinctCounter`] trait gives the experiment harness a uniform
-//! interface, and [`table2_lineup`] builds the exact Table 2 line-up (all
-//! algorithms at ≈2 % target error).
+//! Every type implements the workspace-wide [`DistinctCounter`] trait
+//! (defined in `ell-core`, re-exported here), [`table2_lineup`] builds
+//! the exact Table 2 line-up (all algorithms at ≈2 % target error), and
+//! [`build_sketch`] resolves any of the registered algorithm names —
+//! ELL variants included — to a boxed [`Sketch`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,17 +34,19 @@ pub mod hll4;
 pub mod hlll;
 pub mod hyperminhash;
 pub mod pcsa;
+pub mod registry;
 pub mod sparse_hll;
 pub mod spike;
 pub mod ull;
 
-pub use counter::{table2_lineup, DistinctCounter};
+pub use counter::{table2_lineup, DistinctCounter, Sketch, SketchError};
 pub use ehll::Ehll;
 pub use hll::{HllEstimator, HyperLogLog};
 pub use hll4::HyperLogLog4;
 pub use hlll::HyperLogLogLog;
 pub use hyperminhash::HyperMinHash;
 pub use pcsa::Pcsa;
+pub use registry::{build_sketch, ALGORITHMS};
 pub use sparse_hll::SparseHyperLogLog;
 pub use spike::SpikeLike;
 pub use ull::Ull;

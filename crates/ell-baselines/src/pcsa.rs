@@ -25,6 +25,10 @@ use exaloglog::ml::{solve_ml_equation, MAX_EXPONENT};
 /// The FM85 magic constant φ (E\[2^R\] ≈ φ·n/m).
 const FM_PHI: f64 = 0.775_351_988_66;
 
+/// Serialization magic of the uncompressed PCSA format (the CPC-style
+/// range-coded format of the [`crate::cpc`] module has its own magic).
+const MAGIC: &[u8; 4] = b"BPC1";
+
 /// A PCSA / FM-sketch with 2^p bitmap registers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pcsa {
@@ -176,6 +180,56 @@ impl Pcsa {
             }
         }
         bits
+    }
+
+    /// Serializes the sketch: magic `"BPC1"`, p, then the m bitmap words
+    /// little-endian.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.bitmaps.len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.push(self.p);
+        for &w in &self.bitmaps {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a sketch produced by [`Pcsa::to_bytes`], validating
+    /// the header, the payload length, and that no bitmap sets a level
+    /// beyond the 65 − p reachable ones.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 5 {
+            return Err(format!("{} bytes is shorter than the header", bytes.len()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let p = bytes[4];
+        if !(2..=26).contains(&p) {
+            return Err(format!("precision {p} outside 2..=26"));
+        }
+        let m = 1usize << p;
+        let payload = &bytes[5..];
+        if payload.len() != m * 8 {
+            return Err(format!(
+                "expected {} bitmap bytes, got {}",
+                m * 8,
+                payload.len()
+            ));
+        }
+        let levels = 65 - u32::from(p);
+        let unreachable = if levels >= 64 { 0 } else { !0u64 << levels };
+        let bitmaps: Vec<u64> = payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        for (i, &w) in bitmaps.iter().enumerate() {
+            if w & unreachable != 0 {
+                return Err(format!("bitmap {i} sets unreachable levels ({w:#x})"));
+            }
+        }
+        Ok(Pcsa { bitmaps, p })
     }
 
     /// Serialized (uncompressed) size: ⌈m·(65−p)/8⌉ bytes of bitmap

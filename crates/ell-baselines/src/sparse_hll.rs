@@ -25,6 +25,9 @@ use crate::hll::{HllEstimator, HyperLogLog};
 use ell_bitpack::mask;
 use exaloglog::ml::{solve_ml_equation, MAX_EXPONENT};
 
+/// Serialization magic of the sparse-capable HLL format.
+const MAGIC: &[u8; 4] = b"BSH1";
+
 /// The coupon address width: sparse data can be folded to any p ≤ 26.
 const COUPON_P: u32 = 26;
 /// NLZ window: the remaining 64 − 26 = 38 hash bits.
@@ -121,6 +124,12 @@ impl SparseHyperLogLog {
     #[must_use]
     pub fn p(&self) -> u8 {
         self.p
+    }
+
+    /// Bits per dense register (6 or 8).
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
     }
 
     /// Whether the sketch is still in sparse (coupon list) mode.
@@ -242,6 +251,92 @@ impl SparseHyperLogLog {
             }
             (State::Dense(a), State::Dense(b)) => a.merge_from(b),
         }
+    }
+
+    /// Serializes the sketch: magic `"BSH1"`, the (p, width, estimator)
+    /// header, a phase tag, then either the sorted coupon list or the
+    /// dense-HLL byte format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&[self.p, self.width as u8, self.estimator.tag()]);
+        match &self.state {
+            State::Sparse(coupons) => {
+                out.push(0);
+                out.extend_from_slice(&(coupons.len() as u32).to_le_bytes());
+                for &c in coupons {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+            State::Dense(dense) => {
+                out.push(1);
+                out.extend_from_slice(&dense.to_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a sketch produced by [`SparseHyperLogLog::to_bytes`],
+    /// validating the header and the phase payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 8 {
+            return Err(format!("{} bytes is shorter than the header", bytes.len()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let p = bytes[4];
+        if !(2..=26).contains(&p) {
+            return Err(format!("precision {p} outside 2..=26"));
+        }
+        let width = u32::from(bytes[5]);
+        if width != 6 && width != 8 {
+            return Err(format!("register width {width} must be 6 or 8"));
+        }
+        let estimator = HllEstimator::from_tag(bytes[6])?;
+        let state = match bytes[7] {
+            0 => {
+                if bytes.len() < 12 {
+                    return Err("truncated coupon count".into());
+                }
+                let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+                let payload = &bytes[12..];
+                if payload.len() != count * 4 {
+                    return Err(format!(
+                        "expected {} coupon bytes, got {}",
+                        count * 4,
+                        payload.len()
+                    ));
+                }
+                let coupons: Vec<u32> = payload
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                    .collect();
+                if !coupons.windows(2).all(|w| w[0] < w[1]) {
+                    return Err("coupons must be strictly ascending".into());
+                }
+                State::Sparse(coupons)
+            }
+            1 => {
+                let dense = HyperLogLog::from_bytes(&bytes[8..])?;
+                if dense.p() != p || dense.width() != width {
+                    return Err(format!(
+                        "parameter mismatch: header (p={p}, w={width}), payload (p={}, w={})",
+                        dense.p(),
+                        dense.width()
+                    ));
+                }
+                State::Dense(dense)
+            }
+            other => return Err(format!("unknown phase tag {other}")),
+        };
+        Ok(SparseHyperLogLog {
+            p,
+            width,
+            estimator,
+            state,
+        })
     }
 
     /// Serialized size in bytes: 4 bytes per coupon while sparse, the

@@ -29,6 +29,9 @@ const CELLS_PER_BUCKET: usize = 16;
 /// Saturation value of a 4-bit cell.
 const CELL_MAX: u64 = 15;
 
+/// Serialization magic of the SpikeSketch-substitute format.
+const MAGIC: &[u8; 4] = b"BSPK";
+
 /// A SpikeSketch-like lossy bucketed sketch (substitute — see module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpikeLike {
@@ -140,6 +143,47 @@ impl SpikeLike {
         let q = 64 - cells.trailing_zeros() as usize;
         let counts = count_histogram((0..cells).map(|c| self.cell_value(c)), q + 1);
         ertl_improved(&counts, cells)
+    }
+
+    /// Serializes the sketch: magic `"BSPK"`, the bucket count, the
+    /// per-bucket offsets, then the packed 4-bit cell array.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.cells.as_bytes();
+        let mut out = Vec::with_capacity(8 + self.offsets.len() + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.buckets as u32).to_le_bytes());
+        out.extend_from_slice(&self.offsets);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Deserializes a sketch produced by [`SpikeLike::to_bytes`],
+    /// validating the header and the payload lengths.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 8 {
+            return Err(format!("{} bytes is shorter than the header", bytes.len()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err("bad magic".into());
+        }
+        let buckets = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        if !buckets.is_power_of_two() || !(8..=1 << 20).contains(&buckets) {
+            return Err(format!(
+                "bucket count {buckets} not a power of two in 8..=2^20"
+            ));
+        }
+        if bytes.len() < 8 + buckets {
+            return Err("truncated offset table".into());
+        }
+        let offsets = bytes[8..8 + buckets].to_vec();
+        let cells = PackedArray::from_bytes(4, buckets * CELLS_PER_BUCKET, &bytes[8 + buckets..])
+            .map_err(|e| e.to_string())?;
+        Ok(SpikeLike {
+            cells,
+            offsets,
+            buckets,
+        })
     }
 
     /// Serialized size: 4-bit cell array + one offset byte per bucket.

@@ -7,41 +7,18 @@
 //! SpikeSketch-substitute's MVP blowing up at small n (lossy encoding);
 //! HLLL's estimator spike near n ≈ 5·10^3; ELL variants lowest at large n.
 
-use ell_baselines::{table2_lineup, DistinctCounter, HllEstimator, SparseHyperLogLog};
+use ell_baselines::{table2_lineup, HllEstimator, Sketch, SparseHyperLogLog};
 use ell_hash::{mix64, SplitMix64};
 use ell_repro::{fmt_f, RunParams, Table};
-use ell_sim::{decade_checkpoints, ErrorAccumulator};
+use ell_sim::{decade_checkpoints, fill_all_to, ErrorAccumulator};
 use exaloglog::{EllConfig, SparseExaLogLog};
 
-/// Sparse ELL wrapped for the common interface.
-struct SparseAdapter(SparseExaLogLog);
-
-impl DistinctCounter for SparseAdapter {
-    fn name(&self) -> String {
-        "ELL(2,20,p=8,sparse)".into()
-    }
-    fn insert_hash(&mut self, h: u64) {
-        self.0.insert_hash(h);
-    }
-    fn estimate(&self) -> f64 {
-        self.0.estimate()
-    }
-    fn memory_bytes(&self) -> usize {
-        self.0.memory_bytes()
-    }
-    fn serialized_bytes(&self) -> usize {
-        self.0.memory_bytes()
-    }
-    fn constant_time_insert(&self) -> bool {
-        true
-    }
-}
-
-fn lineup() -> Vec<Box<dyn DistinctCounter>> {
+fn lineup() -> Vec<Box<dyn Sketch>> {
     let mut v = table2_lineup();
-    v.push(Box::new(SparseAdapter(
+    // SparseExaLogLog implements the shared trait directly — no adapter.
+    v.push(Box::new(
         SparseExaLogLog::new(EllConfig::optimal(8).expect("valid")).expect("valid"),
-    )));
+    ));
     // The DataSketches-style coupon-list HLL: linear memory at small n,
     // dense after break-even — the Figure 10 curve the paper attributes
     // to the DataSketches sparse modes.
@@ -83,13 +60,9 @@ fn main() {
                         let mut rng = SplitMix64::new(mix64(seed ^ mix64(run as u64)));
                         let mut n = 0u64;
                         for (ci, &checkpoint) in checkpoints.iter().enumerate() {
-                            while n < checkpoint {
-                                let h = rng.next_u64();
-                                for s in &mut sketches {
-                                    s.insert_hash(h);
-                                }
-                                n += 1;
-                            }
+                            // Shared hash blocks fed to every sketch
+                            // through the batched trait hot path.
+                            fill_all_to(&mut sketches, &mut rng, &mut n, checkpoint);
                             for (ai, s) in sketches.iter().enumerate() {
                                 acc[ai][ci].0.record(s.estimate(), checkpoint as f64);
                                 acc[ai][ci].1 += s.memory_bytes() as f64;

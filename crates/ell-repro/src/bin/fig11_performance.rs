@@ -7,6 +7,12 @@
 //! across rows. Insert times include the initial allocation of the data
 //! structure (which is why small n show higher per-element times).
 //!
+//! Every subject is driven through the shared `DistinctCounter` trait
+//! (`ell-core`): one generic harness builds the insert/estimate/serialize/
+//! merge closures for any sketch type, replacing the old per-type closure
+//! plumbing. The CPC row overrides serialization with the range coder, as
+//! the real CPC does.
+//!
 //! Absolute numbers depend on the host (the paper used an EC2 c5.metal
 //! with Turbo Boost off); the *shape* to check: all constant-time sketches
 //! insert within the same few-tens-of-ns band; ELL serialization ≈ memcpy;
@@ -19,7 +25,7 @@
 //! full figure series quickly with a simple median-of-reps timer.
 
 use ell_baselines::{
-    HllEstimator, HyperLogLog, HyperLogLog4, HyperLogLogLog, Pcsa, SpikeLike, Ull,
+    DistinctCounter, HllEstimator, HyperLogLog, HyperLogLog4, HyperLogLogLog, Pcsa, SpikeLike, Ull,
 };
 use ell_hash::{Hasher64, Murmur3_128, SplitMix64};
 use ell_repro::{fmt_f, RunParams, Table};
@@ -31,7 +37,7 @@ type InsertFn = Box<dyn Fn(&[[u8; 16]]) -> f64>;
 /// (estimate, serialize, merge, merge+estimate) timings over two batches.
 type OpsFn = Box<dyn Fn(&[[u8; 16]], &[[u8; 16]]) -> (f64, f64, f64, f64)>;
 
-/// One benchmark subject: closures over a concrete sketch type.
+/// One benchmark subject: the generic trait harness over one sketch type.
 struct Subject {
     name: &'static str,
     run_insert: InsertFn,
@@ -53,29 +59,22 @@ fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     times[reps / 2]
 }
 
-fn subject<S, New, Ins, Est, Ser, Mrg>(
-    name: &'static str,
-    new: New,
-    insert: Ins,
-    estimate: Est,
-    serialize: Ser,
-    merge: Mrg,
-) -> Subject
+/// Builds a subject from a sketch constructor alone — insert, estimate,
+/// serialize, and merge all come from the `DistinctCounter` trait.
+/// `serialize` may be overridden for types whose wire format differs from
+/// `to_bytes` (the CPC-style range coder).
+fn subject_with_serializer<S, New, Ser>(name: &'static str, new: New, serialize: Ser) -> Subject
 where
-    S: Clone + 'static,
+    S: DistinctCounter + Clone + 'static,
     New: Fn() -> S + Clone + 'static,
-    Ins: Fn(&mut S, u64) + Clone + 'static,
-    Est: Fn(&S) -> f64 + Clone + 'static,
     Ser: Fn(&S) -> usize + Clone + 'static,
-    Mrg: Fn(&mut S, &S) + Clone + 'static,
 {
     let build = {
         let new = new.clone();
-        let insert = insert.clone();
         move |elements: &[[u8; 16]]| {
             let mut s = new();
             for e in elements {
-                insert(&mut s, HASHER.hash_bytes(e));
+                s.insert_hash(HASHER.hash_bytes(e));
             }
             s
         }
@@ -94,20 +93,22 @@ where
         let b = build(eb);
         let reps = 5;
         let est = time_reps(reps, || {
-            std::hint::black_box(estimate(&a));
+            std::hint::black_box(a.estimate());
         });
         let ser = time_reps(reps, || {
             std::hint::black_box(serialize(&a));
         });
         let mrg = time_reps(reps, || {
             let mut c = a.clone();
-            merge(&mut c, &b);
+            // Merge-incapable types (martingale) report their merge row
+            // as a no-op, exactly like the old hand-written closures.
+            let _ = c.merge_from(&b);
             std::hint::black_box(&c);
         });
         let mrg_est = time_reps(reps, || {
             let mut c = a.clone();
-            merge(&mut c, &b);
-            std::hint::black_box(estimate(&c));
+            let _ = c.merge_from(&b);
+            std::hint::black_box(c.estimate());
         });
         (est, ser, mrg, mrg_est)
     });
@@ -118,111 +119,43 @@ where
     }
 }
 
-#[allow(clippy::too_many_lines)]
+/// Builds a subject whose serialization is the trait's `to_bytes`.
+fn subject<S, New>(name: &'static str, new: New) -> Subject
+where
+    S: DistinctCounter + Clone + 'static,
+    New: Fn() -> S + Clone + 'static,
+{
+    subject_with_serializer(name, new, |s: &S| s.to_bytes().len())
+}
+
 fn subjects() -> Vec<Subject> {
     vec![
-        subject(
-            "ELL(2,20,p=8,ML)",
-            || ExaLogLog::new(EllConfig::optimal(8).expect("valid")),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            ExaLogLog::estimate,
-            |s| s.to_bytes().len(),
-            |a, b| a.merge_from(b).expect("same config"),
-        ),
-        subject(
-            "ELL(2,24,p=8,ML)",
-            || ExaLogLog::new(EllConfig::aligned32(8).expect("valid")),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            ExaLogLog::estimate,
-            |s| s.to_bytes().len(),
-            |a, b| a.merge_from(b).expect("same config"),
-        ),
-        subject(
-            "ELL(2,20,p=8,marting.)",
-            || MartingaleExaLogLog::new(EllConfig::optimal(8).expect("valid")),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            MartingaleExaLogLog::estimate,
-            |s| s.sketch().to_bytes().len(),
-            |_, _| {}, // martingale sketches do not merge (paper §3.3)
-        ),
-        subject(
-            "ULL(p=10,ML)",
-            || Ull::new(10),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            Ull::estimate,
-            |s| s.to_bytes().len(),
-            Ull::merge_from,
-        ),
-        subject(
-            "HLL(6-bit,p=11,impr)",
-            || HyperLogLog::new(11, 6, HllEstimator::Improved),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            HyperLogLog::estimate,
-            |s| s.serialized_bytes(),
-            HyperLogLog::merge_from,
-        ),
-        subject(
-            "HLL(8-bit,p=11,impr)",
-            || HyperLogLog::new(11, 8, HllEstimator::Improved),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            HyperLogLog::estimate,
-            |s| s.serialized_bytes(),
-            HyperLogLog::merge_from,
-        ),
-        subject(
-            "HLL(4-bit,p=11)",
-            || HyperLogLog4::new(11),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            HyperLogLog4::estimate,
-            HyperLogLog4::serialized_bytes,
-            HyperLogLog4::merge_from,
-        ),
-        subject(
+        subject("ELL(2,20,p=8,ML)", || {
+            ExaLogLog::new(EllConfig::optimal(8).expect("valid"))
+        }),
+        subject("ELL(2,24,p=8,ML)", || {
+            ExaLogLog::new(EllConfig::aligned32(8).expect("valid"))
+        }),
+        subject("ELL(2,20,p=8,marting.)", || {
+            MartingaleExaLogLog::new(EllConfig::optimal(8).expect("valid"))
+        }),
+        subject("ULL(p=10,ML)", || Ull::new(10)),
+        subject("HLL(6-bit,p=11,impr)", || {
+            HyperLogLog::new(11, 6, HllEstimator::Improved)
+        }),
+        subject("HLL(8-bit,p=11,impr)", || {
+            HyperLogLog::new(11, 8, HllEstimator::Improved)
+        }),
+        subject("HLL(4-bit,p=11)", || HyperLogLog4::new(11)),
+        // CPC-style serialization = range coding the state: expensive,
+        // exactly the Figure 11 shape the paper highlights for CPC.
+        subject_with_serializer(
             "CPC-proxy(PCSA,p=10)",
             || Pcsa::new(10),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            Pcsa::estimate,
-            // CPC-style serialization = range coding the state: expensive,
-            // exactly the Figure 11 shape the paper highlights for CPC.
             |s| ell_baselines::cpc::compress(s).len(),
-            Pcsa::merge_from,
         ),
-        subject(
-            "HLLL(p=11)",
-            || HyperLogLogLog::new(11),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            HyperLogLogLog::estimate,
-            HyperLogLogLog::serialized_bytes,
-            HyperLogLogLog::merge_from,
-        ),
-        subject(
-            "Spike-like(128)",
-            || SpikeLike::new(128),
-            |s, h| {
-                s.insert_hash(h);
-            },
-            SpikeLike::estimate,
-            SpikeLike::serialized_bytes,
-            SpikeLike::merge_from,
-        ),
+        subject("HLLL(p=11)", || HyperLogLogLog::new(11)),
+        subject("Spike-like(128)", || SpikeLike::new(128)),
     ]
 }
 

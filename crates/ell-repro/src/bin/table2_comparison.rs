@@ -66,12 +66,10 @@ fn main() {
                     while run < runs {
                         let mut sketches = table2_lineup();
                         let mut rng = SplitMix64::new(mix64(seed ^ mix64(run as u64)));
-                        for _ in 0..N {
-                            let h = rng.next_u64();
-                            for s in &mut sketches {
-                                s.insert_hash(h);
-                            }
-                        }
+                        // Shared hash blocks fed to every sketch through
+                        // the batched trait hot path.
+                        let mut n = 0u64;
+                        ell_sim::fill_all_to(&mut sketches, &mut rng, &mut n, N);
                         for (s, stat) in sketches.iter().zip(&mut stats) {
                             stat.err.record(s.estimate(), N as f64);
                             stat.memory_sum += s.memory_bytes() as f64;

@@ -6,14 +6,72 @@
 //! insertions are no-ops by idempotency. This module evaluates estimator
 //! error by running that process many times with independent seeds, in
 //! parallel across threads, recording the estimate at each checkpoint.
+//!
+//! The driver is generic over [`DistinctCounter`], so one insert loop
+//! serves every sketch in the workspace; hashes are fed through the
+//! trait's batched [`DistinctCounter::insert_hashes`] hot path in
+//! fixed-size blocks (bit-for-bit equivalent to one-by-one insertion by
+//! the trait contract, so results are identical to the naive loop).
 
 use crate::stats::ErrorAccumulator;
+use ell_core::{DistinctCounter, Sketch};
 use ell_hash::{mix64, SplitMix64};
 
-/// Generic error evaluation over any sketch type.
+/// Number of hashes generated per batched insert call in the hot loops.
+pub const INSERT_BATCH: usize = 256;
+
+/// Fills the sketch with random hashes until `n` reaches `target`,
+/// batching through the trait's insert hot path. The RNG stream is
+/// consumed one draw per element, so any partition into batches feeds
+/// the sketch exactly the hashes a one-at-a-time loop would.
+///
+/// This is the single shared insert driver: the exact and fast
+/// simulations and (via [`fill_all_to`]) the cross-algorithm reproduction
+/// binaries all use it, so batch-size or stream changes happen in one
+/// place.
+pub fn fill_to<S: DistinctCounter + ?Sized>(
+    sketch: &mut S,
+    rng: &mut SplitMix64,
+    n: &mut u64,
+    target: u64,
+) {
+    let mut buf = [0u64; INSERT_BATCH];
+    while *n < target {
+        let take = (target - *n).min(INSERT_BATCH as u64) as usize;
+        for slot in &mut buf[..take] {
+            *slot = rng.next_u64();
+        }
+        sketch.insert_hashes(&buf[..take]);
+        *n += take as u64;
+    }
+}
+
+/// Like [`fill_to`], but feeds one shared hash block to *every* sketch
+/// in the slice — the cross-algorithm comparison shape (Table 2,
+/// Figure 10), where all estimators must observe the identical stream.
+pub fn fill_all_to(
+    sketches: &mut [Box<dyn Sketch>],
+    rng: &mut SplitMix64,
+    n: &mut u64,
+    target: u64,
+) {
+    let mut buf = [0u64; INSERT_BATCH];
+    while *n < target {
+        let take = (target - *n).min(INSERT_BATCH as u64) as usize;
+        for slot in &mut buf[..take] {
+            *slot = rng.next_u64();
+        }
+        for sketch in sketches.iter_mut() {
+            sketch.insert_hashes(&buf[..take]);
+        }
+        *n += take as u64;
+    }
+}
+
+/// Generic error evaluation over any sketch implementing
+/// [`DistinctCounter`].
 ///
 /// * `new_sketch()` builds an empty sketch;
-/// * `insert(sketch, hash)` feeds one element;
 /// * `estimate(sketch)` returns one value per estimator (the slice length
 ///   must be constant — e.g. `[ml, martingale]`).
 ///
@@ -22,9 +80,8 @@ use ell_hash::{mix64, SplitMix64};
 /// deterministic for a given `seed` regardless of thread count because
 /// every run derives its RNG stream from `mix64(seed, run_index)`.
 #[allow(clippy::too_many_arguments)] // mirrors the experiment's natural shape
-pub fn evaluate_error<S, New, Ins, Est>(
+pub fn evaluate_error<S, New, Est>(
     new_sketch: New,
-    insert: Ins,
     estimate: Est,
     estimators: usize,
     checkpoints: &[u64],
@@ -33,9 +90,8 @@ pub fn evaluate_error<S, New, Ins, Est>(
     threads: usize,
 ) -> Vec<Vec<ErrorAccumulator>>
 where
-    S: Send,
+    S: DistinctCounter + Send,
     New: Fn() -> S + Sync,
-    Ins: Fn(&mut S, u64) + Sync,
     Est: Fn(&S) -> Vec<f64> + Sync,
 {
     assert!(!checkpoints.is_empty(), "need at least one checkpoint");
@@ -49,7 +105,6 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let new_sketch = &new_sketch;
-                let insert = &insert;
                 let estimate = &estimate;
                 scope.spawn(move || {
                     let mut acc =
@@ -60,10 +115,7 @@ where
                         let mut sketch = new_sketch();
                         let mut n = 0u64;
                         for (ci, &checkpoint) in checkpoints.iter().enumerate() {
-                            while n < checkpoint {
-                                insert(&mut sketch, rng.next_u64());
-                                n += 1;
-                            }
+                            fill_to(&mut sketch, &mut rng, &mut n, checkpoint);
                             let ests = estimate(&sketch);
                             debug_assert_eq!(ests.len(), estimators);
                             for (ei, &e) in ests.iter().enumerate() {
@@ -95,9 +147,8 @@ where
 /// Convenience single-estimator, single-checkpoint wrapper: returns the
 /// (bias, rmse) of `estimate` after inserting `n` random elements,
 /// averaged over `runs` runs.
-pub fn measure_bias_rmse<S, New, Ins, Est>(
+pub fn measure_bias_rmse<S, New, Est>(
     new_sketch: New,
-    insert: Ins,
     estimate: Est,
     n: u64,
     runs: usize,
@@ -105,14 +156,12 @@ pub fn measure_bias_rmse<S, New, Ins, Est>(
     threads: usize,
 ) -> (f64, f64)
 where
-    S: Send,
+    S: DistinctCounter + Send,
     New: Fn() -> S + Sync,
-    Ins: Fn(&mut S, u64) + Sync,
     Est: Fn(&S) -> f64 + Sync,
 {
     let acc = evaluate_error(
         new_sketch,
-        insert,
         |s| vec![estimate(s)],
         1,
         &[n],
@@ -166,9 +215,6 @@ mod tests {
         let run = |threads| {
             measure_bias_rmse(
                 || ExaLogLog::new(EllConfig::optimal(6).unwrap()),
-                |s, h| {
-                    s.insert_hash(h);
-                },
                 ExaLogLog::estimate,
                 1000,
                 64,
@@ -182,6 +228,37 @@ mod tests {
     }
 
     #[test]
+    fn batched_driver_matches_naive_insertion() {
+        // The trait-based driver consumes the same RNG stream as the old
+        // one-hash-at-a-time loop, so a run must produce the sketch that
+        // naive insertion of the same stream yields.
+        let cfg = EllConfig::optimal(6).unwrap();
+        let seed = 4242u64;
+        let acc = evaluate_error(
+            || ExaLogLog::new(cfg),
+            |s| vec![s.estimate()],
+            1,
+            &[777],
+            1,
+            seed,
+            1,
+        );
+        let mut rng = SplitMix64::new(mix64(seed ^ mix64(0)));
+        let mut naive = ExaLogLog::new(cfg);
+        for _ in 0..777 {
+            naive.insert_hash(rng.next_u64());
+        }
+        assert_eq!(acc[0][0].count(), 1);
+        // With a single run, bias = estimate/n − 1 recovers the estimate.
+        let recorded = (acc[0][0].bias() + 1.0) * 777.0;
+        assert!(
+            (recorded - naive.estimate()).abs() < 1e-9 * naive.estimate(),
+            "batched driver diverged: {recorded} vs {}",
+            naive.estimate()
+        );
+    }
+
+    #[test]
     fn ell_error_matches_theory_at_moderate_n() {
         // ELL(2,20) at p = 8: predicted RMSE = √(3.67/(28·256)) ≈ 2.26 %.
         // With 200 runs the RMSE estimate has ~5 % relative precision;
@@ -189,9 +266,6 @@ mod tests {
         let cfg = EllConfig::optimal(8).unwrap();
         let (bias, rmse) = measure_bias_rmse(
             || ExaLogLog::new(cfg),
-            |s, h| {
-                s.insert_hash(h);
-            },
             ExaLogLog::estimate,
             100_000,
             200,
@@ -212,6 +286,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_checkpoints() {
-        evaluate_error(|| (), |_, _| {}, |_| vec![0.0], 1, &[5, 3], 1, 0, 1);
+        evaluate_error(
+            || ExaLogLog::new(EllConfig::optimal(4).unwrap()),
+            |_| vec![0.0],
+            1,
+            &[5, 3],
+            1,
+            0,
+            1,
+        );
     }
 }

@@ -117,14 +117,13 @@ impl FastErrorSim {
         let mut sketch = MartingaleExaLogLog::new(cfg);
         let mut ci = 0usize;
 
-        // Phase 1: exact insertion of individual random hashes.
+        // Phase 1: exact insertion of random hashes through the shared
+        // batched driver (same RNG stream and final state as the old
+        // per-element loop — the batch-equivalence guarantee).
         let mut n = 0u64;
         while ci < checkpoints.len() && checkpoints[ci] <= self.exact_limit as f64 {
             let target = checkpoints[ci] as u64;
-            while n < target {
-                sketch.insert_hash(rng.next_u64());
-                n += 1;
-            }
+            crate::exact::fill_to(&mut sketch, &mut rng, &mut n, target);
             let ml_est = sketch.sketch().estimate();
             ml_acc[ci].record(ml_est, target as f64);
             mart_acc[ci].record(sketch.estimate(), target as f64);
@@ -133,10 +132,7 @@ impl FastErrorSim {
         if ci >= checkpoints.len() {
             return;
         }
-        while n < self.exact_limit {
-            sketch.insert_hash(rng.next_u64());
-            n += 1;
-        }
+        crate::exact::fill_to(&mut sketch, &mut rng, &mut n, self.exact_limit);
 
         // Phase 2: event-driven simulation. Sample the first-occurrence
         // time after `exact_limit` for every (register, update value) pair;

@@ -24,7 +24,7 @@ pub mod fast;
 pub mod stats;
 pub mod workload;
 
-pub use exact::{decade_checkpoints, evaluate_error, measure_bias_rmse};
+pub use exact::{decade_checkpoints, evaluate_error, fill_all_to, fill_to, measure_bias_rmse};
 pub use fast::{FastErrorReport, FastErrorSim};
 pub use stats::ErrorAccumulator;
 pub use workload::{distinct_stream, UniformStream, ZipfStream};

@@ -11,8 +11,9 @@
 //! ```
 
 use ell_tools::{
-    collect_tokens, config_from_options, count_lines, inspect, load_any, load_sketch, merge_files,
-    parse_options, relate, save_compressed, save_sketch, save_tokens, ToolError,
+    collect_tokens, config_from_options, count_lines, count_lines_with_algo, inspect, load_any,
+    load_sketch, merge_files, parse_options, relate, save_compressed, save_sketch, save_tokens,
+    ToolError,
 };
 use std::path::{Path, PathBuf};
 
@@ -31,12 +32,32 @@ fn run(args: &[String]) -> Result<(), ToolError> {
     };
     match command.as_str() {
         "count" => {
-            let (opts, positional) = parse_options(rest, &["t", "d", "p", "out"])?;
+            let (opts, positional) = parse_options(rest, &["t", "d", "p", "out", "algo"])?;
             if !positional.is_empty() {
                 return Err(ToolError::Usage("count reads from stdin only".into()));
             }
-            let cfg = config_from_options(opts.get("t"), opts.get("d"), opts.get("p"))?;
             let stdin = std::io::stdin();
+            if let Some(algo) = opts.get("algo") {
+                // Dispatch by name through the shared `Sketch` facade.
+                if opts.contains_key("t") || opts.contains_key("d") {
+                    return Err(ToolError::Usage(
+                        "--algo selects its own register layout; only --p applies".into(),
+                    ));
+                }
+                if opts.contains_key("out") {
+                    return Err(ToolError::Usage(
+                        "--out writes ExaLogLog sketch files; use count without --algo".into(),
+                    ));
+                }
+                let p: u8 = opts.get("p").map_or(Ok(12), |s| {
+                    s.parse()
+                        .map_err(|_| ToolError::Usage("--p expects a small integer".into()))
+                })?;
+                let sketch = count_lines_with_algo(stdin.lock(), algo, p)?;
+                println!("{:.0}", sketch.estimate());
+                return Ok(());
+            }
+            let cfg = config_from_options(opts.get("t"), opts.get("d"), opts.get("p"))?;
             let sketch = count_lines(stdin.lock(), cfg)?;
             println!("{:.0}", sketch.estimate());
             if let Some(out) = opts.get("out") {
@@ -158,12 +179,16 @@ fn print_help() {
         "ell — approximate distinct counting (ExaLogLog)\n\n\
          commands:\n\
          \x20 count   [--t T --d D --p P] [--out FILE]   count distinct stdin lines\n\
+         \x20 count   --algo NAME [--p P]                 count with any registered estimator\n\
          \x20 tokens  [--v V] [--out FILE]                sparse-mode token collection (§4.3)\n\
          \x20 estimate FILE...                            print estimates (dense or token files)\n\
          \x20 merge    --out FILE IN...                   union of sketches\n\
          \x20 similarity A B                              Jaccard / intersection of two sketches\n\
          \x20 reduce   [--d D] [--p P] --out FILE IN      lossless parameter reduction\n\
          \x20 compress --out FILE IN                      entropy-coded copy\n\
-         \x20 inspect  FILE...                            state diagnostics"
+         \x20 inspect  FILE...                            state diagnostics\n\n\
+         algorithms for count --algo:\n\
+         \x20 {}",
+        ell_baselines::ALGORITHMS.join(", ")
     );
 }

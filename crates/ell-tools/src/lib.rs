@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! ell count [--t T --d D --p P] [--out FILE]      # distinct lines of stdin
+//! ell count --algo NAME [--p P]                   # any registered estimator
 //! ell estimate FILE...                            # print estimates
 //! ell merge --out FILE IN...                      # union of sketches
 //! ell reduce --d D --p P --out FILE IN            # lossless reduction
@@ -19,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use ell_core::{Sketch, SketchError};
 use ell_hash::{Hasher64, WyHash};
 use exaloglog::compress::{compress, decompress, state_entropy_bits};
 use exaloglog::{EllConfig, EllError, ExaLogLog, TokenSet};
@@ -30,6 +32,8 @@ use std::path::Path;
 pub enum ToolError {
     /// Sketch-level failure (bad parameters, incompatible merge, …).
     Sketch(EllError),
+    /// Trait-layer failure (unknown algorithm name, generic sketch error).
+    Algo(SketchError),
     /// Filesystem / stream failure.
     Io(std::io::Error),
     /// Malformed command-line usage.
@@ -40,6 +44,7 @@ impl std::fmt::Display for ToolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ToolError::Sketch(e) => write!(f, "{e}"),
+            ToolError::Algo(e) => write!(f, "{e}"),
             ToolError::Io(e) => write!(f, "{e}"),
             ToolError::Usage(msg) => write!(f, "usage error: {msg}"),
         }
@@ -51,6 +56,12 @@ impl std::error::Error for ToolError {}
 impl From<EllError> for ToolError {
     fn from(e: EllError) -> Self {
         ToolError::Sketch(e)
+    }
+}
+
+impl From<SketchError> for ToolError {
+    fn from(e: SketchError) -> Self {
+        ToolError::Algo(e)
     }
 }
 
@@ -78,6 +89,37 @@ pub fn count_lines<R: BufRead>(input: R, cfg: EllConfig) -> Result<ExaLogLog, To
     for line in input.lines() {
         sketch.insert_hash(hasher.hash_bytes(line?.as_bytes()));
     }
+    Ok(sketch)
+}
+
+/// Counts distinct lines from `input` with the named algorithm at
+/// precision `p`, dispatching through the object-safe [`Sketch`] facade
+/// (see [`ell_baselines::ALGORITHMS`] for the valid names). Lines are
+/// hashed exactly as in [`count_lines`], then fed through the batched
+/// trait hot path.
+///
+/// # Errors
+///
+/// [`ToolError::Algo`] for unknown names or unsupported precisions,
+/// [`ToolError::Io`] on read failures.
+pub fn count_lines_with_algo<R: BufRead>(
+    input: R,
+    algo: &str,
+    p: u8,
+) -> Result<Box<dyn Sketch>, ToolError> {
+    let hasher = WyHash::new(0);
+    let mut sketch = ell_baselines::build_sketch(algo, p)?;
+    // Batch hashes so every line stream exercises the same insert path
+    // the sim harness and benches use.
+    let mut buf = Vec::with_capacity(1024);
+    for line in input.lines() {
+        buf.push(hasher.hash_bytes(line?.as_bytes()));
+        if buf.len() == 1024 {
+            sketch.insert_hashes(&buf);
+            buf.clear();
+        }
+    }
+    sketch.insert_hashes(&buf);
     Ok(sketch)
 }
 

@@ -3,12 +3,14 @@
 //! token pipeline and set-relation queries), using temp files.
 
 use ell_tools::{
-    collect_tokens, count_lines, inspect, load_any, load_sketch, merge_files, relate,
-    save_compressed, save_sketch, save_tokens, SketchFile,
+    collect_tokens, count_lines, count_lines_with_algo, inspect, load_any, load_sketch,
+    merge_files, relate, save_compressed, save_sketch, save_tokens, SketchFile, ToolError,
 };
 use exaloglog::EllConfig;
 use std::io::Cursor;
+use std::io::Write;
 use std::path::PathBuf;
+use std::process::{Command, Stdio};
 
 struct TempDir(PathBuf);
 
@@ -152,6 +154,83 @@ fn token_pipeline_roundtrip() {
         SketchFile::Dense(loaded) => assert_eq!(loaded, sketch),
         SketchFile::Tokens(_) => panic!("ELL1 file detected as tokens"),
     }
+}
+
+#[test]
+fn count_with_named_algorithms() {
+    // The trait-dispatched counting path must work for the ELL family and
+    // every baseline, at matching accuracy.
+    for algo in ["ell", "ell-t2d20", "ull", "hll6", "pcsa"] {
+        let sketch = count_lines_with_algo(Cursor::new(lines(0..5000)), algo, 11).unwrap();
+        let est = sketch.estimate();
+        assert!(
+            (est / 5000.0 - 1.0).abs() < 0.1,
+            "{algo}: estimate {est} too far from 5000"
+        );
+    }
+}
+
+#[test]
+fn count_with_unknown_algorithm_is_an_error() {
+    match count_lines_with_algo(Cursor::new(lines(0..10)), "bloom-filter", 11) {
+        Err(ToolError::Algo(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("bloom-filter"), "{msg}");
+            assert!(msg.contains("ull"), "should list known names: {msg}");
+        }
+        Err(other) => panic!("expected ToolError::Algo, got {other:?}"),
+        Ok(sketch) => panic!("unknown algorithm built {}", sketch.name()),
+    }
+}
+
+/// Runs the real `ell` binary with the given args and stdin, returning
+/// (exit success, stdout, stderr).
+fn run_cli(args: &[&str], stdin: &str) -> (bool, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ell"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ell binary");
+    // Ignore write errors: a child that rejects its arguments exits
+    // before reading stdin, which surfaces here as a broken pipe.
+    let _ = child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes());
+    let out = child.wait_with_output().expect("wait for ell binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_binary_count_algo_workflows() {
+    let input = lines(0..3000);
+    // ExaLogLog through the facade.
+    let (ok, stdout, _) = run_cli(&["count", "--algo", "ell", "--p", "11"], &input);
+    assert!(ok);
+    let est: f64 = stdout.trim().parse().expect("numeric estimate");
+    assert!((est / 3000.0 - 1.0).abs() < 0.1, "estimate {est}");
+    // A baseline through the same interface.
+    let (ok, stdout, _) = run_cli(&["count", "--algo", "ull", "--p", "11"], &input);
+    assert!(ok);
+    let est: f64 = stdout.trim().parse().expect("numeric estimate");
+    assert!((est / 3000.0 - 1.0).abs() < 0.1, "ULL estimate {est}");
+    // Unknown algorithm: non-zero exit, the name and the alternatives on
+    // stderr.
+    let (ok, _, stderr) = run_cli(&["count", "--algo", "nope"], "a\nb\n");
+    assert!(!ok, "unknown algorithm must fail");
+    assert!(stderr.contains("nope"), "{stderr}");
+    assert!(stderr.contains("ull"), "should list known names: {stderr}");
+    // --algo with --out is a usage error (sketch files are ExaLogLog).
+    let (ok, _, stderr) = run_cli(&["count", "--algo", "ull", "--out", "/tmp/x.ell"], "a\n");
+    assert!(!ok);
+    assert!(stderr.contains("usage error"), "{stderr}");
 }
 
 #[test]

@@ -124,6 +124,25 @@ impl AtomicExaLogLog {
         out
     }
 
+    /// Total in-memory footprint in bytes: the struct plus the atomic
+    /// register array (4 bytes per register).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.regs.len() * core::mem::size_of::<AtomicU32>()
+    }
+
+    /// Builds a concurrent sketch holding the same state as a sequential
+    /// one (e.g. to resume shared ingestion from a checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Rejects configurations whose registers exceed 32 bits.
+    pub fn from_sketch(other: &ExaLogLog) -> Result<Self, EllError> {
+        let s = Self::new(*other.config())?;
+        s.merge_from(other)?;
+        Ok(s)
+    }
+
     /// Merges a sequential sketch into this one (register-wise CAS max),
     /// e.g. to fold shard-local sketches into a shared accumulator.
     ///

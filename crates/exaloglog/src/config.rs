@@ -39,6 +39,22 @@ impl fmt::Display for EllError {
 
 impl std::error::Error for EllError {}
 
+/// Sketch-level errors map onto the workspace-wide trait error so the
+/// `ell-core` interface can surface them without losing the message.
+impl From<EllError> for ell_core::SketchError {
+    fn from(e: EllError) -> Self {
+        match e {
+            EllError::InvalidParameter { reason } => {
+                ell_core::SketchError::InvalidParameter { reason }
+            }
+            EllError::IncompatibleSketches { reason } => {
+                ell_core::SketchError::Incompatible { reason }
+            }
+            EllError::CorruptSerialization { reason } => ell_core::SketchError::Corrupt { reason },
+        }
+    }
+}
+
 /// The ExaLogLog parameter triple (t, d, p).
 ///
 /// * `t` — update-value resolution. The update-value distribution (8)

@@ -41,6 +41,7 @@
 //! | [`compress`] | §6 (future work) | entropy-coded serialization approaching the Figure 6 optimum |
 //! | [`atomic`] | §2.4 | lock-free concurrent sketch for ≤32-bit registers (CAS updates) |
 //! | [`specialized`] | §5.3 remark | hardcoded (t, d) fast paths for the four highlighted configurations |
+//! | [`counter`] | §5 methodology | `ell-core` trait implementations for every sketch type in this crate |
 //!
 //! ## Relationship to other sketches (paper §2.5)
 //!
@@ -57,6 +58,7 @@
 pub mod atomic;
 pub mod compress;
 pub mod config;
+pub mod counter;
 pub mod martingale;
 pub mod ml;
 pub mod pmf;
@@ -68,6 +70,7 @@ pub mod theory;
 pub mod token;
 
 pub use config::{EllConfig, EllError};
+pub use ell_core::{DistinctCounter, Sketch, SketchError};
 pub use martingale::{MartingaleEstimator, MartingaleExaLogLog};
 pub use sketch::{ExaLogLog, RegisterChange};
 pub use sparse::SparseExaLogLog;

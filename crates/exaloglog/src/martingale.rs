@@ -40,6 +40,14 @@ impl MartingaleEstimator {
         }
     }
 
+    /// Restores an estimator from checkpointed state, as produced by
+    /// [`MartingaleEstimator::estimate`] and
+    /// [`MartingaleEstimator::state_change_probability`].
+    #[must_use]
+    pub const fn from_state(estimate: f64, mu: f64) -> Self {
+        MartingaleEstimator { estimate, mu }
+    }
+
     /// Records a state change (Algorithm 4): increments the estimate by
     /// 1/μ *before* lowering μ by the change in the modified register's
     /// change probability (`h_old − h_new > 0`).
@@ -100,6 +108,14 @@ impl MartingaleExaLogLog {
     /// Creates an empty martingale-tracked sketch from raw parameters.
     pub fn with_params(t: u8, d: u8, p: u8) -> Result<Self, EllError> {
         Ok(Self::new(EllConfig::new(t, d, p)?))
+    }
+
+    /// Reassembles a martingale-tracked sketch from a checkpointed sketch
+    /// state and estimator — the deserialization counterpart of
+    /// [`MartingaleExaLogLog::sketch`] plus the estimator accessors.
+    #[must_use]
+    pub fn from_parts(sketch: ExaLogLog, estimator: MartingaleEstimator) -> Self {
+        MartingaleExaLogLog { sketch, estimator }
     }
 
     /// Inserts an element by its 64-bit hash; returns whether the state

@@ -18,6 +18,11 @@ enum Phase {
     Dense(ExaLogLog),
 }
 
+/// Serialization magic for the sparse-capable format.
+const SPARSE_MAGIC: &[u8; 4] = b"ELLS";
+/// Header: magic + (t, d, p) + v + phase tag.
+const SPARSE_HEADER_LEN: usize = 9;
+
 /// An ExaLogLog sketch that starts in sparse (token-collecting) mode and
 /// upgrades itself to the dense register representation at the break-even
 /// point.
@@ -78,6 +83,12 @@ impl SparseExaLogLog {
         matches!(self.phase, Phase::Sparse(_))
     }
 
+    /// The token parameter v used while in the sparse phase.
+    #[must_use]
+    pub fn token_parameter(&self) -> u32 {
+        self.v
+    }
+
     /// Inserts an element by its 64-bit hash, upgrading to dense mode at
     /// the break-even point. Returns whether the state changed.
     pub fn insert_hash(&mut self, hash: u64) -> bool {
@@ -98,6 +109,24 @@ impl SparseExaLogLog {
     /// Hashes `element` with `hasher` and inserts it.
     pub fn insert<H: Hasher64 + ?Sized>(&mut self, hasher: &H, element: &[u8]) -> bool {
         self.insert_hash(hasher.hash_bytes(element))
+    }
+
+    /// Inserts a whole slice of pre-hashed elements, equivalent to
+    /// sequential [`SparseExaLogLog::insert_hash`] calls in order.
+    ///
+    /// While sparse, elements go through the one-by-one path (each insert
+    /// may trigger densification); once dense, the remainder of the slice
+    /// takes the dense sketch's unrolled batch path.
+    pub fn insert_hashes(&mut self, hashes: &[u64]) {
+        let mut rest = hashes;
+        while !rest.is_empty() {
+            if let Phase::Dense(sketch) = &mut self.phase {
+                sketch.insert_hashes(rest);
+                return;
+            }
+            self.insert_hash(rest[0]);
+            rest = &rest[1..];
+        }
     }
 
     /// Forces conversion to the dense representation.
@@ -166,6 +195,73 @@ impl SparseExaLogLog {
             Phase::Dense(sketch) => sketch,
             Phase::Sparse(_) => unreachable!("densify always produces the dense phase"),
         }
+    }
+
+    /// Serializes the sketch: `"ELLS"`, the (t, d, p) triple, the token
+    /// parameter v, a phase tag, then the phase payload (the token-set or
+    /// dense-sketch byte format, each self-describing).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SPARSE_MAGIC);
+        out.extend_from_slice(&[self.cfg.t(), self.cfg.d(), self.cfg.p()]);
+        out.push(self.v as u8); // v ≤ 58 by construction
+        match &self.phase {
+            Phase::Sparse(tokens) => {
+                out.push(0);
+                out.extend_from_slice(&tokens.to_bytes());
+            }
+            Phase::Dense(sketch) => {
+                out.push(1);
+                out.extend_from_slice(&sketch.to_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a sketch produced by [`SparseExaLogLog::to_bytes`],
+    /// validating the header, the phase payload, and the consistency of
+    /// the embedded configuration.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EllError> {
+        let corrupt = |reason: String| EllError::CorruptSerialization { reason };
+        if bytes.len() < SPARSE_HEADER_LEN {
+            return Err(corrupt(format!(
+                "{} bytes is shorter than the sparse header",
+                bytes.len()
+            )));
+        }
+        if &bytes[..4] != SPARSE_MAGIC {
+            return Err(corrupt("bad magic".into()));
+        }
+        let cfg = EllConfig::new(bytes[4], bytes[5], bytes[6])?;
+        let v = u32::from(bytes[7]);
+        let phase_tag = bytes[8];
+        let payload = &bytes[SPARSE_HEADER_LEN..];
+        let mut sketch = SparseExaLogLog::with_token_parameter(cfg, v)?;
+        match phase_tag {
+            0 => {
+                let tokens = TokenSet::from_bytes(payload)?;
+                if tokens.v() != v {
+                    return Err(corrupt(format!(
+                        "token parameter mismatch: header v={v}, payload v={}",
+                        tokens.v()
+                    )));
+                }
+                sketch.phase = Phase::Sparse(tokens);
+            }
+            1 => {
+                let dense = ExaLogLog::from_bytes(payload)?;
+                if dense.config() != &cfg {
+                    return Err(corrupt(format!(
+                        "configuration mismatch: header {cfg}, payload {}",
+                        dense.config()
+                    )));
+                }
+                sketch.phase = Phase::Dense(dense);
+            }
+            other => return Err(corrupt(format!("unknown phase tag {other}"))),
+        }
+        Ok(sketch)
     }
 
     /// Current memory footprint in bytes: token storage while sparse, the
@@ -318,6 +414,52 @@ mod tests {
         let a = SparseExaLogLog::new(EllConfig::new(2, 20, 8).unwrap()).unwrap();
         let mut b = SparseExaLogLog::new(EllConfig::new(2, 20, 9).unwrap()).unwrap();
         assert!(b.merge_from(&a).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrips_in_both_phases() {
+        let c = EllConfig::new(2, 16, 8).unwrap();
+        let mut rng = SplitMix64::new(9);
+        // Sparse phase.
+        let mut sparse = SparseExaLogLog::new(c).unwrap();
+        for _ in 0..40 {
+            sparse.insert_hash(rng.next_u64());
+        }
+        assert!(sparse.is_sparse());
+        let back = SparseExaLogLog::from_bytes(&sparse.to_bytes()).unwrap();
+        assert_eq!(back, sparse);
+        // Dense phase.
+        for _ in 0..40_000 {
+            sparse.insert_hash(rng.next_u64());
+        }
+        assert!(!sparse.is_sparse());
+        let back = SparseExaLogLog::from_bytes(&sparse.to_bytes()).unwrap();
+        assert_eq!(back, sparse);
+        // Corruption is rejected.
+        let mut bad = sparse.to_bytes();
+        bad[0] ^= 0xff;
+        assert!(SparseExaLogLog::from_bytes(&bad).is_err());
+        let mut bad = sparse.to_bytes();
+        bad[8] = 7; // unknown phase tag
+        assert!(SparseExaLogLog::from_bytes(&bad).is_err());
+        assert!(SparseExaLogLog::from_bytes(&sparse.to_bytes()[..5]).is_err());
+    }
+
+    #[test]
+    fn batched_insert_matches_sequential_across_densification() {
+        // The batch straddles the break-even point, so the batch path
+        // must densify mid-slice exactly like sequential insertion.
+        let c = EllConfig::new(2, 16, 6).unwrap();
+        let mut rng = SplitMix64::new(10);
+        let hashes: Vec<u64> = (0..5000).map(|_| rng.next_u64()).collect();
+        let mut seq = SparseExaLogLog::new(c).unwrap();
+        for &h in &hashes {
+            seq.insert_hash(h);
+        }
+        let mut bat = SparseExaLogLog::new(c).unwrap();
+        bat.insert_hashes(&hashes);
+        assert_eq!(seq, bat);
+        assert!(!bat.is_sparse());
     }
 
     #[test]

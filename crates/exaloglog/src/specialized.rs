@@ -81,6 +81,27 @@ macro_rules! specialized_common {
                 self.insert_hash(hasher.hash_bytes(element))
             }
 
+            /// Inserts a whole slice of pre-hashed elements — the batched
+            /// ingest hot path, bit-for-bit equivalent to sequential
+            /// [`Self::insert_hash`] calls in the same order.
+            ///
+            /// The four-way unrolled body gives the optimizer a window of
+            /// independent hardcoded decompose/update chains to overlap;
+            /// the hardcoded (t, d) insert is fully inlined, so no
+            /// per-element dispatch survives.
+            pub fn insert_hashes(&mut self, hashes: &[u64]) {
+                let mut chunks = hashes.chunks_exact(4);
+                for c in &mut chunks {
+                    self.insert_hash(c[0]);
+                    self.insert_hash(c[1]);
+                    self.insert_hash(c[2]);
+                    self.insert_hash(c[3]);
+                }
+                for &h in chunks.remainder() {
+                    self.insert_hash(h);
+                }
+            }
+
             /// Iterates over all m register values.
             pub fn registers(&self) -> impl Iterator<Item = u64> + '_ {
                 (0..self.m()).map(move |i| self.register(i))

@@ -5,6 +5,8 @@
 //! system through one dependency. Library users should depend on the
 //! individual crates directly:
 //!
+//! * [`ell_core`] — the `DistinctCounter`/`Sketch` trait layer every
+//!   sketch type implements;
 //! * [`exaloglog`] — the sketch itself (start at `exaloglog::ExaLogLog`);
 //! * [`ell_hash`] — 64-bit hash functions;
 //! * [`ell_bitpack`] — packed register storage;
@@ -17,6 +19,7 @@
 
 pub use ell_baselines;
 pub use ell_bitpack;
+pub use ell_core;
 pub use ell_hash;
 pub use ell_numerics;
 pub use ell_sim;

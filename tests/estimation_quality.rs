@@ -15,9 +15,6 @@ fn ml_rmse_matches_theory_for_paper_configs() {
         let runs = 250;
         let (bias, rmse) = measure_bias_rmse(
             || ExaLogLog::new(cfg),
-            |s, h| {
-                s.insert_hash(h);
-            },
             ExaLogLog::estimate,
             50_000,
             runs,
@@ -43,9 +40,6 @@ fn martingale_rmse_matches_theory_and_beats_ml() {
     let runs = 250;
     let (_, rmse_mart) = measure_bias_rmse(
         || MartingaleExaLogLog::new(cfg),
-        |s, h| {
-            s.insert_hash(h);
-        },
         MartingaleExaLogLog::estimate,
         50_000,
         runs,
@@ -54,9 +48,6 @@ fn martingale_rmse_matches_theory_and_beats_ml() {
     );
     let (_, rmse_ml) = measure_bias_rmse(
         || MartingaleExaLogLog::new(cfg),
-        |s, h| {
-            s.insert_hash(h);
-        },
         MartingaleExaLogLog::ml_estimate,
         50_000,
         runs,
@@ -84,9 +75,6 @@ fn ell_beats_hll_at_equal_memory() {
     // HLL with p=9: 512 registers × 6 bits = 384 bytes.
     let (_, rmse_hll) = measure_bias_rmse(
         || HyperLogLog::new(9, 6, HllEstimator::MaximumLikelihood),
-        |s, h| {
-            s.insert_hash(h);
-        },
         HyperLogLog::estimate,
         n,
         runs,
@@ -98,9 +86,6 @@ fn ell_beats_hll_at_equal_memory() {
     let cfg = EllConfig::optimal(7).unwrap();
     let (_, rmse_ell) = measure_bias_rmse(
         || ExaLogLog::new(cfg),
-        |s, h| {
-            s.insert_hash(h);
-        },
         ExaLogLog::estimate,
         n,
         runs,
@@ -125,9 +110,6 @@ fn token_estimation_beats_matching_dense_sketch() {
     let n = 5_000;
     let (bias_tok, rmse_tok) = measure_bias_rmse(
         || TokenSet::new(v).unwrap(),
-        |s, h| {
-            s.insert_hash(h);
-        },
         TokenSet::estimate,
         n,
         runs,
@@ -138,9 +120,6 @@ fn token_estimation_beats_matching_dense_sketch() {
     let cfg = EllConfig::new(2, 24, 8).unwrap();
     let (_, rmse_dense) = measure_bias_rmse(
         || ExaLogLog::new(cfg),
-        |s, h| {
-            s.insert_hash(h);
-        },
         ExaLogLog::estimate,
         n,
         runs,
@@ -165,9 +144,6 @@ fn martingale_ell_beats_martingale_hll_empirically() {
     let measure = |cfg: EllConfig, seed: u64| {
         let (_, rmse) = measure_bias_rmse(
             || MartingaleExaLogLog::new(cfg),
-            |s, h| {
-                s.insert_hash(h);
-            },
             MartingaleExaLogLog::estimate,
             n,
             runs,

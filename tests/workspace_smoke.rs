@@ -7,8 +7,9 @@
 //! core entry point: construct a sketch, hash, pack registers, evaluate
 //! a special function, run a baseline, and generate a workload.
 
-use ell::ell_baselines::Ull;
+use ell::ell_baselines::{build_sketch, Ull, ALGORITHMS};
 use ell::ell_bitpack::PackedArray;
+use ell::ell_core::{DistinctCounter, Sketch};
 use ell::ell_hash::{Hasher64, SplitMix64, WyHash};
 use ell::ell_numerics::hurwitz_zeta;
 use ell::ell_sim::workload::distinct_stream;
@@ -60,6 +61,25 @@ fn every_member_crate_is_usable_through_the_umbrella() {
     }
     let ull_rel = ull.estimate() / n as f64 - 1.0;
     assert!(ull_rel.abs() < 0.15, "ULL off by {:.1} %", ull_rel * 100.0);
+
+    // ell-core: the trait layer is wired through the umbrella — batched
+    // insertion through the sized trait matches one-by-one insertion…
+    let hashes: Vec<u64> = (0..n).map(|x| hasher.hash_u64(x)).collect();
+    let mut batched = Ull::new(10);
+    DistinctCounter::insert_hashes(&mut batched, &hashes);
+    assert_eq!(
+        DistinctCounter::to_bytes(&batched),
+        ull.to_bytes(),
+        "trait batch path diverged from sequential insertion"
+    );
+    // …and the registry dispatches every named algorithm behind the
+    // object-safe facade.
+    assert!(ALGORITHMS.contains(&"ell"));
+    let mut dynamic: Box<dyn Sketch> = build_sketch("ell", 10).expect("registered algorithm");
+    dynamic.insert_hashes(&hashes);
+    let dyn_rel = dynamic.estimate() / n as f64 - 1.0;
+    assert!(dyn_rel.abs() < 0.15, "facade estimate off by {dyn_rel:.3}");
+    assert!(build_sketch("no-such-sketch", 10).is_err());
 
     // ell-sim: workload generation produces the advertised cardinality.
     let stream = distinct_stream(1000, 42);
