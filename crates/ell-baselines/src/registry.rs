@@ -17,8 +17,8 @@ use crate::Ehll;
 use ell_core::{Sketch, SketchError};
 use exaloglog::atomic::AtomicExaLogLog;
 use exaloglog::{
-    EllConfig, EllT1D9, EllT2D16, EllT2D20, EllT2D24, ExaLogLog, MartingaleExaLogLog,
-    SparseExaLogLog,
+    AdaptiveExaLogLog, EllConfig, EllT1D9, EllT2D16, EllT2D20, EllT2D24, ExaLogLog,
+    MartingaleExaLogLog, SparseExaLogLog,
 };
 
 /// All algorithm names [`build_sketch`] resolves, in display order.
@@ -26,6 +26,7 @@ pub const ALGORITHMS: &[&str] = &[
     "ell",
     "ell-martingale",
     "ell-sparse",
+    "adaptive",
     "ell-atomic",
     "ell-t2d20",
     "ell-t2d24",
@@ -64,6 +65,7 @@ pub fn build_sketch(algo: &str, p: u8) -> Result<Box<dyn Sketch>, SketchError> {
         "ell" => Box::new(ExaLogLog::new(EllConfig::optimal(p)?)),
         "ell-martingale" => Box::new(MartingaleExaLogLog::new(EllConfig::martingale_optimal(p)?)),
         "ell-sparse" => Box::new(SparseExaLogLog::new(EllConfig::optimal(p)?)?),
+        "adaptive" => Box::new(AdaptiveExaLogLog::new(EllConfig::optimal(p)?)?),
         "ell-atomic" => Box::new(AtomicExaLogLog::new(EllConfig::aligned32(p)?)?),
         "ell-t2d20" => Box::new(EllT2D20::new(p)?),
         "ell-t2d24" => Box::new(EllT2D24::new(p)?),

@@ -88,6 +88,30 @@ impl std::error::Error for SketchError {}
 /// dispatched consumers bound `S: DistinctCounter`; dynamic consumers use
 /// the object-safe [`Sketch`] facade, which every implementation gets for
 /// free through a blanket impl.
+///
+/// The full lifecycle on the reference implementation (`exaloglog`):
+///
+/// ```
+/// use ell_core::DistinctCounter;
+/// use exaloglog::{EllConfig, ExaLogLog};
+///
+/// let mut a = ExaLogLog::new(EllConfig::optimal(10).unwrap());
+/// let mut b = a.clone();
+/// // Batched ingest is bit-for-bit equivalent to one-by-one inserts.
+/// a.insert_hashes(&[1, 2, 3, 2]);
+/// for h in [1u64, 2, 3, 2] {
+///     b.insert_hash(h);
+/// }
+/// assert_eq!(a.to_bytes(), b.to_bytes());
+/// assert_eq!(a.estimate().round() as u64, 3);
+///
+/// // Merge is the set union; serialization round-trips exactly.
+/// b.insert_hash(99);
+/// a.merge_from(&b).unwrap();
+/// let restored = ExaLogLog::from_bytes(&a.to_bytes()).unwrap();
+/// assert_eq!(restored.to_bytes(), a.to_bytes());
+/// assert!(a.memory_bits() > 0);
+/// ```
 pub trait DistinctCounter {
     /// Display name used in experiment output tables and the CLI.
     fn name(&self) -> String;
@@ -163,6 +187,23 @@ pub trait DistinctCounter {
 /// Every [`DistinctCounter`] implementation is a `Sketch` automatically;
 /// the facade exposes the subset of the trait family that does not
 /// mention `Self` (merging and deserialization stay on the sized trait).
+///
+/// ```
+/// use ell_core::Sketch;
+/// use exaloglog::{AdaptiveExaLogLog, EllConfig, ExaLogLog};
+///
+/// // Heterogeneous line-up behind one virtual interface.
+/// let cfg = EllConfig::optimal(10).unwrap();
+/// let mut lineup: Vec<Box<dyn Sketch>> = vec![
+///     Box::new(ExaLogLog::new(cfg)),
+///     Box::new(AdaptiveExaLogLog::new(cfg).unwrap()),
+/// ];
+/// for sketch in &mut lineup {
+///     sketch.insert_hashes(&[7, 8, 9]);
+///     assert_eq!(sketch.estimate().round() as u64, 3);
+///     assert!(!sketch.name().is_empty());
+/// }
+/// ```
 pub trait Sketch {
     /// Display name used in experiment output tables and the CLI.
     fn name(&self) -> String;

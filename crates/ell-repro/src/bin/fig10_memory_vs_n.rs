@@ -11,13 +11,16 @@ use ell_baselines::{table2_lineup, HllEstimator, Sketch, SparseHyperLogLog};
 use ell_hash::{mix64, SplitMix64};
 use ell_repro::{fmt_f, RunParams, Table};
 use ell_sim::{decade_checkpoints, fill_all_to, ErrorAccumulator};
-use exaloglog::{EllConfig, SparseExaLogLog};
+use exaloglog::{AdaptiveExaLogLog, EllConfig};
 
 fn lineup() -> Vec<Box<dyn Sketch>> {
     let mut v = table2_lineup();
-    // SparseExaLogLog implements the shared trait directly — no adapter.
+    // The adaptive sparse→dense sketch implements the shared trait
+    // directly — its memory curve is the linear-then-constant shape
+    // this figure is about, with zero residual wrapper state once
+    // promoted.
     v.push(Box::new(
-        SparseExaLogLog::new(EllConfig::optimal(8).expect("valid")).expect("valid"),
+        AdaptiveExaLogLog::new(EllConfig::optimal(8).expect("valid")).expect("valid"),
     ));
     // The DataSketches-style coupon-list HLL: linear memory at small n,
     // dense after break-even — the Figure 10 curve the paper attributes

@@ -18,6 +18,29 @@
 
 use std::path::PathBuf;
 
+/// Why argument parsing stopped without producing parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// The arguments were malformed; the message explains how.
+    Usage(String),
+    /// The user asked for `--help`/`-h`.
+    HelpRequested,
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::Usage(msg) => write!(f, "usage error: {msg}"),
+            ArgsError::HelpRequested => write!(f, "help requested"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// The option synopsis shared by every reproduction binary.
+pub const USAGE: &str = "options: [--runs N] [--seed N] [--threads N] [--csv DIR] [--full]";
+
 /// Common command-line parameters of the reproduction binaries.
 #[derive(Debug, Clone)]
 pub struct RunParams {
@@ -34,14 +57,22 @@ pub struct RunParams {
 }
 
 impl RunParams {
-    /// Parses `std::env::args`, using `default_runs` when `--runs` is
-    /// absent and `full_runs` when `--full` is given.
+    /// Parses an argument list (without the program name), using
+    /// `default_runs` when `--runs` is absent and `full_runs` when
+    /// `--full` is given. `env_runs` carries the `ELL_REPRO_RUNS`
+    /// override (ignored when `--runs` is explicit).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on malformed arguments.
-    #[must_use]
-    pub fn parse(default_runs: usize, full_runs: usize) -> Self {
+    /// [`ArgsError::Usage`] on malformed flags and
+    /// [`ArgsError::HelpRequested`] on `--help`/`-h` — no panics, so
+    /// callers decide how to exit.
+    pub fn try_parse(
+        args: &[String],
+        default_runs: usize,
+        full_runs: usize,
+        env_runs: Option<&str>,
+    ) -> Result<Self, ArgsError> {
         let mut params = RunParams {
             runs: default_runs,
             seed: 42,
@@ -50,48 +81,69 @@ impl RunParams {
             csv_dir: None,
         };
         let mut explicit_runs = None;
-        let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
+        let usage = |msg: String| ArgsError::Usage(msg);
+        let parse_int = |value: &str, flag: &str| -> Result<u64, ArgsError> {
+            value
+                .parse()
+                .map_err(|_| usage(format!("{flag} expects an integer, got {value:?}")))
+        };
         while i < args.len() {
-            let need_value = |i: usize| {
+            let need_value = |i: usize| -> Result<&String, ArgsError> {
                 args.get(i + 1)
-                    .unwrap_or_else(|| panic!("missing value after {}", args[i]))
+                    .ok_or_else(|| usage(format!("missing value after {}", args[i])))
             };
             match args[i].as_str() {
                 "--runs" => {
-                    explicit_runs = Some(need_value(i).parse().expect("--runs expects an integer"));
+                    explicit_runs = Some(parse_int(need_value(i)?, "--runs")? as usize);
                     i += 2;
                 }
                 "--seed" => {
-                    params.seed = need_value(i).parse().expect("--seed expects an integer");
+                    params.seed = parse_int(need_value(i)?, "--seed")?;
                     i += 2;
                 }
                 "--threads" => {
-                    params.threads = need_value(i).parse().expect("--threads expects an integer");
+                    params.threads = parse_int(need_value(i)?, "--threads")? as usize;
                     i += 2;
                 }
                 "--csv" => {
-                    params.csv_dir = Some(PathBuf::from(need_value(i)));
+                    params.csv_dir = Some(PathBuf::from(need_value(i)?));
                     i += 2;
                 }
                 "--full" => {
                     params.full = true;
                     i += 1;
                 }
-                "--help" | "-h" => {
-                    eprintln!("options: [--runs N] [--seed N] [--threads N] [--csv DIR] [--full]");
-                    std::process::exit(0);
-                }
-                other => panic!("unknown argument {other}; try --help"),
+                "--help" | "-h" => return Err(ArgsError::HelpRequested),
+                other => return Err(usage(format!("unknown argument {other}; try --help"))),
             }
         }
         params.runs = explicit_runs.unwrap_or(if params.full { full_runs } else { default_runs });
-        if let Ok(env_runs) = std::env::var("ELL_REPRO_RUNS") {
-            if explicit_runs.is_none() {
-                params.runs = env_runs.parse().expect("ELL_REPRO_RUNS expects an integer");
+        if let (Some(env), None) = (env_runs, explicit_runs) {
+            params.runs = parse_int(env, "ELL_REPRO_RUNS")? as usize;
+        }
+        Ok(params)
+    }
+
+    /// Parses `std::env::args`, exiting the process cleanly (usage
+    /// message on stderr, exit code 2) on malformed arguments and with
+    /// code 0 on `--help` — the front door of every repro binary.
+    #[must_use]
+    pub fn parse(default_runs: usize, full_runs: usize) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let env_runs = std::env::var("ELL_REPRO_RUNS").ok();
+        match Self::try_parse(&args, default_runs, full_runs, env_runs.as_deref()) {
+            Ok(params) => params,
+            Err(ArgsError::HelpRequested) => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(ArgsError::Usage(msg)) => {
+                eprintln!("{msg}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
             }
         }
-        params
     }
 }
 
@@ -197,6 +249,69 @@ pub fn fmt_sci(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn try_parse_accepts_well_formed_arguments() {
+        let p = RunParams::try_parse(
+            &strs(&[
+                "--runs",
+                "7",
+                "--seed",
+                "9",
+                "--threads",
+                "2",
+                "--csv",
+                "/tmp/x",
+            ]),
+            30,
+            1000,
+            None,
+        )
+        .unwrap();
+        assert_eq!((p.runs, p.seed, p.threads, p.full), (7, 9, 2, false));
+        assert_eq!(p.csv_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        // --full switches the default run count; explicit --runs wins.
+        let p = RunParams::try_parse(&strs(&["--full"]), 30, 1000, None).unwrap();
+        assert!(p.full);
+        assert_eq!(p.runs, 1000);
+        let p = RunParams::try_parse(&strs(&["--full", "--runs", "5"]), 30, 1000, None).unwrap();
+        assert_eq!(p.runs, 5);
+        // The env override applies only without an explicit --runs.
+        let p = RunParams::try_parse(&[], 30, 1000, Some("64")).unwrap();
+        assert_eq!(p.runs, 64);
+        let p = RunParams::try_parse(&strs(&["--runs", "5"]), 30, 1000, Some("64")).unwrap();
+        assert_eq!(p.runs, 5);
+    }
+
+    #[test]
+    fn try_parse_returns_errors_instead_of_panicking() {
+        for bad in [
+            vec!["--runs"],                // missing value
+            vec!["--runs", "many"],        // non-integer
+            vec!["--seed", "-3"],          // negative
+            vec!["--frobnicate"],          // unknown flag
+            vec!["--threads", "2", "--x"], // unknown after valid
+        ] {
+            let err = RunParams::try_parse(&strs(&bad), 30, 1000, None).unwrap_err();
+            assert!(
+                matches!(err, ArgsError::Usage(_)),
+                "{bad:?} should be a usage error, got {err:?}"
+            );
+            assert!(!err.to_string().is_empty());
+        }
+        // Bad env override is a usage error too.
+        let err = RunParams::try_parse(&[], 30, 1000, Some("lots")).unwrap_err();
+        assert!(matches!(err, ArgsError::Usage(_)));
+        // --help is reported distinctly so the caller can exit 0.
+        let err = RunParams::try_parse(&strs(&["--help"]), 30, 1000, None).unwrap_err();
+        assert_eq!(err, ArgsError::HelpRequested);
+        let err = RunParams::try_parse(&strs(&["-h"]), 30, 1000, None).unwrap_err();
+        assert_eq!(err, ArgsError::HelpRequested);
+    }
 
     #[test]
     fn table_formatting_roundtrip() {

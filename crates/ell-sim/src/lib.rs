@@ -27,4 +27,6 @@ pub mod workload;
 pub use exact::{decade_checkpoints, evaluate_error, fill_all_to, fill_to, measure_bias_rmse};
 pub use fast::{FastErrorReport, FastErrorSim};
 pub use stats::ErrorAccumulator;
-pub use workload::{distinct_stream, UniformStream, ZipfStream};
+pub use workload::{
+    distinct_stream, key_label, KeyedEvent, KeyedStream, UniformStream, ZipfStream,
+};

@@ -11,12 +11,15 @@
 //!   the standard model for web/page/IP popularity skew;
 //! * [`UniformStream`] — ids uniform over a fixed universe;
 //! * [`distinct_stream`] — a shuffled enumeration of exactly `n`
-//!   distinct ids (ground truth by construction).
+//!   distinct ids (ground truth by construction);
+//! * [`KeyedStream`] — `(key, element-hash)` events with Zipf-skewed
+//!   keys and uniform element ids, the fleet-scale keyed-counter
+//!   workload the `ell-store` serving layer is built for.
 //!
 //! All generators are deterministic in their seed and independent of
 //! iteration chunking.
 
-use ell_hash::SplitMix64;
+use ell_hash::{mix64, SplitMix64};
 
 /// Ids drawn from a Zipf distribution with exponent `s` over the ranks
 /// `0..universe`: rank r occurs with probability ∝ 1/(r+1)^s.
@@ -105,6 +108,76 @@ impl Iterator for UniformStream {
     }
 }
 
+/// One keyed observation: which counter saw which element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyedEvent {
+    /// The key's Zipf rank in `0..key_universe` (rank 0 is hottest).
+    pub key: u64,
+    /// The element's 64-bit hash, ready to feed a sketch.
+    pub hash: u64,
+}
+
+/// Keyed traffic: keys drawn from a Zipf(s) rank distribution (the
+/// standard popularity model — a few keys receive most events), element
+/// ids uniform over a fixed universe, hashed through the avalanching
+/// finalizer. This is the per-key distinct-counting workload of the
+/// paper's motivating applications (per-user/page/IP counters).
+///
+/// Deterministic in the seed and independent of how the stream is
+/// chunked into batches.
+///
+/// ```
+/// use ell_sim::workload::KeyedStream;
+///
+/// let events: Vec<_> = KeyedStream::new(100, 1.0, 10_000, 7).take(1000).collect();
+/// assert_eq!(events, KeyedStream::new(100, 1.0, 10_000, 7).take(1000).collect::<Vec<_>>());
+/// assert!(events.iter().all(|e| e.key < 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyedStream {
+    keys: ZipfStream,
+    values: UniformStream,
+}
+
+impl KeyedStream {
+    /// Creates a generator over `key_universe` keys with Zipf exponent
+    /// `s` and element ids uniform over `value_universe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either universe is empty or `s < 0` (see
+    /// [`ZipfStream::new`] / [`UniformStream::new`]).
+    #[must_use]
+    pub fn new(key_universe: usize, s: f64, value_universe: u64, seed: u64) -> Self {
+        KeyedStream {
+            keys: ZipfStream::new(key_universe, s, mix64(seed)),
+            values: UniformStream::new(value_universe, mix64(seed ^ 0xA076_1D64_78BD_642F)),
+        }
+    }
+
+    /// Draws the next keyed observation.
+    pub fn next_event(&mut self) -> KeyedEvent {
+        KeyedEvent {
+            key: self.keys.next_id(),
+            hash: mix64(self.values.next_id().wrapping_add(1)),
+        }
+    }
+}
+
+impl Iterator for KeyedStream {
+    type Item = KeyedEvent;
+    fn next(&mut self) -> Option<KeyedEvent> {
+        Some(self.next_event())
+    }
+}
+
+/// The canonical display label for a keyed-workload rank — shared by the
+/// store benchmark and the CLI examples so their key spaces line up.
+#[must_use]
+pub fn key_label(rank: u64) -> String {
+    format!("key-{rank:06}")
+}
+
 /// Exactly `n` distinct ids (0..n) in a seeded random order — ground
 /// truth for estimator accuracy checks without duplicate bookkeeping.
 #[must_use]
@@ -156,6 +229,37 @@ mod tests {
         let distinct: std::collections::HashSet<u64> = ids.iter().copied().collect();
         assert_eq!(distinct.len(), 50, "all ids should appear");
         assert!(ids.iter().all(|&x| x < 50));
+    }
+
+    #[test]
+    fn keyed_stream_is_skewed_and_deterministic() {
+        let a: Vec<KeyedEvent> = KeyedStream::new(1000, 1.0, 100_000, 5)
+            .take(10_000)
+            .collect();
+        let b: Vec<KeyedEvent> = KeyedStream::new(1000, 1.0, 100_000, 5)
+            .take(10_000)
+            .collect();
+        assert_eq!(a, b, "same seed must reproduce the stream");
+        assert_ne!(
+            a,
+            KeyedStream::new(1000, 1.0, 100_000, 6)
+                .take(10_000)
+                .collect::<Vec<_>>()
+        );
+        // Zipf skew: the hottest key dominates (~13 % of events at s=1).
+        let hot = a.iter().filter(|e| e.key == 0).count();
+        assert!(
+            (800..2500).contains(&hot),
+            "rank-0 frequency {hot}/10000 outside the Zipf expectation"
+        );
+        // Hashes avalanche: distinct count near the value universe ratio.
+        let distinct: std::collections::HashSet<u64> = a.iter().map(|e| e.hash).collect();
+        assert!(
+            distinct.len() > 9000,
+            "only {} distinct hashes",
+            distinct.len()
+        );
+        assert_eq!(key_label(7), "key-000007");
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Sharded, thread-safe keyed sketch store — the serving layer the
+//! ExaLogLog paper's practicality argument points at: millions of
+//! per-key distinct counters (per user, per page, per IP, …) each
+//! costing only what its cardinality warrants.
+//!
+//! # Architecture
+//!
+//! An [`EllStore`] maps string keys to [`AdaptiveExaLogLog`] sketches,
+//! hash-partitioned over N shards (N a power of two). Each shard is a
+//! `RwLock<HashMap<String, Slot>>`:
+//!
+//! * **Cold / sparse keys** live as [`AdaptiveExaLogLog`] values and are
+//!   mutated under the shard's *write* lock — cheap, because sparse
+//!   sketches are tiny and write sections are short.
+//! * **Hot dense keys** are transparently upgraded to
+//!   [`AtomicExaLogLog`] (when the register width fits 32 bits): inserts
+//!   then need only the shard's *read* lock plus a lock-free CAS, so any
+//!   number of ingest threads can hammer the same popular key
+//!   concurrently without serializing the shard.
+//!
+//! The batched [`EllStore::ingest`] entry point groups a `(key, hash)`
+//! batch by shard, drains all hot-key inserts under one read lock per
+//! shard, and only then takes the write lock for the remainder.
+//!
+//! Because every per-key structure is monotone (token sets union,
+//! registers only grow, promotion is threshold-crossing), the final
+//! store state is **independent of thread interleaving**: any partition
+//! of a workload over any number of ingest threads produces bit-for-bit
+//! the same snapshot.
+//!
+//! # Snapshots
+//!
+//! [`EllStore::snapshot_bytes`] serializes the whole store in the
+//! `ELLK` container format: a header (configuration, token parameter,
+//! shard count) followed by key-sorted entries whose payloads are the
+//! existing per-sketch wire formats (`ELLS` while sparse, `ELL1` once
+//! promoted). [`EllStore::from_snapshot_bytes`] restores it exactly —
+//! every per-key estimate reproduces bit-for-bit.
+//!
+//! ```
+//! use ell_store::EllStore;
+//! use exaloglog::EllConfig;
+//!
+//! let store = EllStore::new(8, EllConfig::optimal(10).unwrap()).unwrap();
+//! store.ingest(&[("alice", 1), ("bob", 2), ("alice", 3), ("alice", 1)]);
+//! assert_eq!(store.key_count(), 2);
+//! assert_eq!(store.estimate("alice").unwrap().round() as u64, 2);
+//! let restored = EllStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
+//! assert_eq!(restored.snapshot_bytes(), store.snapshot_bytes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod store;
+mod wire;
+
+pub use store::EllStore;
+
+pub use exaloglog::adaptive::AdaptiveExaLogLog;
+pub use exaloglog::atomic::AtomicExaLogLog;
+pub use exaloglog::{EllConfig, EllError};

@@ -1,0 +1,524 @@
+//! The sharded keyed store proper: slot lifecycle, batched ingest, and
+//! per-key / merged estimation.
+
+use ell_hash::{Hasher64, WyHash};
+use exaloglog::adaptive::AdaptiveExaLogLog;
+use exaloglog::atomic::AtomicExaLogLog;
+use exaloglog::{EllConfig, EllError, ExaLogLog};
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// Seed of the key-partitioning hash. Fixed so that shard assignment —
+/// and therefore snapshot layout — is stable across processes.
+const KEY_HASH_SEED: u64 = 0xE115_70E5;
+
+/// One keyed counter. Cold and sparse keys stay [`Slot::Adaptive`]
+/// (mutated under the shard write lock); once a key's sketch promotes to
+/// dense registers that fit 32 bits it becomes [`Slot::Hot`], whose
+/// lock-free CAS inserts need only the shard read lock.
+#[derive(Debug)]
+pub(crate) enum Slot {
+    Adaptive(AdaptiveExaLogLog),
+    Hot(AtomicExaLogLog),
+}
+
+impl Slot {
+    fn estimate(&self) -> f64 {
+        match self {
+            Slot::Adaptive(s) => s.estimate(),
+            Slot::Hot(a) => a.snapshot().estimate(),
+        }
+    }
+
+    /// A point-in-time copy as an adaptive sketch (hot slots snapshot
+    /// into the dense phase).
+    fn to_adaptive(&self) -> AdaptiveExaLogLog {
+        match self {
+            Slot::Adaptive(s) => s.clone(),
+            Slot::Hot(a) => AdaptiveExaLogLog::from_dense(a.snapshot()),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            Slot::Adaptive(s) => s.memory_bytes(),
+            Slot::Hot(a) => a.memory_bytes(),
+        }
+    }
+}
+
+/// A sharded, thread-safe map from string keys to adaptive sketches.
+///
+/// See the crate docs for the architecture; all methods take `&self`, so
+/// a store can be shared across ingest threads behind an `Arc` (or plain
+/// scoped-thread borrows).
+#[derive(Debug)]
+pub struct EllStore {
+    cfg: EllConfig,
+    /// Token parameter used for newly created (sparse) keys.
+    v: u32,
+    /// Whether dense sketches can take the atomic (≤32-bit register)
+    /// fast path.
+    hot_capable: bool,
+    hasher: WyHash,
+    shards: Vec<RwLock<HashMap<String, Slot>>>,
+}
+
+impl EllStore {
+    /// Creates an empty store with `shards` shards (a power of two) and
+    /// the given per-key sketch configuration, using the default token
+    /// parameter `v = max(p + t, 26)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a shard count that is zero or not a power of two.
+    pub fn new(shards: usize, cfg: EllConfig) -> Result<Self, EllError> {
+        let v = (u32::from(cfg.p()) + u32::from(cfg.t())).max(26);
+        Self::with_token_parameter(shards, cfg, v)
+    }
+
+    /// Creates an empty store with an explicit token parameter for the
+    /// sparse phase of new keys (`p + t ≤ v ≤ 58`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid shard counts and token parameters.
+    pub fn with_token_parameter(shards: usize, cfg: EllConfig, v: u32) -> Result<Self, EllError> {
+        if shards == 0 || !shards.is_power_of_two() {
+            return Err(EllError::InvalidParameter {
+                reason: format!("shard count {shards} must be a nonzero power of two"),
+            });
+        }
+        // Validate v eagerly so every later slot creation is infallible.
+        AdaptiveExaLogLog::with_token_parameter(cfg, v)?;
+        let mut shard_maps = Vec::with_capacity(shards);
+        shard_maps.resize_with(shards, || RwLock::new(HashMap::new()));
+        Ok(EllStore {
+            cfg,
+            v,
+            hot_capable: cfg.register_width() <= 32,
+            hasher: WyHash::new(KEY_HASH_SEED),
+            shards: shard_maps,
+        })
+    }
+
+    /// The per-key sketch configuration.
+    #[must_use]
+    pub fn config(&self) -> &EllConfig {
+        &self.cfg
+    }
+
+    /// The token parameter new keys start their sparse phase with.
+    #[must_use]
+    pub fn token_parameter(&self) -> u32 {
+        self.v
+    }
+
+    /// The number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        (self.hasher.hash_bytes(key.as_bytes()) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Upgrades a promoted slot to the atomic hot path when the
+    /// configuration allows it. Called after every write-path mutation
+    /// so the upgrade decision depends only on the slot state — never on
+    /// thread interleaving.
+    fn maybe_upgrade(&self, slot: &mut Slot) {
+        if !self.hot_capable {
+            return;
+        }
+        if let Slot::Adaptive(s) = slot {
+            if let Some(dense) = s.as_dense() {
+                let hot = AtomicExaLogLog::from_sketch(dense)
+                    .expect("register width checked at store construction");
+                *slot = Slot::Hot(hot);
+            }
+        }
+    }
+
+    fn new_adaptive(&self) -> AdaptiveExaLogLog {
+        AdaptiveExaLogLog::with_token_parameter(self.cfg, self.v)
+            .expect("parameters validated at store construction")
+    }
+
+    /// Inserts one `(key, element-hash)` observation (a direct
+    /// single-shard path; use [`EllStore::ingest`] for batches).
+    pub fn insert(&self, key: &str, hash: u64) {
+        self.ingest_shard(self.shard_of(key), &[(key, hash)]);
+    }
+
+    /// Batched ingest: groups the batch by shard, drains inserts into
+    /// hot keys under one read lock per shard, then applies the rest
+    /// (new keys, sparse keys) under the write lock, batching
+    /// consecutive hashes per key through the sketch's
+    /// `insert_hashes` hot path.
+    ///
+    /// Per-key insertion order follows batch order, and the final state
+    /// for any key depends only on the *set* of hashes it received — so
+    /// splitting a workload across threads in any way yields the same
+    /// store state.
+    pub fn ingest(&self, batch: &[(&str, u64)]) {
+        let mut buckets: Vec<Vec<(&str, u64)>> = vec![Vec::new(); self.shards.len()];
+        for &(key, hash) in batch {
+            buckets[self.shard_of(key)].push((key, hash));
+        }
+        for (si, bucket) in buckets.iter().enumerate() {
+            if !bucket.is_empty() {
+                self.ingest_shard(si, bucket);
+            }
+        }
+    }
+
+    fn ingest_shard(&self, si: usize, bucket: &[(&str, u64)]) {
+        let mut leftover: Vec<(&str, u64)> = Vec::new();
+        {
+            let map = self.shards[si].read().expect("shard lock poisoned");
+            for &(key, hash) in bucket {
+                match map.get(key) {
+                    Some(Slot::Hot(a)) => {
+                        a.insert_hash(hash);
+                    }
+                    _ => leftover.push((key, hash)),
+                }
+            }
+        }
+        if leftover.is_empty() {
+            return;
+        }
+        let mut map = self.shards[si].write().expect("shard lock poisoned");
+        // Group hashes per key (preserving per-key order) so each slot
+        // takes one batched insert; keys are independent, so the group
+        // iteration order cannot affect the result.
+        let mut grouped: HashMap<&str, Vec<u64>> = HashMap::new();
+        for &(key, hash) in &leftover {
+            grouped.entry(key).or_default().push(hash);
+        }
+        for (key, hashes) in grouped {
+            match map.get_mut(key) {
+                // Another thread may have upgraded the slot between our
+                // read and write sections — the hot path also works
+                // under the write lock.
+                Some(Slot::Hot(a)) => {
+                    for h in hashes {
+                        a.insert_hash(h);
+                    }
+                }
+                Some(slot @ Slot::Adaptive(_)) => {
+                    if let Slot::Adaptive(s) = slot {
+                        s.insert_hashes(&hashes);
+                    }
+                    self.maybe_upgrade(slot);
+                }
+                None => {
+                    let mut sketch = self.new_adaptive();
+                    sketch.insert_hashes(&hashes);
+                    let mut slot = Slot::Adaptive(sketch);
+                    self.maybe_upgrade(&mut slot);
+                    map.insert(key.to_string(), slot);
+                }
+            }
+        }
+    }
+
+    /// Merges a standalone sketch into `key` (creating the key if
+    /// absent) — the shard-and-merge shape for folding externally built
+    /// sketches into the store.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sketch's configuration differs from the store's,
+    /// or (both sides sparse) on a token-parameter mismatch.
+    pub fn merge_key(&self, key: &str, sketch: &AdaptiveExaLogLog) -> Result<(), EllError> {
+        if sketch.config() != &self.cfg {
+            return Err(EllError::IncompatibleSketches {
+                reason: format!("store {} vs sketch {}", self.cfg, sketch.config()),
+            });
+        }
+        let si = self.shard_of(key);
+        let mut map = self.shards[si].write().expect("shard lock poisoned");
+        match map.get_mut(key) {
+            Some(Slot::Hot(a)) => a.merge_from(&sketch.to_dense())?,
+            Some(slot @ Slot::Adaptive(_)) => {
+                if let Slot::Adaptive(s) = slot {
+                    s.merge_from(sketch)?;
+                }
+                self.maybe_upgrade(slot);
+            }
+            None => {
+                let mut slot = Slot::Adaptive(sketch.clone());
+                self.maybe_upgrade(&mut slot);
+                map.insert(key.to_string(), slot);
+            }
+        }
+        Ok(())
+    }
+
+    /// Places a restored sketch under `key`, replacing any existing
+    /// slot. Used by snapshot restoration.
+    pub(crate) fn place(&self, key: String, sketch: AdaptiveExaLogLog) {
+        let si = self.shard_of(&key);
+        let mut slot = Slot::Adaptive(sketch);
+        self.maybe_upgrade(&mut slot);
+        self.shards[si]
+            .write()
+            .expect("shard lock poisoned")
+            .insert(key, slot);
+    }
+
+    /// The distinct-count estimate for one key (`None` if the key has
+    /// never been observed).
+    #[must_use]
+    pub fn estimate(&self, key: &str) -> Option<f64> {
+        let map = self.shards[self.shard_of(key)]
+            .read()
+            .expect("shard lock poisoned");
+        map.get(key).map(Slot::estimate)
+    }
+
+    /// Whether `key` currently sits on the atomic hot path (`None` if
+    /// the key is absent).
+    #[must_use]
+    pub fn is_hot(&self, key: &str) -> Option<bool> {
+        let map = self.shards[self.shard_of(key)]
+            .read()
+            .expect("shard lock poisoned");
+        map.get(key).map(|slot| matches!(slot, Slot::Hot(_)))
+    }
+
+    /// The number of distinct keys in the store.
+    #[must_use]
+    pub fn key_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether the store holds no keys at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.key_count() == 0
+    }
+
+    /// All keys, sorted (a point-in-time copy).
+    #[must_use]
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// `(key, estimate)` for every key, sorted by key.
+    #[must_use]
+    pub fn estimates(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .iter()
+                    .map(|(k, slot)| (k.clone(), slot.estimate()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// A point-in-time copy of every entry as `(key, sketch)`, sorted by
+    /// key (hot slots snapshot into the dense phase).
+    #[must_use]
+    pub fn entries(&self) -> Vec<(String, AdaptiveExaLogLog)> {
+        let mut out: Vec<(String, AdaptiveExaLogLog)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .iter()
+                    .map(|(k, slot)| (k.clone(), slot.to_adaptive()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The union of all per-key sketches as one dense sketch — the
+    /// "distinct elements across all keys" aggregate. Streams shard by
+    /// shard under the read lock without copying keys or dense states.
+    #[must_use]
+    pub fn merged(&self) -> ExaLogLog {
+        let mut acc = ExaLogLog::new(self.cfg);
+        for shard in &self.shards {
+            let map = shard.read().expect("shard lock poisoned");
+            for slot in map.values() {
+                match slot {
+                    // Promoted slots merge register-wise in place; only
+                    // sparse slots need a token→dense conversion.
+                    Slot::Adaptive(s) => match s.as_dense() {
+                        Some(dense) => acc.merge_from(dense),
+                        None => acc.merge_from(&s.to_dense()),
+                    },
+                    Slot::Hot(a) => acc.merge_from(&a.snapshot()),
+                }
+                .expect("per-key sketches share the store configuration");
+            }
+        }
+        acc
+    }
+
+    /// The distinct-count estimate over the union of all keys.
+    #[must_use]
+    pub fn merged_estimate(&self) -> f64 {
+        self.merged().estimate()
+    }
+
+    /// Approximate total in-memory footprint in bytes (keys + sketches +
+    /// the store scaffolding).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = core::mem::size_of::<Self>();
+        for shard in &self.shards {
+            let map = shard.read().expect("shard lock poisoned");
+            for (key, slot) in map.iter() {
+                total += key.len() + core::mem::size_of::<String>() + slot.memory_bytes();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::{mix64, SplitMix64};
+
+    fn cfg() -> EllConfig {
+        // 24-bit registers: hot-path capable.
+        EllConfig::new(2, 16, 6).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_shard_counts() {
+        assert!(EllStore::new(0, cfg()).is_err());
+        assert!(EllStore::new(3, cfg()).is_err());
+        assert!(EllStore::new(1, cfg()).is_ok());
+        assert!(EllStore::new(64, cfg()).is_ok());
+    }
+
+    #[test]
+    fn per_key_estimates_track_exact_counts() {
+        let store = EllStore::new(4, EllConfig::optimal(10).unwrap()).unwrap();
+        let mut rng = SplitMix64::new(1);
+        let mut exact: HashMap<String, std::collections::HashSet<u64>> = HashMap::new();
+        for i in 0..30_000u64 {
+            let key = format!("k{}", i % 7);
+            let h = mix64(rng.next_u64() % 5_000);
+            exact.entry(key.clone()).or_default().insert(h);
+            store.insert(&key, h);
+        }
+        assert_eq!(store.key_count(), 7);
+        for (key, set) in &exact {
+            let est = store.estimate(key).unwrap();
+            let n = set.len() as f64;
+            assert!(
+                (est / n - 1.0).abs() < 0.12,
+                "{key}: estimate {est} vs exact {n}"
+            );
+        }
+        assert!(store.estimate("never-seen").is_none());
+        // The merged estimate sees the union (all keys share one value
+        // universe here).
+        let union: std::collections::HashSet<u64> = exact.values().flatten().copied().collect();
+        let merged = store.merged_estimate();
+        assert!(
+            (merged / union.len() as f64 - 1.0).abs() < 0.12,
+            "merged {merged} vs union {}",
+            union.len()
+        );
+    }
+
+    #[test]
+    fn hot_keys_take_the_atomic_path() {
+        let store = EllStore::new(2, cfg()).unwrap();
+        let mut rng = SplitMix64::new(2);
+        store.insert("cold", rng.next_u64());
+        assert_eq!(store.is_hot("cold"), Some(false));
+        let batch: Vec<(&str, u64)> = (0..50_000).map(|_| ("hot", rng.next_u64())).collect();
+        store.ingest(&batch);
+        assert_eq!(store.is_hot("hot"), Some(true));
+        assert_eq!(store.is_hot("cold"), Some(false));
+        assert_eq!(store.is_hot("missing"), None);
+        // Hot keys keep counting correctly through the read-lock path.
+        let before = store.estimate("hot").unwrap();
+        let more: Vec<(&str, u64)> = (0..50_000).map(|_| ("hot", rng.next_u64())).collect();
+        store.ingest(&more);
+        assert!(store.estimate("hot").unwrap() > before);
+    }
+
+    #[test]
+    fn wide_register_configs_stay_on_the_locked_path() {
+        // ELL(2,28) needs 36-bit registers: no atomic upgrade possible.
+        let store = EllStore::new(2, EllConfig::new(2, 28, 6).unwrap()).unwrap();
+        let mut rng = SplitMix64::new(3);
+        let batch: Vec<(&str, u64)> = (0..60_000).map(|_| ("big", rng.next_u64())).collect();
+        store.ingest(&batch);
+        assert_eq!(store.is_hot("big"), Some(false));
+        assert!((store.estimate("big").unwrap() / 60_000.0 - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn merge_key_folds_external_sketches() {
+        let store = EllStore::new(4, cfg()).unwrap();
+        let mut external = AdaptiveExaLogLog::new(cfg()).unwrap();
+        let mut rng = SplitMix64::new(4);
+        let hashes: Vec<u64> = (0..500).map(|_| rng.next_u64()).collect();
+        external.insert_hashes(&hashes);
+        store.merge_key("k", &external).unwrap();
+        let direct = store.estimate("k").unwrap();
+        assert!((direct / external.estimate() - 1.0).abs() < 1e-12);
+        // Merging the same sketch again is idempotent.
+        store.merge_key("k", &external).unwrap();
+        assert_eq!(store.estimate("k").unwrap(), direct);
+        // Incompatible configuration is rejected.
+        let other = AdaptiveExaLogLog::new(EllConfig::new(2, 16, 7).unwrap()).unwrap();
+        assert!(store.merge_key("k", &other).is_err());
+    }
+
+    #[test]
+    fn keys_and_estimates_are_sorted() {
+        let store = EllStore::new(8, cfg()).unwrap();
+        for key in ["zeta", "alpha", "mid"] {
+            store.insert(key, 42);
+        }
+        assert_eq!(store.keys(), vec!["alpha", "mid", "zeta"]);
+        let names: Vec<String> = store.estimates().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(store.entries().len(), 3);
+    }
+
+    #[test]
+    fn memory_accounts_for_keys_and_sketches() {
+        let store = EllStore::new(2, cfg()).unwrap();
+        let empty = store.memory_bytes();
+        store.insert("some-key", 7);
+        assert!(store.memory_bytes() > empty);
+    }
+}

@@ -1,0 +1,216 @@
+//! The `ELLK` whole-store snapshot format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "ELLK"            magic (4 bytes)
+//! version           u8, currently 1
+//! t, d, p           u8 × 3 — the per-key sketch configuration
+//! v                 u8 — token parameter for new keys
+//! shards            u32 — shard count (power of two)
+//! entry count       u64
+//! entries, sorted by key:
+//!   key length      u32, then the UTF-8 key bytes
+//!   sketch length   u32, then the sketch payload — the existing
+//!                   per-sketch wire formats (`ELLS` sparse / `ELL1`
+//!                   dense), self-describing and config-validated
+//! ```
+//!
+//! Entries are written in key order and every payload is the canonical
+//! per-sketch serialization, so equal store states produce equal
+//! snapshot bytes regardless of ingest threading or shard layout
+//! history.
+
+use crate::store::EllStore;
+use exaloglog::adaptive::AdaptiveExaLogLog;
+use exaloglog::{EllConfig, EllError};
+
+const MAGIC: &[u8; 4] = b"ELLK";
+const VERSION: u8 = 1;
+/// magic + version + (t, d, p) + v + shards + entry count.
+const HEADER_LEN: usize = 4 + 1 + 3 + 1 + 4 + 8;
+
+fn corrupt(reason: String) -> EllError {
+    EllError::CorruptSerialization { reason }
+}
+
+impl EllStore {
+    /// Serializes the whole store in the `ELLK` container format.
+    ///
+    /// The snapshot is a point-in-time copy taken shard by shard; for a
+    /// transactionally consistent image, quiesce ingest first (entries
+    /// ingested concurrently may or may not be included).
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let entries = self.entries();
+        let mut out = Vec::with_capacity(HEADER_LEN + entries.len() * 64);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        let cfg = self.config();
+        out.extend_from_slice(&[cfg.t(), cfg.d(), cfg.p()]);
+        out.push(self.token_parameter() as u8); // v ≤ 58 by construction
+        out.extend_from_slice(&(self.shard_count() as u32).to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (key, sketch) in &entries {
+            let payload = sketch.to_bytes();
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(key.as_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    /// Restores a store from [`EllStore::snapshot_bytes`] output,
+    /// validating the header, every entry payload, and the consistency
+    /// of each sketch's configuration with the header.
+    ///
+    /// Hot-path eligibility is re-derived from the restored states, so a
+    /// restored store serves (and re-snapshots) exactly like the
+    /// original.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any structural defect of the snapshot bytes.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, EllError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(corrupt(format!(
+                "{} bytes is shorter than the ELLK header",
+                bytes.len()
+            )));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(corrupt("bad magic".into()));
+        }
+        if bytes[4] != VERSION {
+            return Err(corrupt(format!(
+                "unsupported snapshot version {}",
+                bytes[4]
+            )));
+        }
+        let cfg = EllConfig::new(bytes[5], bytes[6], bytes[7])?;
+        let v = u32::from(bytes[8]);
+        let shards =
+            u32::from_le_bytes(bytes[9..13].try_into().expect("header length checked")) as usize;
+        let entry_count = u64::from_le_bytes(
+            bytes[13..21]
+                .try_into()
+                .expect("header length checked above"),
+        );
+        let store = EllStore::with_token_parameter(shards, cfg, v)?;
+
+        let mut cursor = HEADER_LEN;
+        let take = |cursor: &mut usize, len: usize| -> Result<&[u8], EllError> {
+            let end = cursor
+                .checked_add(len)
+                .ok_or_else(|| corrupt("entry length overflows the snapshot".into()))?;
+            if end > bytes.len() {
+                return Err(corrupt(format!(
+                    "entry at offset {cursor} runs past the end ({len} bytes needed)"
+                )));
+            }
+            let slice = &bytes[*cursor..end];
+            *cursor = end;
+            Ok(slice)
+        };
+        let take_u32 = |cursor: &mut usize| -> Result<usize, EllError> {
+            let raw = take(cursor, 4)?;
+            Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")) as usize)
+        };
+        for i in 0..entry_count {
+            let key_len = take_u32(&mut cursor)?;
+            let key = core::str::from_utf8(take(&mut cursor, key_len)?)
+                .map_err(|e| corrupt(format!("entry {i}: key is not UTF-8: {e}")))?
+                .to_string();
+            let sketch_len = take_u32(&mut cursor)?;
+            let sketch = AdaptiveExaLogLog::from_bytes(take(&mut cursor, sketch_len)?)
+                .map_err(|e| corrupt(format!("entry {i} ({key:?}): {e}")))?;
+            if sketch.config() != &cfg {
+                return Err(corrupt(format!(
+                    "entry {i} ({key:?}): configuration {} does not match header {cfg}",
+                    sketch.config()
+                )));
+            }
+            if store.estimate(&key).is_some() {
+                return Err(corrupt(format!("duplicate key {key:?}")));
+            }
+            store.place(key, sketch);
+        }
+        if cursor != bytes.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the last entry",
+                bytes.len() - cursor
+            )));
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::SplitMix64;
+
+    fn populated() -> EllStore {
+        let store = EllStore::new(4, EllConfig::new(2, 16, 6).unwrap()).unwrap();
+        let mut rng = SplitMix64::new(11);
+        for i in 0..40u64 {
+            let key = format!("key-{}", i % 5);
+            store.insert(&key, rng.next_u64());
+        }
+        // One hot key past break-even.
+        let batch: Vec<(&str, u64)> = (0..40_000).map(|_| ("hot", rng.next_u64())).collect();
+        store.ingest(&batch);
+        store
+    }
+
+    #[test]
+    fn roundtrip_reproduces_every_estimate_bitwise() {
+        let store = populated();
+        let bytes = store.snapshot_bytes();
+        let restored = EllStore::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.key_count(), store.key_count());
+        assert_eq!(restored.shard_count(), store.shard_count());
+        assert_eq!(restored.token_parameter(), store.token_parameter());
+        for ((ka, ea), (kb, eb)) in store.estimates().iter().zip(restored.estimates().iter()) {
+            assert_eq!(ka, kb);
+            assert_eq!(
+                ea.to_bits(),
+                eb.to_bits(),
+                "{ka}: estimate not bit-identical"
+            );
+        }
+        // Re-snapshot is byte-identical (canonical form).
+        assert_eq!(restored.snapshot_bytes(), bytes);
+        // Hot-path eligibility is re-derived.
+        assert_eq!(restored.is_hot("hot"), Some(true));
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = EllStore::new(16, EllConfig::optimal(8).unwrap()).unwrap();
+        let restored = EllStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.config(), store.config());
+        assert_eq!(restored.shard_count(), 16);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let store = populated();
+        let bytes = store.snapshot_bytes();
+        assert!(EllStore::from_snapshot_bytes(&bytes[..3]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff; // magic
+        assert!(EllStore::from_snapshot_bytes(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 9; // version
+        assert!(EllStore::from_snapshot_bytes(&bad).is_err());
+        // Truncated mid-entry.
+        assert!(EllStore::from_snapshot_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(&[0, 1, 2]);
+        assert!(EllStore::from_snapshot_bytes(&bad).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Multithreaded store laws: any partition of a keyed workload over any
+//! number of ingest threads must produce bit-for-bit the same store
+//! snapshot, and snapshot→restore must reproduce every per-key estimate
+//! exactly.
+
+use ell_sim::workload::{key_label, KeyedStream};
+use ell_store::EllStore;
+use exaloglog::EllConfig;
+use std::collections::{HashMap, HashSet};
+
+fn workload(events: usize, seed: u64) -> Vec<(String, u64)> {
+    KeyedStream::new(200, 1.0, 50_000, seed)
+        .take(events)
+        .map(|e| (key_label(e.key), e.hash))
+        .collect()
+}
+
+fn ingest_with_threads(events: &[(String, u64)], threads: usize) -> EllStore {
+    let store = EllStore::new(8, EllConfig::new(2, 16, 6).unwrap()).unwrap();
+    let chunk = events.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for part in events.chunks(chunk) {
+            let store = &store;
+            scope.spawn(move || {
+                // Sub-batch to exercise repeated grouped ingest calls.
+                for block in part.chunks(512) {
+                    let refs: Vec<(&str, u64)> =
+                        block.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+                    store.ingest(&refs);
+                }
+            });
+        }
+    });
+    store
+}
+
+#[test]
+fn snapshot_is_independent_of_thread_count() {
+    let events = workload(120_000, 42);
+    let single = ingest_with_threads(&events, 1);
+    let reference = single.snapshot_bytes();
+    for threads in [2, 4, 8] {
+        let store = ingest_with_threads(&events, threads);
+        assert_eq!(
+            store.snapshot_bytes(),
+            reference,
+            "{threads}-thread ingest diverged from single-threaded state"
+        );
+    }
+    // The Zipf head must have been promoted onto the atomic hot path.
+    assert_eq!(single.is_hot(&key_label(0)), Some(true));
+}
+
+#[test]
+fn estimates_track_exact_per_key_counts_under_concurrency() {
+    let events = workload(150_000, 7);
+    let mut exact: HashMap<&str, HashSet<u64>> = HashMap::new();
+    for (k, h) in &events {
+        exact.entry(k.as_str()).or_default().insert(*h);
+    }
+    let store = ingest_with_threads(&events, 4);
+    assert_eq!(store.key_count(), exact.len());
+    for (key, set) in &exact {
+        let est = store.estimate(key).unwrap();
+        let n = set.len() as f64;
+        // p = 6 gives a coarse sketch (~9 % RMSE dense); sparse keys are
+        // near-exact.
+        assert!(
+            (est / n - 1.0).abs() < 0.45,
+            "{key}: estimate {est} vs exact {n}"
+        );
+    }
+    let union: HashSet<u64> = events.iter().map(|(_, h)| *h).collect();
+    let merged = store.merged_estimate();
+    assert!(
+        (merged / union.len() as f64 - 1.0).abs() < 0.2,
+        "merged {merged} vs union {}",
+        union.len()
+    );
+}
+
+#[test]
+fn roundtrip_preserves_estimates_bit_for_bit() {
+    let events = workload(80_000, 99);
+    let store = ingest_with_threads(&events, 4);
+    let restored = EllStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
+    let before = store.estimates();
+    let after = restored.estimates();
+    assert_eq!(before.len(), after.len());
+    for ((ka, ea), (kb, eb)) in before.iter().zip(after.iter()) {
+        assert_eq!(ka, kb);
+        assert_eq!(
+            ea.to_bits(),
+            eb.to_bits(),
+            "{ka}: estimate changed across snapshot/restore"
+        );
+    }
+    // Restored stores keep ingesting identically: feed both the same
+    // extra events and compare snapshots.
+    let extra = workload(20_000, 123);
+    let refs: Vec<(&str, u64)> = extra.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+    store.ingest(&refs);
+    restored.ingest(&refs);
+    assert_eq!(store.snapshot_bytes(), restored.snapshot_bytes());
+}

@@ -10,10 +10,12 @@
 //! debug:               ell inspect all.ell
 //! ```
 
+use ell_store::EllStore;
 use ell_tools::{
-    collect_tokens, config_from_options, count_lines, count_lines_with_algo, inspect, load_any,
-    load_sketch, merge_files, parse_options, relate, save_compressed, save_sketch, save_tokens,
-    ToolError,
+    collect_tokens, config_from_options, count_sources, count_sources_with_algo, export_store,
+    import_store, inspect, load_any, load_sketch, load_store, merge_files, open_inputs,
+    parse_options, parse_options_with_flags, relate, save_compressed, save_sketch, save_store,
+    save_tokens, store_ingest, ToolError,
 };
 use std::path::{Path, PathBuf};
 
@@ -33,10 +35,9 @@ fn run(args: &[String]) -> Result<(), ToolError> {
     match command.as_str() {
         "count" => {
             let (opts, positional) = parse_options(rest, &["t", "d", "p", "out", "algo"])?;
-            if !positional.is_empty() {
-                return Err(ToolError::Usage("count reads from stdin only".into()));
-            }
-            let stdin = std::io::stdin();
+            // Positional arguments are input files, `-` is stdin; no
+            // positionals defaults to stdin (filter convention).
+            let inputs = open_inputs(&positional)?;
             if let Some(algo) = opts.get("algo") {
                 // Dispatch by name through the shared `Sketch` facade.
                 if opts.contains_key("t") || opts.contains_key("d") {
@@ -53,18 +54,19 @@ fn run(args: &[String]) -> Result<(), ToolError> {
                     s.parse()
                         .map_err(|_| ToolError::Usage("--p expects a small integer".into()))
                 })?;
-                let sketch = count_lines_with_algo(stdin.lock(), algo, p)?;
+                let sketch = count_sources_with_algo(inputs, algo, p)?;
                 println!("{:.0}", sketch.estimate());
                 return Ok(());
             }
             let cfg = config_from_options(opts.get("t"), opts.get("d"), opts.get("p"))?;
-            let sketch = count_lines(stdin.lock(), cfg)?;
+            let sketch = count_sources(inputs, cfg)?;
             println!("{:.0}", sketch.estimate());
             if let Some(out) = opts.get("out") {
                 save_sketch(&sketch, Path::new(out))?;
             }
             Ok(())
         }
+        "store" => run_store(rest),
         "estimate" => {
             let (_, positional) = parse_options(rest, &[])?;
             if positional.is_empty() {
@@ -174,12 +176,120 @@ fn run(args: &[String]) -> Result<(), ToolError> {
     }
 }
 
+/// The `ell store` subcommand family: a sharded keyed sketch store
+/// (`key → AdaptiveExaLogLog`) persisted in the `ELLK` snapshot format.
+fn run_store(args: &[String]) -> Result<(), ToolError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(ToolError::Usage(
+            "store needs a subcommand: ingest | query | snapshot | restore".into(),
+        ));
+    };
+    match sub.as_str() {
+        "ingest" => {
+            let (opts, positional) = parse_options(rest, &["out", "shards", "t", "d", "p"])?;
+            let out = opts
+                .get("out")
+                .ok_or_else(|| ToolError::Usage("store ingest needs --out".into()))?;
+            let out_path = Path::new(out);
+            let store = if out_path.exists() {
+                // Resume into an existing snapshot; its parameters win.
+                if opts.len() > 1 {
+                    return Err(ToolError::Usage(format!(
+                        "{out} exists; its stored parameters apply (drop --shards/--t/--d/--p)"
+                    )));
+                }
+                load_store(out_path)?
+            } else {
+                let cfg = config_from_options(opts.get("t"), opts.get("d"), opts.get("p"))?;
+                let shards: usize = opts.get("shards").map_or(Ok(64), |s| {
+                    s.parse()
+                        .map_err(|_| ToolError::Usage("--shards expects an integer".into()))
+                })?;
+                EllStore::new(shards, cfg)?
+            };
+            let mut events = 0u64;
+            for input in open_inputs(&positional)? {
+                events += store_ingest(&store, input)?;
+            }
+            save_store(&store, out_path)?;
+            println!("{} keys, {events} events", store.key_count());
+            Ok(())
+        }
+        "query" => {
+            let (opts, positional) = parse_options_with_flags(rest, &[], &["merged"])?;
+            let Some((path, keys)) = positional.split_first() else {
+                return Err(ToolError::Usage("store query needs a snapshot file".into()));
+            };
+            let store = load_store(Path::new(path))?;
+            if opts.contains_key("merged") {
+                println!("{:.0}", store.merged_estimate());
+                return Ok(());
+            }
+            if keys.is_empty() {
+                for (key, estimate) in store.estimates() {
+                    println!("{key}\t{estimate:.0}");
+                }
+                return Ok(());
+            }
+            // Resolve every key before printing anything, so scripts
+            // never see a partial result set on failure.
+            let rows: Vec<(String, f64)> = keys
+                .iter()
+                .map(|key| {
+                    store
+                        .estimate(key)
+                        .map(|estimate| (key.clone(), estimate))
+                        .ok_or_else(|| ToolError::Usage(format!("unknown key {key:?}")))
+                })
+                .collect::<Result<_, _>>()?;
+            for (key, estimate) in rows {
+                println!("{key}\t{estimate:.0}");
+            }
+            Ok(())
+        }
+        "snapshot" => {
+            let (opts, positional) = parse_options(rest, &["out"])?;
+            let out = opts
+                .get("out")
+                .ok_or_else(|| ToolError::Usage("store snapshot needs --out DIR".into()))?;
+            let [input] = positional.as_slice() else {
+                return Err(ToolError::Usage(
+                    "store snapshot needs exactly one snapshot file".into(),
+                ));
+            };
+            let store = load_store(Path::new(input))?;
+            let entries = export_store(&store, Path::new(out))?;
+            println!("{entries} entries exported to {out}");
+            Ok(())
+        }
+        "restore" => {
+            let (opts, positional) = parse_options(rest, &["out"])?;
+            let out = opts
+                .get("out")
+                .ok_or_else(|| ToolError::Usage("store restore needs --out FILE".into()))?;
+            let [dir] = positional.as_slice() else {
+                return Err(ToolError::Usage(
+                    "store restore needs exactly one export directory".into(),
+                ));
+            };
+            let store = import_store(Path::new(dir))?;
+            save_store(&store, Path::new(out))?;
+            println!("{} keys restored", store.key_count());
+            Ok(())
+        }
+        other => Err(ToolError::Usage(format!(
+            "unknown store subcommand {other}; try ingest | query | snapshot | restore"
+        ))),
+    }
+}
+
 fn print_help() {
     eprintln!(
         "ell — approximate distinct counting (ExaLogLog)\n\n\
          commands:\n\
-         \x20 count   [--t T --d D --p P] [--out FILE]   count distinct stdin lines\n\
-         \x20 count   --algo NAME [--p P]                 count with any registered estimator\n\
+         \x20 count   [--t T --d D --p P] [--out FILE] [FILE...|-]\n\
+         \x20                                             count distinct lines (files or stdin)\n\
+         \x20 count   --algo NAME [--p P] [FILE...|-]     count with any registered estimator\n\
          \x20 tokens  [--v V] [--out FILE]                sparse-mode token collection (§4.3)\n\
          \x20 estimate FILE...                            print estimates (dense or token files)\n\
          \x20 merge    --out FILE IN...                   union of sketches\n\
@@ -187,6 +297,11 @@ fn print_help() {
          \x20 reduce   [--d D] [--p P] --out FILE IN      lossless parameter reduction\n\
          \x20 compress --out FILE IN                      entropy-coded copy\n\
          \x20 inspect  FILE...                            state diagnostics\n\n\
+         keyed store (key<TAB>element lines; `ELLK` snapshot files):\n\
+         \x20 store ingest  --out FILE [--shards N] [--t T --d D --p P] [FILE...|-]\n\
+         \x20 store query   FILE [KEY...] [--merged]      per-key (or union) estimates\n\
+         \x20 store snapshot FILE --out DIR               export per-key sketch files + manifest\n\
+         \x20 store restore DIR --out FILE                rebuild a snapshot from an export\n\n\
          algorithms for count --algo:\n\
          \x20 {}",
         ell_baselines::ALGORITHMS.join(", ")

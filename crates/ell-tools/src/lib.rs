@@ -8,13 +8,14 @@
 //! consumer of the library.
 //!
 //! ```text
-//! ell count [--t T --d D --p P] [--out FILE]      # distinct lines of stdin
-//! ell count --algo NAME [--p P]                   # any registered estimator
+//! ell count [--t T --d D --p P] [--out FILE] [FILE...|-]  # distinct lines
+//! ell count --algo NAME [--p P] [FILE...|-]       # any registered estimator
 //! ell estimate FILE...                            # print estimates
 //! ell merge --out FILE IN...                      # union of sketches
 //! ell reduce --d D --p P --out FILE IN            # lossless reduction
 //! ell compress --out FILE IN                      # entropy-coded copy
 //! ell inspect FILE                                # state diagnostics
+//! ell store ingest|query|snapshot|restore ...     # keyed sketch store
 //! ```
 
 #![forbid(unsafe_code)]
@@ -22,10 +23,14 @@
 
 use ell_core::{Sketch, SketchError};
 use ell_hash::{Hasher64, WyHash};
+use ell_store::EllStore;
 use exaloglog::compress::{compress, decompress, state_entropy_bits};
-use exaloglog::{EllConfig, EllError, ExaLogLog, TokenSet};
+use exaloglog::{AdaptiveExaLogLog, EllConfig, EllError, ExaLogLog, TokenSet};
 use std::io::BufRead;
 use std::path::Path;
+
+/// Number of line hashes buffered per batched `insert_hashes` call.
+const LINE_BATCH: usize = 1024;
 
 /// Errors surfaced by the CLI operations.
 #[derive(Debug)]
@@ -82,12 +87,92 @@ pub fn load_sketch(path: &Path) -> Result<ExaLogLog, ToolError> {
     }
 }
 
+/// Hashes every line of `input` and streams the hashes into `sketch`
+/// through the batched trait hot path, in [`LINE_BATCH`] blocks
+/// (bit-for-bit equivalent to per-line insertion by the trait contract).
+fn feed_lines<R: BufRead>(
+    input: R,
+    hasher: &WyHash,
+    sketch: &mut dyn Sketch,
+) -> Result<(), ToolError> {
+    let mut buf = Vec::with_capacity(LINE_BATCH);
+    for line in input.lines() {
+        buf.push(hasher.hash_bytes(line?.as_bytes()));
+        if buf.len() == LINE_BATCH {
+            sketch.insert_hashes(&buf);
+            buf.clear();
+        }
+    }
+    sketch.insert_hashes(&buf);
+    Ok(())
+}
+
+/// Opens the named line inputs: each path becomes a buffered reader,
+/// `"-"` means standard input, and an empty list defaults to standard
+/// input alone (the classic filter-utility convention).
+///
+/// # Errors
+///
+/// [`ToolError::Io`] when a file cannot be opened.
+pub fn open_inputs(paths: &[String]) -> Result<Vec<Box<dyn BufRead>>, ToolError> {
+    if paths.is_empty() {
+        return Ok(vec![Box::new(std::io::BufReader::new(std::io::stdin()))]);
+    }
+    paths
+        .iter()
+        .map(|p| -> Result<Box<dyn BufRead>, ToolError> {
+            Ok(if p == "-" {
+                Box::new(std::io::BufReader::new(std::io::stdin()))
+            } else {
+                Box::new(std::io::BufReader::new(std::fs::File::open(p)?))
+            })
+        })
+        .collect()
+}
+
 /// Counts distinct lines from `input` into a fresh sketch.
 pub fn count_lines<R: BufRead>(input: R, cfg: EllConfig) -> Result<ExaLogLog, ToolError> {
     let hasher = WyHash::new(0);
     let mut sketch = ExaLogLog::new(cfg);
-    for line in input.lines() {
-        sketch.insert_hash(hasher.hash_bytes(line?.as_bytes()));
+    feed_lines(input, &hasher, &mut sketch)?;
+    Ok(sketch)
+}
+
+/// Counts distinct lines across *all* the given inputs (one union
+/// sketch), streaming every source through the batched insert path —
+/// the engine behind `ell count FILE... -`.
+///
+/// # Errors
+///
+/// [`ToolError::Io`] on read failures.
+pub fn count_sources(
+    inputs: Vec<Box<dyn BufRead>>,
+    cfg: EllConfig,
+) -> Result<ExaLogLog, ToolError> {
+    let hasher = WyHash::new(0);
+    let mut sketch = ExaLogLog::new(cfg);
+    for input in inputs {
+        feed_lines(input, &hasher, &mut sketch)?;
+    }
+    Ok(sketch)
+}
+
+/// Counts distinct lines across all inputs with the named algorithm at
+/// precision `p` (see [`count_lines_with_algo`]).
+///
+/// # Errors
+///
+/// [`ToolError::Algo`] for unknown names or unsupported precisions,
+/// [`ToolError::Io`] on read failures.
+pub fn count_sources_with_algo(
+    inputs: Vec<Box<dyn BufRead>>,
+    algo: &str,
+    p: u8,
+) -> Result<Box<dyn Sketch>, ToolError> {
+    let hasher = WyHash::new(0);
+    let mut sketch = ell_baselines::build_sketch(algo, p)?;
+    for input in inputs {
+        feed_lines(input, &hasher, sketch.as_mut())?;
     }
     Ok(sketch)
 }
@@ -109,28 +194,21 @@ pub fn count_lines_with_algo<R: BufRead>(
 ) -> Result<Box<dyn Sketch>, ToolError> {
     let hasher = WyHash::new(0);
     let mut sketch = ell_baselines::build_sketch(algo, p)?;
-    // Batch hashes so every line stream exercises the same insert path
-    // the sim harness and benches use.
-    let mut buf = Vec::with_capacity(1024);
-    for line in input.lines() {
-        buf.push(hasher.hash_bytes(line?.as_bytes()));
-        if buf.len() == 1024 {
-            sketch.insert_hashes(&buf);
-            buf.clear();
-        }
-    }
-    sketch.insert_hashes(&buf);
+    feed_lines(input, &hasher, sketch.as_mut())?;
     Ok(sketch)
 }
 
-/// A sketch file of either kind: a dense/compressed ExaLogLog or a
-/// sparse token set (§4.3).
+/// A sketch file of any kind: a dense/compressed ExaLogLog, a sparse
+/// token set (§4.3), or an adaptive sparse→dense sketch.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SketchFile {
     /// A dense register-array sketch (`ELL1` or `ELLZ` on disk).
     Dense(ExaLogLog),
     /// A sparse token collection (`ELLT` on disk).
     Tokens(TokenSet),
+    /// An adaptive sketch still in its sparse phase (`ELLS` on disk;
+    /// once promoted, adaptive sketches serialize as plain `ELL1`).
+    Adaptive(AdaptiveExaLogLog),
 }
 
 impl SketchFile {
@@ -140,16 +218,19 @@ impl SketchFile {
         match self {
             SketchFile::Dense(s) => s.estimate(),
             SketchFile::Tokens(t) => t.estimate(),
+            SketchFile::Adaptive(a) => a.estimate(),
         }
     }
 }
 
 /// Reads any sketch file, auto-detecting dense (`ELL1`), compressed
-/// (`ELLZ`), and token (`ELLT`) formats by magic.
+/// (`ELLZ`), token (`ELLT`), and adaptive (`ELLS`) formats by magic.
 pub fn load_any(path: &Path) -> Result<SketchFile, ToolError> {
     let bytes = std::fs::read(path)?;
     if bytes.len() >= 4 && &bytes[..4] == b"ELLT" {
         Ok(SketchFile::Tokens(TokenSet::from_bytes(&bytes)?))
+    } else if bytes.len() >= 4 && &bytes[..4] == b"ELLS" {
+        Ok(SketchFile::Adaptive(AdaptiveExaLogLog::from_bytes(&bytes)?))
     } else if bytes.len() >= 4 && &bytes[..4] == b"ELLZ" {
         Ok(SketchFile::Dense(decompress(&bytes)?))
     } else {
@@ -252,11 +333,26 @@ pub fn parse_options(
     args: &[String],
     keys: &[&str],
 ) -> Result<(std::collections::HashMap<String, String>, Vec<String>), ToolError> {
+    parse_options_with_flags(args, keys, &[])
+}
+
+/// Like [`parse_options`], but additionally accepts value-less boolean
+/// flags (recorded in the map as `"true"` when present).
+pub fn parse_options_with_flags(
+    args: &[String],
+    keys: &[&str],
+    flags: &[&str],
+) -> Result<(std::collections::HashMap<String, String>, Vec<String>), ToolError> {
     let mut opts = std::collections::HashMap::new();
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
+            if flags.contains(&key) {
+                opts.insert(key.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             if !keys.contains(&key) {
                 return Err(ToolError::Usage(format!("unknown option --{key}")));
             }
@@ -303,6 +399,176 @@ pub fn save_sketch(sketch: &ExaLogLog, path: &Path) -> Result<(), ToolError> {
 pub fn save_compressed(sketch: &ExaLogLog, path: &Path) -> Result<(), ToolError> {
     std::fs::write(path, compress(sketch))?;
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Keyed store workflows (`ell store ...`)
+// ---------------------------------------------------------------------
+
+/// Splits a keyed input line into `(key, element)` at the first tab, or
+/// at the first space when no tab is present.
+///
+/// # Errors
+///
+/// [`ToolError::Usage`] when the line has no separator at all.
+pub fn split_keyed_line(line: &str) -> Result<(&str, &str), ToolError> {
+    line.split_once('\t')
+        .or_else(|| line.split_once(' '))
+        .ok_or_else(|| {
+            ToolError::Usage(format!(
+                "keyed line {line:?} has no `key<TAB>element` (or space) separator"
+            ))
+        })
+}
+
+/// Streams keyed lines (`key<TAB>element`) from `input` into the store
+/// through its grouped batch ingest, hashing elements exactly like
+/// [`count_lines`]. Returns the number of events ingested.
+///
+/// # Errors
+///
+/// [`ToolError::Io`] on read failures, [`ToolError::Usage`] on lines
+/// without a key separator.
+pub fn store_ingest<R: BufRead>(store: &EllStore, input: R) -> Result<u64, ToolError> {
+    let hasher = WyHash::new(0);
+    let mut buf: Vec<(String, u64)> = Vec::with_capacity(LINE_BATCH);
+    let mut total = 0u64;
+    let flush = |buf: &mut Vec<(String, u64)>| {
+        let refs: Vec<(&str, u64)> = buf.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+        store.ingest(&refs);
+        buf.clear();
+    };
+    for line in input.lines() {
+        let line = line?;
+        let (key, element) = split_keyed_line(&line)?;
+        buf.push((key.to_string(), hasher.hash_bytes(element.as_bytes())));
+        total += 1;
+        if buf.len() == LINE_BATCH {
+            flush(&mut buf);
+        }
+    }
+    flush(&mut buf);
+    Ok(total)
+}
+
+/// Reads an `ELLK` store snapshot file.
+pub fn load_store(path: &Path) -> Result<EllStore, ToolError> {
+    Ok(EllStore::from_snapshot_bytes(&std::fs::read(path)?)?)
+}
+
+/// Writes the store's `ELLK` snapshot.
+pub fn save_store(store: &EllStore, path: &Path) -> Result<(), ToolError> {
+    std::fs::write(path, store.snapshot_bytes())?;
+    Ok(())
+}
+
+/// Percent-escapes the characters that would break the tab-separated
+/// manifest (`%`, tab, newline, carriage return).
+fn escape_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for c in key.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_key`].
+fn unescape_key(escaped: &str) -> Result<String, ToolError> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).collect();
+        if hex.len() != 2 {
+            return Err(ToolError::Usage(format!(
+                "truncated %-escape {hex:?} in manifest key"
+            )));
+        }
+        let code = u8::from_str_radix(&hex, 16)
+            .map_err(|_| ToolError::Usage(format!("bad %-escape {hex:?} in manifest key")))?;
+        out.push(char::from(code));
+    }
+    Ok(out)
+}
+
+/// Exports every store entry as an individual sketch file (the existing
+/// `ELLS`/`ELL1` wire formats, readable by `ell estimate`) plus a
+/// `MANIFEST.tsv` mapping file names back to keys. Returns the number
+/// of entries written.
+///
+/// # Errors
+///
+/// [`ToolError::Io`] on filesystem failures.
+pub fn export_store(store: &EllStore, dir: &Path) -> Result<usize, ToolError> {
+    std::fs::create_dir_all(dir)?;
+    let entries = store.entries();
+    let cfg = store.config();
+    let mut manifest = format!(
+        "#ellk-export t={} d={} p={} v={} shards={}\n",
+        cfg.t(),
+        cfg.d(),
+        cfg.p(),
+        store.token_parameter(),
+        store.shard_count()
+    );
+    for (i, (key, sketch)) in entries.iter().enumerate() {
+        let name = format!("entry-{i:06}.ell");
+        std::fs::write(dir.join(&name), sketch.to_bytes())?;
+        manifest.push_str(&format!("{name}\t{}\n", escape_key(key)));
+    }
+    std::fs::write(dir.join("MANIFEST.tsv"), manifest)?;
+    Ok(entries.len())
+}
+
+/// Rebuilds a store from an [`export_store`] directory: the manifest
+/// header restores the configuration, every entry file is parsed
+/// through the per-sketch wire formats and folded back under its key.
+///
+/// # Errors
+///
+/// [`ToolError::Usage`] on a malformed manifest, [`ToolError::Io`] /
+/// [`ToolError::Sketch`] on unreadable or corrupt entry files.
+pub fn import_store(dir: &Path) -> Result<EllStore, ToolError> {
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST.tsv"))?;
+    let mut lines = manifest.lines();
+    let header = lines
+        .next()
+        .and_then(|l| l.strip_prefix("#ellk-export "))
+        .ok_or_else(|| ToolError::Usage("manifest is missing the #ellk-export header".into()))?;
+    let mut fields = std::collections::HashMap::new();
+    for pair in header.split_whitespace() {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| ToolError::Usage(format!("bad manifest header field {pair:?}")))?;
+        fields.insert(k, v);
+    }
+    let get = |name: &str| -> Result<u64, ToolError> {
+        fields
+            .get(name)
+            .ok_or_else(|| ToolError::Usage(format!("manifest header lacks {name}=")))?
+            .parse()
+            .map_err(|_| ToolError::Usage(format!("manifest header field {name} is not a number")))
+    };
+    let cfg = EllConfig::new(get("t")? as u8, get("d")? as u8, get("p")? as u8)?;
+    let store = EllStore::with_token_parameter(get("shards")? as usize, cfg, get("v")? as u32)?;
+    for line in lines.filter(|l| !l.is_empty()) {
+        let (file, escaped) = line
+            .split_once('\t')
+            .ok_or_else(|| ToolError::Usage(format!("manifest line {line:?} has no tab")))?;
+        let key = unescape_key(escaped)?;
+        let sketch = AdaptiveExaLogLog::from_bytes(&std::fs::read(dir.join(file))?)?;
+        store.merge_key(&key, &sketch)?;
+    }
+    Ok(store)
 }
 
 #[cfg(test)]

@@ -2,9 +2,11 @@
 //! (count → save → merge → reduce → compress → inspect, plus the sparse
 //! token pipeline and set-relation queries), using temp files.
 
+use ell_store::EllStore;
 use ell_tools::{
-    collect_tokens, count_lines, count_lines_with_algo, inspect, load_any, load_sketch,
-    merge_files, relate, save_compressed, save_sketch, save_tokens, SketchFile, ToolError,
+    collect_tokens, count_lines, count_lines_with_algo, count_sources, export_store, import_store,
+    inspect, load_any, load_sketch, load_store, merge_files, relate, save_compressed, save_sketch,
+    save_store, save_tokens, store_ingest, SketchFile, ToolError,
 };
 use exaloglog::EllConfig;
 use std::io::Cursor;
@@ -143,7 +145,7 @@ fn token_pipeline_roundtrip() {
             assert_eq!(loaded, tokens);
             assert!((loaded.estimate() - tokens.estimate()).abs() < 1e-9);
         }
-        SketchFile::Dense(_) => panic!("ELLT file detected as dense"),
+        other => panic!("ELLT file misdetected as {other:?}"),
     }
     // Dense files flow through the same loader.
     let cfg = EllConfig::new(2, 20, 8).unwrap();
@@ -152,7 +154,17 @@ fn token_pipeline_roundtrip() {
     save_sketch(&sketch, &dense_path).unwrap();
     match load_any(&dense_path).unwrap() {
         SketchFile::Dense(loaded) => assert_eq!(loaded, sketch),
-        SketchFile::Tokens(_) => panic!("ELL1 file detected as tokens"),
+        other => panic!("ELL1 file misdetected as {other:?}"),
+    }
+    // Adaptive (ELLS) files are detected too.
+    let mut adaptive =
+        exaloglog::AdaptiveExaLogLog::new(EllConfig::new(2, 20, 10).unwrap()).unwrap();
+    adaptive.insert_hash(42);
+    let adaptive_path = dir.path("a.ells");
+    std::fs::write(&adaptive_path, adaptive.to_bytes()).unwrap();
+    match load_any(&adaptive_path).unwrap() {
+        SketchFile::Adaptive(loaded) => assert_eq!(loaded, adaptive),
+        other => panic!("ELLS file misdetected as {other:?}"),
     }
 }
 
@@ -231,6 +243,193 @@ fn cli_binary_count_algo_workflows() {
     let (ok, _, stderr) = run_cli(&["count", "--algo", "ull", "--out", "/tmp/x.ell"], "a\n");
     assert!(!ok);
     assert!(stderr.contains("usage error"), "{stderr}");
+}
+
+#[test]
+fn count_multiple_sources_counts_the_union() {
+    // Two overlapping ranges through the multi-source path equal one
+    // combined count.
+    let inputs: Vec<Box<dyn std::io::BufRead>> = vec![
+        Box::new(Cursor::new(lines(0..4000))),
+        Box::new(Cursor::new(lines(2000..6000))),
+    ];
+    let cfg = EllConfig::new(2, 20, 11).unwrap();
+    let sketch = count_sources(inputs, cfg).unwrap();
+    assert!(
+        (sketch.estimate() / 6000.0 - 1.0).abs() < 0.06,
+        "union estimate {}",
+        sketch.estimate()
+    );
+    // Bit-for-bit identical to counting the concatenation in one pass.
+    let combined = format!("{}{}", lines(0..4000), lines(2000..6000));
+    let direct = count_lines(Cursor::new(combined), cfg).unwrap();
+    assert_eq!(sketch, direct);
+}
+
+#[test]
+fn cli_count_accepts_files_and_stdin_dash() {
+    let dir = TempDir::new("multifile");
+    let fa = dir.path("a.txt");
+    let fb = dir.path("b.txt");
+    std::fs::write(&fa, lines(0..3000)).unwrap();
+    std::fs::write(&fb, lines(1500..4500)).unwrap();
+    // Two files.
+    let (ok, stdout, _) = run_cli(
+        &[
+            "count",
+            "--p",
+            "11",
+            fa.to_str().unwrap(),
+            fb.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok);
+    let est: f64 = stdout.trim().parse().unwrap();
+    assert!((est / 4500.0 - 1.0).abs() < 0.07, "estimate {est}");
+    // One file plus stdin via `-`.
+    let (ok, stdout, _) = run_cli(
+        &["count", "--p", "11", fa.to_str().unwrap(), "-"],
+        &lines(1500..4500),
+    );
+    assert!(ok);
+    let est: f64 = stdout.trim().parse().unwrap();
+    assert!((est / 4500.0 - 1.0).abs() < 0.07, "estimate {est}");
+    // Files work with --algo dispatch too.
+    let (ok, stdout, _) = run_cli(
+        &["count", "--algo", "ull", "--p", "11", fa.to_str().unwrap()],
+        "",
+    );
+    assert!(ok);
+    let est: f64 = stdout.trim().parse().unwrap();
+    assert!((est / 3000.0 - 1.0).abs() < 0.1, "estimate {est}");
+    // A missing file is a clean error.
+    let (ok, _, stderr) = run_cli(&["count", "/nonexistent/nope.txt"], "");
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+}
+
+/// `key<TAB>element` lines: `keys` keys, each observing its own element
+/// range (with per-key overlap across calls controlled by `range`).
+fn keyed_lines(keys: usize, range: std::ops::Range<u32>) -> String {
+    let mut out = String::new();
+    for i in range {
+        out.push_str(&format!("key-{}\telem-{}\n", i as usize % keys, i));
+    }
+    out
+}
+
+#[test]
+fn store_library_roundtrip() {
+    let dir = TempDir::new("store_lib");
+    let store = EllStore::new(8, EllConfig::new(2, 20, 10).unwrap()).unwrap();
+    let events = store_ingest(&store, Cursor::new(keyed_lines(5, 0..10_000))).unwrap();
+    assert_eq!(events, 10_000);
+    assert_eq!(store.key_count(), 5);
+    // Each key saw 2000 distinct elements.
+    for (key, est) in store.estimates() {
+        assert!(
+            (est / 2000.0 - 1.0).abs() < 0.1,
+            "{key}: estimate {est} vs exact 2000"
+        );
+    }
+    // ELLK snapshot file roundtrip.
+    let snap = dir.path("s.ellk");
+    save_store(&store, &snap).unwrap();
+    let loaded = load_store(&snap).unwrap();
+    assert_eq!(loaded.snapshot_bytes(), store.snapshot_bytes());
+    // Per-key export + import reproduces every estimate bit-for-bit.
+    let export_dir = dir.path("export");
+    let entries = export_store(&store, &export_dir).unwrap();
+    assert_eq!(entries, 5);
+    let imported = import_store(&export_dir).unwrap();
+    for ((ka, ea), (kb, eb)) in store.estimates().iter().zip(imported.estimates().iter()) {
+        assert_eq!(ka, kb);
+        assert_eq!(ea.to_bits(), eb.to_bits(), "{ka}");
+    }
+    // Exported entry files are ordinary sketch files: `load_any` reads
+    // them (sparse keys export as ELLS, hot/dense ones as ELL1).
+    let first = load_any(&export_dir.join("entry-000000.ell")).unwrap();
+    assert!(first.estimate() > 0.0);
+    // Malformed keyed lines are an error.
+    assert!(store_ingest(&store, Cursor::new("no-separator\n")).is_err());
+}
+
+#[test]
+fn cli_store_workflows() {
+    let dir = TempDir::new("store_cli");
+    let snap = dir.path("traffic.ellk");
+    let snap_str = snap.to_str().unwrap();
+    // Ingest from stdin.
+    let (ok, stdout, stderr) = run_cli(
+        &["store", "ingest", "--out", snap_str, "--p", "10", "-"],
+        &keyed_lines(4, 0..8000),
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("4 keys"), "{stdout}");
+    // Resume into the existing snapshot from a file input.
+    let extra = dir.path("extra.tsv");
+    std::fs::write(&extra, keyed_lines(4, 4000..12_000)).unwrap();
+    let (ok, stdout, stderr) = run_cli(
+        &[
+            "store",
+            "ingest",
+            "--out",
+            snap_str,
+            extra.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("4 keys"), "{stdout}");
+    // Query all keys: 3000 distinct elements each after the overlap.
+    let (ok, stdout, _) = run_cli(&["store", "query", snap_str], "");
+    assert!(ok);
+    let rows: Vec<&str> = stdout.lines().collect();
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        let (key, est) = row.split_once('\t').expect("key\\testimate");
+        let est: f64 = est.parse().unwrap();
+        assert!(
+            (est / 3000.0 - 1.0).abs() < 0.1,
+            "{key}: estimate {est} vs exact 3000"
+        );
+    }
+    // Query single key and the merged union (12000 distinct elements).
+    let (ok, stdout, _) = run_cli(&["store", "query", snap_str, "key-0"], "");
+    assert!(ok);
+    assert!(stdout.starts_with("key-0\t"), "{stdout}");
+    let (ok, stdout, _) = run_cli(&["store", "query", "--merged", snap_str], "");
+    assert!(ok);
+    let merged: f64 = stdout.trim().parse().unwrap();
+    assert!(
+        (merged / 12_000.0 - 1.0).abs() < 0.1,
+        "merged estimate {merged}"
+    );
+    // Unknown key is a clean error.
+    let (ok, _, stderr) = run_cli(&["store", "query", snap_str, "key-9"], "");
+    assert!(!ok);
+    assert!(stderr.contains("key-9"), "{stderr}");
+    // snapshot (export) → restore: per-key estimates survive bit-for-bit.
+    let export_dir = dir.path("export");
+    let export_str = export_dir.to_str().unwrap();
+    let (ok, stdout, stderr) = run_cli(&["store", "snapshot", snap_str, "--out", export_str], "");
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("4 entries"), "{stdout}");
+    let restored = dir.path("restored.ellk");
+    let restored_str = restored.to_str().unwrap();
+    let (ok, _, stderr) = run_cli(&["store", "restore", export_str, "--out", restored_str], "");
+    assert!(ok, "{stderr}");
+    let (_, q1, _) = run_cli(&["store", "query", snap_str], "");
+    let (_, q2, _) = run_cli(&["store", "query", restored_str], "");
+    assert_eq!(q1, q2, "restored store must answer identically");
+    // Usage errors are clean.
+    let (ok, _, stderr) = run_cli(&["store"], "");
+    assert!(!ok);
+    assert!(stderr.contains("subcommand"), "{stderr}");
+    let (ok, _, stderr) = run_cli(&["store", "frobnicate"], "");
+    assert!(!ok);
+    assert!(stderr.contains("frobnicate"), "{stderr}");
 }
 
 #[test]

@@ -9,6 +9,7 @@
 //! cross-implementation property tests at the workspace root
 //! (`tests/trait_laws.rs`) compare serialized states to enforce it.
 
+use crate::adaptive::AdaptiveExaLogLog;
 use crate::atomic::AtomicExaLogLog;
 use crate::martingale::{MartingaleEstimator, MartingaleExaLogLog};
 use crate::sketch::ExaLogLog;
@@ -137,6 +138,38 @@ impl DistinctCounter for SparseExaLogLog {
     }
     fn memory_bits(&self) -> usize {
         SparseExaLogLog::memory_bytes(self) * 8
+    }
+    fn constant_time_insert(&self) -> bool {
+        // The sparse phase pays O(log n) per token insert.
+        false
+    }
+}
+
+impl DistinctCounter for AdaptiveExaLogLog {
+    fn name(&self) -> String {
+        let c = self.config();
+        format!("ELL(t={},d={},p={},adaptive)", c.t(), c.d(), c.p())
+    }
+    fn insert_hash(&mut self, h: u64) {
+        AdaptiveExaLogLog::insert_hash(self, h);
+    }
+    fn insert_hashes(&mut self, hashes: &[u64]) {
+        AdaptiveExaLogLog::insert_hashes(self, hashes);
+    }
+    fn estimate(&self) -> f64 {
+        AdaptiveExaLogLog::estimate(self)
+    }
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        AdaptiveExaLogLog::merge_from(self, other).map_err(Into::into)
+    }
+    fn to_bytes(&self) -> Vec<u8> {
+        AdaptiveExaLogLog::to_bytes(self)
+    }
+    fn from_bytes(bytes: &[u8]) -> Result<Self, SketchError> {
+        AdaptiveExaLogLog::from_bytes(bytes).map_err(Into::into)
+    }
+    fn memory_bits(&self) -> usize {
+        AdaptiveExaLogLog::memory_bytes(self) * 8
     }
     fn constant_time_insert(&self) -> bool {
         // The sparse phase pays O(log n) per token insert.
@@ -275,6 +308,7 @@ mod tests {
             Box::new(ExaLogLog::new(cfg)),
             Box::new(MartingaleExaLogLog::new(cfg)),
             Box::new(SparseExaLogLog::new(cfg).unwrap()),
+            Box::new(AdaptiveExaLogLog::new(cfg).unwrap()),
             Box::new(AtomicExaLogLog::new(cfg).unwrap()),
             Box::new(TokenSet::new(26).unwrap()),
             Box::new(EllT2D20::new(8).unwrap()),

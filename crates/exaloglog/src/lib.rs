@@ -37,6 +37,7 @@
 //! | [`martingale`] | §3.3 | online HIP estimation (Alg. 4) |
 //! | [`token`] | §4.3 | hash tokens and direct token-set estimation (Alg. 7) |
 //! | [`sparse`] | §4.3 | sparse-to-dense auto-upgrading sketch |
+//! | [`adaptive`] | §4.3 | adaptive lifecycle enum that unwraps to dense at promotion |
 //! | [`theory`] | §2.1, §2.4 | MVP formulas (3)(5)(6)(7), bias correction (4) |
 //! | [`compress`] | §6 (future work) | entropy-coded serialization approaching the Figure 6 optimum |
 //! | [`atomic`] | §2.4 | lock-free concurrent sketch for ≤32-bit registers (CAS updates) |
@@ -55,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod atomic;
 pub mod compress;
 pub mod config;
@@ -69,6 +71,7 @@ pub mod specialized;
 pub mod theory;
 pub mod token;
 
+pub use adaptive::AdaptiveExaLogLog;
 pub use config::{EllConfig, EllError};
 pub use ell_core::{DistinctCounter, Sketch, SketchError};
 pub use martingale::{MartingaleEstimator, MartingaleExaLogLog};

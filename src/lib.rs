@@ -13,7 +13,9 @@
 //! * [`ell_numerics`] — special functions for the theory module;
 //! * [`ell_baselines`] — comparison sketches (HLL + sparse coupon mode,
 //!   ULL, EHLL, HyperMinHash, PCSA + CPC serialization, HLLL, …);
-//! * [`ell_sim`] — the error-simulation harness and workload generators.
+//! * [`ell_sim`] — the error-simulation harness and workload generators;
+//! * [`ell_store`] — the sharded keyed sketch store (key →
+//!   `AdaptiveExaLogLog` with an atomic hot path).
 
 #![forbid(unsafe_code)]
 
@@ -23,4 +25,5 @@ pub use ell_core;
 pub use ell_hash;
 pub use ell_numerics;
 pub use ell_sim;
+pub use ell_store;
 pub use exaloglog;

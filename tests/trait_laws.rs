@@ -22,8 +22,8 @@ use ell::ell_core::{DistinctCounter, SketchError};
 use ell::ell_hash::SplitMix64;
 use ell::exaloglog::atomic::AtomicExaLogLog;
 use ell::exaloglog::{
-    EllConfig, EllT1D9, EllT2D16, EllT2D20, EllT2D24, ExaLogLog, MartingaleExaLogLog,
-    SparseExaLogLog, TokenSet,
+    AdaptiveExaLogLog, EllConfig, EllT1D9, EllT2D16, EllT2D20, EllT2D24, ExaLogLog,
+    MartingaleExaLogLog, SparseExaLogLog, TokenSet,
 };
 use proptest::prelude::*;
 
@@ -87,7 +87,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Law 1 for every registered algorithm, through the object-safe
-    /// facade (one virtual boundary, all 18 types).
+    /// facade (one virtual boundary, all 19 types).
     #[test]
     fn registry_batch_equals_sequential(
         seed in any::<u64>(),
@@ -134,6 +134,11 @@ proptest! {
             &hashes,
             chunk,
         )?;
+        batch_equivalence(
+            || AdaptiveExaLogLog::new(EllConfig::optimal(p).unwrap()).unwrap(),
+            &hashes,
+            chunk,
+        )?;
     }
 
     /// Law 2 for every merge-capable implementation.
@@ -150,6 +155,11 @@ proptest! {
         merge_laws(|| ExaLogLog::new(EllConfig::optimal(p).unwrap()), &ha, &hb)?;
         merge_laws(
             || SparseExaLogLog::new(EllConfig::optimal(p).unwrap()).unwrap(),
+            &ha,
+            &hb,
+        )?;
+        merge_laws(
+            || AdaptiveExaLogLog::new(EllConfig::optimal(p).unwrap()).unwrap(),
             &ha,
             &hb,
         )?;

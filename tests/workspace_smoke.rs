@@ -12,7 +12,8 @@ use ell::ell_bitpack::PackedArray;
 use ell::ell_core::{DistinctCounter, Sketch};
 use ell::ell_hash::{Hasher64, SplitMix64, WyHash};
 use ell::ell_numerics::hurwitz_zeta;
-use ell::ell_sim::workload::distinct_stream;
+use ell::ell_sim::workload::{distinct_stream, key_label, KeyedStream};
+use ell::ell_store::EllStore;
 use ell::exaloglog::{EllConfig, ExaLogLog};
 
 #[test]
@@ -81,9 +82,25 @@ fn every_member_crate_is_usable_through_the_umbrella() {
     assert!(dyn_rel.abs() < 0.15, "facade estimate off by {dyn_rel:.3}");
     assert!(build_sketch("no-such-sketch", 10).is_err());
 
-    // ell-sim: workload generation produces the advertised cardinality.
+    // ell-sim: workload generation produces the advertised cardinality,
+    // and the keyed generator feeds the store below.
     let stream = distinct_stream(1000, 42);
     assert_eq!(stream.len(), 1000);
+
+    // ell-store: keyed ingest, per-key estimates, snapshot round-trip.
+    let store = EllStore::new(4, EllConfig::optimal(10).expect("valid precision"))
+        .expect("power-of-two shards");
+    let events: Vec<(String, u64)> = KeyedStream::new(50, 1.0, 10_000, 9)
+        .take(5_000)
+        .map(|e| (key_label(e.key), e.hash))
+        .collect();
+    let refs: Vec<(&str, u64)> = events.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+    store.ingest(&refs);
+    assert!(store.key_count() > 10, "keyed workload should spread keys");
+    assert!(store.estimate(&key_label(0)).expect("hottest key present") > 0.0);
+    let restored =
+        EllStore::from_snapshot_bytes(&store.snapshot_bytes()).expect("snapshot round-trips");
+    assert_eq!(restored.snapshot_bytes(), store.snapshot_bytes());
 
     // ell-hash again: SplitMix64 is the workspace's seedable PRNG.
     let mut rng = SplitMix64::new(1);
