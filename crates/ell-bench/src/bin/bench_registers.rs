@@ -1,0 +1,371 @@
+//! Machine-readable register-engine benchmark: measures the three fast
+//! paths of the width-specialized register engine against their reference
+//! implementations *in the same run*, and verifies bit-identical results
+//! while doing so. Written as `BENCH_registers.json` so the repository
+//! accumulates a performance trajectory across commits.
+//!
+//! ```text
+//! bench_registers [--quick] [--out FILE] [--hashes N] [--reps N] [--p P]
+//! ```
+//!
+//! Three comparisons per configuration:
+//!
+//! * **insert** — `insert_hashes` on width-specialized register storage
+//!   versus the same sketch pinned to the generic shifted-window path
+//!   (`force_generic_storage`).
+//! * **merge** — the word-level run-skipping `merge_from` on specialized
+//!   storage versus the per-register reference merge on generic storage,
+//!   across four union shapes (sparse-into-dense, mostly-overlapping
+//!   fold, disjoint dense, self-merge).
+//! * **estimate** — repeated single-insert-then-estimate through the
+//!   incrementally cached ML coefficients versus re-running the
+//!   Algorithm 3 register scan per estimate.
+//!
+//! Every comparison asserts that both paths produce bit-identical
+//! serialized state / estimates; the JSON records the verdict under
+//! `"equivalence"` and the process exits non-zero on any mismatch, which
+//! is what lets CI gate on it.
+
+use ell_bench::hashes;
+use exaloglog::theory::bias_correction_c;
+use exaloglog::{ml, EllConfig, ExaLogLog};
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    out: String,
+    hashes: usize,
+    reps: usize,
+    p: u8,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_registers.json".to_string(),
+        hashes: 0,
+        reps: 0,
+        p: 8,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let need = |argv: &[String], i: usize, flag: &str| -> String {
+        argv.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("bench_registers: missing value for {flag}");
+                std::process::exit(2);
+            })
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => {
+                args.quick = true;
+                i += 1;
+            }
+            "--out" => {
+                args.out = need(&argv, i, "--out");
+                i += 2;
+            }
+            "--hashes" => {
+                args.hashes = need(&argv, i, "--hashes").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_registers: --hashes expects an integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = need(&argv, i, "--reps").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_registers: --reps expects an integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--p" => {
+                args.p = need(&argv, i, "--p").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_registers: --p expects a small integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("bench_registers: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.hashes == 0 {
+        args.hashes = if args.quick { 400_000 } else { 4_000_000 };
+    }
+    if args.reps == 0 {
+        args.reps = if args.quick { 3 } else { 7 };
+    }
+    args
+}
+
+/// Median wall time of `reps` runs of `f`, in seconds.
+fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[reps / 2]
+}
+
+/// The scan-based reference estimate (the pre-cache behavior): one full
+/// Algorithm 3 register scan plus the Newton solve and bias correction.
+fn estimate_by_scan(s: &ExaLogLog) -> f64 {
+    let cfg = s.config();
+    let m = cfg.m() as f64;
+    let raw = ml::ml_estimate_from_coefficients(&s.coefficients_scan(), m);
+    raw / (1.0 + bias_correction_c(cfg.t(), cfg.d()) / m)
+}
+
+/// One merge-shape measurement: time `acc.clone + merge(b)` for the
+/// word-level path on specialized storage against the per-register
+/// reference on generic storage, checking both produce identical bytes.
+fn bench_merge_shape(
+    label: &str,
+    base: &ExaLogLog,
+    incoming: &ExaLogLog,
+    reps: usize,
+    iters: usize,
+    ok: &mut bool,
+) -> String {
+    let mut base_generic = base.clone();
+    base_generic.force_generic_storage();
+    let mut incoming_generic = incoming.clone();
+    incoming_generic.force_generic_storage();
+
+    // Equivalence first: all four path/storage combinations must agree.
+    let mut word_spec = base.clone();
+    word_spec.merge_from(incoming).unwrap();
+    let mut per_reg_gen = base_generic.clone();
+    per_reg_gen
+        .merge_from_per_register(&incoming_generic)
+        .unwrap();
+    let mut word_gen = base_generic.clone();
+    word_gen.merge_from(&incoming_generic).unwrap();
+    let mut per_reg_spec = base.clone();
+    per_reg_spec.merge_from_per_register(incoming).unwrap();
+    if word_spec.to_bytes() != per_reg_gen.to_bytes()
+        || word_gen.to_bytes() != per_reg_gen.to_bytes()
+        || per_reg_spec.to_bytes() != per_reg_gen.to_bytes()
+        || word_spec.estimate().to_bits() != per_reg_gen.estimate().to_bits()
+    {
+        eprintln!("bench_registers: merge equivalence MISMATCH in shape {label}");
+        *ok = false;
+    }
+
+    let per_op = 1e9 / iters as f64;
+    let mut scratch = base.clone();
+    let word_ns = median_secs(reps, || {
+        for _ in 0..iters {
+            scratch.clone_from(base);
+            scratch.merge_from(incoming).unwrap();
+            std::hint::black_box(&scratch);
+        }
+    }) * per_op;
+    let mut scratch_gen = base_generic.clone();
+    let per_register_ns = median_secs(reps, || {
+        for _ in 0..iters {
+            scratch_gen.clone_from(&base_generic);
+            scratch_gen
+                .merge_from_per_register(&incoming_generic)
+                .unwrap();
+            std::hint::black_box(&scratch_gen);
+        }
+    }) * per_op;
+    let speedup = per_register_ns / word_ns;
+    println!(
+        "    merge/{label:<18} word {word_ns:10.1} ns   per-register {per_register_ns:10.1} ns   speedup {speedup:5.2}x"
+    );
+    format!(
+        "        \"{label}\": {{\"word_ns\": {word_ns:.1}, \"per_register_generic_ns\": {per_register_ns:.1}, \"speedup\": {speedup:.3}}}"
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let stream = hashes(args.hashes, 0x5EED_CAFE);
+    let mut ok = true;
+
+    let configs: Vec<(&str, EllConfig)> = vec![
+        ("ull8", EllConfig::ull(args.p).unwrap()),
+        ("aligned16", EllConfig::aligned16(args.p).unwrap()),
+        (
+            "martingale24",
+            EllConfig::martingale_optimal(args.p).unwrap(),
+        ),
+        ("aligned32", EllConfig::aligned32(args.p).unwrap()),
+        ("optimal28", EllConfig::optimal(args.p).unwrap()),
+    ];
+
+    let mut blocks = Vec::new();
+    for (name, cfg) in &configs {
+        let cfg = *cfg;
+        let backend = ExaLogLog::new(cfg).storage_backend();
+        println!("{name} ({cfg}, backend {backend})");
+
+        // ---- insert: specialized vs generic storage ------------------
+        let per_op = 1e9 / args.hashes as f64;
+        let spec_ns = median_secs(args.reps, || {
+            let mut s = ExaLogLog::new(cfg);
+            s.insert_hashes(&stream);
+            std::hint::black_box(&s);
+        }) * per_op;
+        let gen_ns = median_secs(args.reps, || {
+            let mut s = ExaLogLog::new(cfg);
+            s.force_generic_storage();
+            s.insert_hashes(&stream);
+            std::hint::black_box(&s);
+        }) * per_op;
+        let insert_speedup = gen_ns / spec_ns;
+        println!(
+            "    insert               specialized {spec_ns:6.2} ns/op   generic {gen_ns:6.2} ns/op   speedup {insert_speedup:5.2}x"
+        );
+        {
+            let mut a = ExaLogLog::new(cfg);
+            a.insert_hashes(&stream);
+            let mut b = ExaLogLog::new(cfg);
+            b.force_generic_storage();
+            b.insert_hashes(&stream);
+            if a.to_bytes() != b.to_bytes() {
+                eprintln!("bench_registers: insert equivalence MISMATCH for {name}");
+                ok = false;
+            }
+        }
+
+        // ---- merge shapes -------------------------------------------
+        let dense = {
+            let mut s = ExaLogLog::new(cfg);
+            s.insert_hashes(&stream);
+            s
+        };
+        let sparse = {
+            let mut s = ExaLogLog::new(cfg);
+            s.insert_hashes(&hashes(24, 0xB0A7));
+            s
+        };
+        let overlap = {
+            // The incoming side of a periodic shard fold: everything the
+            // accumulator has, plus a 1 % fresh tail.
+            let mut s = dense.clone();
+            s.insert_hashes(&hashes(args.hashes / 100, 0xF01D));
+            s
+        };
+        let disjoint = {
+            let mut s = ExaLogLog::new(cfg);
+            s.insert_hashes(&hashes(args.hashes, 0xD15C));
+            s
+        };
+        let merge_iters = if args.quick { 400 } else { 2000 };
+        let merge_rows = [
+            bench_merge_shape(
+                "sparse_into_dense",
+                &dense,
+                &sparse,
+                args.reps,
+                merge_iters,
+                &mut ok,
+            ),
+            bench_merge_shape(
+                "overlap_fold",
+                &dense,
+                &overlap,
+                args.reps,
+                merge_iters,
+                &mut ok,
+            ),
+            bench_merge_shape(
+                "disjoint",
+                &dense,
+                &disjoint,
+                args.reps,
+                merge_iters,
+                &mut ok,
+            ),
+            bench_merge_shape(
+                "self_merge",
+                &dense,
+                &dense.clone(),
+                args.reps,
+                merge_iters,
+                &mut ok,
+            ),
+        ];
+
+        // ---- estimate: cached coefficients vs per-call scan ----------
+        let est_iters = if args.quick { 2000 } else { 10_000 };
+        let est_stream = hashes(est_iters, 0xE57);
+        let per_est = 1e9 / est_iters as f64;
+        let mut warm = dense.clone();
+        let cached_ns = median_secs(args.reps, || {
+            let mut acc = 0.0;
+            for &h in &est_stream {
+                warm.insert_hash(h);
+                acc += warm.estimate();
+            }
+            std::hint::black_box(acc);
+        }) * per_est;
+        let mut warm_scan = dense.clone();
+        let scan_ns = median_secs(args.reps, || {
+            let mut acc = 0.0;
+            for &h in &est_stream {
+                warm_scan.insert_hash(h);
+                acc += estimate_by_scan(&warm_scan);
+            }
+            std::hint::black_box(acc);
+        }) * per_est;
+        let est_speedup = scan_ns / cached_ns;
+        println!(
+            "    estimate             cached {cached_ns:9.1} ns/op   scan {scan_ns:9.1} ns/op   speedup {est_speedup:5.2}x"
+        );
+        {
+            // The two sketches consumed identical streams; cached and
+            // scan estimates must agree to the bit.
+            if warm.to_bytes() != warm_scan.to_bytes()
+                || warm.estimate().to_bits() != estimate_by_scan(&warm).to_bits()
+            {
+                eprintln!("bench_registers: estimate equivalence MISMATCH for {name}");
+                ok = false;
+            }
+        }
+
+        blocks.push(format!(
+            "    {{\n      \"config\": \"{cfg}\", \"name\": \"{name}\", \"backend\": \"{backend}\", \
+             \"register_width\": {},\n      \"insert\": {{\"specialized_ns_per_op\": {spec_ns:.3}, \
+             \"generic_ns_per_op\": {gen_ns:.3}, \"speedup\": {insert_speedup:.3}}},\n      \
+             \"merge\": {{\n{}\n      }},\n      \
+             \"estimate\": {{\"cached_ns_per_op\": {cached_ns:.1}, \"scan_ns_per_op\": {scan_ns:.1}, \
+             \"speedup\": {est_speedup:.3}}}\n    }}",
+            cfg.register_width(),
+            merge_rows.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"registers\",\n  \"mode\": \"{}\",\n  \"precision_p\": {},\n  \
+         \"hashes_per_run\": {},\n  \"reps\": {},\n  \"unit\": \"ns_per_op\",\n  \
+         \"equivalence\": \"{}\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+        if args.quick { "quick" } else { "full" },
+        args.p,
+        args.hashes,
+        args.reps,
+        if ok { "ok" } else { "mismatch" },
+        blocks.join(",\n")
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("bench_registers: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.out);
+    if !ok {
+        eprintln!("bench_registers: specialized-vs-generic equivalence self-check FAILED");
+        std::process::exit(1);
+    }
+}

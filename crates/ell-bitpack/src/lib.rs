@@ -15,6 +15,25 @@
 //! (8, 16, 24, 32, …) degenerate to plain byte slices, and the serialized
 //! form is identical on all platforms.
 //!
+//! # Width-specialized backends
+//!
+//! Because byte-aligned fields are plain byte slices under this layout,
+//! [`PackedArray`] picks a storage *backend* at construction time: widths
+//! 8, 16, 24, 32 and 64 read and write fields with direct one/two/three/
+//! four/eight-byte little-endian loads and stores, while every other
+//! width falls back to the generic shifted-window path. The backend is an
+//! access strategy only — the byte buffer, and therefore the serialized
+//! form, is bit-identical across backends (enforced by property tests),
+//! and equality/hashing ignore it. [`PackedArray::new_generic`] forces
+//! the fallback path so benchmarks and tests can compare both.
+//!
+//! # Bulk word accessors
+//!
+//! [`PackedArray::word`] exposes the buffer as zero-padded 64-bit
+//! little-endian words. Sketch hot paths use them to skip whole runs of
+//! empty or identical registers per comparison instead of per field — see
+//! [`PackedArray::for_each_nonzero`].
+//!
 //! # Example
 //!
 //! ```
@@ -39,12 +58,94 @@ pub const MAX_WIDTH: u32 = 64;
 
 /// An array of `len` fields of `width` bits each, packed into a byte buffer.
 ///
-/// See the [crate-level documentation](crate) for the bit layout.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// See the [crate-level documentation](crate) for the bit layout and the
+/// width-specialized access backends.
 pub struct PackedArray {
     bits: Vec<u8>,
     width: u32,
     len: usize,
+    backend: Backend,
+}
+
+impl Clone for PackedArray {
+    fn clone(&self) -> Self {
+        PackedArray {
+            bits: self.bits.clone(),
+            width: self.width,
+            len: self.len,
+            backend: self.backend,
+        }
+    }
+
+    /// Overwrites `self` in place, reusing its buffer allocation when the
+    /// capacity suffices — the hot shape for scratch arrays that are
+    /// repeatedly reset to a template state.
+    fn clone_from(&mut self, source: &Self) {
+        self.bits.clone_from(&source.bits);
+        self.width = source.width;
+        self.len = source.len;
+        self.backend = source.backend;
+    }
+}
+
+/// Two arrays are equal iff they hold the same fields at the same width;
+/// the access backend (a pure performance choice) does not participate.
+impl PartialEq for PackedArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.len == other.len && self.bits == other.bits
+    }
+}
+
+impl Eq for PackedArray {}
+
+impl core::hash::Hash for PackedArray {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.width.hash(state);
+        self.len.hash(state);
+        self.bits.hash(state);
+    }
+}
+
+/// Field-access strategy, chosen once at construction from the width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// Arbitrary widths: shifted 128-bit window reads/writes.
+    Generic,
+    /// width = 8: each field is one byte.
+    W8,
+    /// width = 16: two-byte little-endian fields.
+    W16,
+    /// width = 24: three-byte little-endian fields.
+    W24,
+    /// width = 32: four-byte little-endian fields.
+    W32,
+    /// width = 64: eight-byte little-endian fields.
+    W64,
+}
+
+impl Backend {
+    #[inline]
+    fn for_width(width: u32) -> Backend {
+        match width {
+            8 => Backend::W8,
+            16 => Backend::W16,
+            24 => Backend::W24,
+            32 => Backend::W32,
+            64 => Backend::W64,
+            _ => Backend::Generic,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Generic => "generic",
+            Backend::W8 => "u8",
+            Backend::W16 => "u16",
+            Backend::W24 => "u24",
+            Backend::W32 => "u32",
+            Backend::W64 => "u64",
+        }
+    }
 }
 
 /// Errors returned when constructing a [`PackedArray`] from raw parts.
@@ -109,7 +210,41 @@ impl PackedArray {
             bits: vec![0u8; bytes_for(width, len)],
             width,
             len,
+            backend: Backend::for_width(width),
         }
+    }
+
+    /// Creates a zero-initialized array that is pinned to the generic
+    /// shifted-window access path even when the width is byte-aligned.
+    ///
+    /// The stored bytes — and therefore serialization, equality and
+    /// hashing — are identical to [`PackedArray::new`]; only the access
+    /// strategy differs. This exists so benchmarks can measure the
+    /// specialized backends against the generic path and so property
+    /// tests can prove the two bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
+    #[must_use]
+    pub fn new_generic(width: u32, len: usize) -> Self {
+        let mut a = Self::new(width, len);
+        a.backend = Backend::Generic;
+        a
+    }
+
+    /// Pins this array to the generic access path (see
+    /// [`PackedArray::new_generic`]). The contents are unchanged.
+    pub fn force_generic(&mut self) {
+        self.backend = Backend::Generic;
+    }
+
+    /// The name of the active access backend (`"u8"`, `"u16"`, `"u24"`,
+    /// `"u32"`, `"u64"`, or `"generic"`), for diagnostics and benchmark
+    /// reports.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Reconstructs an array from its serialized byte form.
@@ -152,6 +287,7 @@ impl PackedArray {
             bits: bytes.to_vec(),
             width,
             len,
+            backend: Backend::for_width(width),
         })
     }
 
@@ -190,7 +326,9 @@ impl PackedArray {
         mask(self.width)
     }
 
-    /// Reads field `i`.
+    /// Reads field `i` through the width-specialized backend (direct
+    /// byte-aligned loads for widths 8/16/24/32/64, the generic shifted
+    /// window otherwise).
     ///
     /// # Panics
     ///
@@ -199,6 +337,32 @@ impl PackedArray {
     #[must_use]
     pub fn get(&self, i: usize) -> u64 {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        match self.backend {
+            Backend::W8 => u64::from(self.bits[i]),
+            Backend::W16 => {
+                let b = &self.bits[2 * i..2 * i + 2];
+                u64::from(u16::from_le_bytes([b[0], b[1]]))
+            }
+            Backend::W24 => {
+                let b = &self.bits[3 * i..3 * i + 3];
+                u64::from(b[0]) | u64::from(b[1]) << 8 | u64::from(b[2]) << 16
+            }
+            Backend::W32 => {
+                let b = &self.bits[4 * i..4 * i + 4];
+                u64::from(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            }
+            Backend::W64 => {
+                let b: [u8; 8] = self.bits[8 * i..8 * i + 8]
+                    .try_into()
+                    .expect("8-byte field slice");
+                u64::from_le_bytes(b)
+            }
+            Backend::Generic => self.get_generic(i),
+        }
+    }
+
+    #[inline]
+    fn get_generic(&self, i: usize) -> u64 {
         let bit = i * self.width as usize;
         let byte = bit >> 3;
         let shift = (bit & 7) as u32;
@@ -210,7 +374,7 @@ impl PackedArray {
         ((window >> shift) as u64) & mask(self.width)
     }
 
-    /// Writes field `i`.
+    /// Writes field `i` through the width-specialized backend.
     ///
     /// # Panics
     ///
@@ -223,6 +387,26 @@ impl PackedArray {
             "value {value:#x} does not fit in {} bits",
             self.width
         );
+        match self.backend {
+            Backend::W8 => self.bits[i] = value as u8,
+            Backend::W16 => {
+                self.bits[2 * i..2 * i + 2].copy_from_slice(&(value as u16).to_le_bytes());
+            }
+            Backend::W24 => {
+                self.bits[3 * i..3 * i + 3].copy_from_slice(&(value as u32).to_le_bytes()[..3]);
+            }
+            Backend::W32 => {
+                self.bits[4 * i..4 * i + 4].copy_from_slice(&(value as u32).to_le_bytes());
+            }
+            Backend::W64 => {
+                self.bits[8 * i..8 * i + 8].copy_from_slice(&value.to_le_bytes());
+            }
+            Backend::Generic => self.set_generic(i, value),
+        }
+    }
+
+    #[inline]
+    fn set_generic(&mut self, i: usize, value: u64) {
         let bit = i * self.width as usize;
         let byte = bit >> 3;
         let shift = (bit & 7) as u32;
@@ -238,8 +422,19 @@ impl PackedArray {
     }
 
     /// Iterates over all field values in index order.
-    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        (0..self.len).map(move |i| self.get(i))
+    ///
+    /// The returned iterator dispatches on the backend once: byte-aligned
+    /// widths stream the buffer in fixed-size chunks instead of paying a
+    /// bounds check and window read per field.
+    pub fn iter(&self) -> PackedIter<'_> {
+        PackedIter(match self.backend {
+            Backend::W8 => PackedIterInner::W8(self.bits.iter()),
+            Backend::W16 => PackedIterInner::W16(self.bits.chunks_exact(2)),
+            Backend::W24 => PackedIterInner::W24(self.bits.chunks_exact(3)),
+            Backend::W32 => PackedIterInner::W32(self.bits.chunks_exact(4)),
+            Backend::W64 => PackedIterInner::W64(self.bits.chunks_exact(8)),
+            Backend::Generic => PackedIterInner::Generic { arr: self, next: 0 },
+        })
     }
 
     /// Resets every field to zero without reallocating.
@@ -251,6 +446,87 @@ impl PackedArray {
     #[must_use]
     pub fn is_all_zero(&self) -> bool {
         self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// Number of 64-bit words covering the buffer (the last word is
+    /// zero-padded). This is the granularity of the bulk scans below.
+    #[inline]
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.bits.len().div_ceil(8)
+    }
+
+    /// Reads the `w`-th 64-bit little-endian word of the buffer. Bytes
+    /// past the end of the buffer read as zero, so the final word of a
+    /// non-multiple-of-8 buffer is zero-padded — two arrays with equal
+    /// contents always compare word-equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= word_count()`.
+    #[inline]
+    #[must_use]
+    pub fn word(&self, w: usize) -> u64 {
+        let start = w * 8;
+        let end = self.bits.len().min(start + 8);
+        let mut buf = [0u8; 8];
+        buf[..end - start].copy_from_slice(&self.bits[start..end]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Calls `visit(i, value)` for every nonzero field, in index order,
+    /// scanning the buffer one 64-bit word at a time so that runs of
+    /// empty fields cost one comparison per 64 bits instead of one
+    /// decode per field.
+    ///
+    /// Fields that straddle the boundary of a zero word are still decoded
+    /// individually (their other word may carry bits), so the visit set is
+    /// exact for every width.
+    pub fn for_each_nonzero(&self, mut visit: impl FnMut(usize, u64)) {
+        let width = self.width as usize;
+        let n_words = self.word_count();
+        // Next field index not yet classified by the word scan.
+        let mut next = 0usize;
+        let mut w = 0usize;
+        while w < n_words {
+            let zero = self.word(w) == 0;
+            let mut e = w + 1;
+            while e < n_words && (self.word(e) == 0) == zero {
+                e += 1;
+            }
+            let start_bit = w * 64;
+            let end_bit = e * 64;
+            if zero {
+                // Skip fields lying fully inside [start_bit, end_bit);
+                // fields straddling into the run from the left are decoded
+                // here, ones straddling out of it by the next run.
+                let lo = start_bit.div_ceil(width).min(self.len);
+                for i in next..lo {
+                    let v = self.get(i);
+                    if v != 0 {
+                        visit(i, v);
+                    }
+                }
+                next = next.max(lo).max((end_bit / width).min(self.len));
+            } else {
+                // Decode every field starting before end_bit.
+                let hi = end_bit.div_ceil(width).min(self.len);
+                for i in next..hi {
+                    let v = self.get(i);
+                    if v != 0 {
+                        visit(i, v);
+                    }
+                }
+                next = next.max(hi);
+            }
+            w = e;
+        }
+        for i in next..self.len {
+            let v = self.get(i);
+            if v != 0 {
+                visit(i, v);
+            }
+        }
     }
 
     #[inline]
@@ -285,6 +561,79 @@ impl fmt::Debug for PackedArray {
         write!(f, "])")
     }
 }
+
+/// Iterator over the field values of a [`PackedArray`]
+/// (see [`PackedArray::iter`]).
+///
+/// Internally one variant per storage backend, chosen once when the
+/// iterator is created, so byte-aligned widths decode fields from plain
+/// slice chunks with no per-item dispatch beyond a predictable match.
+/// The representation is deliberately opaque: the backend set is an
+/// implementation detail, not API surface.
+#[derive(Debug, Clone)]
+pub struct PackedIter<'a>(PackedIterInner<'a>);
+
+#[derive(Debug, Clone)]
+enum PackedIterInner<'a> {
+    /// 8-bit fields: one byte each.
+    W8(core::slice::Iter<'a, u8>),
+    /// 16-bit fields: two-byte little-endian chunks.
+    W16(core::slice::ChunksExact<'a, u8>),
+    /// 24-bit fields: three-byte little-endian chunks.
+    W24(core::slice::ChunksExact<'a, u8>),
+    /// 32-bit fields: four-byte little-endian chunks.
+    W32(core::slice::ChunksExact<'a, u8>),
+    /// 64-bit fields: eight-byte little-endian chunks.
+    W64(core::slice::ChunksExact<'a, u8>),
+    /// Any other width: indexed reads through the generic window path.
+    Generic { arr: &'a PackedArray, next: usize },
+}
+
+impl Iterator for PackedIter<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        match &mut self.0 {
+            PackedIterInner::W8(it) => it.next().map(|&b| u64::from(b)),
+            PackedIterInner::W16(it) => it
+                .next()
+                .map(|c| u64::from(u16::from_le_bytes([c[0], c[1]]))),
+            PackedIterInner::W24(it) => it
+                .next()
+                .map(|c| u64::from(c[0]) | u64::from(c[1]) << 8 | u64::from(c[2]) << 16),
+            PackedIterInner::W32(it) => it
+                .next()
+                .map(|c| u64::from(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))),
+            PackedIterInner::W64(it) => it
+                .next()
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+            PackedIterInner::Generic { arr, next } => {
+                if *next < arr.len {
+                    let v = arr.get_generic(*next);
+                    *next += 1;
+                    Some(v)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match &self.0 {
+            PackedIterInner::W8(it) => it.len(),
+            PackedIterInner::W16(it)
+            | PackedIterInner::W24(it)
+            | PackedIterInner::W32(it)
+            | PackedIterInner::W64(it) => it.len(),
+            PackedIterInner::Generic { arr, next } => arr.len - next,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PackedIter<'_> {}
 
 /// Mask with the low `width` bits set (`width` ≤ 64).
 #[inline]
@@ -474,5 +823,95 @@ mod tests {
         assert_eq!(a.iter().count(), 0);
         let b = PackedArray::from_bytes(17, 0, &[]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backend_selection() {
+        assert_eq!(PackedArray::new(8, 4).backend_name(), "u8");
+        assert_eq!(PackedArray::new(16, 4).backend_name(), "u16");
+        assert_eq!(PackedArray::new(24, 4).backend_name(), "u24");
+        assert_eq!(PackedArray::new(32, 4).backend_name(), "u32");
+        assert_eq!(PackedArray::new(64, 4).backend_name(), "u64");
+        assert_eq!(PackedArray::new(28, 4).backend_name(), "generic");
+        assert_eq!(PackedArray::new_generic(32, 4).backend_name(), "generic");
+        let mut a = PackedArray::new(16, 4);
+        a.force_generic();
+        assert_eq!(a.backend_name(), "generic");
+    }
+
+    #[test]
+    fn specialized_and_generic_agree() {
+        for width in [8u32, 16, 24, 32, 64] {
+            let len = 23;
+            let mut spec = PackedArray::new(width, len);
+            let mut gen = PackedArray::new_generic(width, len);
+            let m = mask(width);
+            for i in 0..len {
+                let v = (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(i as u64 + 3) & m;
+                spec.set(i, v);
+                gen.set(i, v);
+            }
+            assert_eq!(spec, gen, "width {width}");
+            assert_eq!(spec.as_bytes(), gen.as_bytes(), "width {width}");
+            for i in 0..len {
+                assert_eq!(spec.get(i), gen.get(i), "width {width} i={i}");
+            }
+            let via_spec: Vec<u64> = spec.iter().collect();
+            let via_gen: Vec<u64> = gen.iter().collect();
+            assert_eq!(via_spec, via_gen, "width {width}");
+        }
+    }
+
+    #[test]
+    fn equality_ignores_backend() {
+        let mut spec = PackedArray::new(32, 5);
+        let mut gen = PackedArray::new_generic(32, 5);
+        spec.set(3, 0xdead_beef);
+        gen.set(3, 0xdead_beef);
+        assert_eq!(spec, gen);
+        use core::hash::{Hash, Hasher};
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        spec.hash(&mut h1);
+        gen.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn word_accessors_cover_buffer() {
+        let mut a = PackedArray::new(28, 5); // 140 bits -> 18 bytes -> 3 words
+        assert_eq!(a.word_count(), 3);
+        a.set(0, mask(28));
+        assert_eq!(
+            a.word(0) & u64::from(u32::MAX) >> 4,
+            u64::from(u32::MAX) >> 4
+        );
+        // Padded final word matches the raw bytes.
+        let mut buf = [0u8; 8];
+        buf[..2].copy_from_slice(&a.as_bytes()[16..18]);
+        assert_eq!(a.word(2), u64::from_le_bytes(buf));
+    }
+
+    #[test]
+    fn for_each_nonzero_is_exact() {
+        for width in [3u32, 8, 13, 16, 24, 28, 32, 57, 64] {
+            let len = 50;
+            let mut a = PackedArray::new(width, len);
+            let m = mask(width);
+            // Sparse pattern with values straddling word boundaries.
+            for &i in &[0usize, 7, 8, 21, 22, 49] {
+                a.set(i, (0x5bd1_e995u64.wrapping_mul(i as u64 + 1)) & m);
+            }
+            let mut seen = Vec::new();
+            a.for_each_nonzero(|i, v| seen.push((i, v)));
+            let want: Vec<(usize, u64)> = (0..len)
+                .map(|i| (i, a.get(i)))
+                .filter(|&(_, v)| v != 0)
+                .collect();
+            assert_eq!(seen, want, "width {width}");
+        }
+        // All-zero array visits nothing.
+        let z = PackedArray::new(28, 100);
+        z.for_each_nonzero(|_, _| panic!("no fields should be visited"));
     }
 }

@@ -259,11 +259,19 @@ impl EllStore {
     }
 
     /// Places a restored sketch under `key`, replacing any existing
-    /// slot. Used by snapshot restoration.
+    /// slot. Used by snapshot restoration. Slots that stay on the locked
+    /// adaptive path get their dense coefficient cache warmed, so their
+    /// per-key estimates are served from the incremental estimator
+    /// exactly like ingested keys; hot-upgraded slots keep only raw
+    /// atomic registers (their estimates go through a snapshot anyway),
+    /// so warming first would be wasted work.
     pub(crate) fn place(&self, key: String, sketch: AdaptiveExaLogLog) {
         let si = self.shard_of(&key);
         let mut slot = Slot::Adaptive(sketch);
         self.maybe_upgrade(&mut slot);
+        if let Slot::Adaptive(s) = &mut slot {
+            s.refresh_coefficients();
+        }
         self.shards[si]
             .write()
             .expect("shard lock poisoned")
@@ -362,7 +370,13 @@ impl EllStore {
 
     /// The union of all per-key sketches as one dense sketch — the
     /// "distinct elements across all keys" aggregate. Streams shard by
-    /// shard under the read lock without copying keys or dense states.
+    /// shard under the read lock without copying keys and folds every
+    /// slot straight into one accumulator: dense slots merge with the
+    /// word-level scan that skips empty or identical register runs
+    /// wholesale, sparse slots stream their token hashes through the
+    /// batched insert path, and hot slots merge their atomic registers
+    /// directly — no per-key scratch sketch or snapshot allocation
+    /// anywhere on the path.
     #[must_use]
     pub fn merged(&self) -> ExaLogLog {
         let mut acc = ExaLogLog::new(self.cfg);
@@ -370,13 +384,11 @@ impl EllStore {
             let map = shard.read().expect("shard lock poisoned");
             for slot in map.values() {
                 match slot {
-                    // Promoted slots merge register-wise in place; only
-                    // sparse slots need a token→dense conversion.
-                    Slot::Adaptive(s) => match s.as_dense() {
-                        Some(dense) => acc.merge_from(dense),
-                        None => acc.merge_from(&s.to_dense()),
-                    },
-                    Slot::Hot(a) => acc.merge_from(&a.snapshot()),
+                    // Empty or near-empty dense slots cost one word-level
+                    // zero scan inside merge_from — their all-zero runs
+                    // are classified as skippable wholesale.
+                    Slot::Adaptive(s) => s.merge_into_dense(&mut acc),
+                    Slot::Hot(a) => a.merge_into_dense(&mut acc),
                 }
                 .expect("per-key sketches share the store configuration");
             }

@@ -204,6 +204,32 @@ impl AdaptiveExaLogLog {
         }
     }
 
+    /// Rebuilds the dense phase's cached ML coefficients with one
+    /// Algorithm 3 scan (see [`ExaLogLog::refresh_coefficients`]), making
+    /// repeated estimates O(populated β levels) on a freshly deserialized
+    /// sketch. No-op while sparse (token estimation has no register
+    /// cache).
+    pub fn refresh_coefficients(&mut self) {
+        if let AdaptiveExaLogLog::Dense(d) = self {
+            d.refresh_coefficients();
+        }
+    }
+
+    /// Folds this sketch into a dense accumulator of the same
+    /// configuration without materializing a dense copy (see
+    /// [`SparseExaLogLog::merge_into_dense`]) — the allocation-free
+    /// aggregation path for union queries over many keyed sketches.
+    ///
+    /// # Errors
+    ///
+    /// Fails when configurations differ.
+    pub fn merge_into_dense(&self, acc: &mut ExaLogLog) -> Result<(), EllError> {
+        match self {
+            AdaptiveExaLogLog::Sparse(s) => s.merge_into_dense(acc),
+            AdaptiveExaLogLog::Dense(d) => acc.merge_from(d),
+        }
+    }
+
     /// Merges another adaptive sketch with the same configuration.
     /// All four phase combinations are supported; the result equals
     /// direct recording of the union (a sparse self promotes when the
@@ -273,8 +299,11 @@ impl AdaptiveExaLogLog {
         }
     }
 
-    /// Current memory footprint in bytes: linear in the token count
-    /// while sparse, the constant register array once promoted.
+    /// Current memory footprint of the sketch *state* in bytes: linear
+    /// in the token count while sparse, the constant register array once
+    /// promoted. Like [`ExaLogLog::memory_bytes`], the dense phase's
+    /// reconstructible ML coefficient cache is excluded (see there for
+    /// the rationale).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         core::mem::size_of::<Self>()

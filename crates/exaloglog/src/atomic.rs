@@ -131,6 +131,33 @@ impl AtomicExaLogLog {
         core::mem::size_of::<Self>() + self.regs.len() * core::mem::size_of::<AtomicU32>()
     }
 
+    /// Folds this sketch's current registers into a sequential
+    /// accumulator of the same configuration, register-merge-wise,
+    /// without allocating an intermediate snapshot. Empty registers are
+    /// skipped. This is the aggregation shape the keyed store's
+    /// all-keys-union query uses.
+    ///
+    /// Loads are individually atomic with the same consistency caveat as
+    /// [`AtomicExaLogLog::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when configurations differ.
+    pub fn merge_into_dense(&self, acc: &mut ExaLogLog) -> Result<(), EllError> {
+        if self.cfg != *acc.config() {
+            return Err(EllError::IncompatibleSketches {
+                reason: format!("{} vs {}", self.cfg, acc.config()),
+            });
+        }
+        for (i, reg) in self.regs.iter().enumerate() {
+            let v = u64::from(reg.load(Ordering::Acquire));
+            if v != 0 {
+                acc.merge_register_value(i, v);
+            }
+        }
+        Ok(())
+    }
+
     /// Builds a concurrent sketch holding the same state as a sequential
     /// one (e.g. to resume shared ingestion from a checkpoint).
     ///
@@ -146,6 +173,12 @@ impl AtomicExaLogLog {
     /// Merges a sequential sketch into this one (register-wise CAS max),
     /// e.g. to fold shard-local sketches into a shared accumulator.
     ///
+    /// The incoming register array is scanned as 64-bit words
+    /// ([`ExaLogLog::for_each_nonzero_register`]), so runs of empty
+    /// registers — the common case when folding a lightly filled shard —
+    /// cost one comparison per 64 bits instead of one packed read and CAS
+    /// loop per register.
+    ///
     /// # Errors
     ///
     /// Fails when configurations differ.
@@ -155,11 +188,8 @@ impl AtomicExaLogLog {
                 reason: format!("{} vs {}", self.cfg, other.config()),
             });
         }
-        for (i, reg) in self.regs.iter().enumerate() {
-            let incoming = other.register(i);
-            if incoming == 0 {
-                continue;
-            }
+        other.for_each_nonzero_register(|i, incoming| {
+            let reg = &self.regs[i];
             let mut current = reg.load(Ordering::Relaxed);
             loop {
                 let merged = registers::merge(u64::from(current), incoming, self.cfg.d()) as u32;
@@ -176,7 +206,7 @@ impl AtomicExaLogLog {
                     Err(actual) => current = actual,
                 }
             }
-        }
+        });
         Ok(())
     }
 }

@@ -12,6 +12,16 @@
 //! which converges in a handful of iterations from the Lemma B.3 starting
 //! point and never overshoots.
 //!
+//! Because each register's contribution to (α, β) is independent of every
+//! other register and all arithmetic is exact (α is tracked as the integer
+//! α·2^64, β as counts), the coefficients can also be maintained
+//! *incrementally*: [`add_register`]/[`remove_register`] fold one
+//! register's contribution in or out, and [`apply_register_change`]
+//! updates a coefficient set in O(1) for the common indicator-bit-only
+//! register change. The incremental path is bit-identical to a fresh
+//! [`compute_coefficients`] scan — `ExaLogLog` keeps a cached coefficient
+//! set up to date through it and asserts the equivalence in debug builds.
+//!
 //! The same machinery estimates from *hash-token* sets (Algorithm 7 uses
 //! m = 1) and from PCSA states, since those likelihoods share shape (15).
 
@@ -46,6 +56,17 @@ impl MlCoefficients {
     }
 }
 
+/// The coefficient set of an *empty* sketch with `m` registers:
+/// α = m (every register contributes its full tail probability ω(0) = 1)
+/// and no recorded events.
+#[must_use]
+pub fn empty_coefficients(m: usize) -> MlCoefficients {
+    MlCoefficients {
+        alpha_times_2_64: (m as u128) << 64,
+        beta: [0u64; MAX_EXPONENT + 1],
+    }
+}
+
 /// Extracts the log-likelihood coefficients from register values
 /// (Algorithm 3 of the paper).
 ///
@@ -57,40 +78,108 @@ pub fn compute_coefficients(
     cfg: &EllConfig,
     registers: impl Iterator<Item = u64>,
 ) -> MlCoefficients {
-    let d = cfg.d();
-    let p = u32::from(cfg.p());
-    let mut alpha_num: u128 = 0; // α·2^(64−p)
-    let mut beta = [0u64; MAX_EXPONENT + 1];
+    let mut coeffs = empty_coefficients(0);
     let mut count = 0usize;
     for r in registers {
         count += 1;
-        let u = r >> d;
-        let (num, e) = omega_exact(cfg, u);
-        debug_assert!(e <= 64 - p);
-        alpha_num += u128::from(num) << (64 - p - e);
-        if u >= 1 {
-            beta[phi(cfg, u) as usize] += 1;
-        }
-        if u >= 2 {
-            let k_lo = if u > u64::from(d) {
-                u - u64::from(d)
+        add_register(&mut coeffs, cfg, r);
+    }
+    debug_assert_eq!(count, cfg.m(), "register count must equal m");
+    coeffs
+}
+
+/// Adds one register's contribution to a coefficient set (one loop
+/// iteration of Algorithm 3). Exact integer arithmetic: folding the same
+/// registers in any order yields bit-identical coefficients.
+pub fn add_register(coeffs: &mut MlCoefficients, cfg: &EllConfig, r: u64) {
+    let d = cfg.d();
+    let p = u32::from(cfg.p());
+    let u = r >> d;
+    let (num, e) = omega_exact(cfg, u);
+    debug_assert!(e <= 64 - p);
+    coeffs.alpha_times_2_64 += u128::from(num) << (64 - e);
+    if u >= 1 {
+        coeffs.beta[phi(cfg, u) as usize] += 1;
+    }
+    if u >= 2 {
+        let k_lo = if u > u64::from(d) {
+            u - u64::from(d)
+        } else {
+            1
+        };
+        for k in k_lo..u {
+            let j = phi(cfg, k);
+            if r & (1u64 << (u64::from(d) - (u - k))) == 0 {
+                coeffs.alpha_times_2_64 += 1u128 << (64 - j);
             } else {
-                1
-            };
-            for k in k_lo..u {
-                let j = phi(cfg, k);
-                if r & (1u64 << (u64::from(d) - (u - k))) == 0 {
-                    alpha_num += 1u128 << (64 - p - j);
-                } else {
-                    beta[j as usize] += 1;
-                }
+                coeffs.beta[j as usize] += 1;
             }
         }
     }
-    debug_assert_eq!(count, cfg.m(), "register count must equal m");
-    MlCoefficients {
-        alpha_times_2_64: alpha_num << p,
-        beta,
+}
+
+/// Removes one register's contribution from a coefficient set — the exact
+/// inverse of [`add_register`].
+///
+/// # Panics
+///
+/// Panics (debug) if the coefficients never contained this register's
+/// contribution (β underflow).
+pub fn remove_register(coeffs: &mut MlCoefficients, cfg: &EllConfig, r: u64) {
+    let d = cfg.d();
+    let u = r >> d;
+    let (num, e) = omega_exact(cfg, u);
+    coeffs.alpha_times_2_64 -= u128::from(num) << (64 - e);
+    if u >= 1 {
+        let j = phi(cfg, u) as usize;
+        debug_assert!(coeffs.beta[j] > 0, "β[{j}] underflow");
+        coeffs.beta[j] -= 1;
+    }
+    if u >= 2 {
+        let k_lo = if u > u64::from(d) {
+            u - u64::from(d)
+        } else {
+            1
+        };
+        for k in k_lo..u {
+            let j = phi(cfg, k);
+            if r & (1u64 << (u64::from(d) - (u - k))) == 0 {
+                coeffs.alpha_times_2_64 -= 1u128 << (64 - j);
+            } else {
+                debug_assert!(coeffs.beta[j as usize] > 0, "β[{j}] underflow");
+                coeffs.beta[j as usize] -= 1;
+            }
+        }
+    }
+}
+
+/// Replaces one register's contribution: the coefficients transition from
+/// describing a state with register value `old` to one with value `new`.
+///
+/// The dominant change shape — the maximum is unchanged and one or more
+/// indicator bits were added (`registers::update` with a value inside the
+/// window, or a same-maximum merge) — is applied in O(bits added): each
+/// freshly seen value moves its probability mass 2^(−φ(k)) from the
+/// unseen side (α) to the observed side (β). Any change of the register
+/// maximum falls back to [`remove_register`] + [`add_register`].
+pub fn apply_register_change(coeffs: &mut MlCoefficients, cfg: &EllConfig, old: u64, new: u64) {
+    let d = cfg.d();
+    let u = new >> d;
+    if old >> d == u {
+        // Indicator-only change: `new` has a superset of `old`'s bits.
+        debug_assert_eq!(old & !new, 0, "register bits may only be added");
+        let mut added = new ^ old;
+        while added != 0 {
+            let b = u64::from(added.trailing_zeros());
+            let k = u - (u64::from(d) - b);
+            let j = phi(cfg, k);
+            coeffs.alpha_times_2_64 -= 1u128 << (64 - j);
+            coeffs.beta[j as usize] += 1;
+            added &= added - 1;
+        }
+    } else {
+        remove_register(coeffs, cfg, old);
+        add_register(coeffs, cfg, new);
     }
 }
 

@@ -8,8 +8,11 @@
 //! sits directly above the register-address region, which is what makes
 //! precision reduction (Algorithm 6) lossless.
 //!
-//! All mutating operations are allocation-free and O(1); merging and
-//! reduction are O(m).
+//! All mutating operations are allocation-free; insertion is O(1) plus
+//! amortized-O(1) incremental bookkeeping of the ML coefficients (so
+//! [`ExaLogLog::estimate`] never rescans the registers). Merging scans
+//! the register arrays word-wise — runs of empty or identical words are
+//! skipped wholesale — and reduction is O(m).
 
 use crate::config::{EllConfig, EllError};
 use crate::ml::{self, MlCoefficients};
@@ -50,11 +53,61 @@ pub struct RegisterChange {
 /// let estimate = sketch.estimate();
 /// assert!((estimate / 10_000.0 - 1.0).abs() < 0.05);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+///
+/// # The incremental estimator cache
+///
+/// Alongside the registers, the sketch maintains the Algorithm 3
+/// log-likelihood coefficients (α, β) incrementally: every register
+/// change moves exactly that register's probability mass between α and β
+/// in exact integer arithmetic, so [`ExaLogLog::estimate`] solves the ML
+/// equation directly — O(number of populated β levels) — instead of
+/// rescanning all m registers. The cached coefficients are always
+/// bit-identical to a fresh [`ExaLogLog::coefficients_scan`] (asserted in
+/// debug builds). Bulk register overwrites that bypass the update
+/// algebra (the entropy decoder, atomic snapshots) drop the cache, and
+/// deserialized sketches start cold; in both cases `estimate`
+/// transparently falls back to the scan, and
+/// [`ExaLogLog::refresh_coefficients`] restores cached operation.
 pub struct ExaLogLog {
     cfg: EllConfig,
     regs: PackedArray,
+    /// Incrementally maintained ML coefficients; `None` after a raw
+    /// register overwrite invalidated them. Boxed so the sketch itself
+    /// stays small and moves cheaply.
+    coeffs: Option<Box<MlCoefficients>>,
 }
+
+impl Clone for ExaLogLog {
+    fn clone(&self) -> Self {
+        ExaLogLog {
+            cfg: self.cfg,
+            regs: self.regs.clone(),
+            coeffs: self.coeffs.clone(),
+        }
+    }
+
+    /// Overwrites `self` in place without reallocating when the register
+    /// buffer and coefficient box already exist — the hot shape for a
+    /// scratch sketch repeatedly reset to an accumulator template.
+    fn clone_from(&mut self, source: &Self) {
+        self.cfg = source.cfg;
+        self.regs.clone_from(&source.regs);
+        match (&mut self.coeffs, &source.coeffs) {
+            (Some(mine), Some(theirs)) => mine.as_mut().clone_from(theirs),
+            (mine, theirs) => *mine = theirs.clone(),
+        }
+    }
+}
+
+/// Sketch equality is defined by configuration and register state; the
+/// coefficient cache is derived data and never participates.
+impl PartialEq for ExaLogLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.cfg == other.cfg && self.regs == other.regs
+    }
+}
+
+impl Eq for ExaLogLog {}
 
 impl ExaLogLog {
     /// Creates an empty sketch.
@@ -62,8 +115,16 @@ impl ExaLogLog {
     pub fn new(cfg: EllConfig) -> Self {
         ExaLogLog {
             regs: PackedArray::new(cfg.register_width(), cfg.m()),
+            coeffs: Some(Box::new(ml::empty_coefficients(cfg.m()))),
             cfg,
         }
+    }
+
+    /// Builds a sketch around an already validated register array,
+    /// computing the coefficient cache with one Algorithm 3 scan.
+    fn from_valid_parts(cfg: EllConfig, regs: PackedArray) -> Self {
+        let coeffs = Some(Box::new(ml::compute_coefficients(&cfg, regs.iter())));
+        ExaLogLog { cfg, regs, coeffs }
     }
 
     /// Creates an empty sketch from raw parameters.
@@ -112,6 +173,9 @@ impl ExaLogLog {
         let new = registers::update(old, k, self.cfg.d());
         if new != old {
             self.regs.set(i, new);
+            if let Some(c) = self.coeffs.as_deref_mut() {
+                ml::apply_register_change(c, &self.cfg, old, new);
+            }
             Some(RegisterChange { index: i, old, new })
         } else {
             None
@@ -146,6 +210,9 @@ impl ExaLogLog {
         let new = registers::update(old, k, self.cfg.d());
         if new != old {
             self.regs.set(i, new);
+            if let Some(c) = self.coeffs.as_deref_mut() {
+                ml::apply_register_change(c, &self.cfg, old, new);
+            }
             Some(RegisterChange { index: i, old, new })
         } else {
             None
@@ -160,16 +227,46 @@ impl ExaLogLog {
     }
 
     /// Overwrites register `i` without invariant checks — used by the
-    /// entropy decoder, which reconstructs registers it has itself
-    /// produced from valid states.
+    /// entropy decoder and atomic snapshots, which reconstruct registers
+    /// they have themselves produced from valid states. Drops the
+    /// coefficient cache (these are bulk overwrites; one scan on the next
+    /// estimate beats per-write bookkeeping).
     #[inline]
     pub(crate) fn set_register_unchecked(&mut self, i: usize, r: u64) {
         self.regs.set(i, r);
+        self.coeffs = None;
     }
 
     /// Iterates over all m register values.
     pub fn registers(&self) -> impl Iterator<Item = u64> + '_ {
         self.regs.iter()
+    }
+
+    /// Calls `f(index, value)` for every nonzero register in index order,
+    /// scanning the packed array word-wise so runs of empty registers
+    /// cost one 64-bit comparison each. This is the fast iteration shape
+    /// for folding a mostly-empty sketch into something else (the atomic
+    /// sketch and the keyed store build on it).
+    pub fn for_each_nonzero_register(&self, f: impl FnMut(usize, u64)) {
+        self.regs.for_each_nonzero(f);
+    }
+
+    /// The name of the active register-storage backend (`"u8"`, `"u16"`,
+    /// `"u24"`, `"u32"`, `"u64"`, or `"generic"`). Byte-aligned register
+    /// widths get direct load/store access paths; other widths use the
+    /// generic shifted-window path.
+    #[must_use]
+    pub fn storage_backend(&self) -> &'static str {
+        self.regs.backend_name()
+    }
+
+    /// Pins register storage to the generic shifted-window access path
+    /// even when the width is byte-aligned. State and serialization are
+    /// unaffected — this exists so benchmarks and property tests can
+    /// measure and verify the width-specialized backends against the
+    /// generic one.
+    pub fn force_generic_storage(&mut self) {
+        self.regs.force_generic();
     }
 
     /// Whether no element has been recorded yet.
@@ -181,21 +278,125 @@ impl ExaLogLog {
     /// Resets the sketch to its empty state without reallocating.
     pub fn clear(&mut self) {
         self.regs.clear();
+        self.coeffs = Some(Box::new(ml::empty_coefficients(self.cfg.m())));
+    }
+
+    /// Merges register `i` of `other` into register `i` of `self`,
+    /// keeping the coefficient cache in step when present.
+    #[inline]
+    fn merge_register_at(&mut self, i: usize, other: &Self) {
+        self.merge_register_value(i, other.regs.get(i));
+    }
+
+    /// Merges an externally supplied (valid, same-configuration) register
+    /// value into register `i` — the building block for folding
+    /// non-`PackedArray` representations (atomic registers, token lists)
+    /// into a dense accumulator without materializing a scratch sketch.
+    #[inline]
+    pub(crate) fn merge_register_value(&mut self, i: usize, incoming: u64) {
+        let old = self.regs.get(i);
+        let merged = registers::merge(old, incoming, self.cfg.d());
+        if merged != old {
+            self.regs.set(i, merged);
+            if let Some(c) = self.coeffs.as_deref_mut() {
+                ml::apply_register_change(c, &self.cfg, old, merged);
+            }
+        }
     }
 
     /// In-place merge: afterwards `self` represents the union of both
     /// element multisets. Requires identical (t, d, p); for sketches that
     /// differ in d or p use [`ExaLogLog::merged_with`].
+    ///
+    /// The merge scans the two register arrays as 64-bit words and skips
+    /// whole runs that cannot change `self` — words that are zero in
+    /// `other` (nothing to contribute) or bit-identical in both sketches
+    /// (register merge is idempotent) — before falling back to
+    /// [`registers::merge`] per remaining register. Merging a sparse
+    /// sketch into a dense one, or a sketch into itself, therefore runs
+    /// at near-`memcmp` speed. Registers straddling the boundary between
+    /// differently-classified word runs are always merged individually,
+    /// which keeps the scan exact for non-word-aligned register widths
+    /// (property-tested against [`ExaLogLog::merge_from_per_register`]).
     pub fn merge_from(&mut self, other: &Self) -> Result<(), EllError> {
         if self.cfg != other.cfg {
             return Err(EllError::IncompatibleSketches {
                 reason: format!("{} vs {}", self.cfg, other.cfg),
             });
         }
-        let d = self.cfg.d();
+        /// Word-run classes: `Skip*` runs cannot affect fields lying
+        /// fully inside them; `Diff` runs are merged register-wise.
+        #[derive(PartialEq, Clone, Copy)]
+        enum Class {
+            SkipEqual,
+            SkipZero,
+            Diff,
+        }
+        #[inline]
+        fn classify(ours: u64, theirs: u64) -> Class {
+            if ours == theirs {
+                Class::SkipEqual
+            } else if theirs == 0 {
+                Class::SkipZero
+            } else {
+                Class::Diff
+            }
+        }
+        let width = self.cfg.register_width() as usize;
+        let m = self.cfg.m();
+        let n_words = self.regs.word_count();
+        // `next` = first register index not yet merged or proven
+        // unaffected. Earlier runs may mutate `self`'s words, which only
+        // tightens later skip decisions (a word that became equal holds
+        // already-merged registers).
+        let mut next = 0usize;
+        let mut w = 0usize;
+        while w < n_words {
+            let class = classify(self.regs.word(w), other.regs.word(w));
+            let mut e = w + 1;
+            while e < n_words && classify(self.regs.word(e), other.regs.word(e)) == class {
+                e += 1;
+            }
+            let start_bit = w * 64;
+            let end_bit = e * 64;
+            if class == Class::Diff {
+                // Merge every register starting before the run's end.
+                let hi = end_bit.div_ceil(width).min(m);
+                for i in next..hi {
+                    self.merge_register_at(i, other);
+                }
+                next = next.max(hi);
+            } else {
+                // Registers fully inside a skip run are unaffected; the
+                // stragglers reaching in from the previous run boundary
+                // (possibly spanning skip runs of *different* classes,
+                // where neither skip argument applies) are merged.
+                let lo = start_bit.div_ceil(width).min(m);
+                for i in next..lo {
+                    self.merge_register_at(i, other);
+                }
+                next = next.max(lo).max((end_bit / width).min(m));
+            }
+            w = e;
+        }
+        for i in next..m {
+            self.merge_register_at(i, other);
+        }
+        Ok(())
+    }
+
+    /// Reference register-by-register merge — the pre-word-scan code
+    /// path, kept as the behavioral baseline for property tests and the
+    /// `bench_registers` comparison. Produces bit-identical results to
+    /// [`ExaLogLog::merge_from`].
+    pub fn merge_from_per_register(&mut self, other: &Self) -> Result<(), EllError> {
+        if self.cfg != other.cfg {
+            return Err(EllError::IncompatibleSketches {
+                reason: format!("{} vs {}", self.cfg, other.cfg),
+            });
+        }
         for i in 0..self.cfg.m() {
-            let merged = registers::merge(self.regs.get(i), other.regs.get(i), d);
-            self.regs.set(i, merged);
+            self.merge_register_at(i, other);
         }
         Ok(())
     }
@@ -272,7 +473,7 @@ impl ExaLogLog {
             }
             regs.set(i, acc);
         }
-        Ok(ExaLogLog { cfg: cfg_new, regs })
+        Ok(ExaLogLog::from_valid_parts(cfg_new, regs))
     }
 
     /// The bias-corrected maximum-likelihood estimate of the number of
@@ -284,16 +485,67 @@ impl ExaLogLog {
     }
 
     /// The raw ML estimate n̂_ML without the first-order bias correction.
+    ///
+    /// Solves the ML equation from the incrementally maintained
+    /// coefficients in O(populated β levels); only a sketch whose cache
+    /// was dropped by a raw register overwrite pays the O(m·d)
+    /// Algorithm 3 scan.
     #[must_use]
     pub fn estimate_ml_raw(&self) -> f64 {
-        let coeffs = self.coefficients();
-        ml::ml_estimate_from_coefficients(&coeffs, self.cfg.m() as f64)
+        let m = self.cfg.m() as f64;
+        match &self.coeffs {
+            Some(c) => {
+                debug_assert_eq!(
+                    **c,
+                    self.coefficients_scan(),
+                    "cached ML coefficients diverged from the Algorithm 3 scan"
+                );
+                ml::ml_estimate_from_coefficients(c, m)
+            }
+            None => ml::ml_estimate_from_coefficients(&self.coefficients_scan(), m),
+        }
     }
 
-    /// The log-likelihood coefficients (α, β) of this state (Algorithm 3).
+    /// The log-likelihood coefficients (α, β) of this state (Algorithm 3)
+    /// — served from the incremental cache when it is live, recomputed
+    /// otherwise.
     #[must_use]
     pub fn coefficients(&self) -> MlCoefficients {
+        match &self.coeffs {
+            Some(c) => {
+                debug_assert_eq!(
+                    **c,
+                    self.coefficients_scan(),
+                    "cached ML coefficients diverged from the Algorithm 3 scan"
+                );
+                (**c).clone()
+            }
+            None => self.coefficients_scan(),
+        }
+    }
+
+    /// The log-likelihood coefficients computed from scratch with the full
+    /// O(m·d) register scan of Algorithm 3, regardless of cache state.
+    /// This is the reference path the incremental cache is verified
+    /// against (and the baseline `bench_registers` measures).
+    #[must_use]
+    pub fn coefficients_scan(&self) -> MlCoefficients {
         ml::compute_coefficients(&self.cfg, self.regs.iter())
+    }
+
+    /// Whether the incremental coefficient cache is live (it is for every
+    /// sketch built through the public insert/merge API; raw register
+    /// overwrites drop it).
+    #[must_use]
+    pub fn has_cached_coefficients(&self) -> bool {
+        self.coeffs.is_some()
+    }
+
+    /// Rebuilds the coefficient cache with one Algorithm 3 scan, making
+    /// subsequent [`ExaLogLog::estimate`] calls O(populated β levels)
+    /// again after bulk raw-register surgery dropped the cache.
+    pub fn refresh_coefficients(&mut self) {
+        self.coeffs = Some(Box::new(self.coefficients_scan()));
     }
 
     /// The probability μ that inserting a new (unseen) element changes the
@@ -359,7 +611,18 @@ impl ExaLogLog {
                 });
             }
         }
-        Ok(ExaLogLog { cfg, regs })
+        // The coefficient cache starts cold: many deserialized sketches
+        // are only merged away (e.g. `ell merge`, store restores), and
+        // eagerly paying the O(m·d) Algorithm 3 scan per load would
+        // dwarf the O(m) validation above. A single `estimate()` costs
+        // the same either way; callers that estimate a loaded sketch
+        // repeatedly warm it once with
+        // [`ExaLogLog::refresh_coefficients`].
+        Ok(ExaLogLog {
+            cfg,
+            regs,
+            coeffs: None,
+        })
     }
 
     /// Inserts a whole slice of pre-hashed elements — the batched ingest
@@ -386,6 +649,9 @@ impl ExaLogLog {
                 let new = registers::update(old, val[j], d);
                 if new != old {
                     self.regs.set(idx[j], new);
+                    if let Some(c) = self.coeffs.as_deref_mut() {
+                        ml::apply_register_change(c, &self.cfg, old, new);
+                    }
                 }
             }
         }
@@ -394,19 +660,51 @@ impl ExaLogLog {
         }
     }
 
-    /// Inserts a whole stream of pre-hashed elements.
+    /// Inserts a whole stream of pre-hashed elements, buffering them into
+    /// 1024-hash blocks that run through the unrolled
+    /// [`ExaLogLog::insert_hashes`] hot path (the same chunking the
+    /// `ell count` streaming pipeline uses). Bit-for-bit equivalent to
+    /// inserting each hash in order; the buffer lives on the stack, so the
+    /// operation stays allocation-free.
     pub fn extend_hashes(&mut self, hashes: impl IntoIterator<Item = u64>) {
+        let mut buf = [0u64; 1024];
+        let mut n = 0usize;
         for h in hashes {
-            self.insert_hash(h);
+            buf[n] = h;
+            n += 1;
+            if n == buf.len() {
+                self.insert_hashes(&buf);
+                n = 0;
+            }
         }
+        self.insert_hashes(&buf[..n]);
     }
 
-    /// Total in-memory footprint in bytes: the struct itself plus the heap
-    /// allocation of the register array. This is the "memory" column of
-    /// Table 2 (Rust equivalent of the paper's measured allocation).
+    /// In-memory footprint of the sketch *state* in bytes: the struct
+    /// itself plus the heap allocation of the register array. This is the
+    /// "memory" column of Table 2 (Rust equivalent of the paper's
+    /// measured allocation).
+    ///
+    /// Deliberately excluded: the incremental ML coefficient cache (536
+    /// heap bytes when live — see [`ExaLogLog::coefficients_memory_bytes`]).
+    /// It is derived, reconstructible accelerator state, not sketch
+    /// state, and counting it would distort the paper-reproduction
+    /// memory comparisons (Figure 10, Table 2) against baselines that
+    /// carry no such cache.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         core::mem::size_of::<Self>() + self.regs.as_bytes().len()
+    }
+
+    /// Heap bytes currently held by the incremental ML coefficient cache
+    /// (0 when the cache is cold). Reported separately from
+    /// [`ExaLogLog::memory_bytes`]; see there for why.
+    #[must_use]
+    pub fn coefficients_memory_bytes(&self) -> usize {
+        match &self.coeffs {
+            Some(_) => core::mem::size_of::<MlCoefficients>(),
+            None => 0,
+        }
     }
 }
 

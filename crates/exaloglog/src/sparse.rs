@@ -187,6 +187,31 @@ impl SparseExaLogLog {
         }
     }
 
+    /// Folds this sketch into a dense accumulator of the same
+    /// configuration without materializing a dense copy: a dense phase
+    /// merges register-wise (word-scan fast path), a sparse phase streams
+    /// its decoded token hashes through the accumulator's batched insert
+    /// path. The result equals `acc.merge_from(&self.clone().into_dense())`
+    /// minus the scratch allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when configurations differ.
+    pub fn merge_into_dense(&self, acc: &mut ExaLogLog) -> Result<(), EllError> {
+        if self.cfg != *acc.config() {
+            return Err(EllError::IncompatibleSketches {
+                reason: format!("{} vs {}", self.cfg, acc.config()),
+            });
+        }
+        match &self.phase {
+            Phase::Sparse(tokens) => {
+                acc.extend_hashes(tokens.hashes());
+                Ok(())
+            }
+            Phase::Dense(sketch) => acc.merge_from(sketch),
+        }
+    }
+
     /// Extracts the dense sketch (densifying first if needed).
     #[must_use]
     pub fn into_dense(mut self) -> ExaLogLog {

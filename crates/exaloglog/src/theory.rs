@@ -91,17 +91,43 @@ pub fn mvp_martingale_compressed(t: u8, d: u8) -> f64 {
     (1.0 + (1.0 + tau) * compression_integral(tau)) / (2.0 * LN_2)
 }
 
+/// Memoized values of [`bias_correction_c`], stored as `f64` bits and
+/// indexed by (t, d). The constant depends only on (t, d) — of which
+/// there are at most 7 × 59 valid combinations — yet sits on every
+/// `estimate()` call, so the two Hurwitz-ζ evaluations are paid once per
+/// configuration per process. `0` marks "not yet computed" (c is always
+/// strictly positive, so no computed value collides with the sentinel);
+/// relaxed ordering suffices because racing writers store the same bits.
+static BIAS_C_CACHE: [[core::sync::atomic::AtomicU64; 59]; 7] =
+    [const { [const { core::sync::atomic::AtomicU64::new(0) }; 59] }; 7];
+
 /// The first-order bias-correction constant c of equation (4):
 ///
 /// c = ln(b) · (1 + 2τ·ζ(3, 1+τ) / ζ(2, 1+τ)²)
 ///
-/// The corrected estimate is n̂ = n̂_ML / (1 + c/m).
+/// The corrected estimate is n̂ = n̂_ML / (1 + c/m). Values are memoized
+/// per (t, d), making repeated calls (one per `estimate()`) effectively
+/// free.
 #[must_use]
 pub fn bias_correction_c(t: u8, d: u8) -> f64 {
+    use core::sync::atomic::Ordering::Relaxed;
+    let slot = BIAS_C_CACHE
+        .get(usize::from(t))
+        .and_then(|row| row.get(usize::from(d)));
+    if let Some(slot) = slot {
+        let bits = slot.load(Relaxed);
+        if bits != 0 {
+            return f64::from_bits(bits);
+        }
+    }
     let tau = tau(t, d);
     let z2 = hurwitz_zeta(2.0, 1.0 + tau);
     let z3 = hurwitz_zeta(3.0, 1.0 + tau);
-    ln_b(t) * (1.0 + 2.0 * tau * z3 / (z2 * z2))
+    let c = ln_b(t) * (1.0 + 2.0 * tau * z3 / (z2 * z2));
+    if let Some(slot) = slot {
+        slot.store(c.to_bits(), Relaxed);
+    }
+    c
 }
 
 /// Theoretically predicted relative RMSE √(MVP/((q+d)·m)) for a dense
