@@ -1,0 +1,434 @@
+//! Machine-readable windowed-store benchmark: epoch rotation cost,
+//! trailing-window query latency as a function of the window size k,
+//! phased multithreaded ingest, and four embedded law verdicts, written
+//! as `BENCH_window.json` so the repository accumulates a trajectory
+//! across commits.
+//!
+//! ```text
+//! bench_window [--quick] [--out FILE] [--rounds N] [--epochs E]
+//!              [--keys N] [--events N] [--zipf S] [--drift D]
+//!              [--shards N] [--threads LIST] [--queries N]
+//! ```
+//!
+//! The workload is the drifting Zipf [`WindowedStream`]: `--rounds`
+//! epochs of `--events` events each, ingested in the phased pattern
+//! (advance once per epoch, then any number of threads ingest that
+//! epoch's events concurrently). Verdicts recorded in the JSON — the
+//! binary exits non-zero if any fails:
+//!
+//! * `deterministic_across_threads` — the final `ELLW` snapshot bytes
+//!   are identical for every thread count;
+//! * `equivalence` — `estimate_window(key, k)` is bit-identical to
+//!   offline-merging the same k epoch sub-sketches with the
+//!   per-register reference merge, for sampled keys × every k;
+//! * `roundtrip_ok` — snapshot → restore reproduces every windowed
+//!   estimate bit-for-bit;
+//! * `queries_allocation_free` — a counting global allocator observes
+//!   **zero** heap allocations across the timed query loop (the
+//!   scratch-reuse guarantee: window queries of any k ≤ E never
+//!   allocate).
+
+// The counting global allocator is the one place in the workspace that
+// needs `unsafe`: the `GlobalAlloc` trait is an unsafe contract. It
+// delegates straight to `System` and only bumps a relaxed counter.
+#![allow(unsafe_code)]
+
+use ell_sim::workload::{key_label, WindowedStream};
+use ell_store::WindowedStore;
+use exaloglog::{EllConfig, ExaLogLog};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// `System`, plus a relaxed allocation counter that can be switched on
+/// around a region of interest.
+struct CountingAllocator;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with the allocation counter armed; returns its heap
+/// allocation count.
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+struct Args {
+    quick: bool,
+    out: String,
+    rounds: usize,
+    epochs: usize,
+    keys: usize,
+    events: usize,
+    zipf: f64,
+    drift: u64,
+    shards: usize,
+    queries: usize,
+    threads: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_window.json".to_string(),
+        rounds: 0,
+        epochs: 8,
+        keys: 200,
+        events: 0,
+        zipf: 1.0,
+        drift: 3,
+        shards: 16,
+        queries: 0,
+        threads: Vec::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let need = |argv: &[String], i: usize, flag: &str| -> String {
+        argv.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("bench_window: missing value for {flag}");
+                std::process::exit(2);
+            })
+            .clone()
+    };
+    let parse_or_die = |value: String, flag: &str| -> usize {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("bench_window: {flag} expects an integer");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => {
+                args.quick = true;
+                i += 1;
+            }
+            "--out" => {
+                args.out = need(&argv, i, "--out");
+                i += 2;
+            }
+            "--rounds" => {
+                args.rounds = parse_or_die(need(&argv, i, "--rounds"), "--rounds");
+                i += 2;
+            }
+            "--epochs" => {
+                args.epochs = parse_or_die(need(&argv, i, "--epochs"), "--epochs");
+                i += 2;
+            }
+            "--keys" => {
+                args.keys = parse_or_die(need(&argv, i, "--keys"), "--keys");
+                i += 2;
+            }
+            "--events" => {
+                args.events = parse_or_die(need(&argv, i, "--events"), "--events");
+                i += 2;
+            }
+            "--shards" => {
+                args.shards = parse_or_die(need(&argv, i, "--shards"), "--shards");
+                i += 2;
+            }
+            "--queries" => {
+                args.queries = parse_or_die(need(&argv, i, "--queries"), "--queries");
+                i += 2;
+            }
+            "--drift" => {
+                args.drift = parse_or_die(need(&argv, i, "--drift"), "--drift") as u64;
+                i += 2;
+            }
+            "--zipf" => {
+                args.zipf = need(&argv, i, "--zipf").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_window: --zipf expects a number");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--threads" => {
+                args.threads = need(&argv, i, "--threads")
+                    .split(',')
+                    .map(|part| parse_or_die(part.to_string(), "--threads"))
+                    .collect();
+                i += 2;
+            }
+            other => {
+                eprintln!("bench_window: unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.rounds == 0 {
+        args.rounds = if args.quick { 12 } else { 24 };
+    }
+    if args.events == 0 {
+        args.events = if args.quick { 20_000 } else { 200_000 };
+    }
+    if args.queries == 0 {
+        args.queries = if args.quick { 2_000 } else { 20_000 };
+    }
+    if args.threads.is_empty() {
+        args.threads = if args.quick {
+            vec![1, 4]
+        } else {
+            vec![1, 2, 4, 8]
+        };
+    }
+    if args.epochs == 0 || args.threads.contains(&0) {
+        eprintln!("bench_window: --epochs and --threads must be positive");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// The per-epoch workload: `rounds` epochs of `(key, hash)` batches.
+fn generate(args: &Args) -> Vec<Vec<(String, u64)>> {
+    let mut per_epoch: Vec<Vec<(String, u64)>> = vec![Vec::new(); args.rounds];
+    let stream = WindowedStream::new(
+        args.keys,
+        args.zipf,
+        1 << 30,
+        args.events,
+        args.drift,
+        0xE11,
+    );
+    for event in stream.take(args.rounds * args.events) {
+        per_epoch[event.epoch as usize].push((key_label(event.key), event.hash));
+    }
+    per_epoch
+}
+
+/// Phased ingest: per epoch, one advance, then `threads` workers over
+/// contiguous slices of that epoch's events. Returns elapsed seconds
+/// and the store.
+fn run_once(per_epoch: &[Vec<(String, u64)>], args: &Args, threads: usize) -> (f64, WindowedStore) {
+    let store = WindowedStore::new(
+        args.shards,
+        EllConfig::optimal(12).expect("valid preset"),
+        args.epochs,
+    )
+    .expect("validated parameters");
+    let t0 = Instant::now();
+    for (epoch, events) in per_epoch.iter().enumerate() {
+        store.advance(epoch as u64);
+        let chunk = events.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for part in events.chunks(chunk) {
+                let store = &store;
+                scope.spawn(move || {
+                    for block in part.chunks(1024) {
+                        let refs: Vec<(&str, u64)> =
+                            block.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+                        store.ingest(epoch as u64, &refs);
+                    }
+                });
+            }
+        });
+    }
+    (t0.elapsed().as_secs_f64(), store)
+}
+
+fn main() {
+    let args = parse_args();
+    if !args.shards.is_power_of_two() || args.shards == 0 {
+        eprintln!("bench_window: --shards must be a nonzero power of two");
+        std::process::exit(2);
+    }
+    println!(
+        "generating {} epochs × {} events over {} Zipf({}) keys (drift {}/epoch) ...",
+        args.rounds, args.events, args.keys, args.zipf, args.drift
+    );
+    let per_epoch = generate(&args);
+    let total_ops = args.rounds * args.events;
+
+    // ---- phased multithreaded ingest + determinism verdict ----------
+    let mut ingest_rows = Vec::new();
+    let mut reference_snapshot: Option<Vec<u8>> = None;
+    let mut deterministic = true;
+    let mut last_store = None;
+    for &threads in &args.threads {
+        let (secs, store) = run_once(&per_epoch, &args, threads);
+        let snapshot = store.snapshot_bytes();
+        match &reference_snapshot {
+            None => reference_snapshot = Some(snapshot),
+            Some(reference) => {
+                if *reference != snapshot {
+                    deterministic = false;
+                    eprintln!("bench_window: {threads}-thread snapshot diverged!");
+                }
+            }
+        }
+        let ns = secs * 1e9 / total_ops as f64;
+        println!(
+            "ingest  threads {threads:>2}   {ns:8.1} ns/event   {:10.0} events/s",
+            total_ops as f64 / secs
+        );
+        ingest_rows.push(format!(
+            "    {{\"threads\": {threads}, \"ns_per_event\": {ns:.3}}}"
+        ));
+        last_store = Some(store);
+    }
+    let store = last_store.expect("at least one thread count");
+
+    // ---- equivalence: window query ≡ offline per-register merge -----
+    let cfg = *store.config();
+    let current = store.current_epoch();
+    let keys = store.keys();
+    let mut equivalent = true;
+    for key in keys.iter().step_by(keys.len().div_ceil(25).max(1)) {
+        for k in 1..=args.epochs {
+            let mut offline = ExaLogLog::new(cfg);
+            for e in current.saturating_sub(k as u64 - 1)..=current {
+                if let Some(sub) = store.epoch_sketch(key, e) {
+                    offline
+                        .merge_from_per_register(&sub)
+                        .expect("shared configuration");
+                }
+            }
+            let windowed = store.estimate_window(key, k).expect("known key");
+            if windowed.to_bits() != offline.estimate().to_bits() {
+                equivalent = false;
+                eprintln!(
+                    "bench_window: {key} k={k}: {windowed} != offline {}",
+                    offline.estimate()
+                );
+            }
+        }
+    }
+
+    // ---- roundtrip: ELLW restore reproduces windowed estimates ------
+    let snapshot = store.snapshot_bytes();
+    let restored = WindowedStore::from_snapshot_bytes(&snapshot).unwrap_or_else(|e| {
+        eprintln!("bench_window: snapshot failed to restore: {e}");
+        std::process::exit(1);
+    });
+    let mut roundtrip_ok = restored.key_count() == store.key_count();
+    for key in &keys {
+        for k in 1..=args.epochs {
+            let a = store.estimate_window(key, k).expect("known key");
+            let b = restored.estimate_window(key, k).expect("restored key");
+            if a.to_bits() != b.to_bits() {
+                roundtrip_ok = false;
+            }
+        }
+    }
+    println!(
+        "snapshot {} bytes, {} keys, equivalence {}, roundtrip {}",
+        snapshot.len(),
+        store.key_count(),
+        if equivalent { "ok" } else { "MISMATCH" },
+        if roundtrip_ok { "ok" } else { "FAILED" }
+    );
+
+    // ---- window-query latency vs k + allocation verdict -------------
+    // Warm up every k once (memoized bias constants, scratch buffers),
+    // then time and allocation-count the real loop.
+    let probe: Vec<&String> = keys
+        .iter()
+        .step_by(keys.len().div_ceil(50).max(1))
+        .collect();
+    for k in 1..=args.epochs {
+        let _ = store.estimate_window(probe[0], k);
+    }
+    let mut query_rows = Vec::new();
+    let mut total_allocs = 0u64;
+    for k in 1..=args.epochs {
+        let mut elapsed = 0.0f64;
+        let mut sink = 0.0f64;
+        let allocs = count_allocations(|| {
+            let t0 = Instant::now();
+            for q in 0..args.queries {
+                let key = probe[q % probe.len()];
+                sink += store.estimate_window(key, k).expect("known key");
+            }
+            elapsed = t0.elapsed().as_secs_f64();
+        });
+        total_allocs += allocs;
+        let ns = elapsed * 1e9 / args.queries as f64;
+        println!("query   k={k:>2}   {ns:9.1} ns/query   {allocs} allocations   (sink {sink:.1})");
+        query_rows.push(format!(
+            "    {{\"k\": {k}, \"ns_per_query\": {ns:.3}, \"allocations\": {allocs}}}"
+        ));
+    }
+    let allocation_free = total_allocs == 0;
+    if !allocation_free {
+        eprintln!("bench_window: window queries allocated {total_allocs} times!");
+    }
+
+    // ---- rotation cost ----------------------------------------------
+    // Advance the restored copy through E further epochs: every step
+    // folds a populated slot per key into its retired union and recycles
+    // the slot in place.
+    let rotation_steps = args.epochs as u64;
+    let t0 = Instant::now();
+    restored.advance(current + rotation_steps);
+    let rotation_secs = t0.elapsed().as_secs_f64();
+    let rotation_ns_per_key_epoch =
+        rotation_secs * 1e9 / (rotation_steps as f64 * restored.key_count() as f64);
+    println!(
+        "rotation: {rotation_steps} epochs × {} keys in {:.3} ms ({rotation_ns_per_key_epoch:.0} ns/key/epoch)",
+        restored.key_count(),
+        rotation_secs * 1e3
+    );
+
+    if !deterministic || !equivalent || !roundtrip_ok || !allocation_free {
+        eprintln!("bench_window: windowed-store law violated (see above)");
+        std::process::exit(1);
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"bench\": \"window\",\n  \"mode\": \"{}\",\n  \"config\": \"{cfg}\",\n  \
+         \"epoch_ring\": {},\n  \"rounds\": {},\n  \"events_per_epoch\": {},\n  \
+         \"key_universe\": {},\n  \"zipf_s\": {},\n  \"drift_per_epoch\": {},\n  \
+         \"shards\": {},\n  \"queries_per_k\": {},\n  \"available_parallelism\": {cores},\n  \
+         \"snapshot_bytes\": {},\n  \
+         \"rotation_ns_per_key_epoch\": {rotation_ns_per_key_epoch:.1},\n  \
+         \"deterministic_across_threads\": {deterministic},\n  \
+         \"equivalence\": \"{}\",\n  \"roundtrip_ok\": {roundtrip_ok},\n  \
+         \"queries_allocation_free\": {allocation_free},\n  \
+         \"ingest\": [\n{}\n  ],\n  \"window_queries\": [\n{}\n  ]\n}}\n",
+        if args.quick { "quick" } else { "full" },
+        args.epochs,
+        args.rounds,
+        args.events,
+        args.keys,
+        args.zipf,
+        args.drift,
+        args.shards,
+        args.queries,
+        snapshot.len(),
+        if equivalent { "ok" } else { "MISMATCH" },
+        ingest_rows.join(",\n"),
+        query_rows.join(",\n")
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("bench_window: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.out);
+}

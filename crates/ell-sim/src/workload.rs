@@ -14,7 +14,10 @@
 //!   distinct ids (ground truth by construction);
 //! * [`KeyedStream`] — `(key, element-hash)` events with Zipf-skewed
 //!   keys and uniform element ids, the fleet-scale keyed-counter
-//!   workload the `ell-store` serving layer is built for.
+//!   workload the `ell-store` serving layer is built for;
+//! * [`WindowedStream`] — timestamped `(epoch, key, element-hash)`
+//!   events whose Zipf key popularity drifts across epochs, the
+//!   sliding-window workload behind `WindowedStore` experiments.
 //!
 //! All generators are deterministic in their seed and independent of
 //! iteration chunking.
@@ -178,6 +181,111 @@ pub fn key_label(rank: u64) -> String {
     format!("key-{rank:06}")
 }
 
+/// One timestamped keyed observation: which counter saw which element
+/// during which epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowedEvent {
+    /// The epoch (coarse timestamp) the observation belongs to; epochs
+    /// are emitted in nondecreasing order.
+    pub epoch: u64,
+    /// The key's identity in `0..key_universe`.
+    pub key: u64,
+    /// The element's 64-bit hash, ready to feed a sketch.
+    pub hash: u64,
+}
+
+/// Timestamped keyed traffic for sliding-window experiments: a fixed
+/// number of events per epoch, keys drawn from a Zipf(s) *rank*
+/// distribution whose rank→key mapping **drifts** by `drift` identities
+/// per epoch (yesterday's hottest page is not tomorrow's — the churn
+/// that makes trailing-window queries interesting), element ids uniform
+/// over a fixed universe and avalanched into hashes.
+///
+/// Deterministic in the seed and independent of how the stream is
+/// chunked into batches, so accuracy-over-time experiments reproduce
+/// exactly.
+///
+/// ```
+/// use ell_sim::workload::WindowedStream;
+///
+/// let a: Vec<_> = WindowedStream::new(50, 1.0, 10_000, 100, 3, 7).take(500).collect();
+/// assert_eq!(a, WindowedStream::new(50, 1.0, 10_000, 100, 3, 7).take(500).collect::<Vec<_>>());
+/// assert_eq!(a[0].epoch, 0);
+/// assert_eq!(a[499].epoch, 4); // 100 events per epoch
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedStream {
+    keys: ZipfStream,
+    values: UniformStream,
+    key_universe: u64,
+    events_per_epoch: usize,
+    drift: u64,
+    epoch: u64,
+    emitted_in_epoch: usize,
+}
+
+impl WindowedStream {
+    /// Creates a generator over `key_universe` keys with Zipf exponent
+    /// `s`, element ids uniform over `value_universe`,
+    /// `events_per_epoch` events per epoch, and a rank→key drift of
+    /// `drift` identities per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either universe is empty, `s < 0`, or
+    /// `events_per_epoch == 0`.
+    #[must_use]
+    pub fn new(
+        key_universe: usize,
+        s: f64,
+        value_universe: u64,
+        events_per_epoch: usize,
+        drift: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(events_per_epoch > 0, "epochs must hold at least one event");
+        WindowedStream {
+            keys: ZipfStream::new(key_universe, s, mix64(seed)),
+            values: UniformStream::new(value_universe, mix64(seed ^ 0xA076_1D64_78BD_642F)),
+            key_universe: key_universe as u64,
+            events_per_epoch,
+            drift,
+            epoch: 0,
+            emitted_in_epoch: 0,
+        }
+    }
+
+    /// The epoch the next event will belong to.
+    #[must_use]
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Draws the next timestamped observation.
+    pub fn next_event(&mut self) -> WindowedEvent {
+        if self.emitted_in_epoch == self.events_per_epoch {
+            self.epoch += 1;
+            self.emitted_in_epoch = 0;
+        }
+        self.emitted_in_epoch += 1;
+        let rank = self.keys.next_id();
+        WindowedEvent {
+            epoch: self.epoch,
+            // Drift rotates the rank→identity mapping: the Zipf head
+            // moves through the key space as epochs pass.
+            key: (rank + self.epoch.wrapping_mul(self.drift)) % self.key_universe,
+            hash: mix64(self.values.next_id().wrapping_add(1)),
+        }
+    }
+}
+
+impl Iterator for WindowedStream {
+    type Item = WindowedEvent;
+    fn next(&mut self) -> Option<WindowedEvent> {
+        Some(self.next_event())
+    }
+}
+
 /// Exactly `n` distinct ids (0..n) in a seeded random order — ground
 /// truth for estimator accuracy checks without duplicate bookkeeping.
 #[must_use]
@@ -260,6 +368,36 @@ mod tests {
             distinct.len()
         );
         assert_eq!(key_label(7), "key-000007");
+    }
+
+    #[test]
+    fn windowed_stream_drifts_and_reproduces() {
+        let a: Vec<WindowedEvent> = WindowedStream::new(100, 1.0, 50_000, 1000, 7, 3)
+            .take(5000)
+            .collect();
+        let b: Vec<WindowedEvent> = WindowedStream::new(100, 1.0, 50_000, 1000, 7, 3)
+            .take(5000)
+            .collect();
+        assert_eq!(a, b, "same seed must reproduce the stream");
+        // Epochs advance every 1000 events, in order.
+        assert!(a.windows(2).all(|w| w[0].epoch <= w[1].epoch));
+        assert_eq!(a[999].epoch, 0);
+        assert_eq!(a[1000].epoch, 1);
+        assert_eq!(a[4999].epoch, 4);
+        // Drift moves the Zipf head: the modal key of epoch 0 differs
+        // from the modal key of epoch 4 by the accumulated drift.
+        let modal = |events: &[WindowedEvent]| -> u64 {
+            let mut counts = std::collections::HashMap::new();
+            for e in events {
+                *counts.entry(e.key).or_insert(0usize) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        let m0 = modal(&a[..1000]);
+        let m4 = modal(&a[4000..]);
+        assert_eq!((m0 + 4 * 7) % 100, m4, "head did not drift as configured");
+        // All keys inside the universe.
+        assert!(a.iter().all(|e| e.key < 100));
     }
 
     #[test]

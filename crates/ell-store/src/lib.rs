@@ -37,6 +37,15 @@
 //! promoted). [`EllStore::from_snapshot_bytes`] restores it exactly —
 //! every per-key estimate reproduces bit-for-bit.
 //!
+//! # Windowed counting
+//!
+//! [`WindowedStore`] adds the time dimension: each key holds a ring of
+//! E per-epoch sub-sketches plus a compacted retired union, so
+//! "distinct elements in the last k epochs" is answered by folding k
+//! ring slots through the word-level merge fast path — see the
+//! [`window`](crate::WindowedStore) module docs. Windowed stores
+//! persist in their own `ELLW` container format.
+//!
 //! ```
 //! use ell_store::EllStore;
 //! use exaloglog::EllConfig;
@@ -53,9 +62,12 @@
 #![warn(missing_docs)]
 
 mod store;
+mod window;
+mod window_wire;
 mod wire;
 
 pub use store::EllStore;
+pub use window::WindowedStore;
 
 pub use exaloglog::adaptive::AdaptiveExaLogLog;
 pub use exaloglog::atomic::AtomicExaLogLog;

@@ -259,19 +259,15 @@ impl EllStore {
     }
 
     /// Places a restored sketch under `key`, replacing any existing
-    /// slot. Used by snapshot restoration. Slots that stay on the locked
-    /// adaptive path get their dense coefficient cache warmed, so their
-    /// per-key estimates are served from the incremental estimator
-    /// exactly like ingested keys; hot-upgraded slots keep only raw
-    /// atomic registers (their estimates go through a snapshot anyway),
-    /// so warming first would be wasted work.
+    /// slot. Used by snapshot restoration. Deserialization already
+    /// rebuilds the dense coefficient cache eagerly, so slots that stay
+    /// on the locked adaptive path serve per-key estimates from the
+    /// incremental estimator exactly like ingested keys — no extra
+    /// warming needed here.
     pub(crate) fn place(&self, key: String, sketch: AdaptiveExaLogLog) {
         let si = self.shard_of(&key);
         let mut slot = Slot::Adaptive(sketch);
         self.maybe_upgrade(&mut slot);
-        if let Slot::Adaptive(s) = &mut slot {
-            s.refresh_coefficients();
-        }
         self.shards[si]
             .write()
             .expect("shard lock poisoned")

@@ -1,0 +1,646 @@
+//! Sliding-window distinct counting: the windowed counting subsystem on
+//! top of the keyed store layer.
+//!
+//! ExaLogLog's full mergeability at state-of-the-art space efficiency is
+//! exactly what makes *time-windowed* distinct counting cheap: keep one
+//! small sub-sketch per epoch and answer "distinct users in the last k
+//! minutes" by unioning epochs on the fly — the pattern production
+//! time-series systems build on top of mergeable cardinality aggregates.
+//!
+//! # Architecture
+//!
+//! A [`WindowedStore`] maps string keys to **epoch rings**: a ring of
+//! `E` dense [`ExaLogLog`] sub-sketches (slot `e % E` holds the data of
+//! epoch `e` for every epoch in the live window) plus one compacted
+//! *retired* union of every epoch that has fallen out of the window.
+//! Like [`EllStore`](crate::EllStore), keys are hash-partitioned over N
+//! power-of-two shards, each a `RwLock<HashMap<..>>`.
+//!
+//! * [`WindowedStore::advance`] rotates the window forward: each epoch
+//!   leaving the window folds into the retired union through the
+//!   word-level merge scan, and its slot is recycled with `clone_from`
+//!   against an empty template — rotation is allocation-free.
+//! * [`WindowedStore::estimate_window`] answers an arbitrary trailing
+//!   window of `k ≤ E` epochs by folding the k live slots into one
+//!   reusable scratch sketch through [`ExaLogLog::merge_from`] — the
+//!   word-level fast path that skips empty or identical register runs
+//!   wholesale — so window queries are merge-dominant and allocation-free
+//!   (the `bench_window` binary counts heap allocations per query to
+//!   prove it).
+//! * Late events for an epoch that already left the window fold straight
+//!   into the retired union, so all-time totals stay exact.
+//!
+//! Rotation and ingest follow the phased pattern of real epoch'd
+//! pipelines — within an epoch any number of threads ingest
+//! concurrently, epoch advancement is a (cheap) global step — and under
+//! that pattern the final state is bit-for-bit independent of the thread
+//! count, exactly like the flat store.
+//!
+//! # Lifecycle
+//!
+//! ```
+//! use ell_store::WindowedStore;
+//! use exaloglog::EllConfig;
+//!
+//! // 4 shards, ELL(2,20) at p=10, a ring of 3 epochs.
+//! let store = WindowedStore::new(4, EllConfig::optimal(10).unwrap(), 3).unwrap();
+//!
+//! // Epoch 0: alice sees two pages, bob one.
+//! store.ingest(0, &[("alice", 11), ("alice", 22), ("bob", 11)]);
+//! // Epoch 1: alice returns to one old page and finds a new one.
+//! store.ingest(1, &[("alice", 22), ("alice", 33)]);
+//! assert_eq!(store.current_epoch(), 1);
+//!
+//! // Trailing windows: last epoch only vs. both epochs.
+//! assert_eq!(store.estimate_window("alice", 1).unwrap().round() as u64, 2);
+//! assert_eq!(store.estimate_window("alice", 2).unwrap().round() as u64, 3);
+//!
+//! // Advance far enough and the old epochs retire out of every window,
+//! // but the all-time union still remembers them.
+//! store.advance(10);
+//! assert_eq!(store.estimate_window("alice", 3).unwrap().round() as u64, 0);
+//! assert_eq!(store.estimate_all_time("alice").unwrap().round() as u64, 3);
+//!
+//! // Snapshot → restore reproduces every windowed estimate bit-for-bit.
+//! let restored = WindowedStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
+//! assert_eq!(restored.snapshot_bytes(), store.snapshot_bytes());
+//! ```
+
+use ell_hash::{Hasher64, WyHash};
+use exaloglog::{EllConfig, EllError, ExaLogLog};
+use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
+
+/// Key-partitioning hash seed, shared with the flat store so the two
+/// layers shard identically for the same key space.
+const KEY_HASH_SEED: u64 = 0xE115_70E5;
+
+/// One key's windowed state: the live epoch ring plus the retired union.
+#[derive(Debug)]
+struct WindowRing {
+    /// Slot `e % E` holds epoch `e`'s sub-sketch for every live epoch
+    /// `e` in `(current − E, current]`; slots for epochs the key never
+    /// saw stay empty (and cost one zero-word scan to merge).
+    ring: Vec<ExaLogLog>,
+    /// Union of every epoch of this key that has left the window.
+    retired: ExaLogLog,
+}
+
+impl WindowRing {
+    fn new(template: &ExaLogLog, epochs: usize) -> Self {
+        WindowRing {
+            ring: vec![template.clone(); epochs],
+            retired: template.clone(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.retired.memory_bytes() + self.ring.iter().map(ExaLogLog::memory_bytes).sum::<usize>()
+    }
+}
+
+/// A sharded, thread-safe map from string keys to epoch rings of
+/// sub-sketches, answering arbitrary trailing-window distinct-count
+/// queries. See the module docs for the architecture and a lifecycle
+/// example.
+#[derive(Debug)]
+pub struct WindowedStore {
+    cfg: EllConfig,
+    /// Ring capacity E: the largest answerable trailing window.
+    epochs: usize,
+    /// The newest epoch the window has advanced to. Held for read during
+    /// ingest and queries, for write during rotation, so every operation
+    /// sees one consistent window position.
+    current: RwLock<u64>,
+    hasher: WyHash,
+    shards: Vec<RwLock<HashMap<String, WindowRing>>>,
+    /// Empty sketch used to recycle rotated slots (`clone_from` keeps
+    /// the slot's allocation) and to reset the query scratch.
+    template: ExaLogLog,
+    /// Reusable per-shard accumulators for window queries: merged into
+    /// through the word-level fast path, never reallocated after
+    /// construction. One per shard so queries for keys on different
+    /// shards never contend (mirroring the sharded read concurrency of
+    /// the maps themselves).
+    scratches: Vec<Mutex<ExaLogLog>>,
+}
+
+impl WindowedStore {
+    /// Creates an empty windowed store with `shards` shards (a power of
+    /// two), the given per-epoch sketch configuration, and a ring of
+    /// `epochs` sub-sketches per key (the largest answerable window).
+    ///
+    /// Each key costs `epochs + 1` dense register arrays, so pick the
+    /// precision accordingly (p=12 at ELL(2,20) is ~14 KiB per epoch).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a shard count that is zero or not a power of two, and a
+    /// zero epoch count.
+    pub fn new(shards: usize, cfg: EllConfig, epochs: usize) -> Result<Self, EllError> {
+        if shards == 0 || !shards.is_power_of_two() {
+            return Err(EllError::InvalidParameter {
+                reason: format!("shard count {shards} must be a nonzero power of two"),
+            });
+        }
+        if epochs == 0 {
+            return Err(EllError::InvalidParameter {
+                reason: "epoch ring needs at least one slot".into(),
+            });
+        }
+        let mut shard_maps = Vec::with_capacity(shards);
+        shard_maps.resize_with(shards, || RwLock::new(HashMap::new()));
+        let template = ExaLogLog::new(cfg);
+        let mut scratches = Vec::with_capacity(shards);
+        scratches.resize_with(shards, || Mutex::new(template.clone()));
+        Ok(WindowedStore {
+            cfg,
+            epochs,
+            current: RwLock::new(0),
+            hasher: WyHash::new(KEY_HASH_SEED),
+            shards: shard_maps,
+            scratches,
+            template,
+        })
+    }
+
+    /// The per-epoch sketch configuration.
+    #[must_use]
+    pub fn config(&self) -> &EllConfig {
+        &self.cfg
+    }
+
+    /// The ring capacity E — the largest trailing window `estimate_window`
+    /// can answer.
+    #[must_use]
+    pub fn epoch_window(&self) -> usize {
+        self.epochs
+    }
+
+    /// The number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The newest epoch the window has advanced to (0 for a new store).
+    #[must_use]
+    pub fn current_epoch(&self) -> u64 {
+        *self.current.read().expect("epoch lock poisoned")
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        (self.hasher.hash_bytes(key.as_bytes()) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Advances the window to `epoch` (a no-op when the window is
+    /// already there or past it). Every epoch that falls out of the
+    /// trailing window folds into its key's retired union through the
+    /// word-level merge scan, and the vacated ring slot is recycled in
+    /// place with `clone_from` — rotation allocates nothing.
+    pub fn advance(&self, epoch: u64) {
+        let mut current = self.current.write().expect("epoch lock poisoned");
+        if epoch <= *current {
+            return;
+        }
+        let e = self.epochs as u64;
+        // Slots that will host the new epochs (*current, epoch] are the
+        // ones whose previous occupants leave the window; with a jump of
+        // ≥ E epochs that is every slot, each folding exactly once.
+        let first = (*current + 1).max(epoch.saturating_sub(e - 1));
+        for shard in &self.shards {
+            let mut map = shard.write().expect("shard lock poisoned");
+            for ring in map.values_mut() {
+                for rotated in first..=epoch {
+                    let slot = (rotated % e) as usize;
+                    ring.retired
+                        .merge_from(&ring.ring[slot])
+                        .expect("ring slots share the store configuration");
+                    ring.ring[slot].clone_from(&self.template);
+                }
+            }
+        }
+        *current = epoch;
+    }
+
+    /// Inserts one `(key, element-hash)` observation for `epoch` (a
+    /// direct single-shard path; use [`WindowedStore::ingest`] for
+    /// batches).
+    pub fn insert(&self, key: &str, epoch: u64, hash: u64) {
+        self.ingest(epoch, &[(key, hash)]);
+    }
+
+    /// Batched ingest of observations belonging to `epoch`.
+    ///
+    /// The window auto-advances when `epoch` is newer than the current
+    /// one. Observations for an epoch still inside the window land in
+    /// that epoch's ring slot; late observations for an epoch that
+    /// already left the window fold into the key's retired union (they
+    /// still count in all-time totals, never in a trailing window).
+    ///
+    /// Per-key state is monotone, so any partition of an epoch's events
+    /// over any number of threads yields the same final state.
+    pub fn ingest(&self, epoch: u64, batch: &[(&str, u64)]) {
+        if batch.is_empty() {
+            // Still record the epoch itself: an empty batch for a newer
+            // epoch must rotate the window exactly like a populated one.
+            self.advance(epoch);
+            return;
+        }
+        loop {
+            let current = self.current.read().expect("epoch lock poisoned");
+            if epoch <= *current {
+                self.ingest_at(*current, epoch, batch);
+                return;
+            }
+            drop(current);
+            self.advance(epoch);
+        }
+    }
+
+    /// Ingest with the window pinned at `current` (the epoch read lock
+    /// is held by the caller's stack frame logic: `epoch ≤ current`).
+    fn ingest_at(&self, current: u64, epoch: u64, batch: &[(&str, u64)]) {
+        let live = current - epoch < self.epochs as u64;
+        let slot = (epoch % self.epochs as u64) as usize;
+        let mut buckets: Vec<Vec<(&str, u64)>> = vec![Vec::new(); self.shards.len()];
+        for &(key, hash) in batch {
+            buckets[self.shard_of(key)].push((key, hash));
+        }
+        for (si, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut map = self.shards[si].write().expect("shard lock poisoned");
+            // Group hashes per key (preserving per-key order) so each
+            // ring takes one batched insert; keys are independent, so
+            // group iteration order cannot affect the result.
+            let mut grouped: HashMap<&str, Vec<u64>> = HashMap::new();
+            for &(key, hash) in bucket {
+                grouped.entry(key).or_default().push(hash);
+            }
+            fn target(ring: &mut WindowRing, live: bool, slot: usize) -> &mut ExaLogLog {
+                if live {
+                    &mut ring.ring[slot]
+                } else {
+                    &mut ring.retired
+                }
+            }
+            for (key, hashes) in grouped {
+                match map.get_mut(key) {
+                    Some(ring) => target(ring, live, slot).insert_hashes(&hashes),
+                    None => {
+                        let mut ring = WindowRing::new(&self.template, self.epochs);
+                        target(&mut ring, live, slot).insert_hashes(&hashes);
+                        map.insert(key.to_string(), ring);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The distinct-count estimate for `key` over the trailing window of
+    /// the last `last_k` epochs — `(current − last_k, current]` — or
+    /// `None` if the key has never been observed.
+    ///
+    /// The k live slots fold into one reusable scratch sketch through
+    /// the word-level [`ExaLogLog::merge_from`] fast path; no per-query
+    /// allocation happens (a single-slot window skips the scratch
+    /// entirely and estimates the slot in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `last_k` is zero or exceeds the ring capacity
+    /// [`WindowedStore::epoch_window`].
+    #[must_use]
+    pub fn estimate_window(&self, key: &str, last_k: usize) -> Option<f64> {
+        assert!(
+            last_k >= 1 && last_k <= self.epochs,
+            "window of {last_k} epochs outside [1, {}]",
+            self.epochs
+        );
+        let current = self.current.read().expect("epoch lock poisoned");
+        let si = self.shard_of(key);
+        let map = self.shards[si].read().expect("shard lock poisoned");
+        let ring = map.get(key)?;
+        let first = current.saturating_sub(last_k as u64 - 1);
+        if first == *current {
+            // One live epoch: estimate its slot directly (the slot's
+            // coefficient cache is maintained by every mutation path).
+            return Some(ring.ring[(*current % self.epochs as u64) as usize].estimate());
+        }
+        let mut scratch = self.scratches[si].lock().expect("scratch lock poisoned");
+        scratch.clone_from(&self.template);
+        for epoch in first..=*current {
+            scratch
+                .merge_from(&ring.ring[(epoch % self.epochs as u64) as usize])
+                .expect("ring slots share the store configuration");
+        }
+        Some(scratch.estimate())
+    }
+
+    /// The all-time distinct-count estimate for `key`: the union of the
+    /// retired epochs and every live ring slot (`None` if the key has
+    /// never been observed).
+    #[must_use]
+    pub fn estimate_all_time(&self, key: &str) -> Option<f64> {
+        let _current = self.current.read().expect("epoch lock poisoned");
+        let si = self.shard_of(key);
+        let map = self.shards[si].read().expect("shard lock poisoned");
+        let ring = map.get(key)?;
+        let mut scratch = self.scratches[si].lock().expect("scratch lock poisoned");
+        scratch.clone_from(&ring.retired);
+        for slot in &ring.ring {
+            scratch
+                .merge_from(slot)
+                .expect("ring slots share the store configuration");
+        }
+        Some(scratch.estimate())
+    }
+
+    /// A copy of the live sub-sketch of `epoch` for `key`: `None` when
+    /// the key is unknown or the epoch is outside the current window.
+    /// This is the offline-merge seam the equivalence property tests
+    /// (and external epoch-level consumers) build on.
+    #[must_use]
+    pub fn epoch_sketch(&self, key: &str, epoch: u64) -> Option<ExaLogLog> {
+        let current = self.current.read().expect("epoch lock poisoned");
+        if epoch > *current || *current - epoch >= self.epochs as u64 {
+            return None;
+        }
+        let map = self.shards[self.shard_of(key)]
+            .read()
+            .expect("shard lock poisoned");
+        map.get(key)
+            .map(|ring| ring.ring[(epoch % self.epochs as u64) as usize].clone())
+    }
+
+    /// A copy of the retired union for `key` (`None` if the key has
+    /// never been observed).
+    #[must_use]
+    pub fn retired_sketch(&self, key: &str) -> Option<ExaLogLog> {
+        let map = self.shards[self.shard_of(key)]
+            .read()
+            .expect("shard lock poisoned");
+        map.get(key).map(|ring| ring.retired.clone())
+    }
+
+    /// The number of distinct keys in the store.
+    #[must_use]
+    pub fn key_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether the store holds no keys at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.key_count() == 0
+    }
+
+    /// All keys, sorted (a point-in-time copy).
+    #[must_use]
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// `(key, windowed estimate over the last `last_k` epochs)` for every
+    /// key, sorted by key.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `last_k` is zero or exceeds the ring capacity.
+    #[must_use]
+    pub fn window_estimates(&self, last_k: usize) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .keys()
+            .into_iter()
+            .filter_map(|key| {
+                let estimate = self.estimate_window(&key, last_k)?;
+                Some((key, estimate))
+            })
+            .collect();
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Approximate total in-memory footprint in bytes (keys + rings +
+    /// the store scaffolding).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        // Scaffolding: the template plus one query scratch per shard.
+        let mut total =
+            core::mem::size_of::<Self>() + (1 + self.shards.len()) * self.template.memory_bytes();
+        for shard in &self.shards {
+            let map = shard.read().expect("shard lock poisoned");
+            for (key, ring) in map.iter() {
+                total += key.len() + core::mem::size_of::<String>() + ring.memory_bytes();
+            }
+        }
+        total
+    }
+
+    /// Internal iteration for the wire format: every `(key, ring)` pair,
+    /// sorted by key, as `(key, retired, ring slots in slot order)`.
+    pub(crate) fn wire_entries(&self) -> Vec<(String, ExaLogLog, Vec<ExaLogLog>)> {
+        let mut out: Vec<(String, ExaLogLog, Vec<ExaLogLog>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .iter()
+                    .map(|(k, ring)| (k.clone(), ring.retired.clone(), ring.ring.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Wire-format restore seam: places a fully-formed ring under `key`,
+    /// returning whether the key was new.
+    pub(crate) fn place_ring(
+        &self,
+        key: String,
+        retired: ExaLogLog,
+        slots: Vec<ExaLogLog>,
+    ) -> bool {
+        debug_assert_eq!(slots.len(), self.epochs);
+        let si = self.shard_of(&key);
+        self.shards[si]
+            .write()
+            .expect("shard lock poisoned")
+            .insert(
+                key,
+                WindowRing {
+                    ring: slots,
+                    retired,
+                },
+            )
+            .is_none()
+    }
+
+    /// Wire-format restore seam: pins the current epoch without
+    /// rotating (the snapshot's rings are already rotated).
+    pub(crate) fn set_current_epoch(&self, epoch: u64) {
+        *self.current.write().expect("epoch lock poisoned") = epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::{mix64, SplitMix64};
+    use std::collections::HashSet;
+
+    fn cfg() -> EllConfig {
+        EllConfig::new(2, 16, 6).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(WindowedStore::new(0, cfg(), 4).is_err());
+        assert!(WindowedStore::new(3, cfg(), 4).is_err());
+        assert!(WindowedStore::new(4, cfg(), 0).is_err());
+        assert!(WindowedStore::new(4, cfg(), 1).is_ok());
+    }
+
+    #[test]
+    fn windowed_estimates_track_exact_per_epoch_sets() {
+        let store = WindowedStore::new(4, EllConfig::optimal(10).unwrap(), 4).unwrap();
+        let mut rng = SplitMix64::new(1);
+        // Four epochs of 4000 events each over a 6000-value universe.
+        let mut per_epoch: Vec<HashSet<u64>> = Vec::new();
+        for epoch in 0..4u64 {
+            let mut seen = HashSet::new();
+            let batch: Vec<(&str, u64)> = (0..4000)
+                .map(|_| {
+                    let h = mix64(rng.next_u64() % 6000 + epoch * 10_000);
+                    seen.insert(h);
+                    ("k", h)
+                })
+                .collect();
+            store.ingest(epoch, &batch);
+            per_epoch.push(seen);
+        }
+        assert_eq!(store.current_epoch(), 3);
+        for k in 1..=4usize {
+            let exact: HashSet<u64> = per_epoch[4 - k..].iter().flatten().copied().collect();
+            let est = store.estimate_window("k", k).unwrap();
+            assert!(
+                (est / exact.len() as f64 - 1.0).abs() < 0.12,
+                "k={k}: estimate {est} vs exact {}",
+                exact.len()
+            );
+        }
+        assert!(store.estimate_window("never", 2).is_none());
+    }
+
+    #[test]
+    fn advance_retires_old_epochs_but_keeps_all_time_totals() {
+        let store = WindowedStore::new(2, cfg(), 2).unwrap();
+        let mut rng = SplitMix64::new(2);
+        let old: Vec<(&str, u64)> = (0..3000).map(|_| ("k", rng.next_u64())).collect();
+        store.ingest(0, &old);
+        let all_before = store.estimate_all_time("k").unwrap();
+        store.advance(5);
+        // The window is empty now…
+        assert_eq!(store.estimate_window("k", 2).unwrap(), 0.0);
+        // …but the retired union still holds everything, bit-for-bit.
+        assert_eq!(store.estimate_all_time("k").unwrap(), all_before);
+        // Late events for a retired epoch fold into the union, not the
+        // window.
+        store.ingest(1, &[("k", rng.next_u64())]);
+        assert_eq!(store.estimate_window("k", 2).unwrap(), 0.0);
+        assert!(store.estimate_all_time("k").unwrap() >= all_before);
+    }
+
+    #[test]
+    fn window_equals_offline_epoch_merge() {
+        let store = WindowedStore::new(4, cfg(), 3).unwrap();
+        let mut rng = SplitMix64::new(3);
+        for epoch in 0..3u64 {
+            let batch: Vec<(&str, u64)> = (0..2000).map(|_| ("k", rng.next_u64())).collect();
+            store.ingest(epoch, &batch);
+        }
+        for k in 1..=3usize {
+            let mut offline = ExaLogLog::new(cfg());
+            for epoch in (3 - k as u64)..=2 {
+                offline
+                    .merge_from_per_register(&store.epoch_sketch("k", epoch).unwrap())
+                    .unwrap();
+            }
+            assert_eq!(
+                store.estimate_window("k", k).unwrap().to_bits(),
+                offline.estimate().to_bits(),
+                "k={k}"
+            );
+        }
+        // Out-of-window epochs are not exposed.
+        store.advance(10);
+        assert!(store.epoch_sketch("k", 2).is_none());
+        assert!(store.epoch_sketch("k", 11).is_none());
+        assert!(store.retired_sketch("k").is_some());
+    }
+
+    #[test]
+    fn ingest_auto_advances_and_empty_batches_rotate() {
+        let store = WindowedStore::new(2, cfg(), 2).unwrap();
+        store.ingest(3, &[("a", 7)]);
+        assert_eq!(store.current_epoch(), 3);
+        store.ingest(9, &[]);
+        assert_eq!(store.current_epoch(), 9);
+        // Epoch 3 left the window during the empty-batch advance.
+        assert_eq!(store.estimate_window("a", 2).unwrap(), 0.0);
+        assert_eq!(store.estimate_all_time("a").unwrap().round() as u64, 1);
+    }
+
+    #[test]
+    fn keys_and_window_estimates_are_sorted() {
+        let store = WindowedStore::new(8, cfg(), 2).unwrap();
+        for key in ["zeta", "alpha", "mid"] {
+            store.insert(key, 0, 42);
+        }
+        assert_eq!(store.keys(), vec!["alpha", "mid", "zeta"]);
+        let names: Vec<String> = store
+            .window_estimates(2)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(store.key_count(), 3);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn memory_accounts_for_rings() {
+        let store = WindowedStore::new(2, cfg(), 3).unwrap();
+        let empty = store.memory_bytes();
+        store.insert("some-key", 0, 7);
+        // One key costs E+1 register arrays.
+        assert!(store.memory_bytes() > empty + 3 * cfg().register_array_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn oversized_window_panics() {
+        let store = WindowedStore::new(2, cfg(), 2).unwrap();
+        store.insert("k", 0, 1);
+        let _ = store.estimate_window("k", 3);
+    }
+}

@@ -1,0 +1,290 @@
+//! The `ELLW` windowed-store snapshot format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "ELLW"            magic (4 bytes)
+//! version           u8, currently 1
+//! t, d, p           u8 × 3 — the per-epoch sketch configuration
+//! epochs            u32 — ring capacity E
+//! shards            u32 — shard count (power of two)
+//! current epoch     u64
+//! entry count       u64
+//! entries, sorted by key:
+//!   key length      u32, then the UTF-8 key bytes
+//!   retired length  u32, then the retired union as `ELL1` (length 0
+//!                   encodes an empty sketch without a payload)
+//!   E ring slots, in slot-index order, each:
+//!     slot length   u32, then the slot as `ELL1` (0 = empty)
+//! ```
+//!
+//! Entries are written in key order, empty sketches compress to a zero
+//! length, and every payload is the canonical `ELL1` serialization, so
+//! equal windowed states produce equal snapshot bytes regardless of
+//! ingest threading — and every payload deserializes with a live ML
+//! coefficient cache, so a restored store reproduces every windowed
+//! estimate bit-for-bit at cached speed.
+
+use crate::window::WindowedStore;
+use exaloglog::{EllConfig, EllError, ExaLogLog};
+
+const MAGIC: &[u8; 4] = b"ELLW";
+const VERSION: u8 = 1;
+/// magic + version + (t, d, p) + epochs + shards + current + entry count.
+const HEADER_LEN: usize = 4 + 1 + 3 + 4 + 4 + 8 + 8;
+/// Plausibility bounds on the header-declared shard and ring sizes.
+/// Restoring allocates per-shard scratch sketches and per-entry
+/// `epochs`-sized rings *before* reading payloads, so a crafted header
+/// must not be able to force a huge allocation out of a tiny snapshot.
+const MAX_WIRE_SHARDS: usize = 1 << 16;
+const MAX_WIRE_EPOCHS: usize = 1 << 16;
+
+fn corrupt(reason: String) -> EllError {
+    EllError::CorruptSerialization { reason }
+}
+
+fn push_sketch(out: &mut Vec<u8>, sketch: &ExaLogLog) {
+    if sketch.is_empty() {
+        out.extend_from_slice(&0u32.to_le_bytes());
+    } else {
+        let payload = sketch.to_bytes();
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+}
+
+impl WindowedStore {
+    /// Serializes the whole windowed store in the `ELLW` container
+    /// format.
+    ///
+    /// The snapshot is a point-in-time copy taken shard by shard; for a
+    /// transactionally consistent image, quiesce ingest and rotation
+    /// first.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let entries = self.wire_entries();
+        let mut out = Vec::with_capacity(HEADER_LEN + entries.len() * 64);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        let cfg = self.config();
+        out.extend_from_slice(&[cfg.t(), cfg.d(), cfg.p()]);
+        out.extend_from_slice(&(self.epoch_window() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.shard_count() as u32).to_le_bytes());
+        out.extend_from_slice(&self.current_epoch().to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (key, retired, slots) in &entries {
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(key.as_bytes());
+            push_sketch(&mut out, retired);
+            for slot in slots {
+                push_sketch(&mut out, slot);
+            }
+        }
+        out
+    }
+
+    /// Restores a windowed store from [`WindowedStore::snapshot_bytes`]
+    /// output, validating the header and every sketch payload. The
+    /// restored store answers every windowed query bit-for-bit like the
+    /// original and re-snapshots to identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any structural defect of the snapshot bytes.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, EllError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(corrupt(format!(
+                "{} bytes is shorter than the ELLW header",
+                bytes.len()
+            )));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(corrupt("bad magic".into()));
+        }
+        if bytes[4] != VERSION {
+            return Err(corrupt(format!(
+                "unsupported snapshot version {}",
+                bytes[4]
+            )));
+        }
+        let cfg = EllConfig::new(bytes[5], bytes[6], bytes[7])?;
+        let epochs =
+            u32::from_le_bytes(bytes[8..12].try_into().expect("header length checked")) as usize;
+        let shards =
+            u32::from_le_bytes(bytes[12..16].try_into().expect("header length checked")) as usize;
+        let current = u64::from_le_bytes(bytes[16..24].try_into().expect("header length checked"));
+        let entry_count =
+            u64::from_le_bytes(bytes[24..32].try_into().expect("header length checked"));
+        if shards > MAX_WIRE_SHARDS {
+            return Err(corrupt(format!(
+                "implausible shard count {shards} (limit {MAX_WIRE_SHARDS})"
+            )));
+        }
+        if epochs > MAX_WIRE_EPOCHS {
+            return Err(corrupt(format!(
+                "implausible epoch ring size {epochs} (limit {MAX_WIRE_EPOCHS})"
+            )));
+        }
+        // Each entry carries at least a key length, a retired length,
+        // and `epochs` slot lengths — bound the declared count by what
+        // the snapshot could physically hold.
+        let min_entry_bytes = (4 + 4 + 4 * epochs) as u64;
+        if entry_count > (bytes.len() as u64 - HEADER_LEN as u64) / min_entry_bytes.max(1) {
+            return Err(corrupt(format!(
+                "entry count {entry_count} cannot fit in {} payload bytes",
+                bytes.len() - HEADER_LEN
+            )));
+        }
+        let store = WindowedStore::new(shards, cfg, epochs)?;
+        store.set_current_epoch(current);
+
+        let mut cursor = HEADER_LEN;
+        let take = |cursor: &mut usize, len: usize| -> Result<&[u8], EllError> {
+            let end = cursor
+                .checked_add(len)
+                .ok_or_else(|| corrupt("entry length overflows the snapshot".into()))?;
+            if end > bytes.len() {
+                return Err(corrupt(format!(
+                    "entry at offset {cursor} runs past the end ({len} bytes needed)"
+                )));
+            }
+            let slice = &bytes[*cursor..end];
+            *cursor = end;
+            Ok(slice)
+        };
+        let take_u32 = |cursor: &mut usize| -> Result<usize, EllError> {
+            let raw = take(cursor, 4)?;
+            Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")) as usize)
+        };
+        let take_sketch = |cursor: &mut usize, what: &str| -> Result<ExaLogLog, EllError> {
+            let len = take_u32(cursor)?;
+            if len == 0 {
+                return Ok(ExaLogLog::new(cfg));
+            }
+            let sketch = ExaLogLog::from_bytes(take(cursor, len)?)
+                .map_err(|e| corrupt(format!("{what}: {e}")))?;
+            if sketch.config() != &cfg {
+                return Err(corrupt(format!(
+                    "{what}: configuration {} does not match header {cfg}",
+                    sketch.config()
+                )));
+            }
+            Ok(sketch)
+        };
+        for i in 0..entry_count {
+            let key_len = take_u32(&mut cursor)?;
+            let key = core::str::from_utf8(take(&mut cursor, key_len)?)
+                .map_err(|e| corrupt(format!("entry {i}: key is not UTF-8: {e}")))?
+                .to_string();
+            let retired = take_sketch(&mut cursor, "retired union")?;
+            let mut slots = Vec::with_capacity(epochs);
+            for slot in 0..epochs {
+                slots.push(take_sketch(
+                    &mut cursor,
+                    &format!("entry {i} ({key:?}) slot {slot}"),
+                )?);
+            }
+            if !store.place_ring(key.clone(), retired, slots) {
+                return Err(corrupt(format!("duplicate key {key:?}")));
+            }
+        }
+        if cursor != bytes.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the last entry",
+                bytes.len() - cursor
+            )));
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::SplitMix64;
+
+    fn populated() -> WindowedStore {
+        let store = WindowedStore::new(4, EllConfig::new(2, 16, 6).unwrap(), 3).unwrap();
+        let mut rng = SplitMix64::new(11);
+        for epoch in 0..5u64 {
+            let batch: Vec<(String, u64)> = (0..600)
+                .map(|i| (format!("key-{}", i % 5), rng.next_u64()))
+                .collect();
+            let refs: Vec<(&str, u64)> = batch.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+            store.ingest(epoch, &refs);
+        }
+        store
+    }
+
+    #[test]
+    fn roundtrip_reproduces_every_windowed_estimate_bitwise() {
+        let store = populated();
+        let bytes = store.snapshot_bytes();
+        let restored = WindowedStore::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.key_count(), store.key_count());
+        assert_eq!(restored.shard_count(), store.shard_count());
+        assert_eq!(restored.epoch_window(), store.epoch_window());
+        assert_eq!(restored.current_epoch(), store.current_epoch());
+        for key in store.keys() {
+            for k in 1..=store.epoch_window() {
+                assert_eq!(
+                    store.estimate_window(&key, k).unwrap().to_bits(),
+                    restored.estimate_window(&key, k).unwrap().to_bits(),
+                    "{key}: window k={k} not bit-identical"
+                );
+            }
+            assert_eq!(
+                store.estimate_all_time(&key).unwrap().to_bits(),
+                restored.estimate_all_time(&key).unwrap().to_bits(),
+                "{key}: all-time estimate not bit-identical"
+            );
+        }
+        // Re-snapshot is byte-identical (canonical form).
+        assert_eq!(restored.snapshot_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = WindowedStore::new(16, EllConfig::optimal(8).unwrap(), 6).unwrap();
+        let restored = WindowedStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.config(), store.config());
+        assert_eq!(restored.epoch_window(), 6);
+        assert_eq!(restored.shard_count(), 16);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let store = populated();
+        let bytes = store.snapshot_bytes();
+        assert!(WindowedStore::from_snapshot_bytes(&bytes[..3]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff; // magic
+        assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 9; // version
+        assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
+        // Truncated mid-entry.
+        assert!(WindowedStore::from_snapshot_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(&[0, 1, 2]);
+        assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
+        // Bad epoch count in the header.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
+        // Crafted headers must not force huge allocations: implausible
+        // shard counts, ring sizes, and entry counts are rejected
+        // before anything epoch- or shard-sized is allocated.
+        let mut bad = bytes.clone();
+        bad[12..16].copy_from_slice(&0x8000_0000u32.to_le_bytes()); // shards = 2^31
+        assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes()); // epochs = 2^32 − 1
+        assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
+        let mut bad = bytes;
+        bad[24..32].copy_from_slice(&u64::MAX.to_le_bytes()); // entry count
+        assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
+    }
+}

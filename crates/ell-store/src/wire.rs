@@ -29,6 +29,10 @@ const MAGIC: &[u8; 4] = b"ELLK";
 const VERSION: u8 = 1;
 /// magic + version + (t, d, p) + v + shards + entry count.
 const HEADER_LEN: usize = 4 + 1 + 3 + 1 + 4 + 8;
+/// Plausibility bound on the header-declared shard count: restore
+/// allocates the shard table before reading payloads, so a crafted
+/// header must not force a huge allocation out of a tiny snapshot.
+const MAX_WIRE_SHARDS: usize = 1 << 16;
 
 fn corrupt(reason: String) -> EllError {
     EllError::CorruptSerialization { reason }
@@ -97,6 +101,11 @@ impl EllStore {
                 .try_into()
                 .expect("header length checked above"),
         );
+        if shards > MAX_WIRE_SHARDS {
+            return Err(corrupt(format!(
+                "implausible shard count {shards} (limit {MAX_WIRE_SHARDS})"
+            )));
+        }
         let store = EllStore::with_token_parameter(shards, cfg, v)?;
 
         let mut cursor = HEADER_LEN;
@@ -211,6 +220,11 @@ mod tests {
         // Trailing garbage.
         let mut bad = bytes.clone();
         bad.extend_from_slice(&[0, 1, 2]);
+        assert!(EllStore::from_snapshot_bytes(&bad).is_err());
+        // An implausible shard count must be rejected before the shard
+        // table is allocated.
+        let mut bad = bytes;
+        bad[9..13].copy_from_slice(&0x8000_0000u32.to_le_bytes());
         assert!(EllStore::from_snapshot_bytes(&bad).is_err());
     }
 }

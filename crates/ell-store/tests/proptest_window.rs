@@ -1,0 +1,136 @@
+//! Windowed-store laws.
+//!
+//! * `estimate_window(key, k)` must be **bit-identical** to offline
+//!   merging the same k live epoch sub-sketches with the per-register
+//!   reference merge (`merge_from_per_register`) — the scratch-reuse /
+//!   word-level fast path is a pure optimization.
+//! * `advance` + snapshot/restore must **commute with ingest order**:
+//!   ingesting each epoch's events in any per-epoch permutation, with
+//!   snapshot/restore cycles interleaved at arbitrary points, yields
+//!   bit-for-bit the same final snapshot and the same windowed
+//!   estimates.
+
+use ell_hash::{mix64, SplitMix64};
+use ell_store::WindowedStore;
+use exaloglog::{EllConfig, ExaLogLog};
+use proptest::prelude::*;
+
+fn configs() -> Vec<EllConfig> {
+    vec![
+        EllConfig::new(2, 16, 6).unwrap(),
+        EllConfig::optimal(5).unwrap(),
+        EllConfig::ull(6).unwrap(),
+        EllConfig::new(1, 9, 4).unwrap(),
+    ]
+}
+
+/// A reproducible keyed workload for one epoch: `(key index, hash)`
+/// pairs drawn from a small universe so keys collide across epochs.
+fn epoch_events(seed: u64, n: usize, keys: usize) -> Vec<(String, u64)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            (
+                format!("key-{}", rng.next_u64() % keys.max(1) as u64),
+                mix64(rng.next_u64() % 4000),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Windowed estimates equal the offline per-register merge of the
+    /// same epochs, bit for bit, for every key and window size.
+    #[test]
+    fn estimate_window_equals_offline_per_register_merge(
+        cfg_idx in 0usize..4,
+        epochs in 1usize..5,
+        gaps in prop::collection::vec(1u64..4, 1..6),
+        seed in any::<u64>(),
+        n in 1usize..600,
+    ) {
+        let cfg = configs()[cfg_idx];
+        let store = WindowedStore::new(4, cfg, epochs).unwrap();
+        // Walk forward through irregular epoch gaps, ingesting at each
+        // stop (gaps > 1 leave empty ring slots behind).
+        let mut epoch = 0u64;
+        for (i, gap) in gaps.iter().enumerate() {
+            epoch += gap;
+            let events = epoch_events(seed.wrapping_add(i as u64), n, 7);
+            let refs: Vec<(&str, u64)> = events.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+            store.ingest(epoch, &refs);
+        }
+        let current = store.current_epoch();
+        for key in store.keys() {
+            for k in 1..=epochs {
+                let mut offline = ExaLogLog::new(cfg);
+                for e in current.saturating_sub(k as u64 - 1)..=current {
+                    if let Some(sub) = store.epoch_sketch(&key, e) {
+                        offline.merge_from_per_register(&sub).unwrap();
+                    }
+                }
+                let windowed = store.estimate_window(&key, k).unwrap();
+                prop_assert_eq!(
+                    windowed.to_bits(),
+                    offline.estimate().to_bits(),
+                    "{}: window k={} diverged from the offline merge ({} vs {})",
+                    key, k, windowed, offline.estimate()
+                );
+            }
+        }
+    }
+
+    /// Ingest order within an epoch does not matter, and snapshot /
+    /// restore cycles interleaved anywhere between epochs change
+    /// nothing: the final snapshots are byte-identical and every
+    /// windowed estimate matches bit-for-bit.
+    #[test]
+    fn advance_and_restore_commute_with_ingest_order(
+        cfg_idx in 0usize..4,
+        epochs in 1usize..4,
+        seed in any::<u64>(),
+        n in 2usize..400,
+        rounds in 2usize..5,
+        restore_mask in any::<u8>(),
+        swap in any::<u64>(),
+    ) {
+        let cfg = configs()[cfg_idx];
+        let reference = WindowedStore::new(2, cfg, epochs).unwrap();
+        let mut subject = WindowedStore::new(2, cfg, epochs).unwrap();
+        for round in 0..rounds {
+            let epoch = round as u64;
+            let events = epoch_events(seed.wrapping_add(epoch), n, 5);
+            let refs: Vec<(&str, u64)> = events.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+            reference.ingest(epoch, &refs);
+            // The subject sees the same epoch's events rotated (a
+            // different order and a different batch split).
+            let pivot = (swap as usize).wrapping_add(round) % refs.len().max(1);
+            let (head, tail) = refs.split_at(pivot);
+            subject.advance(epoch);
+            subject.ingest(epoch, tail);
+            subject.ingest(epoch, head);
+            // Maybe bounce the subject through ELLW bytes mid-history.
+            if restore_mask & (1 << round) != 0 {
+                subject =
+                    WindowedStore::from_snapshot_bytes(&subject.snapshot_bytes()).unwrap();
+            }
+        }
+        prop_assert_eq!(subject.snapshot_bytes(), reference.snapshot_bytes());
+        for key in reference.keys() {
+            for k in 1..=epochs {
+                prop_assert_eq!(
+                    subject.estimate_window(&key, k).unwrap().to_bits(),
+                    reference.estimate_window(&key, k).unwrap().to_bits(),
+                    "{}: window k={} diverged after reorder/restore", key, k
+                );
+            }
+            prop_assert_eq!(
+                subject.estimate_all_time(&key).unwrap().to_bits(),
+                reference.estimate_all_time(&key).unwrap().to_bits(),
+                "{}: all-time estimate diverged", key
+            );
+        }
+    }
+}

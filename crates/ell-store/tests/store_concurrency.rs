@@ -103,3 +103,47 @@ fn roundtrip_preserves_estimates_bit_for_bit() {
     restored.ingest(&refs);
     assert_eq!(store.snapshot_bytes(), restored.snapshot_bytes());
 }
+
+#[test]
+fn hot_slot_snapshot_taken_mid_ingest_roundtrips_byte_identically() {
+    // A snapshot captured *while* other threads hammer a Slot::Hot key's
+    // atomic registers is a valid point-in-time state: restoring it and
+    // re-snapshotting must reproduce the captured bytes exactly, and the
+    // restored key must re-derive its hot eligibility.
+    let store = EllStore::new(4, EllConfig::new(2, 16, 6).unwrap()).unwrap();
+    // Promote one key past break-even so it sits on the atomic path.
+    let warmup = workload(60_000, 5);
+    let refs: Vec<(&str, u64)> = warmup.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+    store.ingest(&refs);
+    assert_eq!(store.is_hot(&key_label(0)), Some(true));
+
+    let extra = workload(60_000, 6);
+    let mut snapshots: Vec<Vec<u8>> = Vec::new();
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for block in extra.chunks(512) {
+                let refs: Vec<(&str, u64)> = block.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+                store.ingest(&refs);
+            }
+        });
+        // Snapshot repeatedly while the writer is (probably) mid-flight.
+        for _ in 0..8 {
+            snapshots.push(store.snapshot_bytes());
+        }
+        writer.join().unwrap();
+    });
+    snapshots.push(store.snapshot_bytes()); // quiesced final state too
+    for (i, bytes) in snapshots.iter().enumerate() {
+        let restored = EllStore::from_snapshot_bytes(bytes).unwrap();
+        assert_eq!(
+            &restored.snapshot_bytes(),
+            bytes,
+            "snapshot {i}: restore → re-snapshot is not byte-identical"
+        );
+        assert_eq!(
+            restored.is_hot(&key_label(0)),
+            Some(true),
+            "snapshot {i}: hot eligibility was not re-derived"
+        );
+    }
+}

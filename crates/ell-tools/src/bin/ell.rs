@@ -10,12 +10,12 @@
 //! debug:               ell inspect all.ell
 //! ```
 
-use ell_store::EllStore;
+use ell_store::{EllStore, WindowedStore};
 use ell_tools::{
     collect_tokens, config_from_options, count_sources, count_sources_with_algo, export_store,
-    import_store, inspect, load_any, load_sketch, load_store, merge_files, open_inputs,
-    parse_options, parse_options_with_flags, relate, save_compressed, save_sketch, save_store,
-    save_tokens, store_ingest, ToolError,
+    import_store, inspect, load_any, load_sketch, load_store, load_windowed, merge_files,
+    open_inputs, parse_options, parse_options_with_flags, relate, save_compressed, save_sketch,
+    save_store, save_tokens, save_windowed, store_ingest, windowed_ingest, ToolError,
 };
 use std::path::{Path, PathBuf};
 
@@ -181,10 +181,11 @@ fn run(args: &[String]) -> Result<(), ToolError> {
 fn run_store(args: &[String]) -> Result<(), ToolError> {
     let Some((sub, rest)) = args.split_first() else {
         return Err(ToolError::Usage(
-            "store needs a subcommand: ingest | query | snapshot | restore".into(),
+            "store needs a subcommand: ingest | query | snapshot | restore | window".into(),
         ));
     };
     match sub.as_str() {
+        "window" => run_store_window(rest),
         "ingest" => {
             let (opts, positional) = parse_options(rest, &["out", "shards", "t", "d", "p"])?;
             let out = opts
@@ -278,7 +279,137 @@ fn run_store(args: &[String]) -> Result<(), ToolError> {
             Ok(())
         }
         other => Err(ToolError::Usage(format!(
-            "unknown store subcommand {other}; try ingest | query | snapshot | restore"
+            "unknown store subcommand {other}; try ingest | query | snapshot | restore | window"
+        ))),
+    }
+}
+
+/// The `ell store window` subcommand family: a sliding-window keyed
+/// store (`key → epoch ring of sub-sketches`) persisted in the `ELLW`
+/// snapshot format. Input lines are `key<TAB>epoch<TAB>element`.
+fn run_store_window(args: &[String]) -> Result<(), ToolError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(ToolError::Usage(
+            "store window needs a subcommand: ingest | advance | query".into(),
+        ));
+    };
+    match sub.as_str() {
+        "ingest" => {
+            let (opts, positional) =
+                parse_options(rest, &["out", "shards", "epochs", "t", "d", "p"])?;
+            let out = opts
+                .get("out")
+                .ok_or_else(|| ToolError::Usage("store window ingest needs --out".into()))?;
+            let out_path = Path::new(out);
+            let store = if out_path.exists() {
+                // Resume into an existing snapshot; its parameters win.
+                if opts.len() > 1 {
+                    return Err(ToolError::Usage(format!(
+                        "{out} exists; its stored parameters apply \
+                         (drop --shards/--epochs/--t/--d/--p)"
+                    )));
+                }
+                load_windowed(out_path)?
+            } else {
+                let cfg = config_from_options(opts.get("t"), opts.get("d"), opts.get("p"))?;
+                let shards: usize = opts.get("shards").map_or(Ok(64), |s| {
+                    s.parse()
+                        .map_err(|_| ToolError::Usage("--shards expects an integer".into()))
+                })?;
+                let epochs: usize = opts.get("epochs").map_or(Ok(8), |s| {
+                    s.parse()
+                        .map_err(|_| ToolError::Usage("--epochs expects an integer".into()))
+                })?;
+                WindowedStore::new(shards, cfg, epochs)?
+            };
+            let mut events = 0u64;
+            for input in open_inputs(&positional)? {
+                events += windowed_ingest(&store, input)?;
+            }
+            save_windowed(&store, out_path)?;
+            println!(
+                "{} keys, {events} events, epoch {}",
+                store.key_count(),
+                store.current_epoch()
+            );
+            Ok(())
+        }
+        "advance" => {
+            let (opts, positional) = parse_options(rest, &["epoch", "out"])?;
+            let [input] = positional.as_slice() else {
+                return Err(ToolError::Usage(
+                    "store window advance needs exactly one snapshot file".into(),
+                ));
+            };
+            let epoch: u64 = opts
+                .get("epoch")
+                .ok_or_else(|| ToolError::Usage("store window advance needs --epoch N".into()))?
+                .parse()
+                .map_err(|_| ToolError::Usage("--epoch expects a nonnegative integer".into()))?;
+            let store = load_windowed(Path::new(input))?;
+            store.advance(epoch);
+            let out = opts.get("out").map_or(input.as_str(), String::as_str);
+            save_windowed(&store, Path::new(out))?;
+            println!("epoch {}", store.current_epoch());
+            Ok(())
+        }
+        "query" => {
+            let (opts, positional) = parse_options_with_flags(rest, &["last"], &["all-time"])?;
+            let Some((path, keys)) = positional.split_first() else {
+                return Err(ToolError::Usage(
+                    "store window query needs a snapshot file".into(),
+                ));
+            };
+            let store = load_windowed(Path::new(path))?;
+            let all_time = opts.contains_key("all-time");
+            if all_time && opts.contains_key("last") {
+                return Err(ToolError::Usage(
+                    "--last and --all-time are mutually exclusive (a trailing window \
+                     or the whole history, not both)"
+                        .into(),
+                ));
+            }
+            let last_k: usize = opts.get("last").map_or(Ok(store.epoch_window()), |s| {
+                s.parse()
+                    .map_err(|_| ToolError::Usage("--last expects an integer".into()))
+            })?;
+            if !all_time && (last_k == 0 || last_k > store.epoch_window()) {
+                return Err(ToolError::Usage(format!(
+                    "--last {last_k} outside the snapshot's window [1, {}]",
+                    store.epoch_window()
+                )));
+            }
+            let estimate_of = |key: &str| -> Option<f64> {
+                if all_time {
+                    store.estimate_all_time(key)
+                } else {
+                    store.estimate_window(key, last_k)
+                }
+            };
+            if keys.is_empty() {
+                for key in store.keys() {
+                    let estimate = estimate_of(&key).expect("listed key exists");
+                    println!("{key}\t{estimate:.0}");
+                }
+                return Ok(());
+            }
+            // Resolve every key before printing anything, so scripts
+            // never see a partial result set on failure.
+            let rows: Vec<(String, f64)> = keys
+                .iter()
+                .map(|key| {
+                    estimate_of(key)
+                        .map(|estimate| (key.clone(), estimate))
+                        .ok_or_else(|| ToolError::Usage(format!("unknown key {key:?}")))
+                })
+                .collect::<Result<_, _>>()?;
+            for (key, estimate) in rows {
+                println!("{key}\t{estimate:.0}");
+            }
+            Ok(())
+        }
+        other => Err(ToolError::Usage(format!(
+            "unknown store window subcommand {other}; try ingest | advance | query"
         ))),
     }
 }
@@ -302,6 +433,13 @@ fn print_help() {
          \x20 store query   FILE [KEY...] [--merged]      per-key (or union) estimates\n\
          \x20 store snapshot FILE --out DIR               export per-key sketch files + manifest\n\
          \x20 store restore DIR --out FILE                rebuild a snapshot from an export\n\n\
+         windowed store (key<TAB>epoch<TAB>element lines; `ELLW` snapshot files):\n\
+         \x20 store window ingest  --out FILE [--epochs E] [--shards N] [--t T --d D --p P]\n\
+         \x20                       [FILE...|-]           per-epoch ingest (auto-advances)\n\
+         \x20 store window advance FILE --epoch N [--out FILE]\n\
+         \x20                                             rotate the window forward\n\
+         \x20 store window query   FILE [KEY...] [--last K] [--all-time]\n\
+         \x20                                             trailing-window estimates\n\n\
          algorithms for count --algo:\n\
          \x20 {}",
         ell_baselines::ALGORITHMS.join(", ")

@@ -462,6 +462,97 @@ pub fn save_store(store: &EllStore, path: &Path) -> Result<(), ToolError> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Windowed store workflows (`ell store window ...`)
+// ---------------------------------------------------------------------
+
+/// Splits a timestamped keyed line into `(key, epoch, element)` at tabs
+/// (or single spaces when no tab is present).
+///
+/// # Errors
+///
+/// [`ToolError::Usage`] when the line does not have three fields or the
+/// epoch is not a nonnegative integer.
+pub fn split_windowed_line(line: &str) -> Result<(&str, u64, &str), ToolError> {
+    let (key, rest) = line
+        .split_once('\t')
+        .or_else(|| line.split_once(' '))
+        .ok_or_else(|| {
+            ToolError::Usage(format!(
+                "windowed line {line:?} has no `key<TAB>epoch<TAB>element` separator"
+            ))
+        })?;
+    let (epoch_str, element) = rest
+        .split_once('\t')
+        .or_else(|| rest.split_once(' '))
+        .ok_or_else(|| {
+            ToolError::Usage(format!(
+                "windowed line {line:?} is missing the element field"
+            ))
+        })?;
+    let epoch: u64 = epoch_str.parse().map_err(|_| {
+        ToolError::Usage(format!(
+            "windowed line {line:?}: epoch {epoch_str:?} is not a nonnegative integer"
+        ))
+    })?;
+    Ok((key, epoch, element))
+}
+
+/// Streams timestamped keyed lines (`key<TAB>epoch<TAB>element`) from
+/// `input` into the windowed store through its batched ingest, hashing
+/// elements exactly like [`count_lines`]. Consecutive same-epoch lines
+/// batch together; an epoch change flushes (so the window advances in
+/// stream order). Returns the number of events ingested.
+///
+/// # Errors
+///
+/// [`ToolError::Io`] on read failures, [`ToolError::Usage`] on
+/// malformed lines.
+pub fn windowed_ingest<R: BufRead>(
+    store: &ell_store::WindowedStore,
+    input: R,
+) -> Result<u64, ToolError> {
+    let hasher = WyHash::new(0);
+    let mut buf: Vec<(String, u64)> = Vec::with_capacity(LINE_BATCH);
+    let mut buf_epoch = 0u64;
+    let mut total = 0u64;
+    let flush = |epoch: u64, buf: &mut Vec<(String, u64)>| {
+        let refs: Vec<(&str, u64)> = buf.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+        store.ingest(epoch, &refs);
+        buf.clear();
+    };
+    for line in input.lines() {
+        let line = line?;
+        let (key, epoch, element) = split_windowed_line(&line)?;
+        if epoch != buf_epoch && !buf.is_empty() {
+            flush(buf_epoch, &mut buf);
+        }
+        buf_epoch = epoch;
+        buf.push((key.to_string(), hasher.hash_bytes(element.as_bytes())));
+        total += 1;
+        if buf.len() == LINE_BATCH {
+            flush(buf_epoch, &mut buf);
+        }
+    }
+    if !buf.is_empty() {
+        flush(buf_epoch, &mut buf);
+    }
+    Ok(total)
+}
+
+/// Reads an `ELLW` windowed-store snapshot file.
+pub fn load_windowed(path: &Path) -> Result<ell_store::WindowedStore, ToolError> {
+    Ok(ell_store::WindowedStore::from_snapshot_bytes(
+        &std::fs::read(path)?,
+    )?)
+}
+
+/// Writes the windowed store's `ELLW` snapshot.
+pub fn save_windowed(store: &ell_store::WindowedStore, path: &Path) -> Result<(), ToolError> {
+    std::fs::write(path, store.snapshot_bytes())?;
+    Ok(())
+}
+
 /// Percent-escapes the characters that would break the tab-separated
 /// manifest (`%`, tab, newline, carriage return).
 fn escape_key(key: &str) -> String {

@@ -5,8 +5,9 @@
 use ell_store::EllStore;
 use ell_tools::{
     collect_tokens, count_lines, count_lines_with_algo, count_sources, export_store, import_store,
-    inspect, load_any, load_sketch, load_store, merge_files, relate, save_compressed, save_sketch,
-    save_store, save_tokens, store_ingest, SketchFile, ToolError,
+    inspect, load_any, load_sketch, load_store, load_windowed, merge_files, relate,
+    save_compressed, save_sketch, save_store, save_tokens, save_windowed, store_ingest,
+    windowed_ingest, SketchFile, ToolError,
 };
 use exaloglog::EllConfig;
 use std::io::Cursor;
@@ -450,4 +451,140 @@ fn similarity_workflow() {
     // Self-similarity is exactly 1 (identical sketches merge to themselves).
     let self_rel = relate(&a, &a).unwrap();
     assert!((self_rel.jaccard - 1.0).abs() < 1e-9);
+}
+
+/// `key<TAB>epoch<TAB>element` lines: `keys` keys, each epoch observing
+/// its own element range.
+fn windowed_lines(keys: usize, epochs: std::ops::Range<u32>, per_epoch: u32) -> String {
+    let mut out = String::new();
+    for epoch in epochs {
+        for i in 0..per_epoch {
+            out.push_str(&format!(
+                "key-{}\t{epoch}\telem-{epoch}-{i}\n",
+                i as usize % keys
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn windowed_library_roundtrip() {
+    let dir = TempDir::new("window_lib");
+    let store = ell_store::WindowedStore::new(4, EllConfig::new(2, 20, 10).unwrap(), 3).unwrap();
+    // 4 epochs × 4000 events over 4 keys; each epoch's elements are
+    // fresh, so a window of k epochs holds k·1000 distinct per key.
+    let events = windowed_ingest(&store, Cursor::new(windowed_lines(4, 0..4, 4000))).unwrap();
+    assert_eq!(events, 16_000);
+    assert_eq!(store.key_count(), 4);
+    assert_eq!(store.current_epoch(), 3);
+    for k in 1..=3usize {
+        for (key, est) in store.window_estimates(k) {
+            let exact = (k * 1000) as f64;
+            assert!(
+                (est / exact - 1.0).abs() < 0.12,
+                "{key}: window k={k} estimate {est} vs exact {exact}"
+            );
+        }
+    }
+    // ELLW snapshot file roundtrip: bit-identical windowed answers.
+    let snap = dir.path("w.ellw");
+    save_windowed(&store, &snap).unwrap();
+    let loaded = load_windowed(&snap).unwrap();
+    assert_eq!(loaded.snapshot_bytes(), store.snapshot_bytes());
+    for k in 1..=3usize {
+        assert_eq!(loaded.window_estimates(k), store.window_estimates(k));
+    }
+    // Malformed lines are errors.
+    assert!(windowed_ingest(&store, Cursor::new("no-separator\n")).is_err());
+    assert!(windowed_ingest(&store, Cursor::new("key\tnot-a-number\tx\n")).is_err());
+    assert!(windowed_ingest(&store, Cursor::new("key\t3\n")).is_err()); // no element field
+                                                                        // Space-separated fields work like tabs.
+    assert!(windowed_ingest(&store, Cursor::new("key 4 elem\n")).is_ok());
+}
+
+#[test]
+fn cli_store_window_workflows() {
+    let dir = TempDir::new("window_cli");
+    let snap = dir.path("traffic.ellw");
+    let snap_str = snap.to_str().unwrap();
+    // Ingest 3 epochs from stdin into a 3-epoch ring.
+    let (ok, stdout, stderr) = run_cli(
+        &[
+            "store", "window", "ingest", "--out", snap_str, "--p", "10", "--epochs", "3", "-",
+        ],
+        &windowed_lines(3, 0..3, 3000),
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("3 keys"), "{stdout}");
+    assert!(stdout.contains("epoch 2"), "{stdout}");
+    // Resume with one more epoch from a file; epoch 0 rotates out.
+    let extra = dir.path("extra.tsv");
+    std::fs::write(&extra, windowed_lines(3, 3..4, 3000)).unwrap();
+    let (ok, _, stderr) = run_cli(
+        &[
+            "store",
+            "window",
+            "ingest",
+            "--out",
+            snap_str,
+            extra.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    // Full-window query (k = 3) vs a 1-epoch window.
+    let (ok, q_full, stderr) = run_cli(&["store", "window", "query", snap_str], "");
+    assert!(ok, "{stderr}");
+    let (ok, q_one, stderr) = run_cli(&["store", "window", "query", snap_str, "--last", "1"], "");
+    assert!(ok, "{stderr}");
+    let first = |s: &str| -> f64 {
+        s.lines()
+            .next()
+            .and_then(|l| l.split('\t').nth(1))
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    // Each epoch contributes ~1000 fresh elements per key.
+    assert!((first(&q_full) / 3000.0 - 1.0).abs() < 0.15, "{q_full}");
+    assert!((first(&q_one) / 1000.0 - 1.0).abs() < 0.15, "{q_one}");
+    // Advance far ahead: windows drain, the all-time union remembers.
+    let (ok, stdout, stderr) = run_cli(
+        &["store", "window", "advance", snap_str, "--epoch", "50"],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("epoch 50"), "{stdout}");
+    let (_, drained, _) = run_cli(&["store", "window", "query", snap_str, "key-0"], "");
+    assert_eq!(drained.trim(), "key-0\t0");
+    let (_, all_time, _) = run_cli(
+        &["store", "window", "query", snap_str, "key-0", "--all-time"],
+        "",
+    );
+    assert!((first(&all_time) / 4000.0 - 1.0).abs() < 0.15, "{all_time}");
+    // Usage errors are clean.
+    let (ok, _, stderr) = run_cli(&["store", "window"], "");
+    assert!(!ok);
+    assert!(stderr.contains("subcommand"), "{stderr}");
+    let (ok, _, stderr) = run_cli(&["store", "window", "query", snap_str, "--last", "9"], "");
+    assert!(!ok);
+    assert!(stderr.contains("window"), "{stderr}");
+    let (ok, _, stderr) = run_cli(
+        &[
+            "store",
+            "window",
+            "query",
+            snap_str,
+            "--last",
+            "2",
+            "--all-time",
+        ],
+        "",
+    );
+    assert!(!ok, "--last with --all-time must be rejected");
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+    let (ok, _, stderr) = run_cli(&["store", "window", "query", snap_str, "nope-key"], "");
+    assert!(!ok);
+    assert!(stderr.contains("nope-key"), "{stderr}");
 }

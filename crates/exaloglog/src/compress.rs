@@ -287,6 +287,11 @@ pub fn decompress(bytes: &[u8]) -> Result<ExaLogLog, EllError> {
         }
         sketch.set_register_unchecked(i, r);
     }
+    // The raw register overwrites above dropped the incremental ML
+    // coefficient cache; rebuild it here so a decompressed sketch —
+    // like any other deserialized sketch — estimates at cached speed
+    // instead of silently paying the Algorithm 3 scan on every call.
+    sketch.refresh_coefficients();
     Ok(sketch)
 }
 
@@ -362,6 +367,19 @@ mod tests {
                 assert_eq!(restored, s, "t={t} d={d} p={p} n={n}");
             }
         }
+    }
+
+    #[test]
+    fn decompressed_sketch_estimates_through_the_cache() {
+        // Regression: `decompress` used to return the sketch with the
+        // ML cache dropped by its raw register overwrites.
+        let s = build(2, 20, 8, 30_000, 17);
+        let restored = decompress(&compress(&s)).unwrap();
+        assert!(
+            restored.has_cached_coefficients(),
+            "decompressed sketch must take the cached estimation path"
+        );
+        assert_eq!(restored.estimate().to_bits(), s.estimate().to_bits());
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! crate, plugging the ExaLogLog family into the workspace-wide trait
 //! layer (`ell-core`).
 //!
-//! The generic [`ExaLogLog`], the sparse and specialized variants, and
-//! [`TokenSet`] route `insert_hashes` to their unrolled batch hot paths;
-//! the others inherit the trait's default loop. All implementations keep
+//! The generic [`ExaLogLog`], the martingale-tracked sketch, the sparse
+//! and specialized variants, and [`TokenSet`] route `insert_hashes` to
+//! their unrolled batch hot paths; the others inherit the trait's
+//! default loop. All implementations keep
 //! the batch-equivalence guarantee documented in `ell-core` — the
 //! cross-implementation property tests at the workspace root
 //! (`tests/trait_laws.rs`) compare serialized states to enforce it.
@@ -62,6 +63,9 @@ impl DistinctCounter for MartingaleExaLogLog {
     }
     fn insert_hash(&mut self, h: u64) {
         MartingaleExaLogLog::insert_hash(self, h);
+    }
+    fn insert_hashes(&mut self, hashes: &[u64]) {
+        MartingaleExaLogLog::insert_hashes(self, hashes);
     }
     fn estimate(&self) -> f64 {
         MartingaleExaLogLog::estimate(self)

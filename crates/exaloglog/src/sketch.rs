@@ -64,10 +64,12 @@ pub struct RegisterChange {
 /// rescanning all m registers. The cached coefficients are always
 /// bit-identical to a fresh [`ExaLogLog::coefficients_scan`] (asserted in
 /// debug builds). Bulk register overwrites that bypass the update
-/// algebra (the entropy decoder, atomic snapshots) drop the cache, and
-/// deserialized sketches start cold; in both cases `estimate`
-/// transparently falls back to the scan, and
+/// algebra (the entropy decoder, atomic snapshots) drop the cache; in
+/// that window `estimate` transparently falls back to the scan, and
 /// [`ExaLogLog::refresh_coefficients`] restores cached operation.
+/// Deserialization ([`ExaLogLog::from_bytes`],
+/// [`crate::compress::decompress`]) rebuilds the cache eagerly, so
+/// loaded sketches estimate at cached speed from the first call.
 pub struct ExaLogLog {
     cfg: EllConfig,
     regs: PackedArray,
@@ -611,18 +613,13 @@ impl ExaLogLog {
                 });
             }
         }
-        // The coefficient cache starts cold: many deserialized sketches
-        // are only merged away (e.g. `ell merge`, store restores), and
-        // eagerly paying the O(m·d) Algorithm 3 scan per load would
-        // dwarf the O(m) validation above. A single `estimate()` costs
-        // the same either way; callers that estimate a loaded sketch
-        // repeatedly warm it once with
-        // [`ExaLogLog::refresh_coefficients`].
-        Ok(ExaLogLog {
-            cfg,
-            regs,
-            coeffs: None,
-        })
+        // Rebuild the coefficient cache eagerly: the scan shares its
+        // O(m) register pass with the validation above, and a sketch
+        // that deserializes cold would silently pay the full Algorithm 3
+        // scan on *every* subsequent `estimate()` (the cache is never
+        // rebuilt through `&self`). One scan at load time keeps every
+        // deserialized sketch on the incremental path.
+        Ok(Self::from_valid_parts(cfg, regs))
     }
 
     /// Inserts a whole slice of pre-hashed elements — the batched ingest
@@ -1099,6 +1096,35 @@ mod tests {
             bat.insert_hashes(&hashes);
             assert_eq!(seq, bat, "n={n}");
         }
+    }
+
+    #[test]
+    fn deserialized_sketch_estimates_through_the_cache() {
+        // Regression: `from_bytes` used to return a cold sketch whose
+        // every `estimate()` silently re-ran the O(m·d) Algorithm 3
+        // scan (the cache cannot be rebuilt through `&self`). The cache
+        // must come back live, agree with the scan, and produce
+        // bit-identical estimates.
+        let mut s = ExaLogLog::with_params(2, 20, 8).unwrap();
+        for &h in &stream(4242, 20_000) {
+            s.insert_hash(h);
+        }
+        let back = ExaLogLog::from_bytes(&s.to_bytes()).unwrap();
+        assert!(
+            back.has_cached_coefficients(),
+            "deserialized sketch must take the cached estimation path"
+        );
+        assert_eq!(back.coefficients(), back.coefficients_scan());
+        assert_eq!(back.estimate().to_bits(), s.estimate().to_bits());
+        // The bare-payload path warms too.
+        let back2 = ExaLogLog::from_register_bytes(*s.config(), s.register_bytes()).unwrap();
+        assert!(back2.has_cached_coefficients());
+        // And the cache stays exact through further inserts.
+        let mut grown = back;
+        for &h in &stream(77, 500) {
+            grown.insert_hash(h);
+        }
+        assert_eq!(grown.coefficients(), grown.coefficients_scan());
     }
 
     #[test]

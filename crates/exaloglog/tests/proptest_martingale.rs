@@ -1,0 +1,112 @@
+//! Martingale exactness under batching.
+//!
+//! The martingale estimator is path-dependent: every state change adds
+//! 1/μ with the μ *left behind by all earlier changes*, so a batched
+//! insert path that coalesced two changes to the same register (applying
+//! only the net register transition) or reordered changes across
+//! registers would silently bias the estimate even though the final
+//! sketch state were identical. These properties pin the batched path to
+//! the sequential reference bit-for-bit — estimator value, state-change
+//! probability μ, and underlying register state.
+
+use ell_hash::SplitMix64;
+use exaloglog::{EllConfig, MartingaleExaLogLog};
+use proptest::prelude::*;
+
+/// A spread of configurations (≥ 5, covering byte-aligned and generic
+/// register widths, several t and d values, and the martingale-optimal
+/// preset the paper singles out).
+fn configs() -> Vec<EllConfig> {
+    vec![
+        EllConfig::martingale_optimal(5).unwrap(), // ELL(2,16), 24-bit regs
+        EllConfig::optimal(4).unwrap(),            // ELL(2,20), 28-bit regs
+        EllConfig::hll(6).unwrap(),                // ELL(0,0), classic HLL
+        EllConfig::ull(5).unwrap(),                // ELL(2,0), 8-bit regs
+        EllConfig::aligned32(4).unwrap(),          // ELL(2,24), 32-bit regs
+        EllConfig::new(1, 9, 6).unwrap(),          // odd width 16
+        EllConfig::new(3, 13, 4).unwrap(),         // generic width 22
+    ]
+}
+
+/// Duplicate-heavy hash streams: draws from a small id universe so the
+/// batch path sees plenty of repeated registers and no-op updates — the
+/// shapes where illegal coalescing would actually diverge.
+fn dup_heavy_hashes(seed: u64, n: usize, universe: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| ell_hash::mix64(rng.next_u64() % universe.max(1)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Feeding a stream through `insert_hashes` (in arbitrary chunk
+    /// sizes) must leave the estimator value, μ, and the sketch state
+    /// bit-identical to one-by-one insertion of the same stream.
+    #[test]
+    fn batched_estimator_is_bit_identical_to_sequential(
+        cfg_idx in 0usize..7,
+        seed in any::<u64>(),
+        n in 0usize..3000,
+        universe in 1u64..2000,
+        chunk in 1usize..300,
+    ) {
+        let cfg = configs()[cfg_idx];
+        let hashes = dup_heavy_hashes(seed, n, universe);
+        let mut seq = MartingaleExaLogLog::new(cfg);
+        for &h in &hashes {
+            seq.insert_hash(h);
+        }
+        let mut bat = MartingaleExaLogLog::new(cfg);
+        for block in hashes.chunks(chunk) {
+            bat.insert_hashes(block);
+        }
+        prop_assert_eq!(
+            bat.estimate().to_bits(),
+            seq.estimate().to_bits(),
+            "estimator diverged: batched {} vs sequential {}",
+            bat.estimate(),
+            seq.estimate()
+        );
+        prop_assert_eq!(
+            bat.state_change_probability().to_bits(),
+            seq.state_change_probability().to_bits(),
+            "μ diverged: batched {} vs sequential {}",
+            bat.state_change_probability(),
+            seq.state_change_probability()
+        );
+        prop_assert_eq!(bat.sketch().to_bytes(), seq.sketch().to_bytes());
+    }
+
+    /// Lane-boundary cases: duplicate bursts positioned so that a state
+    /// change and its duplicate land in the same unrolled block. The
+    /// estimator must count the change exactly once.
+    #[test]
+    fn duplicate_bursts_inside_one_block_count_once(
+        cfg_idx in 0usize..7,
+        seed in any::<u64>(),
+        burst in 2usize..16,
+    ) {
+        let cfg = configs()[cfg_idx];
+        let mut rng = SplitMix64::new(seed);
+        // 32 distinct hashes, each repeated `burst` times back-to-back:
+        // every unrolled block contains several identical lanes.
+        let mut hashes = Vec::new();
+        for _ in 0..32 {
+            let h = rng.next_u64();
+            hashes.extend(std::iter::repeat_n(h, burst));
+        }
+        let mut seq = MartingaleExaLogLog::new(cfg);
+        for &h in &hashes {
+            seq.insert_hash(h);
+        }
+        let mut bat = MartingaleExaLogLog::new(cfg);
+        bat.insert_hashes(&hashes);
+        prop_assert_eq!(bat.estimate().to_bits(), seq.estimate().to_bits());
+        prop_assert_eq!(
+            bat.state_change_probability().to_bits(),
+            seq.state_change_probability().to_bits()
+        );
+    }
+}

@@ -12,8 +12,8 @@ use ell::ell_bitpack::PackedArray;
 use ell::ell_core::{DistinctCounter, Sketch};
 use ell::ell_hash::{Hasher64, SplitMix64, WyHash};
 use ell::ell_numerics::hurwitz_zeta;
-use ell::ell_sim::workload::{distinct_stream, key_label, KeyedStream};
-use ell::ell_store::EllStore;
+use ell::ell_sim::workload::{distinct_stream, key_label, KeyedStream, WindowedStream};
+use ell::ell_store::{EllStore, WindowedStore};
 use ell::exaloglog::{EllConfig, ExaLogLog};
 
 #[test]
@@ -101,6 +101,20 @@ fn every_member_crate_is_usable_through_the_umbrella() {
     let restored =
         EllStore::from_snapshot_bytes(&store.snapshot_bytes()).expect("snapshot round-trips");
     assert_eq!(restored.snapshot_bytes(), store.snapshot_bytes());
+
+    // ell-store windowed layer: epoch'd ingest from the drifting
+    // workload, a trailing-window query, and the ELLW round-trip.
+    let windowed = WindowedStore::new(4, EllConfig::optimal(10).expect("valid precision"), 3)
+        .expect("validated parameters");
+    for event in WindowedStream::new(20, 1.0, 10_000, 500, 2, 11).take(2_000) {
+        windowed.insert(&key_label(event.key), event.epoch, event.hash);
+    }
+    assert_eq!(windowed.current_epoch(), 3);
+    let hot = windowed.keys().into_iter().next().expect("keys exist");
+    assert!(windowed.estimate_window(&hot, 3).expect("known key") >= 0.0);
+    let rewound = WindowedStore::from_snapshot_bytes(&windowed.snapshot_bytes())
+        .expect("ELLW snapshot round-trips");
+    assert_eq!(rewound.snapshot_bytes(), windowed.snapshot_bytes());
 
     // ell-hash again: SplitMix64 is the workspace's seedable PRNG.
     let mut rng = SplitMix64::new(1);
