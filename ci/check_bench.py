@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Gate CI on the verdicts embedded in BENCH_*.json artifacts.
+
+Usage:
+    python3 ci/check_bench.py [--min-scaling X] FILE [FILE ...]
+
+For every file the script enforces, in order:
+
+1. **Verdict booleans.** Every *top-level* boolean field is treated as a
+   law verdict and must be ``true`` — except the informational flags in
+   ``INFORMATIONAL`` (``unreliable`` records measurement quality, not a
+   law). New verdicts added to a bench are therefore gated automatically,
+   with no CI edit.
+2. **String verdicts.** ``"equivalence"`` must be ``"ok"`` when present.
+3. **Scaling gate.** When the file carries ``scaling_factor``, it must be
+   ``>= --min-scaling`` (default 2.0) — but only when the measurement is
+   trustworthy: ``available_parallelism >= 4`` and ``unreliable`` is not
+   set. Otherwise the gate is skipped with a printed notice, so runs on
+   small machines degrade loudly instead of failing or lying.
+
+One summary line is printed per file; the exit status is non-zero if any
+check failed anywhere.
+"""
+
+import argparse
+import json
+import sys
+
+# Top-level booleans that describe the measurement, not a law.
+INFORMATIONAL = {"unreliable"}
+
+MIN_PARALLELISM = 4
+
+
+def check_file(path: str, min_scaling: float) -> bool:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL {path}: unreadable ({err})")
+        return False
+    if not isinstance(data, dict):
+        print(f"FAIL {path}: top level is not a JSON object")
+        return False
+
+    failures = []
+
+    verdicts = {
+        key: value
+        for key, value in data.items()
+        if isinstance(value, bool) and key not in INFORMATIONAL
+    }
+    for key, value in sorted(verdicts.items()):
+        if value is not True:
+            failures.append(f"verdict {key} is false")
+
+    equivalence = data.get("equivalence")
+    if equivalence is not None and equivalence != "ok":
+        failures.append(f'equivalence is "{equivalence}", expected "ok"')
+
+    scaling_note = ""
+    factor = data.get("scaling_factor")
+    if factor is not None:
+        cores = data.get("available_parallelism", 0)
+        unreliable = bool(data.get("unreliable", False))
+        threads = data.get("scaling_threads", "?")
+        if unreliable:
+            scaling_note = (
+                f"scaling gate SKIPPED: marked unreliable "
+                f"(thread counts clamped, {cores} cores)"
+            )
+        elif cores < MIN_PARALLELISM:
+            scaling_note = (
+                f"scaling gate SKIPPED: only {cores} cores "
+                f"(need >= {MIN_PARALLELISM})"
+            )
+        elif factor < min_scaling:
+            failures.append(
+                f"scaling_factor {factor:.2f} at {threads} threads "
+                f"is below the {min_scaling:.1f} gate"
+            )
+        else:
+            scaling_note = f"scaling {factor:.2f}x at {threads} threads (gate {min_scaling:.1f})"
+
+    name = data.get("bench", "?")
+    if failures:
+        print(f"FAIL {path} (bench {name}): " + "; ".join(failures))
+        return False
+    summary = f"OK   {path} (bench {name}): {len(verdicts)} verdict(s) true"
+    if equivalence == "ok":
+        summary += ", equivalence ok"
+    if scaling_note:
+        summary += f"; {scaling_note}"
+    print(summary)
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    parser.add_argument("--min-scaling", type=float, default=2.0)
+    opts = parser.parse_args()
+    ok = True
+    for path in opts.files:
+        ok &= check_file(path, opts.min_scaling)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,7 +66,7 @@ pub fn build_sketch(algo: &str, p: u8) -> Result<Box<dyn Sketch>, SketchError> {
         "ell-martingale" => Box::new(MartingaleExaLogLog::new(EllConfig::martingale_optimal(p)?)),
         "ell-sparse" => Box::new(SparseExaLogLog::new(EllConfig::optimal(p)?)?),
         "adaptive" => Box::new(AdaptiveExaLogLog::new(EllConfig::optimal(p)?)?),
-        "ell-atomic" => Box::new(AtomicExaLogLog::new(EllConfig::aligned32(p)?)?),
+        "ell-atomic" => Box::new(AtomicExaLogLog::new(EllConfig::aligned32(p)?)),
         "ell-t2d20" => Box::new(EllT2D20::new(p)?),
         "ell-t2d24" => Box::new(EllT2D24::new(p)?),
         "ell-t2d16" => Box::new(EllT2D16::new(p)?),

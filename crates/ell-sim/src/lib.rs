@@ -28,6 +28,6 @@ pub use exact::{decade_checkpoints, evaluate_error, fill_all_to, fill_to, measur
 pub use fast::{FastErrorReport, FastErrorSim};
 pub use stats::ErrorAccumulator;
 pub use workload::{
-    distinct_stream, key_label, KeyedEvent, KeyedStream, UniformStream, WindowedEvent,
-    WindowedStream, ZipfStream,
+    distinct_stream, key_label, thread_schedule, KeyedEvent, KeyedStream, UniformStream,
+    WindowedEvent, WindowedStream, ZipfStream,
 };

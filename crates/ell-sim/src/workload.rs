@@ -300,9 +300,35 @@ pub fn distinct_stream(n: usize, seed: u64) -> Vec<u64> {
     ids
 }
 
+/// A seeded event-to-thread schedule: assigns each of `n` events to one
+/// of `threads` workers pseudo-randomly (SplitMix64 on `seed`). The
+/// determinism suites use this to pin that *any* partition of a
+/// workload over ingest threads — not just contiguous chunks — yields
+/// the same final store state; varying the seed varies the
+/// interleaving reproducibly.
+#[must_use]
+pub fn thread_schedule(n: usize, threads: usize, seed: u64) -> Vec<usize> {
+    assert!(threads >= 1, "schedule needs at least one thread");
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| (rng.next_u64() % threads as u64) as usize)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_schedule_is_seeded_and_covers_all_threads() {
+        let a = thread_schedule(5000, 7, 42);
+        assert_eq!(a, thread_schedule(5000, 7, 42));
+        assert_ne!(a, thread_schedule(5000, 7, 43));
+        assert!(a.iter().all(|&t| t < 7));
+        let used: std::collections::HashSet<usize> = a.iter().copied().collect();
+        assert_eq!(used.len(), 7, "5000 draws must hit all 7 threads");
+        assert_eq!(thread_schedule(100, 1, 0), vec![0; 100]);
+    }
 
     #[test]
     fn zipf_is_deterministic_and_skewed() {

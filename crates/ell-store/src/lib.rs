@@ -13,7 +13,8 @@
 //!   mutated under the shard's *write* lock — cheap, because sparse
 //!   sketches are tiny and write sections are short.
 //! * **Hot dense keys** are transparently upgraded to
-//!   [`AtomicExaLogLog`] (when the register width fits 32 bits): inserts
+//!   [`AtomicExaLogLog`] — every register width qualifies, since the
+//!   atomic sketch packs registers into `AtomicU64` words: inserts
 //!   then need only the shard's *read* lock plus a lock-free CAS, so any
 //!   number of ingest threads can hammer the same popular key
 //!   concurrently without serializing the shard.
@@ -22,11 +23,21 @@
 //! batch by shard, drains all hot-key inserts under one read lock per
 //! shard, and only then takes the write lock for the remainder.
 //!
+//! # Parallel ingest sessions
+//!
+//! For sustained multi-threaded ingest, [`EllStore::session`] (and
+//! [`WindowedStore::session`]) open a buffered [`IngestSession`]: each
+//! thread accumulates hashes into thread-local delta sketches and hands
+//! them to per-shard queues that drain into the slots under one write
+//! lock per flush — the hot insert loop touches no shared state at all.
+//! See the [`session`](crate::IngestSession) module docs for the flush
+//! protocol and the exactness argument.
+//!
 //! Because every per-key structure is monotone (token sets union,
 //! registers only grow, promotion is threshold-crossing), the final
-//! store state is **independent of thread interleaving**: any partition
-//! of a workload over any number of ingest threads produces bit-for-bit
-//! the same snapshot.
+//! store state is **independent of thread interleaving and flush
+//! timing**: any partition of a workload over any number of ingest
+//! threads — buffered or not — produces bit-for-bit the same snapshot.
 //!
 //! # Snapshots
 //!
@@ -61,11 +72,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod session;
 mod store;
 mod window;
 mod window_wire;
 mod wire;
 
+pub use session::{IngestSession, WindowIngestSession};
 pub use store::EllStore;
 pub use window::WindowedStore;
 

@@ -1,0 +1,333 @@
+//! Buffered-delta ingest sessions.
+//!
+//! A session gives each ingesting thread a private buffer of *delta
+//! sketches* — one [`AdaptiveExaLogLog`] per key (per epoch, for the
+//! windowed store) — so the hot insert loop touches no shared state at
+//! all. Small deltas stay in the sparse token phase; heavy keys promote
+//! to dense registers inside the buffer. When the buffered hash count
+//! crosses the session's threshold, or at an explicit
+//! [`IngestSession::flush`] (and on drop), the deltas are handed to the
+//! store's per-shard handoff queues and drained into the slots through
+//! the word-level merge fast path.
+//!
+//! # Exactness
+//!
+//! Register updates are monotone and register merge is idempotent,
+//! commutative and associative, so folding a delta into a slot produces
+//! *bit-for-bit* the state direct insertion of the buffered hashes would
+//! have — regardless of how many threads buffered what, when each delta
+//! was flushed, or which thread drained the queue. The
+//! `proptest_session` suite pins this equivalence against sequential
+//! [`EllStore::ingest`] for random flush points and schedules.
+//!
+//! ```
+//! use ell_store::EllStore;
+//! use exaloglog::EllConfig;
+//!
+//! let store = EllStore::new(4, EllConfig::optimal(10).unwrap()).unwrap();
+//! std::thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let store = &store;
+//!         s.spawn(move || {
+//!             let mut session = store.session();
+//!             for i in 0..10_000u64 {
+//!                 session.insert("events", ell_hash::mix64(t * 10_000 + i));
+//!             }
+//!             // Dropping the session flushes and drains everything.
+//!         });
+//!     }
+//! });
+//! assert!((store.estimate("events").unwrap() / 40_000.0 - 1.0).abs() < 0.1);
+//! ```
+
+use crate::store::EllStore;
+use crate::window::WindowedStore;
+use exaloglog::adaptive::AdaptiveExaLogLog;
+use std::collections::HashMap;
+
+/// Default number of buffered hashes that triggers an automatic flush.
+/// Large enough to amortize the handoff, small enough to bound the
+/// session's memory (deltas below break-even are a few tokens each).
+pub(crate) const DEFAULT_AUTO_FLUSH: usize = 32 * 1024;
+
+/// A buffered ingest session for [`EllStore`] (see the module docs).
+///
+/// Not `Sync` — a session belongs to one ingesting thread; the *store*
+/// is the shared object. Unflushed data is invisible to queries until
+/// [`IngestSession::flush`] or drop.
+#[derive(Debug)]
+pub struct IngestSession<'a> {
+    store: &'a EllStore,
+    deltas: HashMap<String, AdaptiveExaLogLog>,
+    buffered: usize,
+    auto_flush: usize,
+}
+
+impl<'a> IngestSession<'a> {
+    pub(crate) fn new(store: &'a EllStore) -> Self {
+        IngestSession {
+            store,
+            deltas: HashMap::new(),
+            buffered: 0,
+            auto_flush: DEFAULT_AUTO_FLUSH,
+        }
+    }
+
+    /// Sets the buffered-hash count that triggers an automatic flush
+    /// (clamped to ≥ 1). Smaller thresholds bound memory tighter and
+    /// surface data to readers sooner; larger ones amortize the handoff
+    /// better. The final state is identical either way.
+    #[must_use]
+    pub fn with_auto_flush(mut self, hashes: usize) -> Self {
+        self.auto_flush = hashes.max(1);
+        self
+    }
+
+    /// The number of hashes buffered since the last flush.
+    #[must_use]
+    pub fn buffered_hashes(&self) -> usize {
+        self.buffered
+    }
+
+    /// Buffers one `(key, element-hash)` observation.
+    pub fn insert(&mut self, key: &str, hash: u64) {
+        match self.deltas.get_mut(key) {
+            Some(delta) => {
+                delta.insert_hash(hash);
+            }
+            None => {
+                let mut delta = self.store.new_adaptive();
+                delta.insert_hash(hash);
+                self.deltas.insert(key.to_owned(), delta);
+            }
+        }
+        self.buffered += 1;
+        if self.buffered >= self.auto_flush {
+            self.flush_with(false);
+        }
+    }
+
+    /// Buffers a batch of observations.
+    pub fn ingest(&mut self, batch: &[(&str, u64)]) {
+        for &(key, hash) in batch {
+            self.insert(key, hash);
+        }
+    }
+
+    /// Flushes all buffered deltas and drains the store's handoff
+    /// queues (a barrier): on return, everything this session ever
+    /// buffered is merged into the slots and visible to queries.
+    pub fn flush(&mut self) {
+        self.flush_with(true);
+    }
+
+    fn flush_with(&mut self, barrier: bool) {
+        self.buffered = 0;
+        if self.deltas.is_empty() {
+            if barrier {
+                self.store.drain_all_pending();
+            }
+            return;
+        }
+        let mut groups: Vec<Vec<(String, AdaptiveExaLogLog)>> =
+            vec![Vec::new(); self.store.shard_count()];
+        for (key, delta) in self.deltas.drain() {
+            groups[self.store.shard_of(&key)].push((key, delta));
+        }
+        self.store.flush_deltas(groups, barrier);
+    }
+}
+
+impl Drop for IngestSession<'_> {
+    fn drop(&mut self) {
+        self.flush_with(true);
+    }
+}
+
+/// A buffered ingest session for [`WindowedStore`]: like
+/// [`IngestSession`], but deltas are keyed by `(key, epoch)` and the
+/// flush resolves each delta against the *current* window position —
+/// live epochs merge into their ring slot, epochs that have rotated out
+/// fold into the key's retired union. Monotone merge makes the final
+/// state identical either way, so flush timing relative to rotation
+/// cannot change the serialized bytes.
+///
+/// Buffering an observation for an epoch newer than the window
+/// auto-advances the store immediately (matching
+/// [`WindowedStore::ingest`]); rotation is *not* deferred to the flush.
+#[derive(Debug)]
+pub struct WindowIngestSession<'a> {
+    store: &'a WindowedStore,
+    /// Per-key, per-epoch deltas. A session rarely touches more than a
+    /// couple of epochs per key, so a small vec beats a nested map.
+    deltas: HashMap<String, Vec<(u64, AdaptiveExaLogLog)>>,
+    buffered: usize,
+    auto_flush: usize,
+    /// Highest epoch this session has advanced the store to; gates the
+    /// (write-locking) `advance` call so the hot path takes no lock.
+    advanced_to: u64,
+}
+
+impl<'a> WindowIngestSession<'a> {
+    pub(crate) fn new(store: &'a WindowedStore) -> Self {
+        WindowIngestSession {
+            store,
+            deltas: HashMap::new(),
+            buffered: 0,
+            auto_flush: DEFAULT_AUTO_FLUSH,
+            advanced_to: store.current_epoch(),
+        }
+    }
+
+    /// Sets the buffered-hash count that triggers an automatic flush
+    /// (clamped to ≥ 1); see [`IngestSession::with_auto_flush`].
+    #[must_use]
+    pub fn with_auto_flush(mut self, hashes: usize) -> Self {
+        self.auto_flush = hashes.max(1);
+        self
+    }
+
+    /// The number of hashes buffered since the last flush.
+    #[must_use]
+    pub fn buffered_hashes(&self) -> usize {
+        self.buffered
+    }
+
+    /// Buffers one `(key, element-hash)` observation for `epoch`,
+    /// advancing the window first when `epoch` is newer than anything
+    /// the store has seen.
+    pub fn insert(&mut self, key: &str, epoch: u64, hash: u64) {
+        if epoch > self.advanced_to {
+            self.store.advance(epoch);
+            self.advanced_to = epoch;
+        }
+        if !self.deltas.contains_key(key) {
+            self.deltas.insert(key.to_owned(), Vec::new());
+        }
+        let entries = self.deltas.get_mut(key).expect("present: just ensured");
+        match entries.iter_mut().find(|(e, _)| *e == epoch) {
+            Some((_, delta)) => {
+                delta.insert_hash(hash);
+            }
+            None => {
+                let mut delta = self.store.new_delta();
+                delta.insert_hash(hash);
+                entries.push((epoch, delta));
+            }
+        }
+        self.buffered += 1;
+        if self.buffered >= self.auto_flush {
+            self.flush_with(false);
+        }
+    }
+
+    /// Buffers a batch of observations belonging to `epoch`. An empty
+    /// batch still advances the window (mirroring
+    /// [`WindowedStore::ingest`]).
+    pub fn ingest(&mut self, epoch: u64, batch: &[(&str, u64)]) {
+        if batch.is_empty() && epoch > self.advanced_to {
+            self.store.advance(epoch);
+            self.advanced_to = epoch;
+            return;
+        }
+        for &(key, hash) in batch {
+            self.insert(key, epoch, hash);
+        }
+    }
+
+    /// Flushes all buffered deltas and drains the store's handoff
+    /// queues (a barrier); see [`IngestSession::flush`].
+    pub fn flush(&mut self) {
+        self.flush_with(true);
+    }
+
+    fn flush_with(&mut self, barrier: bool) {
+        self.buffered = 0;
+        if self.deltas.is_empty() {
+            if barrier {
+                self.store.drain_all_pending();
+            }
+            return;
+        }
+        let mut groups: Vec<Vec<(String, u64, AdaptiveExaLogLog)>> =
+            vec![Vec::new(); self.store.shard_count()];
+        for (key, entries) in self.deltas.drain() {
+            let si = self.store.shard_of(&key);
+            for (epoch, delta) in entries {
+                groups[si].push((key.clone(), epoch, delta));
+            }
+        }
+        self.store.flush_deltas(groups, barrier);
+    }
+}
+
+impl Drop for WindowIngestSession<'_> {
+    fn drop(&mut self) {
+        self.flush_with(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ell_hash::SplitMix64;
+    use exaloglog::EllConfig;
+
+    fn cfg() -> EllConfig {
+        EllConfig::new(2, 16, 6).unwrap()
+    }
+
+    #[test]
+    fn session_matches_direct_ingest_bit_for_bit() {
+        let direct = EllStore::new(4, cfg()).unwrap();
+        let buffered = EllStore::new(4, cfg()).unwrap();
+        let mut rng = SplitMix64::new(9);
+        let events: Vec<(String, u64)> = (0..30_000)
+            .map(|i| (format!("k{}", i % 17), rng.next_u64() % 4_000))
+            .collect();
+        let refs: Vec<(&str, u64)> = events.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+        direct.ingest(&refs);
+        {
+            // A tiny threshold forces many auto-flushes mid-stream.
+            let mut session = buffered.session().with_auto_flush(97);
+            session.ingest(&refs);
+        }
+        assert_eq!(buffered.snapshot_bytes(), direct.snapshot_bytes());
+    }
+
+    #[test]
+    fn unflushed_data_is_invisible_then_appears_at_flush() {
+        let store = EllStore::new(2, cfg()).unwrap();
+        let mut session = store.session();
+        session.insert("k", 7);
+        assert_eq!(session.buffered_hashes(), 1);
+        assert!(store.estimate("k").is_none());
+        session.flush();
+        assert_eq!(session.buffered_hashes(), 0);
+        assert_eq!(store.estimate("k").map(|e| e.round() as u64), Some(1));
+    }
+
+    #[test]
+    fn window_session_matches_direct_ingest_bit_for_bit() {
+        let direct = WindowedStore::new(4, cfg(), 3).unwrap();
+        let buffered = WindowedStore::new(4, cfg(), 3).unwrap();
+        let mut rng = SplitMix64::new(10);
+        for epoch in 0..8u64 {
+            let events: Vec<(String, u64)> = (0..2_000)
+                .map(|i| (format!("k{}", i % 5), rng.next_u64() % 3_000))
+                .collect();
+            let refs: Vec<(&str, u64)> = events.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+            direct.ingest(epoch, &refs);
+            let mut session = buffered.session().with_auto_flush(61);
+            session.ingest(epoch, &refs);
+        }
+        // A late delta for a long-gone epoch folds into retired.
+        direct.ingest(0, &[("k0", 42)]);
+        {
+            let mut session = buffered.session();
+            session.insert("k0", 0, 42);
+        }
+        assert_eq!(buffered.snapshot_bytes(), direct.snapshot_bytes());
+        assert_eq!(buffered.current_epoch(), 7);
+    }
+}

@@ -6,16 +6,21 @@ use exaloglog::adaptive::AdaptiveExaLogLog;
 use exaloglog::atomic::AtomicExaLogLog;
 use exaloglog::{EllConfig, EllError, ExaLogLog};
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
 /// Seed of the key-partitioning hash. Fixed so that shard assignment —
 /// and therefore snapshot layout — is stable across processes.
 const KEY_HASH_SEED: u64 = 0xE115_70E5;
 
+/// Soft bound on a shard's handoff queue: once this many deltas are
+/// queued, the enqueueing session drains the shard itself (blocking on
+/// the write lock) instead of deferring to an opportunistic drain.
+pub(crate) const HANDOFF_SOFT_CAPACITY: usize = 64;
+
 /// One keyed counter. Cold and sparse keys stay [`Slot::Adaptive`]
 /// (mutated under the shard write lock); once a key's sketch promotes to
-/// dense registers that fit 32 bits it becomes [`Slot::Hot`], whose
-/// lock-free CAS inserts need only the shard read lock.
+/// dense registers it becomes [`Slot::Hot`], whose lock-free CAS inserts
+/// need only the shard read lock.
 #[derive(Debug)]
 pub(crate) enum Slot {
     Adaptive(AdaptiveExaLogLog),
@@ -57,11 +62,13 @@ pub struct EllStore {
     cfg: EllConfig,
     /// Token parameter used for newly created (sparse) keys.
     v: u32,
-    /// Whether dense sketches can take the atomic (≤32-bit register)
-    /// fast path.
-    hot_capable: bool,
     hasher: WyHash,
     shards: Vec<RwLock<HashMap<String, Slot>>>,
+    /// Per-shard handoff queues for buffered-delta ingest (see
+    /// [`crate::IngestSession`]): sessions park `(key, delta)` pairs
+    /// here and the queue is drained into the slots under the shard
+    /// write lock. Kept strictly parallel to `shards`.
+    pending: Vec<Mutex<Vec<(String, AdaptiveExaLogLog)>>>,
 }
 
 impl EllStore {
@@ -93,12 +100,14 @@ impl EllStore {
         AdaptiveExaLogLog::with_token_parameter(cfg, v)?;
         let mut shard_maps = Vec::with_capacity(shards);
         shard_maps.resize_with(shards, || RwLock::new(HashMap::new()));
+        let mut pending = Vec::with_capacity(shards);
+        pending.resize_with(shards, || Mutex::new(Vec::new()));
         Ok(EllStore {
             cfg,
             v,
-            hot_capable: cfg.register_width() <= 32,
             hasher: WyHash::new(KEY_HASH_SEED),
             shards: shard_maps,
+            pending,
         })
     }
 
@@ -120,28 +129,24 @@ impl EllStore {
         self.shards.len()
     }
 
-    fn shard_of(&self, key: &str) -> usize {
+    pub(crate) fn shard_of(&self, key: &str) -> usize {
         (self.hasher.hash_bytes(key.as_bytes()) as usize) & (self.shards.len() - 1)
     }
 
-    /// Upgrades a promoted slot to the atomic hot path when the
-    /// configuration allows it. Called after every write-path mutation
-    /// so the upgrade decision depends only on the slot state — never on
-    /// thread interleaving.
+    /// Upgrades a promoted slot to the atomic hot path. Called after
+    /// every write-path mutation so the upgrade decision depends only on
+    /// the slot state — never on thread interleaving. Every register
+    /// width is hot-capable (the atomic sketch packs registers into u64
+    /// words), so the only condition is dense promotion.
     fn maybe_upgrade(&self, slot: &mut Slot) {
-        if !self.hot_capable {
-            return;
-        }
         if let Slot::Adaptive(s) = slot {
             if let Some(dense) = s.as_dense() {
-                let hot = AtomicExaLogLog::from_sketch(dense)
-                    .expect("register width checked at store construction");
-                *slot = Slot::Hot(hot);
+                *slot = Slot::Hot(AtomicExaLogLog::from_sketch(dense));
             }
         }
     }
 
-    fn new_adaptive(&self) -> AdaptiveExaLogLog {
+    pub(crate) fn new_adaptive(&self) -> AdaptiveExaLogLog {
         AdaptiveExaLogLog::with_token_parameter(self.cfg, self.v)
             .expect("parameters validated at store construction")
     }
@@ -225,6 +230,123 @@ impl EllStore {
         }
     }
 
+    /// Opens a buffered ingest session: inserts accumulate into
+    /// session-local delta sketches and flush into the shard slots
+    /// through the word-level merge fast path (see
+    /// [`crate::IngestSession`]). One session per ingesting thread is
+    /// the intended shape.
+    #[must_use]
+    pub fn session(&self) -> crate::IngestSession<'_> {
+        crate::IngestSession::new(self)
+    }
+
+    /// Hands a batch of `(key, delta)` pairs to the shard handoff
+    /// queues and drains them into the slots. `groups` is indexed by
+    /// shard (parallel to `self.shards`).
+    ///
+    /// With `barrier = false` (auto-flush), each touched shard is
+    /// drained opportunistically (`try_write`); if the shard write lock
+    /// is contended the deltas stay queued for whichever flusher or
+    /// barrier drains the shard next — unless the queue has crossed
+    /// [`HANDOFF_SOFT_CAPACITY`], in which case the enqueueing thread
+    /// blocks and drains it, bounding queue growth.
+    ///
+    /// With `barrier = true` (explicit flush / session drop), every
+    /// nonempty queue in the store is drained blocking, so on return
+    /// all previously enqueued deltas — including this session's items
+    /// parked earlier on contended shards — are visible to readers.
+    pub(crate) fn flush_deltas(
+        &self,
+        groups: Vec<Vec<(String, AdaptiveExaLogLog)>>,
+        barrier: bool,
+    ) {
+        debug_assert_eq!(groups.len(), self.shards.len());
+        for (si, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let depth = {
+                let mut queue = self.pending[si].lock().expect("handoff queue poisoned");
+                queue.extend(group);
+                queue.len()
+            };
+            self.drain_shard(si, barrier || depth >= HANDOFF_SOFT_CAPACITY);
+        }
+        if barrier {
+            self.drain_all_pending();
+        }
+    }
+
+    /// Drains every nonempty handoff queue (blocking). The final step of
+    /// a barrier flush: guarantees read-your-writes for the flushing
+    /// session even when its earlier opportunistic flushes left deltas
+    /// parked on contended shards.
+    pub(crate) fn drain_all_pending(&self) {
+        for si in 0..self.shards.len() {
+            let parked = !self.pending[si]
+                .lock()
+                .expect("handoff queue poisoned")
+                .is_empty();
+            if parked {
+                self.drain_shard(si, true);
+            }
+        }
+    }
+
+    /// Drains shard `si`'s handoff queue into its slots. Acquires the
+    /// shard write lock *first* and only then pops queued items, looping
+    /// until the queue is observed empty — so when any drainer returns
+    /// after observing an empty queue, every item enqueued before that
+    /// observation has been merged under a write lock that
+    /// happens-before the next acquisition. Non-blocking mode backs off
+    /// if the write lock is taken (some other drainer or writer will
+    /// pick the items up, or a barrier will).
+    fn drain_shard(&self, si: usize, blocking: bool) {
+        let mut map = if blocking {
+            self.shards[si].write().expect("shard lock poisoned")
+        } else {
+            match self.shards[si].try_write() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => return,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+            }
+        };
+        loop {
+            let batch =
+                std::mem::take(&mut *self.pending[si].lock().expect("handoff queue poisoned"));
+            if batch.is_empty() {
+                return;
+            }
+            for (key, delta) in batch {
+                self.merge_delta(&mut map, key, delta);
+            }
+        }
+    }
+
+    /// Merges one delta sketch into its slot (creating the slot if the
+    /// key is new). Hot slots take the lock-free register merge; the
+    /// result is bit-identical to inserting the delta's hashes directly
+    /// because register updates are monotone and order-free.
+    fn merge_delta(&self, map: &mut HashMap<String, Slot>, key: String, delta: AdaptiveExaLogLog) {
+        match map.get_mut(&key) {
+            Some(Slot::Hot(a)) => delta
+                .merge_into_atomic(a)
+                .expect("deltas share the store configuration"),
+            Some(slot @ Slot::Adaptive(_)) => {
+                if let Slot::Adaptive(s) = slot {
+                    s.merge_from(&delta)
+                        .expect("deltas share the store configuration and token parameter");
+                }
+                self.maybe_upgrade(slot);
+            }
+            None => {
+                let mut slot = Slot::Adaptive(delta);
+                self.maybe_upgrade(&mut slot);
+                map.insert(key, slot);
+            }
+        }
+    }
+
     /// Merges a standalone sketch into `key` (creating the key if
     /// absent) — the shard-and-merge shape for folding externally built
     /// sketches into the store.
@@ -242,7 +364,7 @@ impl EllStore {
         let si = self.shard_of(key);
         let mut map = self.shards[si].write().expect("shard lock poisoned");
         match map.get_mut(key) {
-            Some(Slot::Hot(a)) => a.merge_from(&sketch.to_dense())?,
+            Some(Slot::Hot(a)) => sketch.merge_into_atomic(a)?,
             Some(slot @ Slot::Adaptive(_)) => {
                 if let Slot::Adaptive(s) = slot {
                     s.merge_from(sketch)?;
@@ -482,13 +604,15 @@ mod tests {
     }
 
     #[test]
-    fn wide_register_configs_stay_on_the_locked_path() {
-        // ELL(2,28) needs 36-bit registers: no atomic upgrade possible.
+    fn wide_register_configs_reach_the_hot_path_too() {
+        // ELL(2,28) needs 36-bit registers; the word-packed atomic
+        // sketch handles those (one register per u64 word), so heavy
+        // keys upgrade exactly like 32-bit-aligned configurations.
         let store = EllStore::new(2, EllConfig::new(2, 28, 6).unwrap()).unwrap();
         let mut rng = SplitMix64::new(3);
         let batch: Vec<(&str, u64)> = (0..60_000).map(|_| ("big", rng.next_u64())).collect();
         store.ingest(&batch);
-        assert_eq!(store.is_hot("big"), Some(false));
+        assert_eq!(store.is_hot("big"), Some(true));
         assert!((store.estimate("big").unwrap() / 60_000.0 - 1.0).abs() < 0.15);
     }
 

@@ -66,7 +66,9 @@
 //! assert_eq!(restored.snapshot_bytes(), store.snapshot_bytes());
 //! ```
 
+use crate::store::HANDOFF_SOFT_CAPACITY;
 use ell_hash::{Hasher64, WyHash};
+use exaloglog::adaptive::AdaptiveExaLogLog;
 use exaloglog::{EllConfig, EllError, ExaLogLog};
 use std::collections::HashMap;
 use std::sync::{Mutex, RwLock};
@@ -123,6 +125,12 @@ pub struct WindowedStore {
     /// shards never contend (mirroring the sharded read concurrency of
     /// the maps themselves).
     scratches: Vec<Mutex<ExaLogLog>>,
+    /// Per-shard handoff queues for buffered-delta ingest (see
+    /// [`crate::WindowIngestSession`]): sessions park
+    /// `(key, epoch, delta)` triples here; the queue drains into ring
+    /// slots (or retired unions, for rotated-out epochs) under the shard
+    /// write lock with the window position pinned.
+    pending: Vec<Mutex<Vec<(String, u64, AdaptiveExaLogLog)>>>,
 }
 
 impl WindowedStore {
@@ -153,6 +161,11 @@ impl WindowedStore {
         let template = ExaLogLog::new(cfg);
         let mut scratches = Vec::with_capacity(shards);
         scratches.resize_with(shards, || Mutex::new(template.clone()));
+        // Validate the default token parameter eagerly so session delta
+        // creation is infallible.
+        AdaptiveExaLogLog::new(cfg)?;
+        let mut pending = Vec::with_capacity(shards);
+        pending.resize_with(shards, || Mutex::new(Vec::new()));
         Ok(WindowedStore {
             cfg,
             epochs,
@@ -161,6 +174,7 @@ impl WindowedStore {
             shards: shard_maps,
             scratches,
             template,
+            pending,
         })
     }
 
@@ -189,7 +203,7 @@ impl WindowedStore {
         *self.current.read().expect("epoch lock poisoned")
     }
 
-    fn shard_of(&self, key: &str) -> usize {
+    pub(crate) fn shard_of(&self, key: &str) -> usize {
         (self.hasher.hash_bytes(key.as_bytes()) as usize) & (self.shards.len() - 1)
     }
 
@@ -295,6 +309,107 @@ impl WindowedStore {
                         map.insert(key.to_string(), ring);
                     }
                 }
+            }
+        }
+    }
+
+    /// Opens a buffered ingest session: inserts accumulate into
+    /// session-local per-`(key, epoch)` delta sketches and flush into
+    /// the ring slots through the word-level merge fast path (see
+    /// [`crate::WindowIngestSession`]). One session per ingesting
+    /// thread is the intended shape.
+    #[must_use]
+    pub fn session(&self) -> crate::WindowIngestSession<'_> {
+        crate::WindowIngestSession::new(self)
+    }
+
+    pub(crate) fn new_delta(&self) -> AdaptiveExaLogLog {
+        AdaptiveExaLogLog::new(self.cfg).expect("configuration validated at store construction")
+    }
+
+    /// Hands a batch of `(key, epoch, delta)` triples to the shard
+    /// handoff queues and drains them. Same protocol as the flat
+    /// store's `flush_deltas`: opportunistic (`try_write`) drains on
+    /// auto-flush, blocking drains at barriers or once a queue crosses
+    /// [`HANDOFF_SOFT_CAPACITY`], and a barrier finishes by draining
+    /// every nonempty queue in the store.
+    pub(crate) fn flush_deltas(
+        &self,
+        groups: Vec<Vec<(String, u64, AdaptiveExaLogLog)>>,
+        barrier: bool,
+    ) {
+        debug_assert_eq!(groups.len(), self.shards.len());
+        for (si, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let depth = {
+                let mut queue = self.pending[si].lock().expect("handoff queue poisoned");
+                queue.extend(group);
+                queue.len()
+            };
+            self.drain_shard(si, barrier || depth >= HANDOFF_SOFT_CAPACITY);
+        }
+        if barrier {
+            self.drain_all_pending();
+        }
+    }
+
+    /// Drains every nonempty handoff queue (blocking); the final step of
+    /// a barrier flush.
+    pub(crate) fn drain_all_pending(&self) {
+        for si in 0..self.shards.len() {
+            let parked = !self.pending[si]
+                .lock()
+                .expect("handoff queue poisoned")
+                .is_empty();
+            if parked {
+                self.drain_shard(si, true);
+            }
+        }
+    }
+
+    /// Drains shard `si`'s handoff queue into its rings with the window
+    /// position pinned: the epoch read lock is held for the whole drain,
+    /// so the live-or-retired decision for every queued delta is
+    /// consistent with rotation (rotation takes the epoch write lock).
+    /// Deltas whose epoch has left the window fold into the retired
+    /// union — exactly the state rotation would have produced had they
+    /// been flushed before it, so flush timing cannot change the final
+    /// bytes. Write lock first, then pop until the queue is observed
+    /// empty (same happens-before argument as the flat store).
+    fn drain_shard(&self, si: usize, blocking: bool) {
+        let current = self.current.read().expect("epoch lock poisoned");
+        let mut map = if blocking {
+            self.shards[si].write().expect("shard lock poisoned")
+        } else {
+            match self.shards[si].try_write() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => return,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+            }
+        };
+        loop {
+            let batch =
+                std::mem::take(&mut *self.pending[si].lock().expect("handoff queue poisoned"));
+            if batch.is_empty() {
+                return;
+            }
+            for (key, epoch, delta) in batch {
+                debug_assert!(epoch <= *current, "sessions advance the window on buffer");
+                let live = *current - epoch < self.epochs as u64;
+                let slot = (epoch % self.epochs as u64) as usize;
+                let ring = map
+                    .entry(key)
+                    .or_insert_with(|| WindowRing::new(&self.template, self.epochs));
+                let target = if live {
+                    &mut ring.ring[slot]
+                } else {
+                    &mut ring.retired
+                };
+                delta
+                    .merge_into_dense(target)
+                    .expect("deltas share the store configuration");
             }
         }
     }

@@ -1,0 +1,142 @@
+//! Buffered-session ingest laws.
+//!
+//! The delta path's contract: a store fed through [`IngestSession`]s —
+//! any number of them, interleaved per an arbitrary seeded schedule,
+//! each flushing at its own arbitrary points — serializes to the *same
+//! bytes* as a store fed the same events through the direct sequential
+//! path. Monotone register merge is what makes this hold; these tests
+//! pin it so a future "optimization" that makes flush timing observable
+//! fails loudly.
+//!
+//! Sessions here run interleaved on one thread, driven by a seeded
+//! event-to-session schedule ([`ell_sim::thread_schedule`]): unlike real
+//! threads, every interleaving explored is exactly reproducible from
+//! the failing seed. Real-thread nondeterminism is covered by
+//! `store_concurrency.rs`.
+
+use ell_sim::thread_schedule;
+use ell_store::{EllStore, WindowedStore};
+use exaloglog::EllConfig;
+use proptest::prelude::*;
+
+use ell_hash::{mix64, SplitMix64};
+
+fn configs() -> Vec<EllConfig> {
+    vec![
+        EllConfig::new(2, 16, 6).unwrap(), // 24-bit registers
+        EllConfig::optimal(5).unwrap(),    // 28-bit registers
+        EllConfig::new(2, 28, 4).unwrap(), // 36-bit registers (wide hot path)
+        EllConfig::hll(6).unwrap(),        // 6-bit registers (dense packing)
+    ]
+}
+
+/// `(key, hash)` events over a small key set and value universe, so
+/// keys repeat and sketches see real collisions/promotions.
+fn events(seed: u64, n: usize, keys: usize) -> Vec<(String, u64)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            (
+                format!("key-{}", rng.next_u64() % keys.max(1) as u64),
+                mix64(rng.next_u64() % 3000),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flat store: sessions with random flush points under a random
+    /// schedule serialize bit-identically to sequential ingest.
+    #[test]
+    fn store_sessions_match_sequential_ingest(
+        cfg_idx in 0usize..4,
+        threads in 1usize..5,
+        seed in any::<u64>(),
+        schedule_seed in any::<u64>(),
+        n in 1usize..900,
+        keys in 1usize..12,
+        flush_every in prop::collection::vec(1usize..250, 4),
+        explicit_flush_at in any::<u64>(),
+    ) {
+        let cfg = configs()[cfg_idx];
+        let stream = events(seed, n, keys);
+        let refs: Vec<(&str, u64)> = stream.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+
+        let reference = EllStore::new(4, cfg).unwrap();
+        reference.ingest(&refs);
+
+        let subject = EllStore::new(4, cfg).unwrap();
+        {
+            let mut sessions: Vec<_> = (0..threads)
+                .map(|t| subject.session().with_auto_flush(flush_every[t % flush_every.len()]))
+                .collect();
+            let schedule = thread_schedule(n, threads, schedule_seed);
+            let flush_point = (explicit_flush_at % n.max(1) as u64) as usize;
+            for (i, &(key, hash)) in refs.iter().enumerate() {
+                sessions[schedule[i]].insert(key, hash);
+                if i == flush_point {
+                    sessions[schedule[i]].flush();
+                }
+            }
+            // Drop order is part of the schedule too: rotate it.
+            sessions.rotate_left(schedule_seed as usize % threads.max(1));
+        }
+        prop_assert_eq!(subject.snapshot_bytes(), reference.snapshot_bytes());
+    }
+
+    /// Windowed store: sessions buffering across epoch rotations —
+    /// including deltas that target epochs already rotated out of the
+    /// window by flush time — serialize bit-identically to sequential
+    /// per-epoch ingest.
+    #[test]
+    fn window_sessions_match_sequential_ingest(
+        cfg_idx in 0usize..4,
+        epochs in 1usize..4,
+        threads in 1usize..4,
+        gaps in prop::collection::vec(1u64..4, 1..6),
+        seed in any::<u64>(),
+        schedule_seed in any::<u64>(),
+        n in 1usize..400,
+        flush_every in prop::collection::vec(1usize..300, 3),
+    ) {
+        let cfg = configs()[cfg_idx];
+        // The same (epoch, key, hash) stream for both stores: irregular
+        // epoch gaps (empty slots rotate), then late events for epoch 0
+        // after the window has certainly moved past it.
+        let mut stream: Vec<(u64, String, u64)> = Vec::new();
+        let mut epoch = 0u64;
+        for (i, gap) in gaps.iter().enumerate() {
+            epoch += gap;
+            for (key, hash) in events(seed.wrapping_add(i as u64), n, 6) {
+                stream.push((epoch, key, hash));
+            }
+        }
+        let last = epoch + epochs as u64; // push epoch 0 out of any window
+        for (key, hash) in events(seed ^ 0xDEAD, n / 2 + 1, 6) {
+            stream.push((last, key, hash));
+        }
+        for (key, hash) in events(seed ^ 0xBEEF, n / 4 + 1, 6) {
+            stream.push((0, key, hash)); // late: folds into retired
+        }
+
+        let reference = WindowedStore::new(4, cfg, epochs).unwrap();
+        for &(e, ref key, hash) in &stream {
+            reference.insert(key, e, hash);
+        }
+
+        let subject = WindowedStore::new(4, cfg, epochs).unwrap();
+        {
+            let mut sessions: Vec<_> = (0..threads)
+                .map(|t| subject.session().with_auto_flush(flush_every[t % flush_every.len()]))
+                .collect();
+            let schedule = thread_schedule(stream.len(), threads, schedule_seed);
+            for (i, &(e, ref key, hash)) in stream.iter().enumerate() {
+                sessions[schedule[i]].insert(key, e, hash);
+            }
+        }
+        prop_assert_eq!(subject.snapshot_bytes(), reference.snapshot_bytes());
+        prop_assert_eq!(subject.current_epoch(), reference.current_epoch());
+    }
+}

@@ -1,10 +1,16 @@
 //! Multithreaded store laws: any partition of a keyed workload over any
-//! number of ingest threads must produce bit-for-bit the same store
-//! snapshot, and snapshot→restore must reproduce every per-key estimate
-//! exactly.
+//! number of ingest threads — through the shared-slot path or through
+//! buffered sessions with arbitrary flush timing — must produce
+//! bit-for-bit the same store snapshot, and snapshot→restore must
+//! reproduce every per-key estimate exactly.
+//!
+//! The thread counts exercised default to `[2, 4, 8]`; the CI stress job
+//! overrides them via `ELL_STRESS_THREADS` (a comma-separated list, e.g.
+//! `ELL_STRESS_THREADS=8,16`) to push past the default runner
+//! parallelism.
 
 use ell_sim::workload::{key_label, KeyedStream};
-use ell_store::EllStore;
+use ell_store::{EllStore, WindowedStore};
 use exaloglog::EllConfig;
 use std::collections::{HashMap, HashSet};
 
@@ -13,6 +19,21 @@ fn workload(events: usize, seed: u64) -> Vec<(String, u64)> {
         .take(events)
         .map(|e| (key_label(e.key), e.hash))
         .collect()
+}
+
+/// Thread counts to stress, from `ELL_STRESS_THREADS` or `[2, 4, 8]`.
+fn stress_threads() -> Vec<usize> {
+    match std::env::var("ELL_STRESS_THREADS") {
+        Ok(spec) => spec
+            .split(',')
+            .map(|part| {
+                part.trim()
+                    .parse()
+                    .expect("ELL_STRESS_THREADS must be a comma-separated list of thread counts")
+            })
+            .collect(),
+        Err(_) => vec![2, 4, 8],
+    }
 }
 
 fn ingest_with_threads(events: &[(String, u64)], threads: usize) -> EllStore {
@@ -39,7 +60,7 @@ fn snapshot_is_independent_of_thread_count() {
     let events = workload(120_000, 42);
     let single = ingest_with_threads(&events, 1);
     let reference = single.snapshot_bytes();
-    for threads in [2, 4, 8] {
+    for threads in stress_threads() {
         let store = ingest_with_threads(&events, threads);
         assert_eq!(
             store.snapshot_bytes(),
@@ -49,6 +70,95 @@ fn snapshot_is_independent_of_thread_count() {
     }
     // The Zipf head must have been promoted onto the atomic hot path.
     assert_eq!(single.is_hot(&key_label(0)), Some(true));
+}
+
+/// Session ingest across real threads: each thread buffers into its own
+/// delta sketches with a *different* auto-flush threshold (so flush
+/// points fall at different, contention-dependent moments) and the
+/// handoff queues are drained by whichever thread gets there first —
+/// yet the quiesced snapshot must equal the single-threaded direct
+/// path, bit for bit, at every stress thread count.
+#[test]
+fn session_flush_timing_is_invisible_in_the_snapshot() {
+    let events = workload(120_000, 21);
+    let reference = {
+        let store = EllStore::new(8, EllConfig::new(2, 16, 6).unwrap()).unwrap();
+        let refs: Vec<(&str, u64)> = events.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+        store.ingest(&refs);
+        store.snapshot_bytes()
+    };
+    for threads in stress_threads() {
+        let store = EllStore::new(8, EllConfig::new(2, 16, 6).unwrap()).unwrap();
+        let chunk = events.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, part) in events.chunks(chunk).enumerate() {
+                let store = &store;
+                scope.spawn(move || {
+                    // Prime-ish spread of thresholds: forces many
+                    // differently-timed auto-flushes per thread.
+                    let mut session = store.session().with_auto_flush(257 + 97 * t);
+                    for (key, hash) in part {
+                        session.insert(key, *hash);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            store.snapshot_bytes(),
+            reference,
+            "{threads}-thread session ingest diverged from direct sequential state"
+        );
+    }
+}
+
+/// Windowed session ingest across real threads, epochs partitioned
+/// arbitrarily (not phased): threads race each other through epoch
+/// advances and flush deltas before and after rotation of their target
+/// epochs. The quiesced snapshot must still equal sequential ingest at
+/// every stress thread count — rotation folds live slots into retired
+/// exactly as a late flush would have.
+#[test]
+fn window_session_flush_timing_is_invisible_in_the_snapshot() {
+    // 30k events over 12 epochs with a 4-epoch ring: epochs 0..8 rotate
+    // out along the way.
+    let events = workload(30_000, 33);
+    let stream: Vec<(u64, String, u64)> = events
+        .iter()
+        .enumerate()
+        .map(|(i, (k, h))| ((i / 2_500) as u64, k.clone(), *h))
+        .collect();
+    let cfg = EllConfig::new(2, 16, 6).unwrap();
+    let reference = {
+        let store = WindowedStore::new(8, cfg, 4).unwrap();
+        for (epoch, key, hash) in &stream {
+            store.insert(key, *epoch, *hash);
+        }
+        store.snapshot_bytes()
+    };
+    for threads in stress_threads() {
+        let store = WindowedStore::new(8, cfg, 4).unwrap();
+        let chunk = stream.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, part) in stream.chunks(chunk).enumerate() {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut session = store.session().with_auto_flush(129 + 61 * t);
+                    for (epoch, key, hash) in part {
+                        session.insert(key, *epoch, *hash);
+                    }
+                });
+            }
+        });
+        // Quiesce the window at the same final position (contiguous
+        // chunking means the last thread carries the newest epoch, but
+        // make it explicit and thread-count-independent).
+        store.advance(11);
+        assert_eq!(
+            store.snapshot_bytes(),
+            reference,
+            "{threads}-thread windowed session ingest diverged from sequential state"
+        );
+    }
 }
 
 #[test]

@@ -15,7 +15,7 @@ use ell_tools::{
     collect_tokens, config_from_options, count_sources, count_sources_with_algo, export_store,
     import_store, inspect, load_any, load_sketch, load_store, load_windowed, merge_files,
     open_inputs, parse_options, parse_options_with_flags, relate, save_compressed, save_sketch,
-    save_store, save_tokens, save_windowed, store_ingest, windowed_ingest, ToolError,
+    save_store, save_tokens, save_windowed, store_ingest_parallel, windowed_ingest, ToolError,
 };
 use std::path::{Path, PathBuf};
 
@@ -187,14 +187,27 @@ fn run_store(args: &[String]) -> Result<(), ToolError> {
     match sub.as_str() {
         "window" => run_store_window(rest),
         "ingest" => {
-            let (opts, positional) = parse_options(rest, &["out", "shards", "t", "d", "p"])?;
+            let (opts, positional) =
+                parse_options(rest, &["out", "shards", "t", "d", "p", "threads"])?;
             let out = opts
                 .get("out")
                 .ok_or_else(|| ToolError::Usage("store ingest needs --out".into()))?;
             let out_path = Path::new(out);
+            let threads: usize = opts.get("threads").map_or(Ok(1), |s| {
+                s.parse()
+                    .map_err(|_| ToolError::Usage("--threads expects a positive integer".into()))
+            })?;
+            if threads == 0 {
+                return Err(ToolError::Usage("--threads must be positive".into()));
+            }
             let store = if out_path.exists() {
-                // Resume into an existing snapshot; its parameters win.
-                if opts.len() > 1 {
+                // Resume into an existing snapshot; its stored sketch
+                // parameters win (--threads only picks the ingest path,
+                // so it stays legal on resume).
+                if ["shards", "t", "d", "p"]
+                    .iter()
+                    .any(|k| opts.contains_key(*k))
+                {
                     return Err(ToolError::Usage(format!(
                         "{out} exists; its stored parameters apply (drop --shards/--t/--d/--p)"
                     )));
@@ -210,7 +223,7 @@ fn run_store(args: &[String]) -> Result<(), ToolError> {
             };
             let mut events = 0u64;
             for input in open_inputs(&positional)? {
-                events += store_ingest(&store, input)?;
+                events += store_ingest_parallel(&store, input, threads)?;
             }
             save_store(&store, out_path)?;
             println!("{} keys, {events} events", store.key_count());
@@ -429,7 +442,7 @@ fn print_help() {
          \x20 compress --out FILE IN                      entropy-coded copy\n\
          \x20 inspect  FILE...                            state diagnostics\n\n\
          keyed store (key<TAB>element lines; `ELLK` snapshot files):\n\
-         \x20 store ingest  --out FILE [--shards N] [--t T --d D --p P] [FILE...|-]\n\
+         \x20 store ingest  --out FILE [--shards N] [--t T --d D --p P] [--threads N] [FILE...|-]\n\
          \x20 store query   FILE [KEY...] [--merged]      per-key (or union) estimates\n\
          \x20 store snapshot FILE --out DIR               export per-key sketch files + manifest\n\
          \x20 store restore DIR --out FILE                rebuild a snapshot from an export\n\n\

@@ -451,6 +451,58 @@ pub fn store_ingest<R: BufRead>(store: &EllStore, input: R) -> Result<u64, ToolE
     Ok(total)
 }
 
+/// Streams keyed lines into the store through `threads` buffered
+/// [`ell_store::IngestSession`]s: lines are read in blocks of
+/// `threads × LINE_BATCH`, each block split into contiguous per-thread
+/// slices ingested concurrently. Hashing matches [`store_ingest`]
+/// exactly, and because session merges are monotone the resulting store
+/// serializes bit-for-bit identically to the sequential path for any
+/// thread count. Returns the number of events ingested.
+///
+/// # Errors
+///
+/// [`ToolError::Io`] on read failures, [`ToolError::Usage`] on lines
+/// without a key separator.
+pub fn store_ingest_parallel<R: BufRead>(
+    store: &EllStore,
+    input: R,
+    threads: usize,
+) -> Result<u64, ToolError> {
+    if threads <= 1 {
+        return store_ingest(store, input);
+    }
+    let hasher = WyHash::new(0);
+    let mut total = 0u64;
+    let mut lines = input.lines();
+    let mut block: Vec<(String, u64)> = Vec::with_capacity(threads * LINE_BATCH);
+    loop {
+        block.clear();
+        for line in lines.by_ref() {
+            let line = line?;
+            let (key, element) = split_keyed_line(&line)?;
+            block.push((key.to_string(), hasher.hash_bytes(element.as_bytes())));
+            total += 1;
+            if block.len() == threads * LINE_BATCH {
+                break;
+            }
+        }
+        if block.is_empty() {
+            return Ok(total);
+        }
+        let chunk = block.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for part in block.chunks(chunk) {
+                scope.spawn(move || {
+                    let mut session = store.session();
+                    for (key, hash) in part {
+                        session.insert(key, *hash);
+                    }
+                });
+            }
+        });
+    }
+}
+
 /// Reads an `ELLK` store snapshot file.
 pub fn load_store(path: &Path) -> Result<EllStore, ToolError> {
     Ok(EllStore::from_snapshot_bytes(&std::fs::read(path)?)?)

@@ -33,6 +33,7 @@
 //! assert!((sketch.estimate() / 20_001.0 - 1.0).abs() < 0.1);
 //! ```
 
+use crate::atomic::AtomicExaLogLog;
 use crate::config::{EllConfig, EllError};
 use crate::sketch::ExaLogLog;
 use crate::sparse::SparseExaLogLog;
@@ -226,6 +227,23 @@ impl AdaptiveExaLogLog {
     pub fn merge_into_dense(&self, acc: &mut ExaLogLog) -> Result<(), EllError> {
         match self {
             AdaptiveExaLogLog::Sparse(s) => s.merge_into_dense(acc),
+            AdaptiveExaLogLog::Dense(d) => acc.merge_from(d),
+        }
+    }
+
+    /// Folds this sketch into a lock-free atomic accumulator of the same
+    /// configuration (see [`SparseExaLogLog::merge_into_atomic`]) — the
+    /// flush path for thread-local delta sketches draining into a shared
+    /// hot slot. Monotone register merge makes the result bit-identical
+    /// to inserting the buffered hashes directly, regardless of flush
+    /// timing or interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Fails when configurations differ.
+    pub fn merge_into_atomic(&self, acc: &AtomicExaLogLog) -> Result<(), EllError> {
+        match self {
+            AdaptiveExaLogLog::Sparse(s) => s.merge_into_atomic(acc),
             AdaptiveExaLogLog::Dense(d) => acc.merge_from(d),
         }
     }

@@ -2,21 +2,28 @@
 //!
 //! The paper singles out ELL(2, 24) because its 32-bit registers make the
 //! sketch "convenient for concurrent updates using compare-and-swap
-//! instructions". [`AtomicExaLogLog`] implements exactly that: registers
-//! live in a `Vec<AtomicU32>` and insertion retries a CAS loop. Because
-//! the register update function is monotone (values only grow) and the
-//! merge of concurrent updates equals their sequential application in
-//! either order, the final state is *identical* to single-threaded
-//! insertion of the same element set — concurrency costs no accuracy.
+//! instructions". [`AtomicExaLogLog`] generalizes that observation to
+//! *every* valid configuration: registers are packed into `AtomicU64`
+//! words — `⌊64 / width⌋` registers per word, so no register ever
+//! straddles a word boundary — and insertion retries a CAS loop on the
+//! containing word. Because the register update function is monotone
+//! (values only grow) and the merge of concurrent updates equals their
+//! sequential application in either order, the final state is
+//! *identical* to single-threaded insertion of the same element set —
+//! concurrency costs no accuracy.
 //!
-//! Only configurations whose registers fit 32 bits are accepted (any
-//! `6 + t + d ≤ 32`; the paper's ELL(2, 24) is the canonical choice).
+//! For the paper's 32-bit-aligned configurations (ELL(2, 24)) this
+//! layout stores exactly two registers per word, matching the memory
+//! footprint of a plain `AtomicU32` array; narrower registers pack more
+//! densely (HLL's 6-bit registers fit ten per word), and wide
+//! configurations such as ELL(2, 28) (36-bit registers) get one
+//! register per word — more padding, but the same lock-free hot path.
 //!
 //! ```
 //! use exaloglog::{atomic::AtomicExaLogLog, EllConfig};
 //! use std::sync::Arc;
 //!
-//! let sketch = Arc::new(AtomicExaLogLog::new(EllConfig::aligned32(10).unwrap()).unwrap());
+//! let sketch = Arc::new(AtomicExaLogLog::new(EllConfig::aligned32(10).unwrap()));
 //! std::thread::scope(|s| {
 //!     for shard in 0..4u64 {
 //!         let sketch = Arc::clone(&sketch);
@@ -34,34 +41,37 @@
 use crate::config::{EllConfig, EllError};
 use crate::registers;
 use crate::sketch::ExaLogLog;
-use core::sync::atomic::{AtomicU32, Ordering};
+use core::sync::atomic::{AtomicU64, Ordering};
 use ell_hash::Hasher64;
 
-/// A thread-safe ExaLogLog with lock-free inserts.
+/// A thread-safe ExaLogLog with lock-free inserts, supporting every
+/// valid register width (6..=64 bits).
 #[derive(Debug)]
 pub struct AtomicExaLogLog {
     cfg: EllConfig,
-    regs: Vec<AtomicU32>,
+    /// Packed register words: `regs_per_word` registers of
+    /// `register_width` bits each, starting at bit 0; upper bits unused.
+    words: Vec<AtomicU64>,
+    regs_per_word: usize,
+    width: u32,
 }
 
 impl AtomicExaLogLog {
-    /// Creates an empty concurrent sketch.
-    ///
-    /// # Errors
-    ///
-    /// Rejects configurations whose registers exceed 32 bits.
-    pub fn new(cfg: EllConfig) -> Result<Self, EllError> {
-        if cfg.register_width() > 32 {
-            return Err(EllError::InvalidParameter {
-                reason: format!(
-                    "atomic sketch needs registers ≤ 32 bits, got {} (try ELL(2,24))",
-                    cfg.register_width()
-                ),
-            });
+    /// Creates an empty concurrent sketch. Every valid configuration is
+    /// accepted; wider-than-32-bit registers simply pack one per word.
+    #[must_use]
+    pub fn new(cfg: EllConfig) -> Self {
+        let width = cfg.register_width();
+        let regs_per_word = (64 / width) as usize;
+        let word_count = cfg.m().div_ceil(regs_per_word);
+        let mut words = Vec::with_capacity(word_count);
+        words.resize_with(word_count, || AtomicU64::new(0));
+        AtomicExaLogLog {
+            cfg,
+            words,
+            regs_per_word,
+            width,
         }
-        let mut regs = Vec::with_capacity(cfg.m());
-        regs.resize_with(cfg.m(), || AtomicU32::new(0));
-        Ok(AtomicExaLogLog { cfg, regs })
     }
 
     /// This sketch's configuration.
@@ -70,29 +80,33 @@ impl AtomicExaLogLog {
         &self.cfg
     }
 
-    /// Inserts an element by its 64-bit hash; safe to call from any number
-    /// of threads concurrently. Returns whether this call changed the
-    /// state.
-    ///
-    /// Lock-free: a compare-exchange loop that retries only when another
-    /// thread raced on the same register; monotonicity guarantees
-    /// convergence in at most a handful of iterations.
-    pub fn insert_hash(&self, h: u64) -> bool {
-        // Same decomposition as the sequential sketch (Algorithm 2).
-        let t = u32::from(self.cfg.t());
-        let p = u32::from(self.cfg.p());
-        let i = ((h >> t) as usize) & (self.cfg.m() - 1);
-        let a = h | ell_bitpack::mask(p + t);
-        let k = (u64::from(a.leading_zeros()) << t) + (h & ell_bitpack::mask(t)) + 1;
+    /// Word index and bit shift of register `i`.
+    #[inline]
+    fn locate(&self, i: usize) -> (usize, u32) {
+        (
+            i / self.regs_per_word,
+            (i % self.regs_per_word) as u32 * self.width,
+        )
+    }
 
-        let reg = &self.regs[i];
-        let mut current = reg.load(Ordering::Relaxed);
+    /// CAS-applies `f` to register `i` until it sticks; returns whether
+    /// the register changed. `f` must be monotone (idempotent once the
+    /// target value is reached) for the loop to terminate under
+    /// contention.
+    #[inline]
+    fn rmw_register<F: Fn(u64) -> u64>(&self, i: usize, f: F) -> bool {
+        let (w, shift) = self.locate(i);
+        let field = ell_bitpack::mask(self.width);
+        let word = &self.words[w];
+        let mut current = word.load(Ordering::Relaxed);
         loop {
-            let updated = registers::update(u64::from(current), k, self.cfg.d()) as u32;
-            if updated == current {
+            let old = (current >> shift) & field;
+            let new = f(old);
+            if new == old {
                 return false;
             }
-            match reg.compare_exchange_weak(current, updated, Ordering::Relaxed, Ordering::Relaxed)
+            let updated = (current & !(field << shift)) | (new << shift);
+            match word.compare_exchange_weak(current, updated, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return true,
                 Err(actual) => current = actual,
@@ -100,40 +114,85 @@ impl AtomicExaLogLog {
         }
     }
 
+    /// Inserts an element by its 64-bit hash; safe to call from any number
+    /// of threads concurrently. Returns whether this call changed the
+    /// state.
+    ///
+    /// Lock-free: a compare-exchange loop on the containing 64-bit word
+    /// that retries only when another thread raced on the same word;
+    /// monotonicity guarantees convergence in at most a handful of
+    /// iterations.
+    pub fn insert_hash(&self, h: u64) -> bool {
+        // Same decomposition as the sequential sketch (Algorithm 2).
+        let t = u32::from(self.cfg.t());
+        let p = u32::from(self.cfg.p());
+        let i = ((h >> t) as usize) & (self.cfg.m() - 1);
+        let a = h | ell_bitpack::mask(p + t);
+        let k = (u64::from(a.leading_zeros()) << t) + (h & ell_bitpack::mask(t)) + 1;
+        let d = self.cfg.d();
+        self.rmw_register(i, |old| registers::update(old, k, d))
+    }
+
     /// Hashes `element` with `hasher` and inserts it.
     pub fn insert<H: Hasher64 + ?Sized>(&self, hasher: &H, element: &[u8]) -> bool {
         self.insert_hash(hasher.hash_bytes(element))
     }
 
+    /// Register-merges `incoming` into register `i` (CAS loop), the
+    /// primitive behind [`AtomicExaLogLog::merge_from`] and the keyed
+    /// store's buffered-delta flush.
+    pub(crate) fn merge_register_value(&self, i: usize, incoming: u64) {
+        let d = self.cfg.d();
+        self.rmw_register(i, |old| registers::merge(old, incoming, d));
+    }
+
     /// Takes a consistent-enough snapshot as a sequential [`ExaLogLog`]
     /// for estimation, merging or serialization.
     ///
-    /// Register loads are individually atomic; a concurrent writer may
-    /// land between loads, which is harmless for a monotone sketch (the
+    /// Word loads are individually atomic; a concurrent writer may land
+    /// between loads, which is harmless for a monotone sketch (the
     /// snapshot then represents some interleaving of the insert stream —
-    /// exactly what a sequential sketch would have seen).
+    /// exactly what a sequential sketch would have seen). Because no
+    /// register straddles a word boundary, a snapshot never observes a
+    /// torn register.
     #[must_use]
     pub fn snapshot(&self) -> ExaLogLog {
         let mut out = ExaLogLog::new(self.cfg);
-        for (i, reg) in self.regs.iter().enumerate() {
-            let v = u64::from(reg.load(Ordering::Acquire));
-            if v != 0 {
-                out.set_register_unchecked(i, v);
-            }
-        }
+        self.for_each_nonzero(|i, v| out.set_register_unchecked(i, v));
         out
     }
 
-    /// Total in-memory footprint in bytes: the struct plus the atomic
-    /// register array (4 bytes per register).
+    /// Calls `f(index, value)` for every currently nonzero register,
+    /// skipping empty words with one comparison per 64 bits.
+    fn for_each_nonzero<F: FnMut(usize, u64)>(&self, mut f: F) {
+        let field = ell_bitpack::mask(self.width);
+        let m = self.cfg.m();
+        for (w, word) in self.words.iter().enumerate() {
+            let bits = word.load(Ordering::Acquire);
+            if bits == 0 {
+                continue;
+            }
+            let base = w * self.regs_per_word;
+            let lanes = self.regs_per_word.min(m - base);
+            for lane in 0..lanes {
+                let v = (bits >> (lane as u32 * self.width)) & field;
+                if v != 0 {
+                    f(base + lane, v);
+                }
+            }
+        }
+    }
+
+    /// Total in-memory footprint in bytes: the struct plus the packed
+    /// atomic word array.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        core::mem::size_of::<Self>() + self.regs.len() * core::mem::size_of::<AtomicU32>()
+        core::mem::size_of::<Self>() + self.words.len() * core::mem::size_of::<AtomicU64>()
     }
 
     /// Folds this sketch's current registers into a sequential
     /// accumulator of the same configuration, register-merge-wise,
-    /// without allocating an intermediate snapshot. Empty registers are
+    /// without allocating an intermediate snapshot. Empty words are
     /// skipped. This is the aggregation shape the keyed store's
     /// all-keys-union query uses.
     ///
@@ -149,33 +208,26 @@ impl AtomicExaLogLog {
                 reason: format!("{} vs {}", self.cfg, acc.config()),
             });
         }
-        for (i, reg) in self.regs.iter().enumerate() {
-            let v = u64::from(reg.load(Ordering::Acquire));
-            if v != 0 {
-                acc.merge_register_value(i, v);
-            }
-        }
+        self.for_each_nonzero(|i, v| acc.merge_register_value(i, v));
         Ok(())
     }
 
     /// Builds a concurrent sketch holding the same state as a sequential
     /// one (e.g. to resume shared ingestion from a checkpoint).
-    ///
-    /// # Errors
-    ///
-    /// Rejects configurations whose registers exceed 32 bits.
-    pub fn from_sketch(other: &ExaLogLog) -> Result<Self, EllError> {
-        let s = Self::new(*other.config())?;
-        s.merge_from(other)?;
-        Ok(s)
+    #[must_use]
+    pub fn from_sketch(other: &ExaLogLog) -> Self {
+        let s = Self::new(*other.config());
+        other.for_each_nonzero_register(|i, v| s.merge_register_value(i, v));
+        s
     }
 
     /// Merges a sequential sketch into this one (register-wise CAS max),
-    /// e.g. to fold shard-local sketches into a shared accumulator.
+    /// e.g. to fold shard-local or thread-local delta sketches into a
+    /// shared accumulator.
     ///
     /// The incoming register array is scanned as 64-bit words
     /// ([`ExaLogLog::for_each_nonzero_register`]), so runs of empty
-    /// registers — the common case when folding a lightly filled shard —
+    /// registers — the common case when folding a lightly filled delta —
     /// cost one comparison per 64 bits instead of one packed read and CAS
     /// loop per register.
     ///
@@ -188,25 +240,7 @@ impl AtomicExaLogLog {
                 reason: format!("{} vs {}", self.cfg, other.config()),
             });
         }
-        other.for_each_nonzero_register(|i, incoming| {
-            let reg = &self.regs[i];
-            let mut current = reg.load(Ordering::Relaxed);
-            loop {
-                let merged = registers::merge(u64::from(current), incoming, self.cfg.d()) as u32;
-                if merged == current {
-                    break;
-                }
-                match reg.compare_exchange_weak(
-                    current,
-                    merged,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => break,
-                    Err(actual) => current = actual,
-                }
-            }
-        });
+        other.for_each_nonzero_register(|i, incoming| self.merge_register_value(i, incoming));
         Ok(())
     }
 }
@@ -218,23 +252,35 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn rejects_wide_registers() {
-        // ELL(2,28) needs 36-bit registers.
-        let cfg = EllConfig::new(2, 28, 8).unwrap();
-        assert!(AtomicExaLogLog::new(cfg).is_err());
-        assert!(AtomicExaLogLog::new(EllConfig::aligned32(8).unwrap()).is_ok());
-        assert!(AtomicExaLogLog::new(EllConfig::optimal(8).unwrap()).is_ok()); // 28-bit fits
+    fn accepts_every_register_width() {
+        // ELL(2,28) needs 36-bit registers: one per word.
+        let wide = AtomicExaLogLog::new(EllConfig::new(2, 28, 8).unwrap());
+        assert_eq!(wide.regs_per_word, 1);
+        // ELL(2,24): 32-bit registers, two per word — same footprint as
+        // a plain AtomicU32 array.
+        let aligned = AtomicExaLogLog::new(EllConfig::aligned32(8).unwrap());
+        assert_eq!(aligned.regs_per_word, 2);
+        assert_eq!(
+            aligned.memory_bytes() - core::mem::size_of::<AtomicExaLogLog>(),
+            aligned.cfg.m() * 4
+        );
+        // Optimal(8) uses 28-bit registers: still two per word.
+        assert_eq!(
+            AtomicExaLogLog::new(EllConfig::optimal(8).unwrap()).regs_per_word,
+            2
+        );
+        // HLL registers are 6 bits: ten per word.
+        assert_eq!(
+            AtomicExaLogLog::new(EllConfig::hll(8).unwrap()).regs_per_word,
+            10
+        );
     }
 
-    #[test]
-    fn concurrent_equals_sequential() {
-        // The defining property: any interleaving produces the exact same
-        // final state as sequential insertion.
-        let cfg = EllConfig::aligned32(8).unwrap();
-        let atomic = Arc::new(AtomicExaLogLog::new(cfg).unwrap());
+    fn assert_concurrent_equals_sequential(cfg: EllConfig, n: usize, seed: u64) {
+        let atomic = Arc::new(AtomicExaLogLog::new(cfg));
         let hashes: Vec<u64> = {
-            let mut rng = SplitMix64::new(404);
-            (0..80_000).map(|_| rng.next_u64()).collect()
+            let mut rng = SplitMix64::new(seed);
+            (0..n).map(|_| rng.next_u64()).collect()
         };
         std::thread::scope(|s| {
             for chunk in hashes.chunks(hashes.len() / 8) {
@@ -250,15 +296,28 @@ mod tests {
         for &h in &hashes {
             sequential.insert_hash(h);
         }
-        assert_eq!(atomic.snapshot(), sequential);
+        assert_eq!(atomic.snapshot(), sequential, "cfg {cfg}");
+    }
+
+    #[test]
+    fn concurrent_equals_sequential() {
+        // The defining property: any interleaving produces the exact same
+        // final state as sequential insertion — including for register
+        // widths that share a word (32, 28, 6 bits) and widths that get a
+        // word to themselves (36 bits).
+        assert_concurrent_equals_sequential(EllConfig::aligned32(8).unwrap(), 80_000, 404);
+        assert_concurrent_equals_sequential(EllConfig::optimal(8).unwrap(), 40_000, 405);
+        assert_concurrent_equals_sequential(EllConfig::new(2, 28, 8).unwrap(), 40_000, 406);
+        assert_concurrent_equals_sequential(EllConfig::hll(8).unwrap(), 40_000, 407);
     }
 
     #[test]
     fn contended_single_register() {
         // All updates target one register: maximal contention; the CAS
-        // loop must still produce the sequential result.
+        // loop must still produce the sequential result. The two
+        // registers sharing word 0 with the target must stay zero.
         let cfg = EllConfig::aligned32(4).unwrap();
-        let atomic = Arc::new(AtomicExaLogLog::new(cfg).unwrap());
+        let atomic = Arc::new(AtomicExaLogLog::new(cfg));
         // Hashes whose register index bits (t..p+t) are all zero.
         let hashes: Vec<u64> = (0..20_000u64).map(|i| mix64(i) & !(0b1111 << 2)).collect();
         std::thread::scope(|s| {
@@ -280,29 +339,47 @@ mod tests {
 
     #[test]
     fn merge_from_sequential_shards() {
-        let cfg = EllConfig::aligned32(6).unwrap();
-        let atomic = AtomicExaLogLog::new(cfg).unwrap();
-        let mut direct = ExaLogLog::new(cfg);
-        for shard in 0..4u64 {
-            let mut local = ExaLogLog::new(cfg);
-            let mut rng = SplitMix64::new(shard);
-            for _ in 0..5_000 {
-                let h = rng.next_u64();
-                local.insert_hash(h);
-                direct.insert_hash(h);
+        // Exercise a width (36) where registers get a full word and a
+        // width (32) where two share one.
+        for cfg in [
+            EllConfig::aligned32(6).unwrap(),
+            EllConfig::new(2, 28, 6).unwrap(),
+        ] {
+            let atomic = AtomicExaLogLog::new(cfg);
+            let mut direct = ExaLogLog::new(cfg);
+            for shard in 0..4u64 {
+                let mut local = ExaLogLog::new(cfg);
+                let mut rng = SplitMix64::new(shard);
+                for _ in 0..5_000 {
+                    let h = rng.next_u64();
+                    local.insert_hash(h);
+                    direct.insert_hash(h);
+                }
+                atomic.merge_from(&local).unwrap();
             }
-            atomic.merge_from(&local).unwrap();
+            assert_eq!(atomic.snapshot(), direct);
+            // Mismatched config rejected.
+            let other = ExaLogLog::new(EllConfig::aligned32(7).unwrap());
+            assert!(atomic.merge_from(&other).is_err());
         }
-        assert_eq!(atomic.snapshot(), direct);
-        // Mismatched config rejected.
-        let other = ExaLogLog::new(EllConfig::aligned32(7).unwrap());
-        assert!(atomic.merge_from(&other).is_err());
+    }
+
+    #[test]
+    fn from_sketch_round_trips_state() {
+        let cfg = EllConfig::new(2, 28, 7).unwrap();
+        let mut dense = ExaLogLog::new(cfg);
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..30_000 {
+            dense.insert_hash(rng.next_u64());
+        }
+        let atomic = AtomicExaLogLog::from_sketch(&dense);
+        assert_eq!(atomic.snapshot(), dense);
     }
 
     #[test]
     fn estimate_accuracy_preserved() {
         let cfg = EllConfig::aligned32(10).unwrap();
-        let atomic = Arc::new(AtomicExaLogLog::new(cfg).unwrap());
+        let atomic = Arc::new(AtomicExaLogLog::new(cfg));
         std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let atomic = Arc::clone(&atomic);

@@ -200,7 +200,7 @@ impl DistinctCounter for AtomicExaLogLog {
     }
     fn from_bytes(bytes: &[u8]) -> Result<Self, SketchError> {
         let dense = ExaLogLog::from_bytes(bytes).map_err(SketchError::from)?;
-        AtomicExaLogLog::from_sketch(&dense).map_err(Into::into)
+        Ok(AtomicExaLogLog::from_sketch(&dense))
     }
     fn memory_bits(&self) -> usize {
         AtomicExaLogLog::memory_bytes(self) * 8
@@ -313,7 +313,7 @@ mod tests {
             Box::new(MartingaleExaLogLog::new(cfg)),
             Box::new(SparseExaLogLog::new(cfg).unwrap()),
             Box::new(AdaptiveExaLogLog::new(cfg).unwrap()),
-            Box::new(AtomicExaLogLog::new(cfg).unwrap()),
+            Box::new(AtomicExaLogLog::new(cfg)),
             Box::new(TokenSet::new(26).unwrap()),
             Box::new(EllT2D20::new(8).unwrap()),
             Box::new(EllT2D24::new(8).unwrap()),
@@ -375,16 +375,18 @@ mod tests {
     #[test]
     fn atomic_roundtrips_through_dense_wire_format() {
         let cfg = EllConfig::aligned32(6).unwrap();
-        let mut a = AtomicExaLogLog::new(cfg).unwrap();
+        let mut a = AtomicExaLogLog::new(cfg);
         for &h in &stream(6, 3000) {
             DistinctCounter::insert_hash(&mut a, h);
         }
         let bytes = DistinctCounter::to_bytes(&a);
         let back = <AtomicExaLogLog as DistinctCounter>::from_bytes(&bytes).unwrap();
         assert_eq!(back.snapshot(), a.snapshot());
-        // A too-wide configuration is rejected on deserialization.
+        // Wide configurations (36-bit registers) round-trip too now that
+        // the atomic path packs registers into u64 words.
         let wide = ExaLogLog::with_params(2, 28, 4).unwrap();
-        assert!(<AtomicExaLogLog as DistinctCounter>::from_bytes(&wide.to_bytes()).is_err());
+        let wide_back = <AtomicExaLogLog as DistinctCounter>::from_bytes(&wide.to_bytes()).unwrap();
+        assert_eq!(wide_back.snapshot(), wide);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! estimate is exact-ML in both phases: token-set ML while sparse
 //! (Algorithm 7), register ML once dense.
 
+use crate::atomic::AtomicExaLogLog;
 use crate::config::{EllConfig, EllError};
 use crate::sketch::ExaLogLog;
 use crate::token::TokenSet;
@@ -206,6 +207,34 @@ impl SparseExaLogLog {
         match &self.phase {
             Phase::Sparse(tokens) => {
                 acc.extend_hashes(tokens.hashes());
+                Ok(())
+            }
+            Phase::Dense(sketch) => acc.merge_from(sketch),
+        }
+    }
+
+    /// Folds this sketch into a lock-free atomic accumulator of the same
+    /// configuration: a dense phase merges register-wise (word-scan over
+    /// nonzero registers, CAS per hit), a sparse phase replays its decoded
+    /// token hashes through the atomic insert path. Because register
+    /// updates are monotone, the result is bit-identical to inserting the
+    /// original hash stream directly — this is the keyed store's
+    /// buffered-delta flush into hot slots.
+    ///
+    /// # Errors
+    ///
+    /// Fails when configurations differ.
+    pub fn merge_into_atomic(&self, acc: &AtomicExaLogLog) -> Result<(), EllError> {
+        if self.cfg != *acc.config() {
+            return Err(EllError::IncompatibleSketches {
+                reason: format!("{} vs {}", self.cfg, acc.config()),
+            });
+        }
+        match &self.phase {
+            Phase::Sparse(tokens) => {
+                for h in tokens.hashes() {
+                    acc.insert_hash(h);
+                }
                 Ok(())
             }
             Phase::Dense(sketch) => acc.merge_from(sketch),

@@ -24,7 +24,7 @@ const DISTINCT_USERS: u64 = 750_000;
 fn main() {
     let config = EllConfig::aligned32(12).expect("valid configuration");
     let hasher = WyHash::new(0);
-    let shared = Arc::new(AtomicExaLogLog::new(config).expect("32-bit registers"));
+    let shared = Arc::new(AtomicExaLogLog::new(config));
 
     // Eight workers hammer the same sketch; each event references a user
     // id from a shared universe, so the workers' streams overlap heavily.

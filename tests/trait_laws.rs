@@ -164,7 +164,7 @@ proptest! {
             &hb,
         )?;
         merge_laws(
-            || AtomicExaLogLog::new(EllConfig::aligned32(p).unwrap()).unwrap(),
+            || AtomicExaLogLog::new(EllConfig::aligned32(p).unwrap()),
             &ha,
             &hb,
         )?;
