@@ -89,6 +89,10 @@ def check_file(path: str, min_scaling: float) -> bool:
     summary = f"OK   {path} (bench {name}): {len(verdicts)} verdict(s) true"
     if equivalence == "ok":
         summary += ", equivalence ok"
+    flatness = data.get("query_flatness_ratio")
+    if flatness is not None:
+        bound = data.get("query_flatness_bound", "?")
+        summary += f", query flatness {flatness:.2f}x (bound {bound}x)"
     if scaling_note:
         summary += f"; {scaling_note}"
     print(summary)

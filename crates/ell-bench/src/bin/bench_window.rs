@@ -25,7 +25,7 @@
 //! the highest effective thread count.
 //!
 //! Verdicts recorded in the JSON — the binary exits non-zero if any
-//! fails:
+//! law fails:
 //!
 //! * `deterministic_across_threads` — the final `ELLW` snapshot bytes
 //!   are identical for every thread count;
@@ -37,7 +37,17 @@
 //! * `queries_allocation_free` — a counting global allocator observes
 //!   **zero** heap allocations across the timed query loop (the
 //!   scratch-reuse guarantee: window queries of any k ≤ E never
-//!   allocate).
+//!   allocate, including lazy suffix-chain extensions).
+//!
+//! One more verdict is a *perf gate* rather than a law:
+//! `query_flat_vs_k` is true when the max/min ns-per-query ratio
+//! across every window size k ≤ E stays within `query_flatness_bound`
+//! (3×) — the suffix-union contract that query cost does not grow with
+//! k. The binary records it but leaves the exit code alone; the CI
+//! perf-gate (`ci/check_bench.py`) fails on it like any other
+//! top-level boolean. The JSON also nests the store's suffix-cache
+//! counters (`suffix_cache`: hits, lazy rebuilds, entries built,
+//! dirty invalidations) for trajectory tracking.
 
 // The counting global allocator is the one place in the workspace that
 // needs `unsafe`: the `GlobalAlloc` trait is an unsafe contract. It
@@ -397,16 +407,21 @@ fn main() {
     );
 
     // ---- window-query latency vs k + allocation verdict -------------
-    // Warm up every k once (memoized bias constants, scratch buffers),
-    // then time and allocation-count the real loop.
+    // Warm up every probe key at the full window (builds each key's
+    // suffix chain once — rotation-amortized cost that the steady state
+    // never pays per query) and every k once (memoized bias constants,
+    // scratch buffers), then time and allocation-count the real loop.
     let probe: Vec<&String> = keys
         .iter()
         .step_by(keys.len().div_ceil(50).max(1))
         .collect();
-    for k in 1..=args.epochs {
-        let _ = store.estimate_window(probe[0], k);
+    for key in &probe {
+        for k in 1..=args.epochs {
+            let _ = store.estimate_window(key, k);
+        }
     }
     let mut query_rows = Vec::new();
+    let mut per_k_ns = Vec::new();
     let mut total_allocs = 0u64;
     for k in 1..=args.epochs {
         let mut elapsed = 0.0f64;
@@ -425,11 +440,33 @@ fn main() {
         query_rows.push(format!(
             "    {{\"k\": {k}, \"ns_per_query\": {ns:.3}, \"allocations\": {allocs}}}"
         ));
+        per_k_ns.push(ns);
     }
     let allocation_free = total_allocs == 0;
     if !allocation_free {
         eprintln!("bench_window: window queries allocated {total_allocs} times!");
     }
+
+    // Flatness: with suffix unions every k costs one clone + one merge,
+    // so ns/query must not grow with k. Gate the max/min ratio.
+    let flatness_bound = 3.0;
+    let slowest = per_k_ns.iter().cloned().fold(f64::MIN, f64::max);
+    let fastest = per_k_ns.iter().cloned().fold(f64::MAX, f64::min);
+    let flatness_ratio = slowest / fastest;
+    let query_flat_vs_k = flatness_ratio <= flatness_bound;
+    println!(
+        "flatness: max/min {flatness_ratio:.2}x across k=1..={} (bound {flatness_bound}x) {}",
+        args.epochs,
+        if query_flat_vs_k { "ok" } else { "EXCEEDED" }
+    );
+    let cache = store.window_stats();
+    println!(
+        "suffix cache: {} hits, {} lazy rebuilds ({} entries built), {} dirty invalidations",
+        cache.suffix_hits,
+        cache.lazy_rebuilds,
+        cache.suffix_entries_built,
+        cache.dirty_invalidations
+    );
 
     // ---- rotation cost ----------------------------------------------
     // Advance the restored copy through E further epochs: every step
@@ -464,6 +501,11 @@ fn main() {
          \"deterministic_across_threads\": {deterministic},\n  \
          \"equivalence\": \"{}\",\n  \"roundtrip_ok\": {roundtrip_ok},\n  \
          \"queries_allocation_free\": {allocation_free},\n  \
+         \"query_flat_vs_k\": {query_flat_vs_k},\n  \
+         \"query_flatness_ratio\": {flatness_ratio:.3},\n  \
+         \"query_flatness_bound\": {flatness_bound},\n  \
+         \"suffix_cache\": {{\"hits\": {}, \"lazy_rebuilds\": {}, \
+         \"entries_built\": {}, \"dirty_invalidations\": {}}},\n  \
          \"ingest\": [\n{}\n  ],\n  \"window_queries\": [\n{}\n  ]\n}}\n",
         if args.quick { "quick" } else { "full" },
         args.epochs,
@@ -476,6 +518,10 @@ fn main() {
         args.queries,
         snapshot.len(),
         if equivalent { "ok" } else { "MISMATCH" },
+        cache.suffix_hits,
+        cache.lazy_rebuilds,
+        cache.suffix_entries_built,
+        cache.dirty_invalidations,
         ingest_rows.join(",\n"),
         query_rows.join(",\n")
     );

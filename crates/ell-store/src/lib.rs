@@ -51,11 +51,13 @@
 //! # Windowed counting
 //!
 //! [`WindowedStore`] adds the time dimension: each key holds a ring of
-//! E per-epoch sub-sketches plus a compacted retired union, so
-//! "distinct elements in the last k epochs" is answered by folding k
-//! ring slots through the word-level merge fast path — see the
-//! [`window`](crate::WindowedStore) module docs. Windowed stores
-//! persist in their own `ELLW` container format.
+//! E per-epoch sub-sketches, a compacted retired union, and a chain of
+//! precomputed **suffix unions** over the sealed epochs, so "distinct
+//! elements in the last k epochs" is one clone plus one word-level
+//! merge regardless of k — see the [`window`](crate::WindowedStore)
+//! module docs for the rotation-amortized maintenance and the
+//! [`WindowStats`] cache counters. Windowed stores persist in their own
+//! `ELLW` container format.
 //!
 //! ```
 //! use ell_store::EllStore;
@@ -80,7 +82,7 @@ mod wire;
 
 pub use session::{IngestSession, WindowIngestSession};
 pub use store::EllStore;
-pub use window::WindowedStore;
+pub use window::{WindowStats, WindowedStore};
 
 pub use exaloglog::adaptive::AdaptiveExaLogLog;
 pub use exaloglog::atomic::AtomicExaLogLog;

@@ -155,6 +155,14 @@ impl Drop for IngestSession<'_> {
 /// Buffering an observation for an epoch newer than the window
 /// auto-advances the store immediately (matching
 /// [`WindowedStore::ingest`]); rotation is *not* deferred to the flush.
+///
+/// A flushed delta that lands in a *sealed* live epoch (older than the
+/// current one) dirties that key's precomputed suffix-union chain, just
+/// like direct late `ingest` writes into an older epoch: the next query
+/// lazily rebuilds the stale entries, and the invalidation is counted
+/// in [`WindowStats::dirty_invalidations`](crate::WindowStats). Session
+/// flushes therefore never affect query *correctness* — only whether
+/// the next query hits the suffix cache or rebuilds it.
 #[derive(Debug)]
 pub struct WindowIngestSession<'a> {
     store: &'a WindowedStore,

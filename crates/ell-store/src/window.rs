@@ -16,19 +16,39 @@
 //! Like [`EllStore`](crate::EllStore), keys are hash-partitioned over N
 //! power-of-two shards, each a `RwLock<HashMap<..>>`.
 //!
+//! On top of the ring each key keeps a chain of **suffix unions**:
+//! `suffix[j]` is the union of the newest `j + 1` *sealed* epochs (every
+//! live epoch except the mutable current one), so `suffix[j] =
+//! suffix[j-1] ∪ slot(current − 1 − j)`. Any trailing window is then two
+//! word-level merges instead of k:
+//!
+//! * [`WindowedStore::estimate_window`]`(key, k)` clones `suffix[k − 2]`
+//!   into a reusable scratch sketch and merges the live current-epoch
+//!   slot on top (`k = 1` clones the empty template instead — the same
+//!   code path, so latency is flat in k). No per-query heap allocation
+//!   happens; the `bench_window` binary counts allocations to prove it,
+//!   and emits a `query_flat_vs_k` verdict that CI gates.
 //! * [`WindowedStore::advance`] rotates the window forward: each epoch
 //!   leaving the window folds into the retired union through the
 //!   word-level merge scan, and its slot is recycled with `clone_from`
-//!   against an empty template — rotation is allocation-free.
-//! * [`WindowedStore::estimate_window`] answers an arbitrary trailing
-//!   window of `k ≤ E` epochs by folding the k live slots into one
-//!   reusable scratch sketch through [`ExaLogLog::merge_from`] — the
-//!   word-level fast path that skips empty or identical register runs
-//!   wholesale — so window queries are merge-dominant and allocation-free
-//!   (the `bench_window` binary counts heap allocations per query to
-//!   prove it).
-//! * Late events for an epoch that already left the window fold straight
-//!   into the retired union, so all-time totals stay exact.
+//!   against an empty template — rotation is allocation-free. Rotation
+//!   re-seals the previous current epoch, so it resets each key's suffix
+//!   validity; the chain is rebuilt **lazily and incrementally** by the
+//!   next queries (each suffix entry is built at most once per rotation,
+//!   so the rebuild cost is amortized over the rotation interval and the
+//!   steady-state query path stays O(1) merges).
+//! * Late events for a *sealed* epoch still inside the window land in
+//!   that epoch's slot and truncate the key's suffix validity to the
+//!   entries that exclude it (a **dirty invalidation**); the next query
+//!   that needs a truncated entry rebuilds it from the slots, keeping
+//!   every answer bit-identical to the offline per-register merge of the
+//!   same epochs. Late events for an epoch that already left the window
+//!   fold straight into the retired union, so all-time totals stay
+//!   exact.
+//! * [`WindowedStore::window_stats`] exposes the suffix-cache counters
+//!   (hits, lazy rebuilds, entries built, dirty invalidations) so cache
+//!   effectiveness is observable under late-event workloads — also via
+//!   `ell store window query --stats` on the CLI.
 //!
 //! Rotation and ingest follow the phased pattern of real epoch'd
 //! pipelines — within an epoch any number of threads ingest
@@ -61,9 +81,16 @@
 //! assert_eq!(store.estimate_window("alice", 3).unwrap().round() as u64, 0);
 //! assert_eq!(store.estimate_all_time("alice").unwrap().round() as u64, 3);
 //!
-//! // Snapshot → restore reproduces every windowed estimate bit-for-bit.
+//! // Snapshot → restore reproduces every windowed estimate bit-for-bit
+//! // (suffix chains are derived state: rebuilt lazily after restore).
 //! let restored = WindowedStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
 //! assert_eq!(restored.snapshot_bytes(), store.snapshot_bytes());
+//!
+//! // The suffix-cache counters show how queries were served (the CLI
+//! // prints the same numbers under `ell store window query --stats`).
+//! let stats = store.window_stats();
+//! assert_eq!(stats.dirty_invalidations, 0); // no late events above
+//! assert!(stats.suffix_hits + stats.lazy_rebuilds > 0);
 //! ```
 
 use crate::store::HANDOFF_SOFT_CAPACITY;
@@ -71,13 +98,15 @@ use ell_hash::{Hasher64, WyHash};
 use exaloglog::adaptive::AdaptiveExaLogLog;
 use exaloglog::{EllConfig, EllError, ExaLogLog};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
 /// Key-partitioning hash seed, shared with the flat store so the two
 /// layers shard identically for the same key space.
 const KEY_HASH_SEED: u64 = 0xE115_70E5;
 
-/// One key's windowed state: the live epoch ring plus the retired union.
+/// One key's windowed state: the live epoch ring, the retired union, and
+/// the rotation-amortized suffix-union chain over the sealed slots.
 #[derive(Debug)]
 struct WindowRing {
     /// Slot `e % E` holds epoch `e`'s sub-sketch for every live epoch
@@ -86,6 +115,16 @@ struct WindowRing {
     ring: Vec<ExaLogLog>,
     /// Union of every epoch of this key that has left the window.
     retired: ExaLogLog,
+    /// Cumulative unions over the *sealed* (non-current) live slots:
+    /// `suffix[j] = ⋃ slot(current − 1 − i) for i ≤ j` — the newest
+    /// `j + 1` sealed epochs. Length `E − 1`; entries are rebuilt in
+    /// place (`clone_from` + one merge each), never reallocated.
+    suffix: Vec<ExaLogLog>,
+    /// Number of leading suffix entries consistent with the store's
+    /// current window position. Rotation resets it to 0 (the chain is
+    /// re-derived lazily); a late event for sealed epoch `e` truncates
+    /// it to `current − 1 − e`, the entries that exclude `e`.
+    valid: usize,
 }
 
 impl WindowRing {
@@ -93,11 +132,94 @@ impl WindowRing {
         WindowRing {
             ring: vec![template.clone(); epochs],
             retired: template.clone(),
+            // A fresh ring's sealed slots are all empty, so its empty
+            // suffix entries are already correct.
+            suffix: vec![template.clone(); epochs - 1],
+            valid: epochs - 1,
         }
     }
 
     fn memory_bytes(&self) -> usize {
-        self.retired.memory_bytes() + self.ring.iter().map(ExaLogLog::memory_bytes).sum::<usize>()
+        self.retired.memory_bytes()
+            + self.ring.iter().map(ExaLogLog::memory_bytes).sum::<usize>()
+            + self
+                .suffix
+                .iter()
+                .map(ExaLogLog::memory_bytes)
+                .sum::<usize>()
+    }
+
+    /// Records a write into the sealed slot of live epoch `epoch`
+    /// (`epoch < current`): suffix entries whose range includes it are
+    /// no longer unions of their slots. Returns whether any entry was
+    /// actually invalidated.
+    fn note_sealed_write(&mut self, current: u64, epoch: u64) -> bool {
+        let keep = (current - 1 - epoch) as usize;
+        if self.valid > keep {
+            self.valid = keep;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A point-in-time copy of the suffix-cache counters of a
+/// [`WindowedStore`] (see [`WindowedStore::window_stats`]).
+///
+/// `suffix_hits` and `lazy_rebuilds` partition the window/all-time
+/// queries: a hit was served straight from valid suffix entries (the
+/// O(1) fast path), a lazy rebuild first extended the chain by
+/// `suffix_entries_built / lazy_rebuilds` entries on average. Rebuilds
+/// happen after rotation (at most one full chain per key per rotation)
+/// and after `dirty_invalidations` — late events landing in a sealed
+/// epoch's slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowStats {
+    /// Queries answered from already-valid suffix entries.
+    pub suffix_hits: u64,
+    /// Queries that had to extend a key's suffix chain first.
+    pub lazy_rebuilds: u64,
+    /// Total suffix entries built by those rebuilds (one `clone_from`
+    /// plus one word-level merge each).
+    pub suffix_entries_built: u64,
+    /// Times a late event for a sealed epoch truncated a key's valid
+    /// suffix prefix.
+    pub dirty_invalidations: u64,
+}
+
+/// Internal atomic cells behind [`WindowStats`]; relaxed ordering — the
+/// counters are monitoring data, not synchronization.
+#[derive(Debug, Default)]
+struct WindowStatCells {
+    suffix_hits: AtomicU64,
+    lazy_rebuilds: AtomicU64,
+    suffix_entries_built: AtomicU64,
+    dirty_invalidations: AtomicU64,
+}
+
+impl WindowStatCells {
+    fn hit(&self) {
+        self.suffix_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn rebuild(&self, entries_built: usize) {
+        self.lazy_rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.suffix_entries_built
+            .fetch_add(entries_built as u64, Ordering::Relaxed);
+    }
+
+    fn invalidate(&self) {
+        self.dirty_invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> WindowStats {
+        WindowStats {
+            suffix_hits: self.suffix_hits.load(Ordering::Relaxed),
+            lazy_rebuilds: self.lazy_rebuilds.load(Ordering::Relaxed),
+            suffix_entries_built: self.suffix_entries_built.load(Ordering::Relaxed),
+            dirty_invalidations: self.dirty_invalidations.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -131,6 +253,9 @@ pub struct WindowedStore {
     /// slots (or retired unions, for rotated-out epochs) under the shard
     /// write lock with the window position pinned.
     pending: Vec<Mutex<Vec<(String, u64, AdaptiveExaLogLog)>>>,
+    /// Suffix-cache effectiveness counters (see
+    /// [`WindowedStore::window_stats`]).
+    stats: WindowStatCells,
 }
 
 impl WindowedStore {
@@ -138,8 +263,12 @@ impl WindowedStore {
     /// two), the given per-epoch sketch configuration, and a ring of
     /// `epochs` sub-sketches per key (the largest answerable window).
     ///
-    /// Each key costs `epochs + 1` dense register arrays, so pick the
-    /// precision accordingly (p=12 at ELL(2,20) is ~14 KiB per epoch).
+    /// Each key costs `2 × epochs` dense register arrays — `epochs`
+    /// ring slots, `epochs − 1` suffix unions, and the retired union —
+    /// so pick the precision accordingly (p=12 at ELL(2,20) is ~14 KiB
+    /// per array). The suffix chain is the space half of the space-time
+    /// trade: it makes every trailing-window query one or two merges
+    /// instead of k.
     ///
     /// # Errors
     ///
@@ -175,6 +304,7 @@ impl WindowedStore {
             scratches,
             template,
             pending,
+            stats: WindowStatCells::default(),
         })
     }
 
@@ -212,6 +342,10 @@ impl WindowedStore {
     /// trailing window folds into its key's retired union through the
     /// word-level merge scan, and the vacated ring slot is recycled in
     /// place with `clone_from` — rotation allocates nothing.
+    ///
+    /// Rotation re-seals the previous current epoch, so every key's
+    /// suffix chain is reset; the next queries rebuild it incrementally
+    /// (each entry at most once per rotation — see the module docs).
     pub fn advance(&self, epoch: u64) {
         let mut current = self.current.write().expect("epoch lock poisoned");
         if epoch <= *current {
@@ -232,6 +366,9 @@ impl WindowedStore {
                         .expect("ring slots share the store configuration");
                     ring.ring[slot].clone_from(&self.template);
                 }
+                // The sealed set shifted under the chain; re-derive it
+                // lazily rather than paying E merges per key up front.
+                ring.valid = 0;
             }
         }
         *current = epoch;
@@ -300,14 +437,20 @@ impl WindowedStore {
                     &mut ring.retired
                 }
             }
+            // A write into a *sealed* live slot (a late event for an
+            // epoch older than the current one) invalidates the suffix
+            // entries that cover it; the next query rebuilds them.
+            let sealed = live && epoch < current;
             for (key, hashes) in grouped {
-                match map.get_mut(key) {
-                    Some(ring) => target(ring, live, slot).insert_hashes(&hashes),
-                    None => {
-                        let mut ring = WindowRing::new(&self.template, self.epochs);
-                        target(&mut ring, live, slot).insert_hashes(&hashes);
-                        map.insert(key.to_string(), ring);
-                    }
+                let ring = match map.get_mut(key) {
+                    Some(ring) => ring,
+                    None => map
+                        .entry(key.to_string())
+                        .or_insert_with(|| WindowRing::new(&self.template, self.epochs)),
+                };
+                target(ring, live, slot).insert_hashes(&hashes);
+                if sealed && ring.note_sealed_write(current, epoch) {
+                    self.stats.invalidate();
                 }
             }
         }
@@ -410,18 +553,134 @@ impl WindowedStore {
                 delta
                     .merge_into_dense(target)
                     .expect("deltas share the store configuration");
+                // A session delta for a sealed epoch is a late write:
+                // truncate the suffix chain exactly like direct ingest.
+                if live && epoch < *current && ring.note_sealed_write(*current, epoch) {
+                    self.stats.invalidate();
+                }
             }
         }
+    }
+
+    /// Extends `ring`'s suffix chain so the first `needed` entries are
+    /// valid: each new entry is one `clone_from` of its predecessor plus
+    /// one word-level merge of the next-older sealed slot. Returns the
+    /// number of entries built. Allocation-free: the entries were sized
+    /// at ring construction and are rebuilt in place.
+    fn extend_suffixes(&self, ring: &mut WindowRing, current: u64, needed: usize) -> usize {
+        let built = needed - ring.valid;
+        let e = self.epochs as u64;
+        let WindowRing {
+            ring: slots,
+            suffix,
+            valid,
+            ..
+        } = ring;
+        for j in *valid..needed {
+            let (prev, rest) = suffix.split_at_mut(j);
+            let entry = &mut rest[0];
+            // Sealed epoch `current − 1 − j` — nonexistent before the
+            // store's first epoch, in which case it contributes nothing.
+            let sealed = (current > j as u64).then(|| current - 1 - j as u64);
+            match (j, sealed) {
+                (0, Some(epoch)) => entry.clone_from(&slots[(epoch % e) as usize]),
+                (0, None) => entry.clone_from(&self.template),
+                (_, Some(epoch)) => {
+                    entry.clone_from(&prev[j - 1]);
+                    entry
+                        .merge_from(&slots[(epoch % e) as usize])
+                        .expect("ring slots share the store configuration");
+                }
+                (_, None) => entry.clone_from(&prev[j - 1]),
+            }
+        }
+        *valid = needed;
+        built
+    }
+
+    /// Finishes a window query from a valid suffix chain: the scratch
+    /// becomes `suffix[k − 2] ∪ current slot` (for `k = 1`, just the
+    /// current slot) — one clone plus one merge regardless of k.
+    fn finish_window(&self, si: usize, ring: &WindowRing, current: u64, last_k: usize) -> f64 {
+        let cur_slot = &ring.ring[(current % self.epochs as u64) as usize];
+        let mut scratch = self.scratches[si].lock().expect("scratch lock poisoned");
+        if last_k == 1 {
+            scratch.clone_from(&self.template);
+        } else {
+            scratch.clone_from(&ring.suffix[last_k - 2]);
+        }
+        scratch
+            .merge_from(cur_slot)
+            .expect("ring slots share the store configuration");
+        scratch.estimate()
+    }
+
+    /// Finishes an all-time query from a valid suffix chain: the scratch
+    /// becomes `retired ∪ suffix[E − 2] ∪ current slot` — at most two
+    /// merges instead of folding all E slots.
+    fn finish_all_time(&self, si: usize, ring: &WindowRing, current: u64) -> f64 {
+        let cur_slot = &ring.ring[(current % self.epochs as u64) as usize];
+        let mut scratch = self.scratches[si].lock().expect("scratch lock poisoned");
+        scratch.clone_from(&ring.retired);
+        if self.epochs >= 2 {
+            scratch
+                .merge_from(&ring.suffix[self.epochs - 2])
+                .expect("ring slots share the store configuration");
+        }
+        scratch
+            .merge_from(cur_slot)
+            .expect("ring slots share the store configuration");
+        scratch.estimate()
+    }
+
+    /// Serves a query that needs the first `needed` suffix entries:
+    /// straight from the shard read lock when the chain is already valid
+    /// (the O(1) fast path), otherwise under the write lock after a lazy
+    /// incremental rebuild. `finish` computes the estimate once the
+    /// chain is long enough.
+    fn with_suffixes(
+        &self,
+        key: &str,
+        needed: usize,
+        finish: impl Fn(usize, &WindowRing, u64) -> f64,
+    ) -> Option<f64> {
+        let current = self.current.read().expect("epoch lock poisoned");
+        let si = self.shard_of(key);
+        {
+            let map = self.shards[si].read().expect("shard lock poisoned");
+            let ring = map.get(key)?;
+            if ring.valid >= needed {
+                self.stats.hit();
+                return Some(finish(si, ring, *current));
+            }
+        }
+        // The chain is short (rotation reset or a late-event truncation):
+        // rebuild the missing entries under the shard write lock, then
+        // answer there. Another thread may have raced us to it.
+        let mut map = self.shards[si].write().expect("shard lock poisoned");
+        let ring = map.get_mut(key)?;
+        if ring.valid < needed {
+            let built = self.extend_suffixes(ring, *current, needed);
+            self.stats.rebuild(built);
+        } else {
+            self.stats.hit();
+        }
+        Some(finish(si, ring, *current))
     }
 
     /// The distinct-count estimate for `key` over the trailing window of
     /// the last `last_k` epochs — `(current − last_k, current]` — or
     /// `None` if the key has never been observed.
     ///
-    /// The k live slots fold into one reusable scratch sketch through
-    /// the word-level [`ExaLogLog::merge_from`] fast path; no per-query
-    /// allocation happens (a single-slot window skips the scratch
-    /// entirely and estimates the slot in place).
+    /// **O(1) in the window length:** the scratch sketch is
+    /// `clone_from(suffix[k − 2])` plus one word-level
+    /// [`ExaLogLog::merge_from`] of the live current-epoch slot — one
+    /// clone and one merge regardless of k (k = 1 clones the empty
+    /// template through the same path, so latency is flat in k). No
+    /// per-query heap allocation happens, including lazy suffix
+    /// rebuilds after rotation or late events (entries are rebuilt in
+    /// place). Every answer stays bit-identical to the offline
+    /// per-register merge of the same k epochs.
     ///
     /// # Panics
     ///
@@ -434,43 +693,32 @@ impl WindowedStore {
             "window of {last_k} epochs outside [1, {}]",
             self.epochs
         );
-        let current = self.current.read().expect("epoch lock poisoned");
-        let si = self.shard_of(key);
-        let map = self.shards[si].read().expect("shard lock poisoned");
-        let ring = map.get(key)?;
-        let first = current.saturating_sub(last_k as u64 - 1);
-        if first == *current {
-            // One live epoch: estimate its slot directly (the slot's
-            // coefficient cache is maintained by every mutation path).
-            return Some(ring.ring[(*current % self.epochs as u64) as usize].estimate());
-        }
-        let mut scratch = self.scratches[si].lock().expect("scratch lock poisoned");
-        scratch.clone_from(&self.template);
-        for epoch in first..=*current {
-            scratch
-                .merge_from(&ring.ring[(epoch % self.epochs as u64) as usize])
-                .expect("ring slots share the store configuration");
-        }
-        Some(scratch.estimate())
+        // A k-epoch window needs the newest k − 1 sealed epochs.
+        self.with_suffixes(key, last_k - 1, |si, ring, current| {
+            self.finish_window(si, ring, current, last_k)
+        })
     }
 
     /// The all-time distinct-count estimate for `key`: the union of the
     /// retired epochs and every live ring slot (`None` if the key has
-    /// never been observed).
+    /// never been observed). Reuses the full suffix union — `retired ∪
+    /// suffix[E − 2] ∪ current slot`, two merges — instead of folding
+    /// all E slots.
     #[must_use]
     pub fn estimate_all_time(&self, key: &str) -> Option<f64> {
-        let _current = self.current.read().expect("epoch lock poisoned");
-        let si = self.shard_of(key);
-        let map = self.shards[si].read().expect("shard lock poisoned");
-        let ring = map.get(key)?;
-        let mut scratch = self.scratches[si].lock().expect("scratch lock poisoned");
-        scratch.clone_from(&ring.retired);
-        for slot in &ring.ring {
-            scratch
-                .merge_from(slot)
-                .expect("ring slots share the store configuration");
-        }
-        Some(scratch.estimate())
+        self.with_suffixes(key, self.epochs - 1, |si, ring, current| {
+            self.finish_all_time(si, ring, current)
+        })
+    }
+
+    /// A point-in-time copy of the suffix-cache counters: how many
+    /// queries hit a valid suffix chain, how many had to rebuild one
+    /// (and how many entries those rebuilds produced), and how many late
+    /// events invalidated cached entries. The CLI prints these under
+    /// `ell store window query --stats`.
+    #[must_use]
+    pub fn window_stats(&self) -> WindowStats {
+        self.stats.snapshot()
     }
 
     /// A copy of the live sub-sketch of `epoch` for `key`: `None` when
@@ -588,7 +836,10 @@ impl WindowedStore {
     }
 
     /// Wire-format restore seam: places a fully-formed ring under `key`,
-    /// returning whether the key was new.
+    /// returning whether the key was new. Suffix unions are derived
+    /// state and never travel in the snapshot; the restored chain starts
+    /// empty and the first queries re-derive it from the slots, so a
+    /// restored store reproduces every estimate bit-for-bit.
     pub(crate) fn place_ring(
         &self,
         key: String,
@@ -605,6 +856,8 @@ impl WindowedStore {
                 WindowRing {
                     ring: slots,
                     retired,
+                    suffix: vec![self.template.clone(); self.epochs - 1],
+                    valid: 0,
                 },
             )
             .is_none()
@@ -757,5 +1010,128 @@ mod tests {
         let store = WindowedStore::new(2, cfg(), 2).unwrap();
         store.insert("k", 0, 1);
         let _ = store.estimate_window("k", 3);
+    }
+
+    #[test]
+    fn single_epoch_ring_has_no_suffixes_and_still_answers() {
+        let store = WindowedStore::new(2, cfg(), 1).unwrap();
+        let mut rng = SplitMix64::new(4);
+        let batch: Vec<(&str, u64)> = (0..2000).map(|_| ("k", rng.next_u64())).collect();
+        store.ingest(0, &batch);
+        let in_window = store.estimate_window("k", 1).unwrap();
+        assert!(in_window > 1000.0);
+        assert_eq!(store.estimate_all_time("k").unwrap(), in_window);
+        store.advance(1);
+        assert_eq!(store.estimate_window("k", 1).unwrap(), 0.0);
+        assert_eq!(store.estimate_all_time("k").unwrap(), in_window);
+    }
+
+    #[test]
+    fn all_time_estimate_equals_offline_fold_of_retired_and_slots() {
+        let store = WindowedStore::new(4, cfg(), 3).unwrap();
+        let mut rng = SplitMix64::new(5);
+        for epoch in 0..6u64 {
+            let batch: Vec<(&str, u64)> = (0..1500).map(|_| ("k", rng.next_u64())).collect();
+            store.ingest(epoch, &batch);
+        }
+        // Late event into a sealed live epoch, then one into retired.
+        store.ingest(4, &[("k", rng.next_u64())]);
+        store.ingest(0, &[("k", rng.next_u64())]);
+        let mut offline = store.retired_sketch("k").unwrap();
+        for epoch in 3..=5u64 {
+            offline
+                .merge_from_per_register(&store.epoch_sketch("k", epoch).unwrap())
+                .unwrap();
+        }
+        assert_eq!(
+            store.estimate_all_time("k").unwrap().to_bits(),
+            offline.estimate().to_bits()
+        );
+    }
+
+    #[test]
+    fn suffix_cache_counters_track_hits_rebuilds_and_invalidations() {
+        let store = WindowedStore::new(2, cfg(), 4).unwrap();
+        for epoch in 0..4u64 {
+            let batch: Vec<(&str, u64)> =
+                (0..200).map(|i| ("k", mix64(epoch * 1000 + i))).collect();
+            store.ingest(epoch, &batch);
+        }
+        assert_eq!(store.window_stats(), WindowStats::default());
+
+        // First wide query after rotation rebuilds the whole chain…
+        let wide = store.estimate_window("k", 4).unwrap();
+        let s = store.window_stats();
+        assert_eq!(
+            (s.suffix_hits, s.lazy_rebuilds, s.suffix_entries_built),
+            (0, 1, 3)
+        );
+
+        // …and every later query (any k) rides the valid chain.
+        for k in 1..=4usize {
+            store.estimate_window("k", k).unwrap();
+        }
+        assert_eq!(store.window_stats().suffix_hits, 4);
+        assert_eq!(store.window_stats().lazy_rebuilds, 1);
+
+        // A late event into sealed epoch 1 (current is 3) invalidates
+        // the entries covering it (j ≥ 1); suffix[0] stays valid.
+        store.ingest(1, &[("k", mix64(77))]);
+        let s = store.window_stats();
+        assert_eq!(s.dirty_invalidations, 1);
+        // k ≤ 2 still hits; k = 4 rebuilds only the truncated tail.
+        store.estimate_window("k", 2).unwrap();
+        assert_eq!(store.window_stats().suffix_hits, 5);
+        let wide_after = store.estimate_window("k", 4).unwrap();
+        let s = store.window_stats();
+        assert_eq!((s.lazy_rebuilds, s.suffix_entries_built), (2, 5));
+        // The late event is now visible in the wide window, and the
+        // rebuilt answer matches the offline per-register oracle.
+        let mut offline = ExaLogLog::new(cfg());
+        for e in 0..=3u64 {
+            offline
+                .merge_from_per_register(&store.epoch_sketch("k", e).unwrap())
+                .unwrap();
+        }
+        assert_eq!(wide_after.to_bits(), offline.estimate().to_bits());
+        assert!(wide_after.is_finite() && wide >= 0.0);
+        // Fresh truncations below the valid prefix count; re-marking an
+        // already-shorter chain does not.
+        store.ingest(1, &[("k", mix64(78))]); // valid 3 → 1: counts
+        store.ingest(2, &[("k", mix64(79))]); // valid 1 → 0: counts
+        store.ingest(1, &[("k", mix64(80))]); // already ≤ 1: no-op
+        assert_eq!(store.window_stats().dirty_invalidations, 3);
+    }
+
+    #[test]
+    fn late_events_after_rotation_stay_bit_identical_to_oracle() {
+        let store = WindowedStore::new(2, cfg(), 4).unwrap();
+        let mut rng = SplitMix64::new(6);
+        for epoch in 0..7u64 {
+            let batch: Vec<(&str, u64)> = (0..800).map(|_| ("k", rng.next_u64())).collect();
+            store.ingest(epoch, &batch);
+        }
+        // Build the chain, then land late events in every sealed epoch.
+        for k in 1..=4usize {
+            store.estimate_window("k", k).unwrap();
+        }
+        for epoch in 3..6u64 {
+            let batch: Vec<(&str, u64)> = (0..300).map(|_| ("k", rng.next_u64())).collect();
+            store.ingest(epoch, &batch);
+        }
+        for k in 1..=4usize {
+            let mut offline = ExaLogLog::new(cfg());
+            for e in (7 - k as u64)..=6 {
+                offline
+                    .merge_from_per_register(&store.epoch_sketch("k", e).unwrap())
+                    .unwrap();
+            }
+            assert_eq!(
+                store.estimate_window("k", k).unwrap().to_bits(),
+                offline.estimate().to_bits(),
+                "k={k} diverged after late events"
+            );
+        }
+        assert!(store.window_stats().dirty_invalidations >= 1);
     }
 }

@@ -2,13 +2,19 @@
 //!
 //! * `estimate_window(key, k)` must be **bit-identical** to offline
 //!   merging the same k live epoch sub-sketches with the per-register
-//!   reference merge (`merge_from_per_register`) — the scratch-reuse /
-//!   word-level fast path is a pure optimization.
+//!   reference merge (`merge_from_per_register`) — the suffix-union /
+//!   scratch-reuse / word-level fast path is a pure optimization. This
+//!   must hold across arbitrary interleavings of ingest, rotation, late
+//!   events into sealed epochs (which dirty the suffix chain), buffered
+//!   session flushes, and queries issued mid-history (which build
+//!   partial chains that later operations must correctly invalidate).
 //! * `advance` + snapshot/restore must **commute with ingest order**:
 //!   ingesting each epoch's events in any per-epoch permutation, with
 //!   snapshot/restore cycles interleaved at arbitrary points, yields
 //!   bit-for-bit the same final snapshot and the same windowed
-//!   estimates.
+//!   estimates — including when queries force suffix rebuilds on the
+//!   restored store (suffixes are derived state outside the `ELLW`
+//!   wire format).
 
 use ell_hash::{mix64, SplitMix64};
 use ell_store::WindowedStore;
@@ -132,5 +138,173 @@ proptest! {
                 "{}: all-time estimate diverged", key
             );
         }
+    }
+
+    /// Random interleavings of current-epoch ingest, window rotation,
+    /// late events into sealed or retired epochs, buffered session
+    /// flushes, and mid-history queries: the suffix-path
+    /// `estimate_window` stays bit-identical to the per-register offline
+    /// oracle at every probe point, and the final snapshot is unchanged
+    /// by whether queries (and hence suffix rebuilds) happened at all.
+    #[test]
+    fn suffix_path_survives_random_interleavings(
+        cfg_idx in 0usize..4,
+        epochs in 2usize..6,
+        ops in prop::collection::vec((0u8..5, any::<u64>(), 1usize..120), 4..14),
+        seed in any::<u64>(),
+    ) {
+        let cfg = configs()[cfg_idx];
+        let store = WindowedStore::new(4, cfg, epochs).unwrap();
+        // A query-free twin proves suffix rebuilds never leak into the
+        // serialized state.
+        let untouched = WindowedStore::new(4, cfg, epochs).unwrap();
+
+        let assert_oracle = |store: &WindowedStore| -> Result<(), TestCaseError> {
+            let current = store.current_epoch();
+            for key in store.keys() {
+                for k in 1..=epochs {
+                    let mut offline = ExaLogLog::new(cfg);
+                    for e in current.saturating_sub(k as u64 - 1)..=current {
+                        if let Some(sub) = store.epoch_sketch(&key, e) {
+                            offline.merge_from_per_register(&sub).unwrap();
+                        }
+                    }
+                    prop_assert_eq!(
+                        store.estimate_window(&key, k).unwrap().to_bits(),
+                        offline.estimate().to_bits(),
+                        "{}: window k={} diverged from the oracle", key, k
+                    );
+                }
+                let mut offline = store.retired_sketch(&key).unwrap();
+                for e in current.saturating_sub(epochs as u64 - 1)..=current {
+                    if let Some(sub) = store.epoch_sketch(&key, e) {
+                        offline.merge_from_per_register(&sub).unwrap();
+                    }
+                }
+                prop_assert_eq!(
+                    store.estimate_all_time(&key).unwrap().to_bits(),
+                    offline.estimate().to_bits(),
+                    "{}: all-time diverged from the oracle", key
+                );
+            }
+            Ok(())
+        };
+
+        for (i, &(op, pick, n)) in ops.iter().enumerate() {
+            let current = store.current_epoch();
+            let events = epoch_events(seed.wrapping_add(i as u64), n, 5);
+            let refs: Vec<(&str, u64)> = events.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+            match op {
+                // Ingest into the current epoch (builds the hot path).
+                0 => {
+                    store.ingest(current, &refs);
+                    untouched.ingest(current, &refs);
+                }
+                // Rotate forward by 1..=epochs+1 (partial or full).
+                1 => {
+                    let gap = pick % (epochs as u64 + 1) + 1;
+                    store.advance(current + gap);
+                    untouched.advance(current + gap);
+                }
+                // Late events into a random earlier epoch: a sealed
+                // live slot (dirtying suffixes) or the retired union.
+                2 => {
+                    let back = pick % (2 * epochs as u64 + 1);
+                    let epoch = current.saturating_sub(back);
+                    store.ingest(epoch, &refs);
+                    untouched.ingest(epoch, &refs);
+                }
+                // Buffered session flush, split over two sessions with
+                // mixed epochs (current + possibly-late).
+                3 => {
+                    let late = current.saturating_sub(pick % (epochs as u64 + 2));
+                    let mid = refs.len() / 2;
+                    {
+                        let mut a = store.session().with_auto_flush(17);
+                        a.ingest(current, &refs[..mid]);
+                        a.ingest(late, &refs[mid..]);
+                    }
+                    {
+                        let mut b = untouched.session().with_auto_flush(23);
+                        b.ingest(current, &refs[..mid]);
+                        b.ingest(late, &refs[mid..]);
+                    }
+                }
+                // Probe mid-history: every key × every k against the
+                // oracle (this builds partial suffix chains that the
+                // next operations must invalidate correctly).
+                _ => assert_oracle(&store)?,
+            }
+        }
+        assert_oracle(&store)?;
+        // Suffix state is invisible in the wire format: the heavily
+        // queried store and the query-free twin snapshot identically.
+        prop_assert_eq!(store.snapshot_bytes(), untouched.snapshot_bytes());
+    }
+
+    /// ELLW restore-then-query bit-identity: a restored store rebuilds
+    /// its suffix chains lazily and must reproduce every windowed and
+    /// all-time estimate bit-for-bit — both against the original store
+    /// (whose chains are warm) and against the offline per-register
+    /// oracle — then re-snapshot byte-identically even after the
+    /// rebuilds.
+    #[test]
+    fn restore_then_query_rebuilds_suffixes_bit_identically(
+        cfg_idx in 0usize..4,
+        epochs in 1usize..5,
+        rounds in 1usize..7,
+        seed in any::<u64>(),
+        n in 1usize..400,
+        late_pick in any::<u64>(),
+    ) {
+        let cfg = configs()[cfg_idx];
+        let store = WindowedStore::new(4, cfg, epochs).unwrap();
+        for round in 0..rounds {
+            let events = epoch_events(seed.wrapping_add(round as u64), n, 6);
+            let refs: Vec<(&str, u64)> = events.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+            store.ingest(round as u64, &refs);
+        }
+        // Warm the original's chains, then land a late event so the
+        // snapshot carries a partially-dirty chain state.
+        let current = store.current_epoch();
+        for key in store.keys() {
+            store.estimate_window(&key, epochs).unwrap();
+        }
+        let late = current.saturating_sub(late_pick % (epochs as u64 + 1));
+        let late_events = epoch_events(seed ^ 0x1a7e, n.min(60), 6);
+        let late_refs: Vec<(&str, u64)> =
+            late_events.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+        store.ingest(late, &late_refs);
+
+        let bytes = store.snapshot_bytes();
+        let restored = WindowedStore::from_snapshot_bytes(&bytes).unwrap();
+        for key in store.keys() {
+            for k in 1..=epochs {
+                let a = store.estimate_window(&key, k).unwrap();
+                let b = restored.estimate_window(&key, k).unwrap();
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{}: restored window k={} diverged ({} vs {})", key, k, a, b
+                );
+                let mut offline = ExaLogLog::new(cfg);
+                for e in current.saturating_sub(k as u64 - 1)..=current {
+                    if let Some(sub) = restored.epoch_sketch(&key, e) {
+                        offline.merge_from_per_register(&sub).unwrap();
+                    }
+                }
+                prop_assert_eq!(
+                    b.to_bits(), offline.estimate().to_bits(),
+                    "{}: restored window k={} diverged from the oracle", key, k
+                );
+            }
+            prop_assert_eq!(
+                store.estimate_all_time(&key).unwrap().to_bits(),
+                restored.estimate_all_time(&key).unwrap().to_bits(),
+                "{}: restored all-time diverged", key
+            );
+        }
+        prop_assert!(restored.window_stats().lazy_rebuilds > 0 || epochs == 1);
+        // Queries rebuilt chains; the snapshot must not notice.
+        prop_assert_eq!(restored.snapshot_bytes(), bytes);
     }
 }

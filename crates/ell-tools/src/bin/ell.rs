@@ -367,7 +367,8 @@ fn run_store_window(args: &[String]) -> Result<(), ToolError> {
             Ok(())
         }
         "query" => {
-            let (opts, positional) = parse_options_with_flags(rest, &["last"], &["all-time"])?;
+            let (opts, positional) =
+                parse_options_with_flags(rest, &["last"], &["all-time", "stats"])?;
             let Some((path, keys)) = positional.split_first() else {
                 return Err(ToolError::Usage(
                     "store window query needs a snapshot file".into(),
@@ -375,6 +376,7 @@ fn run_store_window(args: &[String]) -> Result<(), ToolError> {
             };
             let store = load_windowed(Path::new(path))?;
             let all_time = opts.contains_key("all-time");
+            let show_stats = opts.contains_key("stats");
             if all_time && opts.contains_key("last") {
                 return Err(ToolError::Usage(
                     "--last and --all-time are mutually exclusive (a trailing window \
@@ -399,11 +401,29 @@ fn run_store_window(args: &[String]) -> Result<(), ToolError> {
                     store.estimate_window(key, last_k)
                 }
             };
+            // Suffix-cache effectiveness for the queries this command
+            // runs (a restored snapshot starts with cold chains: the
+            // first wide query per key is a lazy rebuild, the rest are
+            // hits). `#`-prefixed so tab-separated consumers skip it.
+            let print_stats = |store: &WindowedStore| {
+                if show_stats {
+                    let s = store.window_stats();
+                    println!(
+                        "# suffix-cache: hits={} lazy_rebuilds={} entries_built={} \
+                         dirty_invalidations={}",
+                        s.suffix_hits,
+                        s.lazy_rebuilds,
+                        s.suffix_entries_built,
+                        s.dirty_invalidations
+                    );
+                }
+            };
             if keys.is_empty() {
                 for key in store.keys() {
                     let estimate = estimate_of(&key).expect("listed key exists");
                     println!("{key}\t{estimate:.0}");
                 }
+                print_stats(&store);
                 return Ok(());
             }
             // Resolve every key before printing anything, so scripts
@@ -419,6 +439,7 @@ fn run_store_window(args: &[String]) -> Result<(), ToolError> {
             for (key, estimate) in rows {
                 println!("{key}\t{estimate:.0}");
             }
+            print_stats(&store);
             Ok(())
         }
         other => Err(ToolError::Usage(format!(
@@ -451,8 +472,9 @@ fn print_help() {
          \x20                       [FILE...|-]           per-epoch ingest (auto-advances)\n\
          \x20 store window advance FILE --epoch N [--out FILE]\n\
          \x20                                             rotate the window forward\n\
-         \x20 store window query   FILE [KEY...] [--last K] [--all-time]\n\
-         \x20                                             trailing-window estimates\n\n\
+         \x20 store window query   FILE [KEY...] [--last K] [--all-time] [--stats]\n\
+         \x20                                             trailing-window estimates\n\
+         \x20                                             (--stats: suffix-cache counters)\n\n\
          algorithms for count --algo:\n\
          \x20 {}",
         ell_baselines::ALGORITHMS.join(", ")

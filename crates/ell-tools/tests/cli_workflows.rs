@@ -549,6 +549,16 @@ fn cli_store_window_workflows() {
     // Each epoch contributes ~1000 fresh elements per key.
     assert!((first(&q_full) / 3000.0 - 1.0).abs() < 0.15, "{q_full}");
     assert!((first(&q_one) / 1000.0 - 1.0).abs() < 0.15, "{q_one}");
+    // --stats appends the suffix-cache counter line after the results.
+    let (ok, q_stats, stderr) = run_cli(&["store", "window", "query", snap_str, "--stats"], "");
+    assert!(ok, "{stderr}");
+    assert!((first(&q_stats) / 3000.0 - 1.0).abs() < 0.15, "{q_stats}");
+    let stats_line = q_stats
+        .lines()
+        .find(|l| l.starts_with("# suffix-cache:"))
+        .unwrap_or_else(|| panic!("missing stats line in {q_stats:?}"));
+    assert!(stats_line.contains("lazy_rebuilds="), "{stats_line}");
+    assert!(stats_line.contains("dirty_invalidations=0"), "{stats_line}");
     // Advance far ahead: windows drain, the all-time union remembers.
     let (ok, stdout, stderr) = run_cli(
         &["store", "window", "advance", snap_str, "--epoch", "50"],
