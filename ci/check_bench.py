@@ -17,6 +17,11 @@ For every file the script enforces, in order:
    trustworthy: ``available_parallelism >= 4`` and ``unreliable`` is not
    set. Otherwise the gate is skipped with a printed notice, so runs on
    small machines degrade loudly instead of failing or lying.
+4. **Tiering gates.** When the file carries ``warm_bytes_reduction``
+   (the tiers bench), it must be ``>= --min-warm-reduction`` (default
+   2.0: compressing the idle tail must at least halve resident memory),
+   and ``hot_ingest_ratio`` must be ``<= --max-hot-ratio`` (default
+   1.10: demoted neighbors must not tax the hot path).
 
 One summary line is printed per file; the exit status is non-zero if any
 check failed anywhere.
@@ -32,7 +37,9 @@ INFORMATIONAL = {"unreliable"}
 MIN_PARALLELISM = 4
 
 
-def check_file(path: str, min_scaling: float) -> bool:
+def check_file(
+    path: str, min_scaling: float, min_warm_reduction: float, max_hot_ratio: float
+) -> bool:
     try:
         with open(path, encoding="utf-8") as fh:
             data = json.load(fh)
@@ -82,6 +89,27 @@ def check_file(path: str, min_scaling: float) -> bool:
         else:
             scaling_note = f"scaling {factor:.2f}x at {threads} threads (gate {min_scaling:.1f})"
 
+    tier_note = ""
+    warm_reduction = data.get("warm_bytes_reduction")
+    if warm_reduction is not None:
+        hot_ratio = data.get("hot_ingest_ratio")
+        if warm_reduction < min_warm_reduction:
+            failures.append(
+                f"warm_bytes_reduction {warm_reduction:.2f} is below "
+                f"the {min_warm_reduction:.1f} gate"
+            )
+        if hot_ratio is not None and hot_ratio > max_hot_ratio:
+            failures.append(
+                f"hot_ingest_ratio {hot_ratio:.3f} exceeds the {max_hot_ratio:.2f} gate"
+            )
+        if not failures:
+            overall = data.get("tiered_bytes_reduction")
+            tier_note = f"warm reduction {warm_reduction:.2f}x (gate {min_warm_reduction:.1f})"
+            if overall is not None:
+                tier_note += f", tiered {overall:.2f}x"
+            if hot_ratio is not None:
+                tier_note += f", hot ratio {hot_ratio:.3f} (gate {max_hot_ratio:.2f})"
+
     name = data.get("bench", "?")
     if failures:
         print(f"FAIL {path} (bench {name}): " + "; ".join(failures))
@@ -93,6 +121,8 @@ def check_file(path: str, min_scaling: float) -> bool:
     if flatness is not None:
         bound = data.get("query_flatness_bound", "?")
         summary += f", query flatness {flatness:.2f}x (bound {bound}x)"
+    if tier_note:
+        summary += f"; {tier_note}"
     if scaling_note:
         summary += f"; {scaling_note}"
     print(summary)
@@ -103,10 +133,14 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+", metavar="FILE")
     parser.add_argument("--min-scaling", type=float, default=2.0)
+    parser.add_argument("--min-warm-reduction", type=float, default=2.0)
+    parser.add_argument("--max-hot-ratio", type=float, default=1.10)
     opts = parser.parse_args()
     ok = True
     for path in opts.files:
-        ok &= check_file(path, opts.min_scaling)
+        ok &= check_file(
+            path, opts.min_scaling, opts.min_warm_reduction, opts.max_hot_ratio
+        )
     return 0 if ok else 1
 
 

@@ -282,6 +282,15 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Deep resident-memory accounting (maps, keys, per-key sketch
+    // heap) — comparable against bench_tiers' bytes-per-key figures.
+    let memory_bytes = store.memory_bytes();
+    let bytes_per_key = memory_bytes as f64 / store.key_count().max(1) as f64;
+    println!(
+        "resident: {memory_bytes} bytes ({bytes_per_key:.0} per key across {} keys)",
+        store.key_count()
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"store\",\n  \"mode\": \"{}\",\n  \"ops\": {},\n  \
          \"key_universe\": {},\n  \"zipf_s\": {},\n  \"shards\": {},\n  \"reps\": {},\n  \
@@ -289,6 +298,7 @@ fn main() {
          \"scaling_factor\": {scaling_factor:.3},\n  \"scaling_threads\": {scaling_threads},\n  \
          \"unreliable\": {unreliable},\n  \
          \"unit\": \"ns_per_event\",\n  \"snapshot_bytes\": {},\n  \
+         \"memory_bytes\": {memory_bytes},\n  \"bytes_per_key\": {bytes_per_key:.1},\n  \
          \"deterministic_across_threads\": {},\n  \"roundtrip_ok\": {},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         if args.quick { "quick" } else { "full" },

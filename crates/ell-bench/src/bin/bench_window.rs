@@ -489,6 +489,15 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Deep resident-memory accounting (maps, keys, rings, suffix
+    // chains) — the windowed counterpart of bench_tiers' bytes-per-key.
+    let memory_bytes = store.memory_bytes();
+    let bytes_per_key = memory_bytes as f64 / store.key_count().max(1) as f64;
+    println!(
+        "resident: {memory_bytes} bytes ({bytes_per_key:.0} per key across {} keys)",
+        store.key_count()
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"window\",\n  \"mode\": \"{}\",\n  \"config\": \"{cfg}\",\n  \
          \"epoch_ring\": {},\n  \"rounds\": {},\n  \"events_per_epoch\": {},\n  \
@@ -497,6 +506,8 @@ fn main() {
          \"scaling_factor\": {scaling_factor:.3},\n  \"scaling_threads\": {scaling_threads},\n  \
          \"unreliable\": {unreliable},\n  \
          \"snapshot_bytes\": {},\n  \
+         \"memory_bytes\": {memory_bytes},\n  \
+         \"bytes_per_key\": {bytes_per_key:.1},\n  \
          \"rotation_ns_per_key_epoch\": {rotation_ns_per_key_epoch:.1},\n  \
          \"deterministic_across_threads\": {deterministic},\n  \
          \"equivalence\": \"{}\",\n  \"roundtrip_ok\": {roundtrip_ok},\n  \

@@ -48,6 +48,19 @@
 //! promoted). [`EllStore::from_snapshot_bytes`] restores it exactly —
 //! every per-key estimate reproduces bit-for-bit.
 //!
+//! # Tiered residency
+//!
+//! With a [`TierConfig`] installed, idle keys step down a residency
+//! ladder — hot (atomic/sparse, as above) → **warm** (range-coder
+//! compressed in RAM) → **cold** (spilled to an on-disk segment file
+//! behind an in-memory index) — one rung per [`EllStore::demote_idle`]
+//! sweep, where "idle" is measured against a caller-advanced clock
+//! ([`EllStore::tick`]). Any ingest or per-key [`EllStore::estimate`]
+//! promotes the key back to hot. Tiering is a pure space optimization:
+//! estimates and snapshots are bit-identical to a never-tiered store.
+//! [`TierStats`] and [`EllStore::memory_bytes`] expose the per-tier
+//! breakdown and deep resident-byte accounting.
+//!
 //! # Windowed counting
 //!
 //! [`WindowedStore`] adds the time dimension: each key holds a ring of
@@ -76,12 +89,14 @@
 
 mod session;
 mod store;
+mod tiers;
 mod window;
 mod window_wire;
 mod wire;
 
 pub use session::{IngestSession, WindowIngestSession};
 pub use store::EllStore;
+pub use tiers::{Tier, TierConfig, TierStats};
 pub use window::{WindowStats, WindowedStore};
 
 pub use exaloglog::adaptive::AdaptiveExaLogLog;

@@ -6,9 +6,20 @@
 //! all. Small deltas stay in the sparse token phase; heavy keys promote
 //! to dense registers inside the buffer. When the buffered hash count
 //! crosses the session's threshold, or at an explicit
-//! [`IngestSession::flush`] (and on drop), the deltas are handed to the
-//! store's per-shard handoff queues and drained into the slots through
-//! the word-level merge fast path.
+//! [`IngestSession::flush`] (and on drop), the deltas merge into the
+//! store through the word-level merge fast path.
+//!
+//! # Buffer reuse
+//!
+//! Flushing does not tear the buffer down: on the uncontended path each
+//! delta merges into its slot *by reference* and is then reset in
+//! place, so the key strings, token vectors, and register arrays reach
+//! their working-set size once and are reused for every subsequent
+//! flush. Only when a shard's write lock is contended during an
+//! auto-flush does the session clone the delta onto the store's handoff
+//! queue (keeping the buffer either way). Oversubscribed ingest — more
+//! sessions than cores — therefore degrades gracefully instead of
+//! churning the allocator on every flush.
 //!
 //! # Exactness
 //!
@@ -19,6 +30,12 @@
 //! was flushed, or which thread drained the queue. The
 //! `proptest_session` suite pins this equivalence against sequential
 //! [`EllStore::ingest`] for random flush points and schedules.
+//!
+//! Flushing into a key that has been demoted to the warm or cold tier
+//! does **not** promote it: the store parks the delta on the slot and
+//! folds it in at the next promotion (see the
+//! [`tiers`](crate::TierConfig) lifecycle), keeping the flush path free
+//! of decompression work.
 //!
 //! ```
 //! use ell_store::EllStore;
@@ -58,7 +75,10 @@ pub(crate) const DEFAULT_AUTO_FLUSH: usize = 32 * 1024;
 #[derive(Debug)]
 pub struct IngestSession<'a> {
     store: &'a EllStore,
-    deltas: HashMap<String, AdaptiveExaLogLog>,
+    /// Per-key deltas with the key's shard index cached. Entries stay
+    /// allocated (reset, not dropped) across flushes; the buffer's
+    /// footprint is bounded by the session's distinct-key working set.
+    deltas: HashMap<String, (usize, AdaptiveExaLogLog)>,
     buffered: usize,
     auto_flush: usize,
 }
@@ -92,13 +112,14 @@ impl<'a> IngestSession<'a> {
     /// Buffers one `(key, element-hash)` observation.
     pub fn insert(&mut self, key: &str, hash: u64) {
         match self.deltas.get_mut(key) {
-            Some(delta) => {
+            Some((_, delta)) => {
                 delta.insert_hash(hash);
             }
             None => {
+                let si = self.store.shard_of(key);
                 let mut delta = self.store.new_adaptive();
                 delta.insert_hash(hash);
-                self.deltas.insert(key.to_owned(), delta);
+                self.deltas.insert(key.to_owned(), (si, delta));
             }
         }
         self.buffered += 1;
@@ -123,18 +144,24 @@ impl<'a> IngestSession<'a> {
 
     fn flush_with(&mut self, barrier: bool) {
         self.buffered = 0;
-        if self.deltas.is_empty() {
-            if barrier {
-                self.store.drain_all_pending();
+        let store = self.store;
+        let mut groups: Vec<Vec<(&String, &mut AdaptiveExaLogLog)>> = Vec::new();
+        groups.resize_with(store.shard_count(), Vec::new);
+        // Deltas reset by earlier flushes and not touched since stay
+        // empty — skip them instead of paying a no-op merge.
+        for (key, (si, delta)) in self.deltas.iter_mut() {
+            if !delta.is_empty() {
+                groups[*si].push((key, delta));
             }
-            return;
         }
-        let mut groups: Vec<Vec<(String, AdaptiveExaLogLog)>> =
-            vec![Vec::new(); self.store.shard_count()];
-        for (key, delta) in self.deltas.drain() {
-            groups[self.store.shard_of(&key)].push((key, delta));
+        for (si, mut group) in groups.into_iter().enumerate() {
+            if !group.is_empty() {
+                store.flush_group_ref(si, &mut group, barrier);
+            }
         }
-        self.store.flush_deltas(groups, barrier);
+        if barrier {
+            store.drain_all_pending();
+        }
     }
 }
 
@@ -166,9 +193,14 @@ impl Drop for IngestSession<'_> {
 #[derive(Debug)]
 pub struct WindowIngestSession<'a> {
     store: &'a WindowedStore,
-    /// Per-key, per-epoch deltas. A session rarely touches more than a
-    /// couple of epochs per key, so a small vec beats a nested map.
-    deltas: HashMap<String, Vec<(u64, AdaptiveExaLogLog)>>,
+    /// Per-key, per-epoch deltas (shard index cached per key). A
+    /// session rarely touches more than a couple of epochs per key, so
+    /// a small vec beats a nested map.
+    deltas: HashMap<String, (usize, Vec<(u64, AdaptiveExaLogLog)>)>,
+    /// Reset delta sketches recycled across flushes: a flushed
+    /// `(epoch, delta)` entry returns its sketch here, and the next
+    /// epoch the key touches pops one instead of allocating.
+    spare: Vec<AdaptiveExaLogLog>,
     buffered: usize,
     auto_flush: usize,
     /// Highest epoch this session has advanced the store to; gates the
@@ -181,6 +213,7 @@ impl<'a> WindowIngestSession<'a> {
         WindowIngestSession {
             store,
             deltas: HashMap::new(),
+            spare: Vec::new(),
             buffered: 0,
             auto_flush: DEFAULT_AUTO_FLUSH,
             advanced_to: store.current_epoch(),
@@ -210,15 +243,16 @@ impl<'a> WindowIngestSession<'a> {
             self.advanced_to = epoch;
         }
         if !self.deltas.contains_key(key) {
-            self.deltas.insert(key.to_owned(), Vec::new());
+            let si = self.store.shard_of(key);
+            self.deltas.insert(key.to_owned(), (si, Vec::new()));
         }
-        let entries = self.deltas.get_mut(key).expect("present: just ensured");
+        let (_, entries) = self.deltas.get_mut(key).expect("present: just ensured");
         match entries.iter_mut().find(|(e, _)| *e == epoch) {
             Some((_, delta)) => {
                 delta.insert_hash(hash);
             }
             None => {
-                let mut delta = self.store.new_delta();
+                let mut delta = self.spare.pop().unwrap_or_else(|| self.store.new_delta());
                 delta.insert_hash(hash);
                 entries.push((epoch, delta));
             }
@@ -251,21 +285,37 @@ impl<'a> WindowIngestSession<'a> {
 
     fn flush_with(&mut self, barrier: bool) {
         self.buffered = 0;
-        if self.deltas.is_empty() {
-            if barrier {
-                self.store.drain_all_pending();
+        let store = self.store;
+        {
+            let mut groups: Vec<Vec<(&String, u64, &mut AdaptiveExaLogLog)>> = Vec::new();
+            groups.resize_with(store.shard_count(), Vec::new);
+            for (key, (si, entries)) in self.deltas.iter_mut() {
+                for (epoch, delta) in entries.iter_mut() {
+                    // Empty-epoch deltas (reset by an earlier flush, not
+                    // refilled) carry nothing — skip the merge entirely.
+                    if !delta.is_empty() {
+                        groups[*si].push((key, *epoch, delta));
+                    }
+                }
             }
-            return;
-        }
-        let mut groups: Vec<Vec<(String, u64, AdaptiveExaLogLog)>> =
-            vec![Vec::new(); self.store.shard_count()];
-        for (key, entries) in self.deltas.drain() {
-            let si = self.store.shard_of(&key);
-            for (epoch, delta) in entries {
-                groups[si].push((key.clone(), epoch, delta));
+            for (si, mut group) in groups.into_iter().enumerate() {
+                if !group.is_empty() {
+                    store.flush_group_ref(si, &mut group, barrier);
+                }
             }
         }
-        self.store.flush_deltas(groups, barrier);
+        // Recycle every per-epoch delta (the store reset the flushed
+        // ones; stragglers are already empty): the key entries survive,
+        // the sketches go back to the spare pool.
+        for (_, (_, entries)) in self.deltas.iter_mut() {
+            for (_, mut delta) in entries.drain(..) {
+                delta.reset();
+                self.spare.push(delta);
+            }
+        }
+        if barrier {
+            store.drain_all_pending();
+        }
     }
 }
 
@@ -316,6 +366,59 @@ mod tests {
     }
 
     #[test]
+    fn session_flush_parks_on_warm_keys_without_promoting() {
+        let mut store = EllStore::new(2, cfg()).unwrap();
+        store.set_tier_config(crate::TierConfig::new().warm_after(1));
+        let twin = EllStore::new(2, cfg()).unwrap();
+        let mut rng = SplitMix64::new(13);
+        let first: Vec<u64> = (0..5_000).map(|_| rng.next_u64()).collect();
+        let second: Vec<u64> = (0..5_000).map(|_| rng.next_u64()).collect();
+        for h in &first {
+            store.insert("k", *h);
+            twin.insert("k", *h);
+        }
+        store.tick();
+        store.demote_idle();
+        assert_eq!(store.key_tier("k"), Some(crate::Tier::Warm));
+        {
+            let mut session = store.session();
+            for h in &second {
+                session.insert("k", *h);
+            }
+        }
+        for h in &second {
+            twin.insert("k", *h);
+        }
+        // The flush parked its delta: the key is still warm…
+        assert_eq!(store.key_tier("k"), Some(crate::Tier::Warm));
+        assert!(store.tier_stats().parked_deltas > 0);
+        // …and the next query folds it in, bit-identical to the twin.
+        assert_eq!(
+            store.estimate("k").unwrap().to_bits(),
+            twin.estimate("k").unwrap().to_bits()
+        );
+        assert_ne!(store.key_tier("k"), Some(crate::Tier::Warm));
+    }
+
+    #[test]
+    fn flat_session_reuses_buffers_across_flushes() {
+        let store = EllStore::new(2, cfg()).unwrap();
+        let mut session = store.session().with_auto_flush(64);
+        let mut rng = SplitMix64::new(14);
+        for _ in 0..10 {
+            for _ in 0..100 {
+                session.insert("steady", rng.next_u64());
+            }
+        }
+        // One key, many flushes: exactly one delta entry, kept across
+        // flushes and reset in place.
+        assert_eq!(session.deltas.len(), 1);
+        session.flush();
+        let (_, delta) = session.deltas.get("steady").unwrap();
+        assert!(delta.is_empty());
+    }
+
+    #[test]
     fn window_session_matches_direct_ingest_bit_for_bit() {
         let direct = WindowedStore::new(4, cfg(), 3).unwrap();
         let buffered = WindowedStore::new(4, cfg(), 3).unwrap();
@@ -337,5 +440,22 @@ mod tests {
         }
         assert_eq!(buffered.snapshot_bytes(), direct.snapshot_bytes());
         assert_eq!(buffered.current_epoch(), 7);
+    }
+
+    #[test]
+    fn window_session_recycles_delta_buffers() {
+        let store = WindowedStore::new(2, cfg(), 4).unwrap();
+        let mut session = store.session().with_auto_flush(32);
+        let mut rng = SplitMix64::new(15);
+        for epoch in 0..6u64 {
+            for _ in 0..50 {
+                session.insert("k", epoch, rng.next_u64());
+            }
+        }
+        session.flush();
+        // All per-epoch sketches were recycled rather than dropped.
+        assert!(!session.spare.is_empty());
+        let (_, entries) = session.deltas.get("k").unwrap();
+        assert!(entries.is_empty());
     }
 }

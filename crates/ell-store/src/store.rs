@@ -1,11 +1,14 @@
-//! The sharded keyed store proper: slot lifecycle, batched ingest, and
-//! per-key / merged estimation.
+//! The sharded keyed store proper: slot lifecycle, batched ingest,
+//! tiered residency, and per-key / merged estimation.
 
+use crate::tiers::{SpillStore, Tier, TierConfig, TierCounters, TierStats};
 use ell_hash::{Hasher64, WyHash};
 use exaloglog::adaptive::AdaptiveExaLogLog;
 use exaloglog::atomic::AtomicExaLogLog;
+use exaloglog::compress::{compress, decompress};
 use exaloglog::{EllConfig, EllError, ExaLogLog};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
 /// Seed of the key-partitioning hash. Fixed so that shard assignment —
@@ -17,46 +20,140 @@ const KEY_HASH_SEED: u64 = 0xE115_70E5;
 /// the write lock) instead of deferring to an opportunistic drain.
 pub(crate) const HANDOFF_SOFT_CAPACITY: usize = 64;
 
-/// One keyed counter. Cold and sparse keys stay [`Slot::Adaptive`]
-/// (mutated under the shard write lock); once a key's sketch promotes to
-/// dense registers it becomes [`Slot::Hot`], whose lock-free CAS inserts
-/// need only the shard read lock.
+/// One keyed counter plus its access-clock stamp.
+///
+/// The residency ladder: sparse keys mutate under the shard write lock
+/// ([`SlotState::Adaptive`]); dense keys upgrade to the lock-free CAS
+/// path ([`SlotState::Hot`]); idle keys demote to compressed in-memory
+/// bytes ([`SlotState::Warm`]) and then to the on-disk segment file
+/// ([`SlotState::Cold`]), where only the `(segment, offset, len)` index
+/// entry stays resident. Any ingest or per-key query promotes a
+/// warm/cold slot back to a resident sketch; register merge is monotone,
+/// so the round trip is bit-lossless.
 #[derive(Debug)]
-pub(crate) enum Slot {
-    Adaptive(AdaptiveExaLogLog),
-    Hot(AtomicExaLogLog),
+pub(crate) struct Slot {
+    state: SlotState,
+    /// Access-clock value at the last ingest/query touch. Relaxed: the
+    /// demotion sweep tolerates racy staleness (a stale stamp only
+    /// delays or hastens demotion by one sweep, never loses data).
+    touched: AtomicU64,
 }
 
 impl Slot {
-    fn estimate(&self) -> f64 {
+    fn new(state: SlotState, now: u64) -> Self {
+        Slot {
+            state,
+            touched: AtomicU64::new(now),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum SlotState {
+    /// Sparse-phase (or not-yet-upgraded dense) counter, mutated under
+    /// the shard write lock. Boxed so the enum's inline size — paid by
+    /// *every* slot, including cold ones — stays small.
+    Adaptive(Box<AdaptiveExaLogLog>),
+    /// Dense registers on the lock-free atomic path (shard read lock
+    /// plus CAS).
+    Hot(AtomicExaLogLog),
+    /// Compressed bytes in memory.
+    Warm(WarmEntry),
+    /// Bytes spilled to the segment file; only the index stays here.
+    Cold(ColdEntry),
+}
+
+/// A warm slot: the serialized counter plus any session deltas parked
+/// on it by lazy flushes (merged at promotion).
+#[derive(Debug)]
+struct WarmEntry {
+    /// Self-describing payload: `ELLZ` (range-coded dense registers) or
+    /// `ELLS` (canonical sparse serialization).
+    bytes: Box<[u8]>,
+    pending: Option<Box<AdaptiveExaLogLog>>,
+}
+
+/// A cold slot: the `(segment, offset, len)` address of the payload in
+/// the spill segment file, plus parked session deltas.
+#[derive(Debug)]
+struct ColdEntry {
+    segment: u32,
+    len: u32,
+    offset: u64,
+    pending: Option<Box<AdaptiveExaLogLog>>,
+}
+
+impl SlotState {
+    fn is_resident(&self) -> bool {
+        matches!(self, SlotState::Adaptive(_) | SlotState::Hot(_))
+    }
+
+    fn has_pending(&self) -> bool {
         match self {
-            Slot::Adaptive(s) => s.estimate(),
-            Slot::Hot(a) => a.snapshot().estimate(),
+            SlotState::Warm(w) => w.pending.is_some(),
+            SlotState::Cold(c) => c.pending.is_some(),
+            _ => false,
         }
     }
 
-    /// A point-in-time copy as an adaptive sketch (hot slots snapshot
-    /// into the dense phase).
-    fn to_adaptive(&self) -> AdaptiveExaLogLog {
+    /// Estimate for a resident slot (callers promote warm/cold first).
+    fn estimate_resident(&self) -> f64 {
         match self {
-            Slot::Adaptive(s) => s.clone(),
-            Slot::Hot(a) => AdaptiveExaLogLog::from_dense(a.snapshot()),
+            SlotState::Adaptive(s) => s.estimate(),
+            SlotState::Hot(a) => a.snapshot().estimate(),
+            _ => unreachable!("estimate_resident on a demoted slot"),
         }
     }
 
-    fn memory_bytes(&self) -> usize {
+    /// Serializes a resident slot into its warm payload: range-coded
+    /// `ELLZ` once dense, canonical `ELLS` while sparse (both
+    /// self-describing by magic).
+    fn encode_resident(&self) -> Vec<u8> {
         match self {
-            Slot::Adaptive(s) => s.memory_bytes(),
-            Slot::Hot(a) => a.memory_bytes(),
+            SlotState::Adaptive(s) => match s.as_dense() {
+                Some(dense) => compress(dense),
+                None => s.to_bytes(),
+            },
+            SlotState::Hot(a) => compress(&a.snapshot()),
+            _ => unreachable!("encode_resident on a demoted slot"),
         }
+    }
+
+    /// Heap bytes owned by this slot beyond its inline enum size (the
+    /// inline size is accounted through the shard map's capacity).
+    fn heap_bytes(&self) -> usize {
+        let pending_bytes =
+            |p: &Option<Box<AdaptiveExaLogLog>>| p.as_ref().map_or(0, |s| s.memory_bytes());
+        match self {
+            SlotState::Adaptive(s) => s.memory_bytes(),
+            SlotState::Hot(a) => a
+                .memory_bytes()
+                .saturating_sub(core::mem::size_of::<AtomicExaLogLog>()),
+            SlotState::Warm(w) => w.bytes.len() + pending_bytes(&w.pending),
+            SlotState::Cold(c) => pending_bytes(&c.pending),
+        }
+    }
+}
+
+/// Decodes a warm/cold payload back into an adaptive sketch,
+/// dispatching on the payload magic.
+fn decode_payload(bytes: &[u8]) -> AdaptiveExaLogLog {
+    if bytes.len() >= 4 && &bytes[..4] == b"ELLZ" {
+        AdaptiveExaLogLog::from_dense(
+            decompress(bytes).expect("warm payloads are produced by this store"),
+        )
+    } else {
+        AdaptiveExaLogLog::from_bytes(bytes).expect("warm payloads are produced by this store")
     }
 }
 
 /// A sharded, thread-safe map from string keys to adaptive sketches.
 ///
-/// See the crate docs for the architecture; all methods take `&self`, so
-/// a store can be shared across ingest threads behind an `Arc` (or plain
-/// scoped-thread borrows).
+/// See the crate docs for the architecture; all ingest/query methods
+/// take `&self`, so a store can be shared across ingest threads behind
+/// an `Arc` (or plain scoped-thread borrows). Tiered residency (see
+/// [`TierConfig`]) is configured once, before sharing, via
+/// [`EllStore::set_tier_config`].
 #[derive(Debug)]
 pub struct EllStore {
     cfg: EllConfig,
@@ -69,6 +166,12 @@ pub struct EllStore {
     /// here and the queue is drained into the slots under the shard
     /// write lock. Kept strictly parallel to `shards`.
     pending: Vec<Mutex<Vec<(String, AdaptiveExaLogLog)>>>,
+    tiers: TierConfig,
+    /// The access clock driving demotion decisions; advanced by
+    /// [`EllStore::tick`], stamped into `Slot::touched` on access.
+    clock: AtomicU64,
+    spill: Option<SpillStore>,
+    counters: TierCounters,
 }
 
 impl EllStore {
@@ -108,6 +211,10 @@ impl EllStore {
             hasher: WyHash::new(KEY_HASH_SEED),
             shards: shard_maps,
             pending,
+            tiers: TierConfig::new(),
+            clock: AtomicU64::new(0),
+            spill: None,
+            counters: TierCounters::default(),
         })
     }
 
@@ -129,6 +236,47 @@ impl EllStore {
         self.shards.len()
     }
 
+    /// Installs the tiered-residency configuration (see [`TierConfig`]
+    /// for the lifecycle). Takes `&mut self` — configure tiering before
+    /// sharing the store across threads, and before any key has been
+    /// demoted cold (changing the spill directory does not move
+    /// already-spilled payloads).
+    pub fn set_tier_config(&mut self, tiers: TierConfig) {
+        self.spill = tiers
+            .spill_directory()
+            .map(|dir| SpillStore::new(dir.to_path_buf()));
+        self.tiers = tiers;
+    }
+
+    /// The active tiered-residency configuration.
+    #[must_use]
+    pub fn tier_config(&self) -> &TierConfig {
+        &self.tiers
+    }
+
+    /// Advances the access clock by one tick and returns the new value.
+    /// A "tick" is whatever cadence the caller chooses (a wall-clock
+    /// interval, a batch boundary, an epoch) — idle age is measured in
+    /// these units.
+    pub fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Advances the access clock by `ticks` at once.
+    pub fn advance_clock(&self, ticks: u64) -> u64 {
+        self.clock.fetch_add(ticks, Ordering::Relaxed) + ticks
+    }
+
+    /// The current access-clock value.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn shard_of(&self, key: &str) -> usize {
         (self.hasher.hash_bytes(key.as_bytes()) as usize) & (self.shards.len() - 1)
     }
@@ -138,10 +286,10 @@ impl EllStore {
     /// the slot state — never on thread interleaving. Every register
     /// width is hot-capable (the atomic sketch packs registers into u64
     /// words), so the only condition is dense promotion.
-    fn maybe_upgrade(&self, slot: &mut Slot) {
-        if let Slot::Adaptive(s) = slot {
+    fn maybe_upgrade(&self, state: &mut SlotState) {
+        if let SlotState::Adaptive(s) = state {
             if let Some(dense) = s.as_dense() {
-                *slot = Slot::Hot(AtomicExaLogLog::from_sketch(dense));
+                *state = SlotState::Hot(AtomicExaLogLog::from_sketch(dense));
             }
         }
     }
@@ -149,6 +297,46 @@ impl EllStore {
     pub(crate) fn new_adaptive(&self) -> AdaptiveExaLogLog {
         AdaptiveExaLogLog::with_token_parameter(self.cfg, self.v)
             .expect("parameters validated at store construction")
+    }
+
+    /// Rebuilds the resident sketch for a demoted slot state: decode
+    /// the payload (from memory or the spill segment), then fold in any
+    /// parked session deltas. Monotone merge makes the result
+    /// bit-identical to a slot that was never demoted.
+    fn revive_state(&self, state: &SlotState) -> AdaptiveExaLogLog {
+        let (bytes, pending) = match state {
+            SlotState::Warm(w) => (None, w.pending.as_deref()),
+            SlotState::Cold(c) => {
+                let bytes = self
+                    .spill
+                    .as_ref()
+                    .expect("cold entries exist only with a spill store")
+                    .read(c.segment, c.offset, c.len)
+                    .expect("cold payload unreadable — spill segment missing or truncated");
+                (Some(bytes), c.pending.as_deref())
+            }
+            _ => unreachable!("revive_state on a resident slot"),
+        };
+        let mut sketch = match (&bytes, state) {
+            (Some(b), _) => decode_payload(b),
+            (None, SlotState::Warm(w)) => decode_payload(&w.bytes),
+            _ => unreachable!(),
+        };
+        if let Some(delta) = pending {
+            sketch
+                .merge_from(delta)
+                .expect("parked deltas share the store configuration");
+        }
+        sketch
+    }
+
+    /// Replaces a warm/cold slot with its revived resident sketch.
+    fn promote_slot(&self, slot: &mut Slot) {
+        debug_assert!(!slot.state.is_resident());
+        let mut state = SlotState::Adaptive(Box::new(self.revive_state(&slot.state)));
+        self.maybe_upgrade(&mut state);
+        slot.state = state;
+        TierCounters::count(&self.counters.promotions);
     }
 
     /// Inserts one `(key, element-hash)` observation (a direct
@@ -159,9 +347,9 @@ impl EllStore {
 
     /// Batched ingest: groups the batch by shard, drains inserts into
     /// hot keys under one read lock per shard, then applies the rest
-    /// (new keys, sparse keys) under the write lock, batching
-    /// consecutive hashes per key through the sketch's
-    /// `insert_hashes` hot path.
+    /// (new keys, sparse keys, demoted keys — which promote back first)
+    /// under the write lock, batching consecutive hashes per key through
+    /// the sketch's `insert_hashes` hot path.
     ///
     /// Per-key insertion order follows batch order, and the final state
     /// for any key depends only on the *set* of hashes it received — so
@@ -180,15 +368,20 @@ impl EllStore {
     }
 
     fn ingest_shard(&self, si: usize, bucket: &[(&str, u64)]) {
+        let now = self.now();
         let mut leftover: Vec<(&str, u64)> = Vec::new();
         {
             let map = self.shards[si].read().expect("shard lock poisoned");
             for &(key, hash) in bucket {
                 match map.get(key) {
-                    Some(Slot::Hot(a)) => {
-                        a.insert_hash(hash);
-                    }
-                    _ => leftover.push((key, hash)),
+                    Some(slot) => match &slot.state {
+                        SlotState::Hot(a) => {
+                            a.insert_hash(hash);
+                            slot.touched.store(now, Ordering::Relaxed);
+                        }
+                        _ => leftover.push((key, hash)),
+                    },
+                    None => leftover.push((key, hash)),
                 }
             }
         }
@@ -205,26 +398,37 @@ impl EllStore {
         }
         for (key, hashes) in grouped {
             match map.get_mut(key) {
-                // Another thread may have upgraded the slot between our
-                // read and write sections — the hot path also works
-                // under the write lock.
-                Some(Slot::Hot(a)) => {
-                    for h in hashes {
-                        a.insert_hash(h);
+                Some(slot) => {
+                    // A direct ingest always promotes a demoted slot —
+                    // only buffered session flushes park lazily.
+                    if !slot.state.is_resident() {
+                        self.promote_slot(slot);
                     }
-                }
-                Some(slot @ Slot::Adaptive(_)) => {
-                    if let Slot::Adaptive(s) = slot {
-                        s.insert_hashes(&hashes);
+                    slot.touched.store(now, Ordering::Relaxed);
+                    match &mut slot.state {
+                        // Another thread may have upgraded the slot
+                        // between our read and write sections — the hot
+                        // path also works under the write lock.
+                        SlotState::Hot(a) => {
+                            for h in hashes {
+                                a.insert_hash(h);
+                            }
+                        }
+                        state @ SlotState::Adaptive(_) => {
+                            if let SlotState::Adaptive(s) = state {
+                                s.insert_hashes(&hashes);
+                            }
+                            self.maybe_upgrade(state);
+                        }
+                        _ => unreachable!("promoted above"),
                     }
-                    self.maybe_upgrade(slot);
                 }
                 None => {
                     let mut sketch = self.new_adaptive();
                     sketch.insert_hashes(&hashes);
-                    let mut slot = Slot::Adaptive(sketch);
-                    self.maybe_upgrade(&mut slot);
-                    map.insert(key.to_string(), slot);
+                    let mut state = SlotState::Adaptive(Box::new(sketch));
+                    self.maybe_upgrade(&mut state);
+                    map.insert(key.to_string(), Slot::new(state, now));
                 }
             }
         }
@@ -240,40 +444,51 @@ impl EllStore {
         crate::IngestSession::new(self)
     }
 
-    /// Hands a batch of `(key, delta)` pairs to the shard handoff
-    /// queues and drains them into the slots. `groups` is indexed by
-    /// shard (parallel to `self.shards`).
-    ///
-    /// With `barrier = false` (auto-flush), each touched shard is
-    /// drained opportunistically (`try_write`); if the shard write lock
-    /// is contended the deltas stay queued for whichever flusher or
-    /// barrier drains the shard next — unless the queue has crossed
-    /// [`HANDOFF_SOFT_CAPACITY`], in which case the enqueueing thread
-    /// blocks and drains it, bounding queue growth.
-    ///
-    /// With `barrier = true` (explicit flush / session drop), every
-    /// nonempty queue in the store is drained blocking, so on return
-    /// all previously enqueued deltas — including this session's items
-    /// parked earlier on contended shards — are visible to readers.
-    pub(crate) fn flush_deltas(
+    /// Flushes one shard's group of session deltas *by reference*: on an
+    /// uncontended (or barrier) lock the deltas merge straight from the
+    /// session's buffers into the slots and are reset in place, so the
+    /// session reuses its allocations across flushes. Contended
+    /// auto-flushes fall back to parking clones on the handoff queue.
+    pub(crate) fn flush_group_ref(
         &self,
-        groups: Vec<Vec<(String, AdaptiveExaLogLog)>>,
+        si: usize,
+        group: &mut [(&String, &mut AdaptiveExaLogLog)],
         barrier: bool,
     ) {
-        debug_assert_eq!(groups.len(), self.shards.len());
-        for (si, group) in groups.into_iter().enumerate() {
-            if group.is_empty() {
-                continue;
+        let guard = if barrier {
+            Some(self.shards[si].write().expect("shard lock poisoned"))
+        } else {
+            match self.shards[si].try_write() {
+                Ok(guard) => Some(guard),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
             }
-            let depth = {
-                let mut queue = self.pending[si].lock().expect("handoff queue poisoned");
-                queue.extend(group);
-                queue.len()
-            };
-            self.drain_shard(si, barrier || depth >= HANDOFF_SOFT_CAPACITY);
-        }
-        if barrier {
-            self.drain_all_pending();
+        };
+        match guard {
+            Some(mut map) => {
+                // Drain the handoff queue first so queued items never
+                // linger behind a direct merge (same happens-before
+                // story as `drain_shard`: queue pops happen under the
+                // write lock).
+                self.drain_queue_into(si, &mut map);
+                for (key, delta) in group.iter_mut() {
+                    self.merge_delta_ref(&mut map, key, delta);
+                    delta.reset();
+                }
+            }
+            None => {
+                let depth = {
+                    let mut queue = self.pending[si].lock().expect("handoff queue poisoned");
+                    for (key, delta) in group.iter_mut() {
+                        queue.push(((*key).clone(), delta.clone()));
+                        delta.reset();
+                    }
+                    queue.len()
+                };
+                if depth >= HANDOFF_SOFT_CAPACITY {
+                    self.drain_shard(si, true);
+                }
+            }
         }
     }
 
@@ -311,6 +526,12 @@ impl EllStore {
                 Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
             }
         };
+        self.drain_queue_into(si, &mut map);
+    }
+
+    /// Pops shard `si`'s queue until observed empty, merging under the
+    /// already-held write lock.
+    fn drain_queue_into(&self, si: usize, map: &mut HashMap<String, Slot>) {
         loop {
             let batch =
                 std::mem::take(&mut *self.pending[si].lock().expect("handoff queue poisoned"));
@@ -318,38 +539,93 @@ impl EllStore {
                 return;
             }
             for (key, delta) in batch {
-                self.merge_delta(&mut map, key, delta);
+                self.merge_delta(map, key, delta);
             }
         }
     }
 
     /// Merges one delta sketch into its slot (creating the slot if the
-    /// key is new). Hot slots take the lock-free register merge; the
-    /// result is bit-identical to inserting the delta's hashes directly
-    /// because register updates are monotone and order-free.
+    /// key is new). Hot slots take the lock-free register merge; demoted
+    /// slots **park** the delta (`pending`) instead of promoting — the
+    /// session flush path must never pay a decompress. The result is
+    /// bit-identical to inserting the delta's hashes directly because
+    /// register updates are monotone and order-free.
     fn merge_delta(&self, map: &mut HashMap<String, Slot>, key: String, delta: AdaptiveExaLogLog) {
         match map.get_mut(&key) {
-            Some(Slot::Hot(a)) => delta
-                .merge_into_atomic(a)
-                .expect("deltas share the store configuration"),
-            Some(slot @ Slot::Adaptive(_)) => {
-                if let Slot::Adaptive(s) = slot {
-                    s.merge_from(&delta)
-                        .expect("deltas share the store configuration and token parameter");
+            Some(slot) => match &mut slot.state {
+                SlotState::Hot(a) => delta
+                    .merge_into_atomic(a)
+                    .expect("deltas share the store configuration"),
+                state @ SlotState::Adaptive(_) => {
+                    if let SlotState::Adaptive(s) = state {
+                        s.merge_from(&delta)
+                            .expect("deltas share the store configuration and token parameter");
+                    }
+                    self.maybe_upgrade(state);
                 }
-                self.maybe_upgrade(slot);
-            }
+                SlotState::Warm(WarmEntry { pending, .. })
+                | SlotState::Cold(ColdEntry { pending, .. }) => {
+                    match pending {
+                        Some(p) => p
+                            .merge_from(&delta)
+                            .expect("deltas share the store configuration"),
+                        None => *pending = Some(Box::new(delta)),
+                    }
+                    TierCounters::count(&self.counters.parked_deltas);
+                }
+            },
             None => {
-                let mut slot = Slot::Adaptive(delta);
-                self.maybe_upgrade(&mut slot);
-                map.insert(key, slot);
+                let mut state = SlotState::Adaptive(Box::new(delta));
+                self.maybe_upgrade(&mut state);
+                map.insert(key, Slot::new(state, self.now()));
+            }
+        }
+    }
+
+    /// Borrowing variant of [`EllStore::merge_delta`] for the
+    /// buffer-reusing session flush: the delta stays owned by the
+    /// session (reset in place afterwards), so nothing is cloned on the
+    /// uncontended path except when the key is new or parked.
+    fn merge_delta_ref(
+        &self,
+        map: &mut HashMap<String, Slot>,
+        key: &str,
+        delta: &AdaptiveExaLogLog,
+    ) {
+        match map.get_mut(key) {
+            Some(slot) => match &mut slot.state {
+                SlotState::Hot(a) => delta
+                    .merge_into_atomic(a)
+                    .expect("deltas share the store configuration"),
+                state @ SlotState::Adaptive(_) => {
+                    if let SlotState::Adaptive(s) = state {
+                        s.merge_from(delta)
+                            .expect("deltas share the store configuration and token parameter");
+                    }
+                    self.maybe_upgrade(state);
+                }
+                SlotState::Warm(WarmEntry { pending, .. })
+                | SlotState::Cold(ColdEntry { pending, .. }) => {
+                    match pending {
+                        Some(p) => p
+                            .merge_from(delta)
+                            .expect("deltas share the store configuration"),
+                        None => *pending = Some(Box::new(delta.clone())),
+                    }
+                    TierCounters::count(&self.counters.parked_deltas);
+                }
+            },
+            None => {
+                let mut state = SlotState::Adaptive(Box::new(delta.clone()));
+                self.maybe_upgrade(&mut state);
+                map.insert(key.to_string(), Slot::new(state, self.now()));
             }
         }
     }
 
     /// Merges a standalone sketch into `key` (creating the key if
     /// absent) — the shard-and-merge shape for folding externally built
-    /// sketches into the store.
+    /// sketches into the store. Promotes a demoted target first.
     ///
     /// # Errors
     ///
@@ -364,17 +640,26 @@ impl EllStore {
         let si = self.shard_of(key);
         let mut map = self.shards[si].write().expect("shard lock poisoned");
         match map.get_mut(key) {
-            Some(Slot::Hot(a)) => sketch.merge_into_atomic(a)?,
-            Some(slot @ Slot::Adaptive(_)) => {
-                if let Slot::Adaptive(s) = slot {
-                    s.merge_from(sketch)?;
+            Some(slot) => {
+                if !slot.state.is_resident() {
+                    self.promote_slot(slot);
                 }
-                self.maybe_upgrade(slot);
+                slot.touched.store(self.now(), Ordering::Relaxed);
+                match &mut slot.state {
+                    SlotState::Hot(a) => sketch.merge_into_atomic(a)?,
+                    state @ SlotState::Adaptive(_) => {
+                        if let SlotState::Adaptive(s) = state {
+                            s.merge_from(sketch)?;
+                        }
+                        self.maybe_upgrade(state);
+                    }
+                    _ => unreachable!("promoted above"),
+                }
             }
             None => {
-                let mut slot = Slot::Adaptive(sketch.clone());
-                self.maybe_upgrade(&mut slot);
-                map.insert(key.to_string(), slot);
+                let mut state = SlotState::Adaptive(Box::new(sketch.clone()));
+                self.maybe_upgrade(&mut state);
+                map.insert(key.to_string(), Slot::new(state, self.now()));
             }
         }
         Ok(())
@@ -388,32 +673,262 @@ impl EllStore {
     /// warming needed here.
     pub(crate) fn place(&self, key: String, sketch: AdaptiveExaLogLog) {
         let si = self.shard_of(&key);
-        let mut slot = Slot::Adaptive(sketch);
-        self.maybe_upgrade(&mut slot);
+        let mut state = SlotState::Adaptive(Box::new(sketch));
+        self.maybe_upgrade(&mut state);
         self.shards[si]
             .write()
             .expect("shard lock poisoned")
-            .insert(key, slot);
+            .insert(key, Slot::new(state, self.now()));
+    }
+
+    /// Places restored compressed bytes under `key` as a warm slot —
+    /// snapshots of warm entries restore without a dense round trip, so
+    /// re-snapshotting reuses the identical payload.
+    pub(crate) fn place_warm(&self, key: String, bytes: Vec<u8>) {
+        let si = self.shard_of(&key);
+        let state = SlotState::Warm(WarmEntry {
+            bytes: bytes.into_boxed_slice(),
+            pending: None,
+        });
+        self.shards[si]
+            .write()
+            .expect("shard lock poisoned")
+            .insert(key, Slot::new(state, self.now()));
     }
 
     /// The distinct-count estimate for one key (`None` if the key has
-    /// never been observed).
+    /// never been observed). Promotes a demoted key back to residency
+    /// (per-key queries are accesses; use [`EllStore::estimates`] for
+    /// residency-preserving bulk reads).
     #[must_use]
     pub fn estimate(&self, key: &str) -> Option<f64> {
-        let map = self.shards[self.shard_of(key)]
-            .read()
-            .expect("shard lock poisoned");
-        map.get(key).map(Slot::estimate)
+        let si = self.shard_of(key);
+        {
+            let map = self.shards[si].read().expect("shard lock poisoned");
+            match map.get(key) {
+                None => return None,
+                Some(slot) if slot.state.is_resident() => {
+                    slot.touched.store(self.now(), Ordering::Relaxed);
+                    return Some(slot.state.estimate_resident());
+                }
+                Some(_) => {}
+            }
+        }
+        // Demoted: promote under the write lock, then serve.
+        let mut map = self.shards[si].write().expect("shard lock poisoned");
+        let slot = map.get_mut(key)?;
+        if !slot.state.is_resident() {
+            self.promote_slot(slot);
+        }
+        slot.touched.store(self.now(), Ordering::Relaxed);
+        Some(slot.state.estimate_resident())
     }
 
     /// Whether `key` currently sits on the atomic hot path (`None` if
     /// the key is absent).
     #[must_use]
     pub fn is_hot(&self, key: &str) -> Option<bool> {
+        self.key_tier(key).map(|t| t == Tier::Hot)
+    }
+
+    /// The residency tier `key` currently occupies (`None` if absent).
+    /// Does not count as an access.
+    #[must_use]
+    pub fn key_tier(&self, key: &str) -> Option<Tier> {
         let map = self.shards[self.shard_of(key)]
             .read()
             .expect("shard lock poisoned");
-        map.get(key).map(|slot| matches!(slot, Slot::Hot(_)))
+        map.get(key).map(|slot| match &slot.state {
+            SlotState::Adaptive(s) => {
+                if s.is_sparse() {
+                    Tier::Sparse
+                } else {
+                    Tier::Hot
+                }
+            }
+            SlotState::Hot(_) => Tier::Hot,
+            SlotState::Warm(_) => Tier::Warm,
+            SlotState::Cold(_) => Tier::Cold,
+        })
+    }
+
+    /// Demotes every sufficiently idle key one tier down the residency
+    /// ladder: resident → warm once idle for `warm_after` ticks, warm →
+    /// cold once idle for `cold_after` more (requires a spill
+    /// directory). A slot with parked session deltas is settled
+    /// (revived and re-encoded) before demoting further, so payloads on
+    /// disk always contain every flushed observation. Returns
+    /// `(demoted_to_warm, demoted_to_cold)`.
+    pub fn demote_idle(&self) -> (usize, usize) {
+        if !self.tiers.is_enabled() {
+            return (0, 0);
+        }
+        let now = self.now();
+        let mut to_warm = 0usize;
+        let mut to_cold = 0usize;
+        for shard in &self.shards {
+            let mut map = shard.write().expect("shard lock poisoned");
+            for slot in map.values_mut() {
+                let idle = now.saturating_sub(slot.touched.load(Ordering::Relaxed));
+                match &mut slot.state {
+                    SlotState::Adaptive(_) | SlotState::Hot(_) => {
+                        if self.tiers.warm_threshold().is_some_and(|w| idle >= w) {
+                            let bytes = slot.state.encode_resident().into_boxed_slice();
+                            slot.state = SlotState::Warm(WarmEntry {
+                                bytes,
+                                pending: None,
+                            });
+                            to_warm += 1;
+                            TierCounters::count(&self.counters.demotions_warm);
+                        }
+                    }
+                    SlotState::Warm(w) => {
+                        let due = self.tiers.cold_threshold().is_some_and(|c| idle >= c);
+                        if !due || self.spill.is_none() {
+                            continue;
+                        }
+                        // Settle parked deltas into the payload before it
+                        // leaves memory.
+                        if let Some(pending) = w.pending.take() {
+                            let mut sketch = decode_payload(&w.bytes);
+                            sketch
+                                .merge_from(&pending)
+                                .expect("parked deltas share the store configuration");
+                            w.bytes = SlotState::Adaptive(Box::new(sketch))
+                                .encode_resident()
+                                .into_boxed_slice();
+                        }
+                        let spill = self.spill.as_ref().expect("checked above");
+                        match spill.append(&w.bytes) {
+                            Ok((segment, offset, len)) => {
+                                slot.state = SlotState::Cold(ColdEntry {
+                                    segment,
+                                    len,
+                                    offset,
+                                    pending: None,
+                                });
+                                to_cold += 1;
+                                TierCounters::count(&self.counters.demotions_cold);
+                            }
+                            Err(_) => {
+                                // Stay warm; the payload is still safe in
+                                // memory.
+                                TierCounters::count(&self.counters.spill_errors);
+                            }
+                        }
+                    }
+                    SlotState::Cold(_) => {}
+                }
+            }
+        }
+        (to_warm, to_cold)
+    }
+
+    /// Promotes every demoted key back to a resident sketch. Returns
+    /// the number of promotions. After this, the store is
+    /// indistinguishable from one that never tiered (bit-identical
+    /// slots and snapshots).
+    pub fn promote_all(&self) -> usize {
+        let mut n = 0usize;
+        for shard in &self.shards {
+            let mut map = shard.write().expect("shard lock poisoned");
+            for slot in map.values_mut() {
+                if !slot.state.is_resident() {
+                    self.promote_slot(slot);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Settles parked session deltas by promoting every slot that holds
+    /// some — the snapshot pre-pass, so serialized payloads always
+    /// include every flushed observation.
+    pub(crate) fn settle_parked(&self) {
+        for shard in &self.shards {
+            let mut map = shard.write().expect("shard lock poisoned");
+            for slot in map.values_mut() {
+                if slot.state.has_pending() {
+                    self.promote_slot(slot);
+                }
+            }
+        }
+    }
+
+    /// Key-sorted `(key, payload)` pairs for snapshotting: resident
+    /// slots serialize canonically (`ELLS`/`ELL1`), warm slots embed
+    /// their compressed payload verbatim (no dense round trip), cold
+    /// slots embed the spill bytes without changing residency. Parked
+    /// deltas are settled first.
+    pub(crate) fn snapshot_payloads(&self) -> Vec<(String, Vec<u8>)> {
+        self.settle_parked();
+        let mut out: Vec<(String, Vec<u8>)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().expect("shard lock poisoned");
+            for (key, slot) in map.iter() {
+                let payload = match &slot.state {
+                    SlotState::Adaptive(s) => s.to_bytes(),
+                    SlotState::Hot(a) => AdaptiveExaLogLog::from_dense(a.snapshot()).to_bytes(),
+                    SlotState::Warm(w) => w.bytes.to_vec(),
+                    SlotState::Cold(c) => self
+                        .spill
+                        .as_ref()
+                        .expect("cold entries exist only with a spill store")
+                        .read(c.segment, c.offset, c.len)
+                        .expect("cold payload unreadable — spill segment missing or truncated"),
+                };
+                out.push((key.clone(), payload));
+            }
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Tier occupancy, transition counters, and footprint — the
+    /// observability face of the residency layer.
+    #[must_use]
+    pub fn tier_stats(&self) -> TierStats {
+        let mut stats = TierStats {
+            demotions_warm: TierCounters::get(&self.counters.demotions_warm),
+            demotions_cold: TierCounters::get(&self.counters.demotions_cold),
+            promotions: TierCounters::get(&self.counters.promotions),
+            parked_deltas: TierCounters::get(&self.counters.parked_deltas),
+            spill_errors: TierCounters::get(&self.counters.spill_errors),
+            spilled_bytes: self.spill.as_ref().map_or(0, SpillStore::spilled_bytes),
+            ..TierStats::default()
+        };
+        for shard in &self.shards {
+            let map = shard.read().expect("shard lock poisoned");
+            for slot in map.values() {
+                match &slot.state {
+                    SlotState::Adaptive(s) if s.is_sparse() => stats.sparse_keys += 1,
+                    SlotState::Adaptive(_) | SlotState::Hot(_) => stats.hot_keys += 1,
+                    SlotState::Warm(_) => stats.warm_keys += 1,
+                    SlotState::Cold(_) => stats.cold_keys += 1,
+                }
+            }
+        }
+        stats.resident_bytes = self.memory_bytes();
+        stats
+    }
+
+    /// The `state_entropy_bits` of one key's current state — the
+    /// information-theoretic lower bound on its compressed size, for
+    /// demotion-threshold tuning. Reads through warm/cold payloads
+    /// without promoting. `None` if the key is absent.
+    #[must_use]
+    pub fn state_entropy_bits(&self, key: &str) -> Option<f64> {
+        let map = self.shards[self.shard_of(key)]
+            .read()
+            .expect("shard lock poisoned");
+        let slot = map.get(key)?;
+        let dense = match &slot.state {
+            SlotState::Adaptive(s) => s.to_dense(),
+            SlotState::Hot(a) => a.snapshot(),
+            state => self.revive_state(state).to_dense(),
+        };
+        Some(exaloglog::compress::state_entropy_bits(&dense))
     }
 
     /// The number of distinct keys in the store.
@@ -449,7 +964,8 @@ impl EllStore {
         keys
     }
 
-    /// `(key, estimate)` for every key, sorted by key.
+    /// `(key, estimate)` for every key, sorted by key. Reads through
+    /// warm/cold payloads without changing their residency.
     #[must_use]
     pub fn estimates(&self) -> Vec<(String, f64)> {
         let mut out: Vec<(String, f64)> = self
@@ -459,7 +975,14 @@ impl EllStore {
                 s.read()
                     .expect("shard lock poisoned")
                     .iter()
-                    .map(|(k, slot)| (k.clone(), slot.estimate()))
+                    .map(|(k, slot)| {
+                        let est = if slot.state.is_resident() {
+                            slot.state.estimate_resident()
+                        } else {
+                            self.revive_state(&slot.state).estimate()
+                        };
+                        (k.clone(), est)
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -468,7 +991,8 @@ impl EllStore {
     }
 
     /// A point-in-time copy of every entry as `(key, sketch)`, sorted by
-    /// key (hot slots snapshot into the dense phase).
+    /// key (hot slots snapshot into the dense phase; warm/cold slots
+    /// decode without changing residency).
     #[must_use]
     pub fn entries(&self) -> Vec<(String, AdaptiveExaLogLog)> {
         let mut out: Vec<(String, AdaptiveExaLogLog)> = self
@@ -478,7 +1002,14 @@ impl EllStore {
                 s.read()
                     .expect("shard lock poisoned")
                     .iter()
-                    .map(|(k, slot)| (k.clone(), slot.to_adaptive()))
+                    .map(|(k, slot)| {
+                        let sketch = match &slot.state {
+                            SlotState::Adaptive(sk) => (**sk).clone(),
+                            SlotState::Hot(a) => AdaptiveExaLogLog::from_dense(a.snapshot()),
+                            state => self.revive_state(state),
+                        };
+                        (k.clone(), sketch)
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -493,20 +1024,21 @@ impl EllStore {
     /// word-level scan that skips empty or identical register runs
     /// wholesale, sparse slots stream their token hashes through the
     /// batched insert path, and hot slots merge their atomic registers
-    /// directly — no per-key scratch sketch or snapshot allocation
-    /// anywhere on the path.
+    /// directly. Warm/cold slots decode into a scratch sketch without
+    /// changing residency.
     #[must_use]
     pub fn merged(&self) -> ExaLogLog {
         let mut acc = ExaLogLog::new(self.cfg);
         for shard in &self.shards {
             let map = shard.read().expect("shard lock poisoned");
             for slot in map.values() {
-                match slot {
+                match &slot.state {
                     // Empty or near-empty dense slots cost one word-level
                     // zero scan inside merge_from — their all-zero runs
                     // are classified as skippable wholesale.
-                    Slot::Adaptive(s) => s.merge_into_dense(&mut acc),
-                    Slot::Hot(a) => a.merge_into_dense(&mut acc),
+                    SlotState::Adaptive(s) => s.merge_into_dense(&mut acc),
+                    SlotState::Hot(a) => a.merge_into_dense(&mut acc),
+                    state => self.revive_state(state).merge_into_dense(&mut acc),
                 }
                 .expect("per-key sketches share the store configuration");
             }
@@ -520,15 +1052,31 @@ impl EllStore {
         self.merged().estimate()
     }
 
-    /// Approximate total in-memory footprint in bytes (keys + sketches +
-    /// the store scaffolding).
+    /// Deep in-memory footprint in bytes: store scaffolding, shard map
+    /// tables (bucket capacity, not just occupancy), key strings, slot
+    /// inline state, and every slot's heap (registers, token vectors,
+    /// warm payloads, parked deltas). Cold payloads live on disk and are
+    /// *not* counted — see [`TierStats::spilled_bytes`].
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        let mut total = core::mem::size_of::<Self>();
+        let mut total = core::mem::size_of::<Self>()
+            + self.shards.capacity() * core::mem::size_of::<RwLock<HashMap<String, Slot>>>()
+            + self.pending.capacity()
+                * core::mem::size_of::<Mutex<Vec<(String, AdaptiveExaLogLog)>>>();
         for shard in &self.shards {
             let map = shard.read().expect("shard lock poisoned");
+            // A hashbrown table pays one control byte plus one
+            // (key, value) pair per bucket of capacity.
+            total += map.capacity() * (core::mem::size_of::<(String, Slot)>() + 1);
             for (key, slot) in map.iter() {
-                total += key.len() + core::mem::size_of::<String>() + slot.memory_bytes();
+                total += key.len() + slot.state.heap_bytes();
+            }
+        }
+        for queue in &self.pending {
+            let queue = queue.lock().expect("handoff queue poisoned");
+            total += queue.capacity() * core::mem::size_of::<(String, AdaptiveExaLogLog)>();
+            for (key, delta) in queue.iter() {
+                total += key.len() + delta.memory_bytes();
             }
         }
         total
@@ -652,5 +1200,130 @@ mod tests {
         let empty = store.memory_bytes();
         store.insert("some-key", 7);
         assert!(store.memory_bytes() > empty);
+    }
+
+    fn tiered_store(warm_after: u64) -> EllStore {
+        let mut store = EllStore::new(4, cfg()).unwrap();
+        store.set_tier_config(TierConfig::new().warm_after(warm_after));
+        store
+    }
+
+    fn fill_key(store: &EllStore, key: &str, n: u64, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        let batch: Vec<(&str, u64)> = (0..n).map(|_| (key, rng.next_u64())).collect();
+        store.ingest(&batch);
+    }
+
+    #[test]
+    fn demotion_and_promotion_preserve_estimates_bitwise() {
+        let store = tiered_store(1);
+        let twin = EllStore::new(4, cfg()).unwrap();
+        for (key, n, seed) in [("dense", 50_000, 10), ("sparse", 40, 11)] {
+            fill_key(&store, key, n, seed);
+            fill_key(&twin, key, n, seed);
+        }
+        let before: Vec<_> = twin.estimates();
+        store.tick();
+        let (to_warm, _) = store.demote_idle();
+        assert_eq!(to_warm, 2);
+        assert_eq!(store.key_tier("dense"), Some(Tier::Warm));
+        assert_eq!(store.key_tier("sparse"), Some(Tier::Warm));
+        // Bulk reads serve through the payload without promoting.
+        assert_eq!(store.estimates(), before);
+        assert_eq!(store.key_tier("dense"), Some(Tier::Warm));
+        // Per-key queries promote and still match bitwise.
+        assert_eq!(
+            store.estimate("dense").unwrap(),
+            twin.estimate("dense").unwrap()
+        );
+        assert_eq!(store.key_tier("dense"), Some(Tier::Hot));
+        assert_eq!(store.promote_all(), 1);
+        assert_eq!(store.estimates(), before);
+        let stats = store.tier_stats();
+        assert_eq!(stats.demotions_warm, 2);
+        assert_eq!(stats.promotions, 2);
+    }
+
+    #[test]
+    fn warm_keys_shrink_resident_memory() {
+        // A register-heavy configuration, so the per-key sketch heap —
+        // what the warm tier compresses — dominates the map overhead.
+        let mut store = EllStore::new(4, EllConfig::aligned32(11).unwrap()).unwrap();
+        store.set_tier_config(TierConfig::new().warm_after(1));
+        // Mid-cardinality keys: just past dense promotion but far from
+        // register saturation, which is exactly the regime where the
+        // range coder wins (and the regime idle tail keys live in).
+        for i in 0..8 {
+            fill_key(&store, &format!("key-{i}"), 4_000, 100 + i);
+        }
+        let resident = store.memory_bytes();
+        store.tick();
+        store.demote_idle();
+        let demoted = store.memory_bytes();
+        assert!(
+            demoted * 2 < resident,
+            "warm footprint {demoted} should be well under half of {resident}"
+        );
+    }
+
+    #[test]
+    fn cold_spill_round_trips_through_the_segment_file() {
+        let dir = std::env::temp_dir().join(format!("ell-cold-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = EllStore::new(2, cfg()).unwrap();
+        store.set_tier_config(
+            TierConfig::new()
+                .warm_after(1)
+                .cold_after(2)
+                .spill_dir(&dir),
+        );
+        let twin = EllStore::new(2, cfg()).unwrap();
+        fill_key(&store, "glacier", 30_000, 42);
+        fill_key(&twin, "glacier", 30_000, 42);
+        store.tick();
+        assert_eq!(store.demote_idle(), (1, 0));
+        store.tick();
+        assert_eq!(store.demote_idle(), (0, 1));
+        assert_eq!(store.key_tier("glacier"), Some(Tier::Cold));
+        let stats = store.tier_stats();
+        assert!(stats.spilled_bytes > 0);
+        assert_eq!(stats.cold_keys, 1);
+        // Reading back from disk reproduces the estimate bitwise.
+        assert_eq!(
+            store.estimate("glacier").unwrap(),
+            twin.estimate("glacier").unwrap()
+        );
+        assert_eq!(store.key_tier("glacier"), Some(Tier::Hot));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn direct_ingest_into_a_warm_key_promotes_and_counts() {
+        let store = tiered_store(1);
+        let twin = EllStore::new(4, cfg()).unwrap();
+        fill_key(&store, "k", 25_000, 7);
+        fill_key(&twin, "k", 25_000, 7);
+        store.tick();
+        store.demote_idle();
+        assert_eq!(store.key_tier("k"), Some(Tier::Warm));
+        // More observations land after demotion.
+        fill_key(&store, "k", 25_000, 8);
+        fill_key(&twin, "k", 25_000, 8);
+        assert_eq!(store.key_tier("k"), Some(Tier::Hot));
+        assert_eq!(store.estimate("k").unwrap(), twin.estimate("k").unwrap());
+    }
+
+    #[test]
+    fn entropy_is_observable_across_tiers() {
+        let store = tiered_store(1);
+        fill_key(&store, "k", 10_000, 9);
+        let resident = store.state_entropy_bits("k").unwrap();
+        assert!(resident > 0.0);
+        store.tick();
+        store.demote_idle();
+        // Same state, same entropy — and no promotion happened.
+        assert_eq!(store.state_entropy_bits("k").unwrap(), resident);
+        assert_eq!(store.key_tier("k"), Some(Tier::Warm));
+        assert!(store.state_entropy_bits("missing").is_none());
     }
 }

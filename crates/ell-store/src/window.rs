@@ -94,8 +94,10 @@
 //! ```
 
 use crate::store::HANDOFF_SOFT_CAPACITY;
+use crate::tiers::{TierCounters, TierStats};
 use ell_hash::{Hasher64, WyHash};
 use exaloglog::adaptive::AdaptiveExaLogLog;
+use exaloglog::compress::{compress, decompress};
 use exaloglog::{EllConfig, EllError, ExaLogLog};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -105,7 +107,50 @@ use std::sync::{Mutex, RwLock};
 /// layers shard identically for the same key space.
 const KEY_HASH_SEED: u64 = 0xE115_70E5;
 
-/// One key's windowed state: the live epoch ring, the retired union, and
+/// One key's windowed state: live (a full epoch ring) or warm (the same
+/// state as compressed bytes — sealed ring slots and retired unions are
+/// immutable except for late events, which makes them the prime
+/// demotion targets).
+#[derive(Debug)]
+enum WindowSlot {
+    Live(WindowRing),
+    Warm(WarmRing),
+}
+
+/// A demoted key's windowed state: one `ELLZ` payload per nonempty
+/// epoch slot (tagged with its *absolute* epoch, so rotation can skip
+/// warm keys entirely and the catch-up happens at promotion), one for
+/// the retired union, and any session deltas parked by lazy flushes.
+#[derive(Debug)]
+struct WarmRing {
+    /// `(epoch, ELLZ payload)` per nonempty slot at demotion time,
+    /// sorted by epoch (canonical for snapshots).
+    slots: Vec<(u64, Box<[u8]>)>,
+    /// Compressed retired union; `None` when it was empty.
+    retired: Option<Box<[u8]>>,
+    /// `(epoch, delta)` pairs parked by session flushes; folded in at
+    /// promotion (or into the payloads at snapshot settle).
+    pending: Vec<(u64, AdaptiveExaLogLog)>,
+}
+
+impl WarmRing {
+    /// Heap footprint (the inline struct is counted by the store as
+    /// part of its map entry).
+    fn memory_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|(_, bytes)| bytes.len() + core::mem::size_of::<(u64, Box<[u8]>)>())
+            .sum::<usize>()
+            + self.retired.as_ref().map_or(0, |bytes| bytes.len())
+            + self
+                .pending
+                .iter()
+                .map(|(_, delta)| delta.memory_bytes() + core::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+}
+
+/// One key's live windowed state: the epoch ring, the retired union, and
 /// the rotation-amortized suffix-union chain over the sealed slots.
 #[derive(Debug)]
 struct WindowRing {
@@ -125,10 +170,13 @@ struct WindowRing {
     /// re-derived lazily); a late event for sealed epoch `e` truncates
     /// it to `current − 1 − e`, the entries that exclude `e`.
     valid: usize,
+    /// Epoch of the last ingest or query touch (relaxed; the demotion
+    /// decision tolerates racy staleness).
+    touched: AtomicU64,
 }
 
 impl WindowRing {
-    fn new(template: &ExaLogLog, epochs: usize) -> Self {
+    fn new(template: &ExaLogLog, epochs: usize, now: u64) -> Self {
         WindowRing {
             ring: vec![template.clone(); epochs],
             retired: template.clone(),
@@ -136,6 +184,7 @@ impl WindowRing {
             // suffix entries are already correct.
             suffix: vec![template.clone(); epochs - 1],
             valid: epochs - 1,
+            touched: AtomicU64::new(now),
         }
     }
 
@@ -237,7 +286,15 @@ pub struct WindowedStore {
     /// sees one consistent window position.
     current: RwLock<u64>,
     hasher: WyHash,
-    shards: Vec<RwLock<HashMap<String, WindowRing>>>,
+    shards: Vec<RwLock<HashMap<String, WindowSlot>>>,
+    /// Epochs of inactivity after which a key's ring demotes to the
+    /// compressed warm tier (`None` disables tiering — the default).
+    /// The demotion clock *is* the epoch counter: rotation and
+    /// [`WindowedStore::demote_idle`] sweep keys whose last touch is at
+    /// least this many epochs behind the current one.
+    warm_after: Option<u64>,
+    /// Warm-tier transition counters (shared shape with the flat store).
+    counters: TierCounters,
     /// Empty sketch used to recycle rotated slots (`clone_from` keeps
     /// the slot's allocation) and to reset the query scratch.
     template: ExaLogLog,
@@ -301,11 +358,33 @@ impl WindowedStore {
             current: RwLock::new(0),
             hasher: WyHash::new(KEY_HASH_SEED),
             shards: shard_maps,
+            warm_after: None,
+            counters: TierCounters::default(),
             scratches,
             template,
             pending,
             stats: WindowStatCells::default(),
         })
+    }
+
+    /// Enables (or disables, with `None`) warm-tier demotion: a key
+    /// whose ring has not been ingested into or queried for at least
+    /// `epochs_idle` epochs compresses down to `ELLZ` payloads — one per
+    /// nonempty slot, tagged with its absolute epoch, plus one for the
+    /// retired union — at the next rotation or
+    /// [`WindowedStore::demote_idle`] sweep. Any later ingest or query
+    /// promotes the ring back (late events re-demote immediately), and
+    /// session flushes park their deltas on the warm entry instead of
+    /// promoting. The windowed store has no cold/spill tier; only the
+    /// flat [`crate::EllStore`] spills to disk.
+    pub fn set_warm_after(&mut self, epochs_idle: Option<u64>) {
+        self.warm_after = epochs_idle;
+    }
+
+    /// The warm demotion threshold in epochs, if tiering is enabled.
+    #[must_use]
+    pub fn warm_after(&self) -> Option<u64> {
+        self.warm_after
     }
 
     /// The per-epoch sketch configuration.
@@ -346,6 +425,13 @@ impl WindowedStore {
     /// Rotation re-seals the previous current epoch, so every key's
     /// suffix chain is reset; the next queries rebuild it incrementally
     /// (each entry at most once per rotation — see the module docs).
+    ///
+    /// Warm keys are **skipped entirely**: their slots are tagged with
+    /// absolute epochs, so the rotation catch-up (folding rotated-out
+    /// epochs into the retired union) happens once at promotion instead
+    /// of on every advance — rotation cost scales with the *live* key
+    /// count, not the total. When a warm threshold is set, rotation
+    /// doubles as the demotion sweep for rings idle past it.
     pub fn advance(&self, epoch: u64) {
         let mut current = self.current.write().expect("epoch lock poisoned");
         if epoch <= *current {
@@ -358,7 +444,10 @@ impl WindowedStore {
         let first = (*current + 1).max(epoch.saturating_sub(e - 1));
         for shard in &self.shards {
             let mut map = shard.write().expect("shard lock poisoned");
-            for ring in map.values_mut() {
+            for entry in map.values_mut() {
+                let WindowSlot::Live(ring) = entry else {
+                    continue;
+                };
                 for rotated in first..=epoch {
                     let slot = (rotated % e) as usize;
                     ring.retired
@@ -369,9 +458,147 @@ impl WindowedStore {
                 // The sealed set shifted under the chain; re-derive it
                 // lazily rather than paying E merges per key up front.
                 ring.valid = 0;
+                if let Some(after) = self.warm_after {
+                    let idle = epoch.saturating_sub(ring.touched.load(Ordering::Relaxed));
+                    if idle >= after {
+                        let warm = self.demote_ring(epoch, ring);
+                        *entry = WindowSlot::Warm(warm);
+                        TierCounters::count(&self.counters.demotions_warm);
+                    }
+                }
             }
         }
         *current = epoch;
+    }
+
+    /// Sweeps every live ring whose last touch is at least the
+    /// configured [`WindowedStore::set_warm_after`] threshold behind the
+    /// current epoch down to the warm tier, returning how many rings
+    /// demoted. A no-op without a threshold. Rotation performs the same
+    /// sweep implicitly; this entry point exists for stores that query
+    /// far more often than they advance.
+    pub fn demote_idle(&self) -> usize {
+        let Some(after) = self.warm_after else {
+            return 0;
+        };
+        let current = self.current.read().expect("epoch lock poisoned");
+        let mut demoted = 0;
+        for shard in &self.shards {
+            let mut map = shard.write().expect("shard lock poisoned");
+            for entry in map.values_mut() {
+                let WindowSlot::Live(ring) = entry else {
+                    continue;
+                };
+                let idle = current.saturating_sub(ring.touched.load(Ordering::Relaxed));
+                if idle >= after {
+                    let warm = self.demote_ring(*current, ring);
+                    *entry = WindowSlot::Warm(warm);
+                    TierCounters::count(&self.counters.demotions_warm);
+                    demoted += 1;
+                }
+            }
+        }
+        demoted
+    }
+
+    /// Promotes every warm key back to a live ring (folding parked
+    /// deltas in), returning how many promoted. Useful before a
+    /// latency-critical query phase.
+    pub fn promote_all(&self) -> usize {
+        let current = self.current.read().expect("epoch lock poisoned");
+        let mut promoted = 0;
+        for shard in &self.shards {
+            let mut map = shard.write().expect("shard lock poisoned");
+            for entry in map.values_mut() {
+                if matches!(entry, WindowSlot::Warm(_)) {
+                    self.promote_slot(entry, *current);
+                    promoted += 1;
+                }
+            }
+        }
+        promoted
+    }
+
+    /// Compresses a live ring down to a [`WarmRing`]: one `ELLZ` payload
+    /// per nonempty slot (tagged with the slot's absolute epoch under
+    /// the pinned `current`), plus one for the retired union when it is
+    /// nonempty. Suffix unions are derived state and are dropped.
+    fn demote_ring(&self, current: u64, ring: &WindowRing) -> WarmRing {
+        let e = self.epochs as u64;
+        let mut slots: Vec<(u64, Box<[u8]>)> = Vec::new();
+        for (i, sketch) in ring.ring.iter().enumerate() {
+            if sketch.is_empty() {
+                continue;
+            }
+            // Invert `slot = epoch % E` under `current − epoch < E`:
+            // the live epoch occupying slot i trails current by offset.
+            let offset = ((current % e) + e - i as u64) % e;
+            if offset > current {
+                // The slot's epoch would predate epoch 0 — it cannot
+                // hold live data (and nonempty is impossible here).
+                continue;
+            }
+            slots.push((current - offset, compress(sketch).into_boxed_slice()));
+        }
+        slots.sort_unstable_by_key(|(epoch, _)| *epoch);
+        let retired =
+            (!ring.retired.is_empty()).then(|| compress(&ring.retired).into_boxed_slice());
+        WarmRing {
+            slots,
+            retired,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a live ring from a warm entry under the pinned
+    /// `current`: payloads whose epoch is still in the window decompress
+    /// straight into their slot, rotated-out epochs fold into the
+    /// retired union (exactly the merges rotation would have performed),
+    /// and parked session deltas route the same way. Register merge is
+    /// monotone, commutative and idempotent, so the result is
+    /// bit-identical to a ring that was never demoted.
+    fn materialize(&self, warm: &WarmRing, current: u64) -> WindowRing {
+        let e = self.epochs as u64;
+        let mut ring = WindowRing::new(&self.template, self.epochs, current);
+        for (epoch, payload) in &warm.slots {
+            let sketch = decompress(payload).expect("warm payloads are produced by this store");
+            if current - *epoch < e {
+                ring.ring[(*epoch % e) as usize] = sketch;
+            } else {
+                ring.retired
+                    .merge_from(&sketch)
+                    .expect("warm payloads share the store configuration");
+            }
+        }
+        if let Some(payload) = &warm.retired {
+            let sketch = decompress(payload).expect("warm payloads are produced by this store");
+            ring.retired
+                .merge_from(&sketch)
+                .expect("warm payloads share the store configuration");
+        }
+        for (epoch, delta) in &warm.pending {
+            let target = if current - *epoch < e {
+                &mut ring.ring[(*epoch % e) as usize]
+            } else {
+                &mut ring.retired
+            };
+            delta
+                .merge_into_dense(target)
+                .expect("deltas share the store configuration");
+        }
+        // The suffix chain starts invalid; queries re-derive it lazily.
+        ring.valid = 0;
+        ring
+    }
+
+    /// Replaces a warm entry with its materialized live ring (a no-op on
+    /// live entries). Callers hold the shard write lock.
+    fn promote_slot(&self, entry: &mut WindowSlot, current: u64) {
+        if let WindowSlot::Warm(warm) = &*entry {
+            let ring = self.materialize(warm, current);
+            *entry = WindowSlot::Live(ring);
+            TierCounters::count(&self.counters.promotions);
+        }
     }
 
     /// Inserts one `(key, element-hash)` observation for `epoch` (a
@@ -442,15 +669,30 @@ impl WindowedStore {
             // entries that cover it; the next query rebuilds them.
             let sealed = live && epoch < current;
             for (key, hashes) in grouped {
-                let ring = match map.get_mut(key) {
-                    Some(ring) => ring,
-                    None => map
-                        .entry(key.to_string())
-                        .or_insert_with(|| WindowRing::new(&self.template, self.epochs)),
+                let entry = match map.get_mut(key) {
+                    Some(entry) => entry,
+                    None => map.entry(key.to_string()).or_insert_with(|| {
+                        WindowSlot::Live(WindowRing::new(&self.template, self.epochs, current))
+                    }),
+                };
+                // A warm key promotes first; a *late* event re-demotes
+                // right after the merge without refreshing the idle
+                // stamp — catching up on history is not fresh traffic.
+                let was_warm = matches!(entry, WindowSlot::Warm(_));
+                self.promote_slot(entry, current);
+                let WindowSlot::Live(ring) = &mut *entry else {
+                    unreachable!("promote_slot leaves a live ring");
                 };
                 target(ring, live, slot).insert_hashes(&hashes);
                 if sealed && ring.note_sealed_write(current, epoch) {
                     self.stats.invalidate();
+                }
+                if was_warm && epoch < current {
+                    let warm = self.demote_ring(current, ring);
+                    *entry = WindowSlot::Warm(warm);
+                    TierCounters::count(&self.counters.demotions_warm);
+                } else {
+                    ring.touched.store(current, Ordering::Relaxed);
                 }
             }
         }
@@ -470,31 +712,52 @@ impl WindowedStore {
         AdaptiveExaLogLog::new(self.cfg).expect("configuration validated at store construction")
     }
 
-    /// Hands a batch of `(key, epoch, delta)` triples to the shard
-    /// handoff queues and drains them. Same protocol as the flat
-    /// store's `flush_deltas`: opportunistic (`try_write`) drains on
-    /// auto-flush, blocking drains at barriers or once a queue crosses
-    /// [`HANDOFF_SOFT_CAPACITY`], and a barrier finishes by draining
-    /// every nonempty queue in the store.
-    pub(crate) fn flush_deltas(
+    /// Merges one shard's worth of session deltas **by reference** —
+    /// the session keeps (and resets) its buffers. Same protocol as the
+    /// flat store: a barrier flush takes the shard write lock outright;
+    /// an auto-flush only `try_write`s, and on contention clones the
+    /// deltas onto the handoff queue instead (blocking-draining it once
+    /// it crosses [`HANDOFF_SOFT_CAPACITY`]). Whoever gets the lock
+    /// drains the queue first, so queued and by-ref deltas can never
+    /// reorder observably (register merge is commutative anyway).
+    pub(crate) fn flush_group_ref(
         &self,
-        groups: Vec<Vec<(String, u64, AdaptiveExaLogLog)>>,
+        si: usize,
+        group: &mut [(&String, u64, &mut AdaptiveExaLogLog)],
         barrier: bool,
     ) {
-        debug_assert_eq!(groups.len(), self.shards.len());
-        for (si, group) in groups.into_iter().enumerate() {
-            if group.is_empty() {
-                continue;
+        let current = self.current.read().expect("epoch lock poisoned");
+        let guard = if barrier {
+            Some(self.shards[si].write().expect("shard lock poisoned"))
+        } else {
+            match self.shards[si].try_write() {
+                Ok(guard) => Some(guard),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
             }
-            let depth = {
-                let mut queue = self.pending[si].lock().expect("handoff queue poisoned");
-                queue.extend(group);
-                queue.len()
-            };
-            self.drain_shard(si, barrier || depth >= HANDOFF_SOFT_CAPACITY);
-        }
-        if barrier {
-            self.drain_all_pending();
+        };
+        match guard {
+            Some(mut map) => {
+                self.drain_queue_into(si, &mut map, *current);
+                for (key, epoch, delta) in group.iter_mut() {
+                    self.merge_window_delta(&mut map, key, *epoch, delta, *current);
+                    delta.reset();
+                }
+            }
+            None => {
+                let depth = {
+                    let mut queue = self.pending[si].lock().expect("handoff queue poisoned");
+                    for (key, epoch, delta) in group.iter_mut() {
+                        queue.push(((*key).clone(), *epoch, delta.clone()));
+                        delta.reset();
+                    }
+                    queue.len()
+                };
+                if depth >= HANDOFF_SOFT_CAPACITY {
+                    drop(current);
+                    self.drain_shard(si, true);
+                }
+            }
         }
     }
 
@@ -532,6 +795,13 @@ impl WindowedStore {
                 Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
             }
         };
+        self.drain_queue_into(si, &mut map, *current);
+    }
+
+    /// Pops shard `si`'s handoff queue until it is observed empty,
+    /// merging every delta (the caller holds the shard write lock and
+    /// has the window pinned at `current`).
+    fn drain_queue_into(&self, si: usize, map: &mut HashMap<String, WindowSlot>, current: u64) {
         loop {
             let batch =
                 std::mem::take(&mut *self.pending[si].lock().expect("handoff queue poisoned"));
@@ -539,12 +809,37 @@ impl WindowedStore {
                 return;
             }
             for (key, epoch, delta) in batch {
-                debug_assert!(epoch <= *current, "sessions advance the window on buffer");
-                let live = *current - epoch < self.epochs as u64;
-                let slot = (epoch % self.epochs as u64) as usize;
-                let ring = map
-                    .entry(key)
-                    .or_insert_with(|| WindowRing::new(&self.template, self.epochs));
+                self.merge_window_delta(map, &key, epoch, &delta, current);
+            }
+        }
+    }
+
+    /// Merges one session delta for `(key, epoch)` into the shard map
+    /// under the pinned window position. Live rings take the merge
+    /// directly (deltas for rotated-out epochs fold into the retired
+    /// union — exactly the state rotation would have produced, so flush
+    /// timing cannot change the final bytes); **warm keys park the delta
+    /// on the entry** instead of promoting, and the next promotion folds
+    /// it in — the flush path never decompresses anything.
+    fn merge_window_delta(
+        &self,
+        map: &mut HashMap<String, WindowSlot>,
+        key: &str,
+        epoch: u64,
+        delta: &AdaptiveExaLogLog,
+        current: u64,
+    ) {
+        debug_assert!(epoch <= current, "sessions advance the window on buffer");
+        let live = current - epoch < self.epochs as u64;
+        let slot = (epoch % self.epochs as u64) as usize;
+        let entry = match map.get_mut(key) {
+            Some(entry) => entry,
+            None => map.entry(key.to_string()).or_insert_with(|| {
+                WindowSlot::Live(WindowRing::new(&self.template, self.epochs, current))
+            }),
+        };
+        match entry {
+            WindowSlot::Live(ring) => {
                 let target = if live {
                     &mut ring.ring[slot]
                 } else {
@@ -555,9 +850,21 @@ impl WindowedStore {
                     .expect("deltas share the store configuration");
                 // A session delta for a sealed epoch is a late write:
                 // truncate the suffix chain exactly like direct ingest.
-                if live && epoch < *current && ring.note_sealed_write(*current, epoch) {
+                if live && epoch < current && ring.note_sealed_write(current, epoch) {
                     self.stats.invalidate();
                 }
+                if epoch == current {
+                    ring.touched.store(current, Ordering::Relaxed);
+                }
+            }
+            WindowSlot::Warm(warm) => {
+                match warm.pending.iter_mut().find(|(parked, _)| *parked == epoch) {
+                    Some((_, parked)) => parked
+                        .merge_from(delta)
+                        .expect("deltas share the store configuration"),
+                    None => warm.pending.push((epoch, delta.clone())),
+                }
+                TierCounters::count(&self.counters.parked_deltas);
             }
         }
     }
@@ -648,17 +955,25 @@ impl WindowedStore {
         let si = self.shard_of(key);
         {
             let map = self.shards[si].read().expect("shard lock poisoned");
-            let ring = map.get(key)?;
-            if ring.valid >= needed {
-                self.stats.hit();
-                return Some(finish(si, ring, *current));
+            if let WindowSlot::Live(ring) = map.get(key)? {
+                if ring.valid >= needed {
+                    self.stats.hit();
+                    ring.touched.store(*current, Ordering::Relaxed);
+                    return Some(finish(si, ring, *current));
+                }
             }
         }
-        // The chain is short (rotation reset or a late-event truncation):
-        // rebuild the missing entries under the shard write lock, then
-        // answer there. Another thread may have raced us to it.
+        // The chain is short (rotation reset or a late-event truncation)
+        // or the key is warm: promote and/or rebuild the missing entries
+        // under the shard write lock, then answer there. Another thread
+        // may have raced us to it.
         let mut map = self.shards[si].write().expect("shard lock poisoned");
-        let ring = map.get_mut(key)?;
+        let entry = map.get_mut(key)?;
+        self.promote_slot(entry, *current);
+        let WindowSlot::Live(ring) = entry else {
+            unreachable!("promote_slot leaves a live ring");
+        };
+        ring.touched.store(*current, Ordering::Relaxed);
         if ring.valid < needed {
             let built = self.extend_suffixes(ring, *current, needed);
             self.stats.rebuild(built);
@@ -724,28 +1039,40 @@ impl WindowedStore {
     /// A copy of the live sub-sketch of `epoch` for `key`: `None` when
     /// the key is unknown or the epoch is outside the current window.
     /// This is the offline-merge seam the equivalence property tests
-    /// (and external epoch-level consumers) build on.
+    /// (and external epoch-level consumers) build on. Side-effect free:
+    /// a warm key is materialized into a temporary, not promoted.
     #[must_use]
     pub fn epoch_sketch(&self, key: &str, epoch: u64) -> Option<ExaLogLog> {
         let current = self.current.read().expect("epoch lock poisoned");
         if epoch > *current || *current - epoch >= self.epochs as u64 {
             return None;
         }
+        let slot = (epoch % self.epochs as u64) as usize;
         let map = self.shards[self.shard_of(key)]
             .read()
             .expect("shard lock poisoned");
-        map.get(key)
-            .map(|ring| ring.ring[(epoch % self.epochs as u64) as usize].clone())
+        match map.get(key)? {
+            WindowSlot::Live(ring) => Some(ring.ring[slot].clone()),
+            WindowSlot::Warm(warm) => {
+                let mut ring = self.materialize(warm, *current);
+                Some(ring.ring.swap_remove(slot))
+            }
+        }
     }
 
     /// A copy of the retired union for `key` (`None` if the key has
-    /// never been observed).
+    /// never been observed). Like [`WindowedStore::epoch_sketch`], warm
+    /// keys are materialized into a temporary, not promoted.
     #[must_use]
     pub fn retired_sketch(&self, key: &str) -> Option<ExaLogLog> {
+        let current = self.current.read().expect("epoch lock poisoned");
         let map = self.shards[self.shard_of(key)]
             .read()
             .expect("shard lock poisoned");
-        map.get(key).map(|ring| ring.retired.clone())
+        match map.get(key)? {
+            WindowSlot::Live(ring) => Some(ring.retired.clone()),
+            WindowSlot::Warm(warm) => Some(self.materialize(warm, *current).retired),
+        }
     }
 
     /// The number of distinct keys in the store.
@@ -801,8 +1128,10 @@ impl WindowedStore {
         rows
     }
 
-    /// Approximate total in-memory footprint in bytes (keys + rings +
-    /// the store scaffolding).
+    /// Approximate total in-memory footprint in bytes (keys + rings or
+    /// warm payloads + the store scaffolding). A deep account: warm
+    /// entries contribute their compressed payload lengths plus any
+    /// parked deltas, which is what the tiering trade is about.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         // Scaffolding: the template plus one query scratch per shard.
@@ -810,24 +1139,91 @@ impl WindowedStore {
             core::mem::size_of::<Self>() + (1 + self.shards.len()) * self.template.memory_bytes();
         for shard in &self.shards {
             let map = shard.read().expect("shard lock poisoned");
-            for (key, ring) in map.iter() {
-                total += key.len() + core::mem::size_of::<String>() + ring.memory_bytes();
+            total += map.capacity()
+                * (core::mem::size_of::<(String, WindowSlot)>() + core::mem::size_of::<u64>());
+            for (key, entry) in map.iter() {
+                total += key.len();
+                total += match entry {
+                    WindowSlot::Live(ring) => ring.memory_bytes(),
+                    WindowSlot::Warm(warm) => warm.memory_bytes(),
+                };
             }
         }
         total
     }
 
-    /// Internal iteration for the wire format: every `(key, ring)` pair,
-    /// sorted by key, as `(key, retired, ring slots in slot order)`.
-    pub(crate) fn wire_entries(&self) -> Vec<(String, ExaLogLog, Vec<ExaLogLog>)> {
-        let mut out: Vec<(String, ExaLogLog, Vec<ExaLogLog>)> = self
+    /// Tier occupancy and transition counters. The windowed store only
+    /// uses the hot (live rings) and warm tiers; sparse/cold fields stay
+    /// zero, and `resident_bytes` is [`WindowedStore::memory_bytes`].
+    #[must_use]
+    pub fn tier_stats(&self) -> TierStats {
+        let mut stats = TierStats {
+            demotions_warm: TierCounters::get(&self.counters.demotions_warm),
+            promotions: TierCounters::get(&self.counters.promotions),
+            parked_deltas: TierCounters::get(&self.counters.parked_deltas),
+            resident_bytes: self.memory_bytes(),
+            ..TierStats::default()
+        };
+        for shard in &self.shards {
+            let map = shard.read().expect("shard lock poisoned");
+            for entry in map.values() {
+                match entry {
+                    WindowSlot::Live(_) => stats.hot_keys += 1,
+                    WindowSlot::Warm(_) => stats.warm_keys += 1,
+                }
+            }
+        }
+        stats
+    }
+
+    /// Folds every parked session delta into its warm entry's payloads
+    /// (materialize, merge, re-demote — the entry stays warm), so the
+    /// serialized form is canonical. The snapshot pre-pass.
+    fn settle_parked(&self) {
+        let current = self.current.read().expect("epoch lock poisoned");
+        for shard in &self.shards {
+            let mut map = shard.write().expect("shard lock poisoned");
+            for entry in map.values_mut() {
+                let settled = match &*entry {
+                    WindowSlot::Warm(warm) if !warm.pending.is_empty() => {
+                        let ring = self.materialize(warm, *current);
+                        Some(self.demote_ring(*current, &ring))
+                    }
+                    _ => None,
+                };
+                if let Some(warm) = settled {
+                    *entry = WindowSlot::Warm(warm);
+                }
+            }
+        }
+    }
+
+    /// Internal iteration for the wire format: every `(key, state)`
+    /// pair, sorted by key. Parked deltas are settled first, so warm
+    /// payloads travel verbatim (no dense round trip) and restore →
+    /// re-snapshot is byte-identical.
+    pub(crate) fn wire_entries(&self) -> Vec<(String, WireRing)> {
+        self.settle_parked();
+        let mut out: Vec<(String, WireRing)> = self
             .shards
             .iter()
             .flat_map(|s| {
                 s.read()
                     .expect("shard lock poisoned")
                     .iter()
-                    .map(|(k, ring)| (k.clone(), ring.retired.clone(), ring.ring.clone()))
+                    .map(|(k, entry)| {
+                        let wire = match entry {
+                            WindowSlot::Live(ring) => WireRing::Live {
+                                retired: ring.retired.clone(),
+                                slots: ring.ring.clone(),
+                            },
+                            WindowSlot::Warm(warm) => WireRing::Warm {
+                                retired: warm.retired.clone(),
+                                slots: warm.slots.clone(),
+                            },
+                        };
+                        (k.clone(), wire)
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -835,11 +1231,11 @@ impl WindowedStore {
         out
     }
 
-    /// Wire-format restore seam: places a fully-formed ring under `key`,
-    /// returning whether the key was new. Suffix unions are derived
-    /// state and never travel in the snapshot; the restored chain starts
-    /// empty and the first queries re-derive it from the slots, so a
-    /// restored store reproduces every estimate bit-for-bit.
+    /// Wire-format restore seam: places a fully-formed live ring under
+    /// `key`, returning whether the key was new. Suffix unions are
+    /// derived state and never travel in the snapshot; the restored
+    /// chain starts empty and the first queries re-derive it from the
+    /// slots, so a restored store reproduces every estimate bit-for-bit.
     pub(crate) fn place_ring(
         &self,
         key: String,
@@ -853,21 +1249,75 @@ impl WindowedStore {
             .expect("shard lock poisoned")
             .insert(
                 key,
-                WindowRing {
+                WindowSlot::Live(WindowRing {
                     ring: slots,
                     retired,
                     suffix: vec![self.template.clone(); self.epochs - 1],
                     valid: 0,
-                },
+                    touched: AtomicU64::new(0),
+                }),
+            )
+            .is_none()
+    }
+
+    /// Wire-format restore seam: places a warm entry under `key` with
+    /// its compressed payloads kept verbatim, returning whether the key
+    /// was new.
+    pub(crate) fn place_warm_ring(
+        &self,
+        key: String,
+        retired: Option<Box<[u8]>>,
+        slots: Vec<(u64, Box<[u8]>)>,
+    ) -> bool {
+        let si = self.shard_of(&key);
+        self.shards[si]
+            .write()
+            .expect("shard lock poisoned")
+            .insert(
+                key,
+                WindowSlot::Warm(WarmRing {
+                    slots,
+                    retired,
+                    pending: Vec::new(),
+                }),
             )
             .is_none()
     }
 
     /// Wire-format restore seam: pins the current epoch without
-    /// rotating (the snapshot's rings are already rotated).
+    /// rotating (the snapshot's rings are already rotated), and stamps
+    /// every live ring as freshly touched so a restored store does not
+    /// demote everything on its first advance.
     pub(crate) fn set_current_epoch(&self, epoch: u64) {
         *self.current.write().expect("epoch lock poisoned") = epoch;
+        for shard in &self.shards {
+            let map = shard.read().expect("shard lock poisoned");
+            for entry in map.values() {
+                if let WindowSlot::Live(ring) = entry {
+                    ring.touched.store(epoch, Ordering::Relaxed);
+                }
+            }
+        }
     }
+}
+
+/// One key's serialized windowed state (see
+/// [`WindowedStore::wire_entries`]): live rings travel as dense
+/// sketches in slot order, warm entries as their compressed payloads
+/// verbatim.
+#[derive(Debug)]
+pub(crate) enum WireRing {
+    /// A live ring: the retired union plus all E slots in slot order.
+    Live {
+        retired: ExaLogLog,
+        slots: Vec<ExaLogLog>,
+    },
+    /// A warm entry: compressed retired union (if nonempty) plus
+    /// `(epoch, payload)` pairs sorted by epoch.
+    Warm {
+        retired: Option<Box<[u8]>>,
+        slots: Vec<(u64, Box<[u8]>)>,
+    },
 }
 
 #[cfg(test)]
@@ -1101,6 +1551,164 @@ mod tests {
         store.ingest(2, &[("k", mix64(79))]); // valid 1 → 0: counts
         store.ingest(1, &[("k", mix64(80))]); // already ≤ 1: no-op
         assert_eq!(store.window_stats().dirty_invalidations, 3);
+    }
+
+    /// Drives a tiered store and a never-tiered twin through the same
+    /// ops and asserts every estimate matches bitwise.
+    fn assert_twin_equal(store: &WindowedStore, twin: &WindowedStore) {
+        assert_eq!(store.keys(), twin.keys());
+        for key in twin.keys() {
+            for k in 1..=twin.epoch_window() {
+                assert_eq!(
+                    store.estimate_window(&key, k).unwrap().to_bits(),
+                    twin.estimate_window(&key, k).unwrap().to_bits(),
+                    "{key}: window k={k} diverged from the never-tiered twin"
+                );
+            }
+            assert_eq!(
+                store.estimate_all_time(&key).unwrap().to_bits(),
+                twin.estimate_all_time(&key).unwrap().to_bits(),
+                "{key}: all-time diverged from the never-tiered twin"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_demotion_and_promotion_stay_bit_identical_to_untiered_twin() {
+        let mut store = WindowedStore::new(4, cfg(), 3).unwrap();
+        store.set_warm_after(Some(2));
+        let twin = WindowedStore::new(4, cfg(), 3).unwrap();
+        let mut rng = SplitMix64::new(21);
+        for epoch in 0..6u64 {
+            let batch: Vec<(String, u64)> = (0..900)
+                .map(|i| (format!("key-{}", i % 6), rng.next_u64()))
+                .collect();
+            let refs: Vec<(&str, u64)> = batch.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+            store.ingest(epoch, &refs);
+            twin.ingest(epoch, &refs);
+        }
+        // Rotate far ahead with only one key active: the rest demote
+        // (via the rotation sweep), and memory shrinks accordingly.
+        let before = store.memory_bytes();
+        store.ingest(9, &[("key-0", 5)]);
+        twin.ingest(9, &[("key-0", 5)]);
+        store.demote_idle();
+        let stats = store.tier_stats();
+        assert_eq!(stats.hot_keys, 1);
+        assert_eq!(stats.warm_keys, 5);
+        assert!(stats.demotions_warm >= 5);
+        assert!(
+            store.memory_bytes() < before,
+            "warm entries should shrink the footprint"
+        );
+        // Queries promote transparently and match the twin bitwise.
+        assert_twin_equal(&store, &twin);
+        assert!(store.tier_stats().promotions >= 5);
+        // promote_all is then a no-op that leaves everything live.
+        store.promote_all();
+        assert_eq!(store.tier_stats().warm_keys, 0);
+        assert_twin_equal(&store, &twin);
+    }
+
+    #[test]
+    fn late_events_into_warm_rings_promote_merge_and_redemote() {
+        let mut store = WindowedStore::new(2, cfg(), 4).unwrap();
+        store.set_warm_after(Some(1));
+        let twin = WindowedStore::new(2, cfg(), 4).unwrap();
+        let mut rng = SplitMix64::new(22);
+        for epoch in 0..5u64 {
+            let batch: Vec<(&str, u64)> = (0..400).map(|_| ("k", rng.next_u64())).collect();
+            store.ingest(epoch, &batch);
+            twin.ingest(epoch, &batch);
+        }
+        // Advance with an unrelated key so "k" goes idle and demotes.
+        store.ingest(6, &[("fresh", 1)]);
+        twin.ingest(6, &[("fresh", 1)]);
+        store.demote_idle();
+        assert_eq!(store.tier_stats().warm_keys, 1);
+
+        // A late event into a sealed epoch of the demoted ring: the
+        // store promotes, merges, and re-demotes — the key stays warm.
+        let late: Vec<(&str, u64)> = (0..50).map(|_| ("k", rng.next_u64())).collect();
+        store.ingest(4, &late);
+        twin.ingest(4, &late);
+        assert_eq!(
+            store.tier_stats().warm_keys,
+            1,
+            "late events must not leave the ring resident"
+        );
+        // A late event into a *retired* epoch behaves the same.
+        store.ingest(0, &[("k", 123)]);
+        twin.ingest(0, &[("k", 123)]);
+        assert_eq!(store.tier_stats().warm_keys, 1);
+        // Current-epoch traffic, by contrast, promotes and keeps it hot.
+        store.ingest(6, &[("k", 7)]);
+        twin.ingest(6, &[("k", 7)]);
+        assert_eq!(store.tier_stats().warm_keys, 0);
+        assert_twin_equal(&store, &twin);
+    }
+
+    #[test]
+    fn session_flushes_park_on_warm_window_keys_without_promoting() {
+        let mut store = WindowedStore::new(2, cfg(), 3).unwrap();
+        store.set_warm_after(Some(1));
+        let twin = WindowedStore::new(2, cfg(), 3).unwrap();
+        let mut rng = SplitMix64::new(23);
+        for epoch in 0..3u64 {
+            let batch: Vec<(&str, u64)> = (0..500).map(|_| ("k", rng.next_u64())).collect();
+            store.ingest(epoch, &batch);
+            twin.ingest(epoch, &batch);
+        }
+        store.ingest(5, &[("fresh", 1)]);
+        twin.ingest(5, &[("fresh", 1)]);
+        store.demote_idle();
+        assert_eq!(store.tier_stats().warm_keys, 1);
+
+        // Session deltas for the warm key park instead of promoting…
+        let late: Vec<u64> = (0..80).map(|_| rng.next_u64()).collect();
+        {
+            let mut session = store.session();
+            for h in &late {
+                session.insert("k", 4, *h);
+            }
+        }
+        for h in &late {
+            twin.insert("k", 4, *h);
+        }
+        assert_eq!(store.tier_stats().warm_keys, 1, "flush must not promote");
+        assert!(store.tier_stats().parked_deltas >= 1);
+        // …the snapshot settles them into the warm payloads (the key
+        // stays warm and the restored store agrees)…
+        let restored = WindowedStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
+        assert_eq!(store.tier_stats().warm_keys, 1);
+        assert_twin_equal(&restored, &twin);
+        // …and direct queries fold them in bit-identically too.
+        assert_twin_equal(&store, &twin);
+    }
+
+    #[test]
+    fn warm_rings_are_skipped_by_rotation_until_promoted() {
+        let mut store = WindowedStore::new(2, cfg(), 3).unwrap();
+        store.set_warm_after(Some(1));
+        let twin = WindowedStore::new(2, cfg(), 3).unwrap();
+        let mut rng = SplitMix64::new(24);
+        let batch: Vec<(&str, u64)> = (0..600).map(|_| ("k", rng.next_u64())).collect();
+        store.ingest(0, &batch);
+        twin.ingest(0, &batch);
+        let batch: Vec<(&str, u64)> = (0..600).map(|_| ("k", rng.next_u64())).collect();
+        store.ingest(1, &batch);
+        twin.ingest(1, &batch);
+        // Demote at epoch 3, then rotate far past the ring: promotion
+        // must fold the stale tagged epochs into retired exactly like
+        // live rotation would have.
+        store.ingest(3, &[("other", 9)]);
+        twin.ingest(3, &[("other", 9)]);
+        store.demote_idle();
+        assert_eq!(store.tier_stats().warm_keys, 1);
+        store.advance(20);
+        twin.advance(20);
+        assert_twin_equal(&store, &twin);
+        assert_eq!(store.estimate_window("k", 3).unwrap(), 0.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! "ELLW"            magic (4 bytes)
-//! version           u8, currently 1
+//! version           u8, currently 2 (version 1 is still read)
 //! t, d, p           u8 × 3 — the per-epoch sketch configuration
 //! epochs            u32 — ring capacity E
 //! shards            u32 — shard count (power of two)
@@ -12,24 +12,37 @@
 //! entry count       u64
 //! entries, sorted by key:
 //!   key length      u32, then the UTF-8 key bytes
-//!   retired length  u32, then the retired union as `ELL1` (length 0
-//!                   encodes an empty sketch without a payload)
-//!   E ring slots, in slot-index order, each:
-//!     slot length   u32, then the slot as `ELL1` (0 = empty)
+//!   tier            u8 — 0 = live, 1 = warm (absent in version 1:
+//!                   every v1 entry is live)
+//!   live entries:
+//!     retired length  u32, then the retired union as `ELL1` (length 0
+//!                     encodes an empty sketch without a payload)
+//!     E ring slots, in slot-index order, each:
+//!       slot length   u32, then the slot as `ELL1` (0 = empty)
+//!   warm entries:
+//!     retired length  u32, then the retired union as `ELLZ` (0 = empty)
+//!     slot count      u32, then per nonempty slot, in epoch order:
+//!       epoch         u64
+//!       slot length   u32, then the slot as `ELLZ`
 //! ```
 //!
 //! Entries are written in key order, empty sketches compress to a zero
-//! length, and every payload is the canonical `ELL1` serialization, so
-//! equal windowed states produce equal snapshot bytes regardless of
+//! length, and every live payload is the canonical `ELL1` serialization,
+//! so equal windowed states produce equal snapshot bytes regardless of
 //! ingest threading — and every payload deserializes with a live ML
 //! coefficient cache, so a restored store reproduces every windowed
-//! estimate bit-for-bit at cached speed.
+//! estimate bit-for-bit at cached speed. Warm entries embed their
+//! range-coded `ELLZ` payloads **verbatim** (parked session deltas are
+//! settled into them first): snapshotting never pays a dense round
+//! trip for demoted keys, restore places them back as warm entries, and
+//! a restore → re-snapshot cycle reproduces the identical bytes.
 
-use crate::window::WindowedStore;
+use crate::window::{WindowedStore, WireRing};
+use exaloglog::compress::decompress;
 use exaloglog::{EllConfig, EllError, ExaLogLog};
 
 const MAGIC: &[u8; 4] = b"ELLW";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 /// magic + version + (t, d, p) + epochs + shards + current + entry count.
 const HEADER_LEN: usize = 4 + 1 + 3 + 4 + 4 + 8 + 8;
 /// Plausibility bounds on the header-declared shard and ring sizes.
@@ -38,6 +51,9 @@ const HEADER_LEN: usize = 4 + 1 + 3 + 4 + 4 + 8 + 8;
 /// must not be able to force a huge allocation out of a tiny snapshot.
 const MAX_WIRE_SHARDS: usize = 1 << 16;
 const MAX_WIRE_EPOCHS: usize = 1 << 16;
+
+const TIER_LIVE: u8 = 0;
+const TIER_WARM: u8 = 1;
 
 fn corrupt(reason: String) -> EllError {
     EllError::CorruptSerialization { reason }
@@ -59,7 +75,8 @@ impl WindowedStore {
     ///
     /// The snapshot is a point-in-time copy taken shard by shard; for a
     /// transactionally consistent image, quiesce ingest and rotation
-    /// first.
+    /// first. Warm keys stay warm: their compressed payloads are
+    /// embedded verbatim (after settling any parked session deltas).
     #[must_use]
     pub fn snapshot_bytes(&self) -> Vec<u8> {
         let entries = self.wire_entries();
@@ -72,12 +89,33 @@ impl WindowedStore {
         out.extend_from_slice(&(self.shard_count() as u32).to_le_bytes());
         out.extend_from_slice(&self.current_epoch().to_le_bytes());
         out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-        for (key, retired, slots) in &entries {
+        for (key, entry) in &entries {
             out.extend_from_slice(&(key.len() as u32).to_le_bytes());
             out.extend_from_slice(key.as_bytes());
-            push_sketch(&mut out, retired);
-            for slot in slots {
-                push_sketch(&mut out, slot);
+            match entry {
+                WireRing::Live { retired, slots } => {
+                    out.push(TIER_LIVE);
+                    push_sketch(&mut out, retired);
+                    for slot in slots {
+                        push_sketch(&mut out, slot);
+                    }
+                }
+                WireRing::Warm { retired, slots } => {
+                    out.push(TIER_WARM);
+                    match retired {
+                        Some(payload) => {
+                            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                            out.extend_from_slice(payload);
+                        }
+                        None => out.extend_from_slice(&0u32.to_le_bytes()),
+                    }
+                    out.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+                    for (epoch, payload) in slots {
+                        out.extend_from_slice(&epoch.to_le_bytes());
+                        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                        out.extend_from_slice(payload);
+                    }
+                }
             }
         }
         out
@@ -86,7 +124,9 @@ impl WindowedStore {
     /// Restores a windowed store from [`WindowedStore::snapshot_bytes`]
     /// output, validating the header and every sketch payload. The
     /// restored store answers every windowed query bit-for-bit like the
-    /// original and re-snapshots to identical bytes.
+    /// original and re-snapshots to identical bytes; warm entries come
+    /// back warm, with their compressed payloads kept verbatim. Version
+    /// 1 snapshots (written before the warm tier existed) restore too.
     ///
     /// # Errors
     ///
@@ -101,11 +141,9 @@ impl WindowedStore {
         if &bytes[..4] != MAGIC {
             return Err(corrupt("bad magic".into()));
         }
-        if bytes[4] != VERSION {
-            return Err(corrupt(format!(
-                "unsupported snapshot version {}",
-                bytes[4]
-            )));
+        let version = bytes[4];
+        if version == 0 || version > VERSION {
+            return Err(corrupt(format!("unsupported snapshot version {version}")));
         }
         let cfg = EllConfig::new(bytes[5], bytes[6], bytes[7])?;
         let epochs =
@@ -125,10 +163,15 @@ impl WindowedStore {
                 "implausible epoch ring size {epochs} (limit {MAX_WIRE_EPOCHS})"
             )));
         }
-        // Each entry carries at least a key length, a retired length,
-        // and `epochs` slot lengths — bound the declared count by what
-        // the snapshot could physically hold.
-        let min_entry_bytes = (4 + 4 + 4 * epochs) as u64;
+        // Each entry carries at least a key length plus its smallest
+        // possible body (v1: retired + E slot lengths; v2: a warm entry
+        // with an empty retired union and zero slots) — bound the
+        // declared count by what the snapshot could physically hold.
+        let min_entry_bytes = if version == 1 {
+            (4 + 4 + 4 * epochs) as u64
+        } else {
+            4 + 1 + 4 + 4
+        };
         if entry_count > (bytes.len() as u64 - HEADER_LEN as u64) / min_entry_bytes.max(1) {
             return Err(corrupt(format!(
                 "entry count {entry_count} cannot fit in {} payload bytes",
@@ -136,7 +179,6 @@ impl WindowedStore {
             )));
         }
         let store = WindowedStore::new(shards, cfg, epochs)?;
-        store.set_current_epoch(current);
 
         let mut cursor = HEADER_LEN;
         let take = |cursor: &mut usize, len: usize| -> Result<&[u8], EllError> {
@@ -156,6 +198,10 @@ impl WindowedStore {
             let raw = take(cursor, 4)?;
             Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")) as usize)
         };
+        let take_u64 = |cursor: &mut usize| -> Result<u64, EllError> {
+            let raw = take(cursor, 8)?;
+            Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+        };
         let take_sketch = |cursor: &mut usize, what: &str| -> Result<ExaLogLog, EllError> {
             let len = take_u32(cursor)?;
             if len == 0 {
@@ -171,20 +217,86 @@ impl WindowedStore {
             }
             Ok(sketch)
         };
+        // Warm payloads are kept verbatim, but still validated: they
+        // must decompress to the header configuration.
+        let take_warm = |cursor: &mut usize, what: &str| -> Result<Box<[u8]>, EllError> {
+            let len = take_u32(cursor)?;
+            let payload = take(cursor, len)?;
+            let sketch = decompress(payload).map_err(|e| corrupt(format!("{what}: {e}")))?;
+            if sketch.config() != &cfg {
+                return Err(corrupt(format!(
+                    "{what}: configuration {} does not match header {cfg}",
+                    sketch.config()
+                )));
+            }
+            Ok(payload.to_vec().into_boxed_slice())
+        };
         for i in 0..entry_count {
             let key_len = take_u32(&mut cursor)?;
             let key = core::str::from_utf8(take(&mut cursor, key_len)?)
                 .map_err(|e| corrupt(format!("entry {i}: key is not UTF-8: {e}")))?
                 .to_string();
-            let retired = take_sketch(&mut cursor, "retired union")?;
-            let mut slots = Vec::with_capacity(epochs);
-            for slot in 0..epochs {
-                slots.push(take_sketch(
-                    &mut cursor,
-                    &format!("entry {i} ({key:?}) slot {slot}"),
-                )?);
-            }
-            if !store.place_ring(key.clone(), retired, slots) {
+            let tier = if version == 1 {
+                TIER_LIVE
+            } else {
+                take(&mut cursor, 1)?[0]
+            };
+            let placed = match tier {
+                TIER_LIVE => {
+                    let retired = take_sketch(&mut cursor, "retired union")?;
+                    let mut slots = Vec::with_capacity(epochs);
+                    for slot in 0..epochs {
+                        slots.push(take_sketch(
+                            &mut cursor,
+                            &format!("entry {i} ({key:?}) slot {slot}"),
+                        )?);
+                    }
+                    store.place_ring(key.clone(), retired, slots)
+                }
+                TIER_WARM => {
+                    let retired_len_at = cursor;
+                    let retired =
+                        if u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes"))
+                            == 0
+                        {
+                            None
+                        } else {
+                            // Rewind: take_warm reads its own length prefix.
+                            cursor = retired_len_at;
+                            Some(take_warm(
+                                &mut cursor,
+                                &format!("entry {i} ({key:?}) warm retired union"),
+                            )?)
+                        };
+                    let slot_count = take_u32(&mut cursor)?;
+                    if slot_count > epochs {
+                        return Err(corrupt(format!(
+                            "entry {i} ({key:?}): {slot_count} warm slots exceed the ring size {epochs}"
+                        )));
+                    }
+                    let mut slots = Vec::with_capacity(slot_count);
+                    let mut last_epoch = None;
+                    for s in 0..slot_count {
+                        let epoch = take_u64(&mut cursor)?;
+                        if epoch > current || last_epoch.is_some_and(|prev| epoch <= prev) {
+                            return Err(corrupt(format!(
+                                "entry {i} ({key:?}): warm slot {s} epoch {epoch} out of order or beyond current {current}"
+                            )));
+                        }
+                        last_epoch = Some(epoch);
+                        let payload =
+                            take_warm(&mut cursor, &format!("entry {i} ({key:?}) warm slot {s}"))?;
+                        slots.push((epoch, payload));
+                    }
+                    store.place_warm_ring(key.clone(), retired, slots)
+                }
+                other => {
+                    return Err(corrupt(format!(
+                        "entry {i} ({key:?}): unknown tier byte {other}"
+                    )));
+                }
+            };
+            if !placed {
                 return Err(corrupt(format!("duplicate key {key:?}")));
             }
         }
@@ -194,6 +306,8 @@ impl WindowedStore {
                 bytes.len() - cursor
             )));
         }
+        // Set last: also stamps restored live rings as freshly touched.
+        store.set_current_epoch(current);
         Ok(store)
     }
 }
@@ -244,6 +358,87 @@ mod tests {
     }
 
     #[test]
+    fn warm_entries_roundtrip_as_warm_without_a_dense_detour() {
+        let mut store = WindowedStore::new(4, EllConfig::new(2, 16, 6).unwrap(), 3).unwrap();
+        store.set_warm_after(Some(2));
+        let mut rng = SplitMix64::new(17);
+        for epoch in 0..4u64 {
+            let batch: Vec<(String, u64)> = (0..800)
+                .map(|i| (format!("key-{}", i % 4), rng.next_u64()))
+                .collect();
+            let refs: Vec<(&str, u64)> = batch.iter().map(|(k, h)| (k.as_str(), *h)).collect();
+            store.ingest(epoch, &refs);
+        }
+        // Keep one key fresh while the rest go idle: advancing to 6
+        // sweeps the idle rings warm (rotation doubles as the demotion
+        // sweep), and the fresh ingest promotes key-0 right back.
+        store.ingest(6, &[("key-0", 99)]);
+        store.demote_idle();
+        let stats = store.tier_stats();
+        assert!(stats.warm_keys >= 1 && stats.hot_keys >= 1);
+
+        let bytes = store.snapshot_bytes();
+        let restored = WindowedStore::from_snapshot_bytes(&bytes).unwrap();
+        // Warm keys came back warm…
+        assert_eq!(restored.tier_stats().warm_keys, stats.warm_keys);
+        // …and the re-snapshot reuses the identical compressed bytes.
+        assert_eq!(restored.snapshot_bytes(), bytes);
+        // Querying promotes and still reproduces every estimate
+        // bit-for-bit against the original (which promotes too).
+        for key in store.keys() {
+            for k in 1..=store.epoch_window() {
+                assert_eq!(
+                    restored.estimate_window(&key, k).unwrap().to_bits(),
+                    store.estimate_window(&key, k).unwrap().to_bits(),
+                    "{key}: window k={k} diverged through the warm roundtrip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_1_snapshots_still_restore() {
+        // Hand-build a v1 snapshot (no tier bytes) of a tiny store and
+        // check it restores into the current code.
+        let store = populated();
+        let entries = {
+            // Promote everything so wire_entries yields only live rings.
+            store.promote_all();
+            store.wire_entries()
+        };
+        let cfg = *store.config();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.push(1);
+        v1.extend_from_slice(&[cfg.t(), cfg.d(), cfg.p()]);
+        v1.extend_from_slice(&(store.epoch_window() as u32).to_le_bytes());
+        v1.extend_from_slice(&(store.shard_count() as u32).to_le_bytes());
+        v1.extend_from_slice(&store.current_epoch().to_le_bytes());
+        v1.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (key, entry) in &entries {
+            let WireRing::Live { retired, slots } = entry else {
+                panic!("promoted store has only live entries");
+            };
+            v1.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            v1.extend_from_slice(key.as_bytes());
+            push_sketch(&mut v1, retired);
+            for slot in slots {
+                push_sketch(&mut v1, slot);
+            }
+        }
+        let restored = WindowedStore::from_snapshot_bytes(&v1).unwrap();
+        assert_eq!(restored.key_count(), store.key_count());
+        for key in store.keys() {
+            assert_eq!(
+                restored.estimate_all_time(&key).unwrap().to_bits(),
+                store.estimate_all_time(&key).unwrap().to_bits()
+            );
+        }
+        // Re-serializing writes the current version.
+        assert_eq!(restored.snapshot_bytes()[4], VERSION);
+    }
+
+    #[test]
     fn empty_store_roundtrips() {
         let store = WindowedStore::new(16, EllConfig::optimal(8).unwrap(), 6).unwrap();
         let restored = WindowedStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
@@ -283,8 +478,15 @@ mod tests {
         let mut bad = bytes.clone();
         bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes()); // epochs = 2^32 − 1
         assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
-        let mut bad = bytes;
+        let mut bad = bytes.clone();
         bad[24..32].copy_from_slice(&u64::MAX.to_le_bytes()); // entry count
+        assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
+        // A bogus tier byte on the first entry is rejected. The first
+        // entry starts right after the header: key length, key, tier.
+        let mut bad = bytes;
+        let key_len =
+            u32::from_le_bytes(bad[HEADER_LEN..HEADER_LEN + 4].try_into().unwrap()) as usize;
+        bad[HEADER_LEN + 4 + key_len] = 7;
         assert!(WindowedStore::from_snapshot_bytes(&bad).is_err());
     }
 }

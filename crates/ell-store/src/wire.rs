@@ -13,16 +13,20 @@
 //!   key length      u32, then the UTF-8 key bytes
 //!   sketch length   u32, then the sketch payload — the existing
 //!                   per-sketch wire formats (`ELLS` sparse / `ELL1`
-//!                   dense), self-describing and config-validated
+//!                   dense / `ELLZ` range-coded), self-describing and
+//!                   config-validated
 //! ```
 //!
-//! Entries are written in key order and every payload is the canonical
-//! per-sketch serialization, so equal store states produce equal
-//! snapshot bytes regardless of ingest threading or shard layout
-//! history.
+//! Entries are written in key order; resident slots serialize in their
+//! canonical form, while warm/cold slots embed their compressed `ELLZ`
+//! payload verbatim (no dense round trip — and restore places those
+//! entries back as warm slots, so re-snapshotting a tiered store
+//! reuses the identical bytes). Payloads are self-describing by magic,
+//! so no version bump is needed for the compressed form.
 
 use crate::store::EllStore;
 use exaloglog::adaptive::AdaptiveExaLogLog;
+use exaloglog::compress::decompress;
 use exaloglog::{EllConfig, EllError};
 
 const MAGIC: &[u8; 4] = b"ELLK";
@@ -46,7 +50,7 @@ impl EllStore {
     /// ingested concurrently may or may not be included).
     #[must_use]
     pub fn snapshot_bytes(&self) -> Vec<u8> {
-        let entries = self.entries();
+        let entries = self.snapshot_payloads();
         let mut out = Vec::with_capacity(HEADER_LEN + entries.len() * 64);
         out.extend_from_slice(MAGIC);
         out.push(VERSION);
@@ -55,12 +59,11 @@ impl EllStore {
         out.push(self.token_parameter() as u8); // v ≤ 58 by construction
         out.extend_from_slice(&(self.shard_count() as u32).to_le_bytes());
         out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-        for (key, sketch) in &entries {
-            let payload = sketch.to_bytes();
+        for (key, payload) in &entries {
             out.extend_from_slice(&(key.len() as u32).to_le_bytes());
             out.extend_from_slice(key.as_bytes());
             out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            out.extend_from_slice(&payload);
+            out.extend_from_slice(payload);
         }
         out
     }
@@ -132,18 +135,34 @@ impl EllStore {
                 .map_err(|e| corrupt(format!("entry {i}: key is not UTF-8: {e}")))?
                 .to_string();
             let sketch_len = take_u32(&mut cursor)?;
-            let sketch = AdaptiveExaLogLog::from_bytes(take(&mut cursor, sketch_len)?)
-                .map_err(|e| corrupt(format!("entry {i} ({key:?}): {e}")))?;
-            if sketch.config() != &cfg {
-                return Err(corrupt(format!(
-                    "entry {i} ({key:?}): configuration {} does not match header {cfg}",
-                    sketch.config()
-                )));
-            }
-            if store.estimate(&key).is_some() {
+            let payload = take(&mut cursor, sketch_len)?;
+            if store.key_tier(&key).is_some() {
                 return Err(corrupt(format!("duplicate key {key:?}")));
             }
-            store.place(key, sketch);
+            if payload.len() >= 4 && &payload[..4] == b"ELLZ" {
+                // A warm entry: validate it decompresses to the header
+                // configuration, then keep the compressed payload as a
+                // warm slot — a re-snapshot reuses it verbatim.
+                let dense = decompress(payload)
+                    .map_err(|e| corrupt(format!("entry {i} ({key:?}): {e}")))?;
+                if dense.config() != &cfg {
+                    return Err(corrupt(format!(
+                        "entry {i} ({key:?}): configuration {} does not match header {cfg}",
+                        dense.config()
+                    )));
+                }
+                store.place_warm(key, payload.to_vec());
+            } else {
+                let sketch = AdaptiveExaLogLog::from_bytes(payload)
+                    .map_err(|e| corrupt(format!("entry {i} ({key:?}): {e}")))?;
+                if sketch.config() != &cfg {
+                    return Err(corrupt(format!(
+                        "entry {i} ({key:?}): configuration {} does not match header {cfg}",
+                        sketch.config()
+                    )));
+                }
+                store.place(key, sketch);
+            }
         }
         if cursor != bytes.len() {
             return Err(corrupt(format!(
@@ -193,6 +212,34 @@ mod tests {
         assert_eq!(restored.snapshot_bytes(), bytes);
         // Hot-path eligibility is re-derived.
         assert_eq!(restored.is_hot("hot"), Some(true));
+    }
+
+    #[test]
+    fn snapshot_while_warm_restores_warm_and_resnapshots_identically() {
+        let mut store = EllStore::new(4, EllConfig::new(2, 16, 6).unwrap()).unwrap();
+        store.set_tier_config(crate::TierConfig::new().warm_after(1));
+        let mut rng = SplitMix64::new(12);
+        let batch: Vec<(&str, u64)> = (0..30_000).map(|_| ("idle", rng.next_u64())).collect();
+        store.ingest(&batch);
+        store.insert("busy", 77);
+        store.tick();
+        store.insert("busy", 78);
+        store.demote_idle();
+        assert_eq!(store.key_tier("idle"), Some(crate::Tier::Warm));
+
+        let bytes = store.snapshot_bytes();
+        // Snapshotting reused the compressed payload without promoting.
+        assert_eq!(store.key_tier("idle"), Some(crate::Tier::Warm));
+        let restored = EllStore::from_snapshot_bytes(&bytes).unwrap();
+        // The compressed entry came back as a warm slot…
+        assert_eq!(restored.key_tier("idle"), Some(crate::Tier::Warm));
+        // …so the re-snapshot is byte-identical without any re-encode.
+        assert_eq!(restored.snapshot_bytes(), bytes);
+        // And the estimates still match a fully promoted twin bitwise.
+        assert_eq!(
+            restored.estimate("idle").unwrap().to_bits(),
+            store.estimate("idle").unwrap().to_bits()
+        );
     }
 
     #[test]

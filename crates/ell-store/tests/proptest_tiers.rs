@@ -1,0 +1,220 @@
+//! Tiered-residency laws.
+//!
+//! The tiering machinery (warm compression, cold spill, parked session
+//! deltas, promote-on-access) is a pure space optimization: under ANY
+//! interleaving of ingest, queries, clock ticks, demotion sweeps, and
+//! explicit promotions, a tiered store must answer every per-key
+//! estimate **bit-identically** to a twin that never tiered at all, and
+//! its snapshots must restore to a store that still agrees. The
+//! windowed variant adds rotation and late events into demoted sealed
+//! epochs — promote-merge-redemote must land exactly where live
+//! rotation would have put the registers.
+
+use ell_hash::{mix64, SplitMix64};
+use ell_store::{EllConfig, EllStore, Tier, TierConfig, WindowedStore};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn configs() -> Vec<EllConfig> {
+    vec![
+        EllConfig::new(2, 16, 6).unwrap(),
+        EllConfig::optimal(5).unwrap(),
+        EllConfig::new(1, 9, 4).unwrap(),
+    ]
+}
+
+/// A unique spill directory per proptest case (cases run concurrently
+/// and shrinking replays them).
+fn spill_dir() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "ell-proptest-tiers-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn key_name(idx: u64) -> String {
+    format!("key-{idx}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Flat store: random ingest / query / tick / demote / promote /
+    /// session / snapshot interleavings vs. a never-tiered twin.
+    ///
+    /// Op encoding per step: `sel % 8` picks the operation, `key` the
+    /// target key, `n` the batch size.
+    #[test]
+    fn tiered_flat_store_matches_untiered_twin_bitwise(
+        cfg_idx in 0usize..3,
+        warm_after in 1u64..3,
+        cold_after in 3u64..5,
+        steps in prop::collection::vec((0u8..8, 0u64..6, 1usize..400), 4..24),
+        seed in any::<u64>(),
+    ) {
+        let cfg = configs()[cfg_idx];
+        let dir = spill_dir();
+        let mut store = EllStore::new(4, cfg).unwrap();
+        store.set_tier_config(
+            TierConfig::new()
+                .warm_after(warm_after)
+                .cold_after(cold_after)
+                .spill_dir(&dir),
+        );
+        let twin = EllStore::new(4, cfg).unwrap();
+        let mut rng = SplitMix64::new(seed);
+        for (sel, key_idx, n) in steps {
+            let key = key_name(key_idx);
+            match sel {
+                // Direct ingest (promotes warm/cold keys transparently).
+                0..=2 => {
+                    let hashes: Vec<u64> = (0..n).map(|_| mix64(rng.next_u64() % 3000)).collect();
+                    let batch: Vec<(&str, u64)> =
+                        hashes.iter().map(|h| (key.as_str(), *h)).collect();
+                    store.ingest(&batch);
+                    twin.ingest(&batch);
+                }
+                // Buffered session flush — parks on demoted keys.
+                3 => {
+                    let hashes: Vec<u64> = (0..n).map(|_| mix64(rng.next_u64() % 3000)).collect();
+                    let mut session = store.session();
+                    for h in &hashes {
+                        session.insert(&key, *h);
+                    }
+                    drop(session);
+                    for h in &hashes {
+                        twin.insert(&key, *h);
+                    }
+                }
+                // Per-key query: must agree bitwise (and promotes).
+                4 => {
+                    prop_assert_eq!(
+                        store.estimate(&key).map(f64::to_bits),
+                        twin.estimate(&key).map(f64::to_bits)
+                    );
+                }
+                // Clock tick + demotion sweep.
+                5 => {
+                    store.tick();
+                    store.demote_idle();
+                }
+                // Promote everything back.
+                6 => {
+                    store.promote_all();
+                }
+                // Snapshot while possibly warm/cold: the restored store
+                // must agree with the twin, and the original must not
+                // have been perturbed (snapshots never promote).
+                7 => {
+                    store.tick();
+                    store.demote_idle();
+                    let tiers_before: Vec<Option<Tier>> =
+                        (0..6).map(|i| store.key_tier(&key_name(i))).collect();
+                    let restored = EllStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
+                    let tiers_after: Vec<Option<Tier>> =
+                        (0..6).map(|i| store.key_tier(&key_name(i))).collect();
+                    prop_assert_eq!(tiers_before, tiers_after);
+                    for (k, est) in twin.estimates() {
+                        prop_assert_eq!(
+                            restored.estimate(&k).map(f64::to_bits),
+                            Some(est.to_bits())
+                        );
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        // Quiesced: every estimate and the full estimate table agree.
+        prop_assert_eq!(store.key_count(), twin.key_count());
+        for ((ka, ea), (kb, eb)) in store.estimates().iter().zip(twin.estimates().iter()) {
+            prop_assert_eq!(ka, kb);
+            prop_assert_eq!(ea.to_bits(), eb.to_bits());
+        }
+        // And after promoting everything, the snapshots are identical
+        // to the twin's byte-for-byte (both fully resident + canonical).
+        store.promote_all();
+        prop_assert_eq!(store.snapshot_bytes(), twin.snapshot_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Windowed store: random ingest (current + late) / advance /
+    /// demote / promote / query / snapshot interleavings vs. a
+    /// never-tiered twin, including late events into demoted sealed
+    /// epochs and snapshot-while-warm round trips.
+    #[test]
+    fn tiered_windowed_store_matches_untiered_twin_bitwise(
+        cfg_idx in 0usize..3,
+        epochs in 2usize..5,
+        warm_after in 1u64..3,
+        steps in prop::collection::vec((0u8..8, 0u64..4, 0u64..6, 1usize..250), 4..20),
+        seed in any::<u64>(),
+    ) {
+        let cfg = configs()[cfg_idx];
+        let mut store = WindowedStore::new(4, cfg, epochs).unwrap();
+        store.set_warm_after(Some(warm_after));
+        let twin = WindowedStore::new(4, cfg, epochs).unwrap();
+        let mut rng = SplitMix64::new(seed);
+        for (sel, key_idx, lateness, n) in steps {
+            let key = key_name(key_idx);
+            match sel {
+                // Ingest at the current epoch, or late by `lateness`
+                // (late events into warm rings promote-merge-redemote;
+                // lateness past the ring folds into retired).
+                0..=3 => {
+                    let epoch = store.current_epoch().saturating_sub(lateness);
+                    let hashes: Vec<u64> = (0..n).map(|_| mix64(rng.next_u64() % 2500)).collect();
+                    let batch: Vec<(&str, u64)> =
+                        hashes.iter().map(|h| (key.as_str(), *h)).collect();
+                    store.ingest(epoch, &batch);
+                    twin.ingest(epoch, &batch);
+                }
+                // Rotate forward (doubles as the demotion sweep).
+                4 => {
+                    let target = store.current_epoch() + 1 + lateness;
+                    store.advance(target);
+                    twin.advance(target);
+                }
+                // Explicit sweep / promote-everything.
+                5 => {
+                    store.demote_idle();
+                }
+                6 => {
+                    store.promote_all();
+                }
+                // Snapshot while possibly warm: restore must agree.
+                7 => {
+                    store.demote_idle();
+                    let restored =
+                        WindowedStore::from_snapshot_bytes(&store.snapshot_bytes()).unwrap();
+                    for k in twin.keys() {
+                        prop_assert_eq!(
+                            restored.estimate_all_time(&k).map(f64::to_bits),
+                            twin.estimate_all_time(&k).map(f64::to_bits)
+                        );
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        // Quiesced: every window size of every key agrees bitwise.
+        prop_assert_eq!(store.keys(), twin.keys());
+        for key in twin.keys() {
+            for k in 1..=epochs {
+                prop_assert_eq!(
+                    store.estimate_window(&key, k).map(f64::to_bits),
+                    twin.estimate_window(&key, k).map(f64::to_bits),
+                    "{}: window k={} diverged", key, k
+                );
+            }
+            prop_assert_eq!(
+                store.estimate_all_time(&key).map(f64::to_bits),
+                twin.estimate_all_time(&key).map(f64::to_bits)
+            );
+        }
+        // Fully promoted, both serialize to identical bytes.
+        store.promote_all();
+        prop_assert_eq!(store.snapshot_bytes(), twin.snapshot_bytes());
+    }
+}

@@ -10,12 +10,13 @@
 //! debug:               ell inspect all.ell
 //! ```
 
-use ell_store::{EllStore, WindowedStore};
+use ell_store::{EllStore, TierStats, WindowedStore};
 use ell_tools::{
     collect_tokens, config_from_options, count_sources, count_sources_with_algo, export_store,
     import_store, inspect, load_any, load_sketch, load_store, load_windowed, merge_files,
     open_inputs, parse_options, parse_options_with_flags, relate, save_compressed, save_sketch,
-    save_store, save_tokens, save_windowed, store_ingest_parallel, windowed_ingest, ToolError,
+    save_store, save_tokens, save_windowed, store_ingest_parallel, tier_config_from_options,
+    windowed_ingest, ToolError,
 };
 use std::path::{Path, PathBuf};
 
@@ -181,14 +182,27 @@ fn run(args: &[String]) -> Result<(), ToolError> {
 fn run_store(args: &[String]) -> Result<(), ToolError> {
     let Some((sub, rest)) = args.split_first() else {
         return Err(ToolError::Usage(
-            "store needs a subcommand: ingest | query | snapshot | restore | window".into(),
+            "store needs a subcommand: ingest | query | stats | tiers | snapshot | restore | window"
+                .into(),
         ));
     };
     match sub.as_str() {
         "window" => run_store_window(rest),
         "ingest" => {
-            let (opts, positional) =
-                parse_options(rest, &["out", "shards", "t", "d", "p", "threads"])?;
+            let (opts, positional) = parse_options(
+                rest,
+                &[
+                    "out",
+                    "shards",
+                    "t",
+                    "d",
+                    "p",
+                    "threads",
+                    "warm-after",
+                    "cold-after",
+                    "spill",
+                ],
+            )?;
             let out = opts
                 .get("out")
                 .ok_or_else(|| ToolError::Usage("store ingest needs --out".into()))?;
@@ -200,7 +214,8 @@ fn run_store(args: &[String]) -> Result<(), ToolError> {
             if threads == 0 {
                 return Err(ToolError::Usage("--threads must be positive".into()));
             }
-            let store = if out_path.exists() {
+            let tiers = tier_config_from_options(&opts)?;
+            let mut store = if out_path.exists() {
                 // Resume into an existing snapshot; its stored sketch
                 // parameters win (--threads only picks the ingest path,
                 // so it stays legal on resume).
@@ -221,12 +236,97 @@ fn run_store(args: &[String]) -> Result<(), ToolError> {
                 })?;
                 EllStore::new(shards, cfg)?
             };
+            let tiered = tiers.is_some();
+            if let Some(tiers) = tiers {
+                store.set_tier_config(tiers);
+            }
             let mut events = 0u64;
             for input in open_inputs(&positional)? {
                 events += store_ingest_parallel(&store, input, threads)?;
+                // Each input source is one tick of the demotion clock:
+                // keys untouched for N whole inputs age past --warm-after
+                // / --cold-after N.
+                if tiered {
+                    store.tick();
+                }
             }
-            save_store(&store, out_path)?;
-            println!("{} keys, {events} events", store.key_count());
+            if tiered {
+                let (mut warm, mut cold) = store.demote_idle();
+                // The ladder moves one rung per sweep; a second sweep
+                // lets keys idle past --cold-after reach the spill file
+                // in the same run.
+                if store.tier_config().cold_threshold().is_some() {
+                    let (w2, c2) = store.demote_idle();
+                    warm += w2;
+                    cold += c2;
+                }
+                save_store(&store, out_path)?;
+                println!("{} keys, {events} events", store.key_count());
+                println!("demoted {warm} warm, {cold} cold; snapshot keeps their compressed form");
+            } else {
+                save_store(&store, out_path)?;
+                println!("{} keys, {events} events", store.key_count());
+            }
+            Ok(())
+        }
+        "stats" => {
+            let (opts, positional) = parse_options_with_flags(rest, &[], &["entropy"])?;
+            let [input] = positional.as_slice() else {
+                return Err(ToolError::Usage(
+                    "store stats needs exactly one snapshot file".into(),
+                ));
+            };
+            let store = load_store(Path::new(input))?;
+            println!("keys\t{}", store.key_count());
+            println!("memory_bytes\t{}", store.memory_bytes());
+            print_tier_stats(&store.tier_stats());
+            if opts.contains_key("entropy") {
+                // `state_entropy_bits` reads through warm/cold payloads
+                // without promoting, so this is residency-neutral.
+                for key in store.keys() {
+                    let bits = store.state_entropy_bits(&key).expect("listed key exists");
+                    println!("entropy\t{key}\t{bits:.1}");
+                }
+            }
+            Ok(())
+        }
+        "tiers" => {
+            let (opts, positional) =
+                parse_options(rest, &["warm-after", "cold-after", "spill", "out"])?;
+            let [input] = positional.as_slice() else {
+                return Err(ToolError::Usage(
+                    "store tiers needs exactly one snapshot file".into(),
+                ));
+            };
+            let mut store = load_store(Path::new(input))?;
+            let before = store.memory_bytes();
+            let Some(tiers) = tier_config_from_options(&opts)? else {
+                return Err(ToolError::Usage(
+                    "store tiers needs --warm-after and/or --cold-after (with --spill)".into(),
+                ));
+            };
+            // Age every key past the largest threshold, then sweep: the
+            // command answers "what would full demotion buy?".
+            let horizon = tiers
+                .warm_threshold()
+                .max(tiers.cold_threshold())
+                .expect("tiering enabled");
+            store.set_tier_config(tiers);
+            store.advance_clock(horizon);
+            let (mut warm, mut cold) = store.demote_idle();
+            // Second sweep so warm keys due for cold actually spill
+            // (the ladder moves one rung per sweep).
+            if store.tier_config().cold_threshold().is_some() {
+                let (w2, c2) = store.demote_idle();
+                warm += w2;
+                cold += c2;
+            }
+            println!("demoted\t{warm} warm, {cold} cold");
+            println!("memory_bytes\t{before} -> {}", store.memory_bytes());
+            print_tier_stats(&store.tier_stats());
+            if let Some(out) = opts.get("out") {
+                save_store(&store, Path::new(out))?;
+            }
             Ok(())
         }
         "query" => {
@@ -292,8 +392,30 @@ fn run_store(args: &[String]) -> Result<(), ToolError> {
             Ok(())
         }
         other => Err(ToolError::Usage(format!(
-            "unknown store subcommand {other}; try ingest | query | snapshot | restore | window"
+            "unknown store subcommand {other}; try ingest | query | stats | tiers | \
+             snapshot | restore | window"
         ))),
+    }
+}
+
+/// Prints the residency breakdown shared by `store stats`, `store
+/// tiers`, and `store window stats` (tab-separated `name\tvalue` rows,
+/// like the rest of the stats output).
+fn print_tier_stats(stats: &TierStats) {
+    println!(
+        "tiers\thot={} sparse={} warm={} cold={}",
+        stats.hot_keys, stats.sparse_keys, stats.warm_keys, stats.cold_keys
+    );
+    println!(
+        "tier_traffic\tdemotions_warm={} demotions_cold={} promotions={} parked_deltas={}",
+        stats.demotions_warm, stats.demotions_cold, stats.promotions, stats.parked_deltas
+    );
+    println!(
+        "tier_bytes\tresident={} spilled={}",
+        stats.resident_bytes, stats.spilled_bytes
+    );
+    if stats.spill_errors > 0 {
+        println!("spill_errors\t{}", stats.spill_errors);
     }
 }
 
@@ -303,20 +425,35 @@ fn run_store(args: &[String]) -> Result<(), ToolError> {
 fn run_store_window(args: &[String]) -> Result<(), ToolError> {
     let Some((sub, rest)) = args.split_first() else {
         return Err(ToolError::Usage(
-            "store window needs a subcommand: ingest | advance | query".into(),
+            "store window needs a subcommand: ingest | advance | query | stats".into(),
         ));
     };
     match sub.as_str() {
         "ingest" => {
-            let (opts, positional) =
-                parse_options(rest, &["out", "shards", "epochs", "t", "d", "p"])?;
+            let (opts, positional) = parse_options(
+                rest,
+                &["out", "shards", "epochs", "t", "d", "p", "warm-after"],
+            )?;
             let out = opts
                 .get("out")
                 .ok_or_else(|| ToolError::Usage("store window ingest needs --out".into()))?;
             let out_path = Path::new(out);
-            let store = if out_path.exists() {
-                // Resume into an existing snapshot; its parameters win.
-                if opts.len() > 1 {
+            let warm_after: Option<u64> = opts
+                .get("warm-after")
+                .map(|v| {
+                    v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        ToolError::Usage("--warm-after expects a positive epoch count".into())
+                    })
+                })
+                .transpose()?;
+            let mut store = if out_path.exists() {
+                // Resume into an existing snapshot; its parameters win
+                // (--warm-after is runtime policy, not a stored
+                // parameter, so it stays legal on resume).
+                if ["shards", "epochs", "t", "d", "p"]
+                    .iter()
+                    .any(|k| opts.contains_key(*k))
+                {
                     return Err(ToolError::Usage(format!(
                         "{out} exists; its stored parameters apply \
                          (drop --shards/--epochs/--t/--d/--p)"
@@ -335,9 +472,16 @@ fn run_store_window(args: &[String]) -> Result<(), ToolError> {
                 })?;
                 WindowedStore::new(shards, cfg, epochs)?
             };
+            store.set_warm_after(warm_after);
             let mut events = 0u64;
             for input in open_inputs(&positional)? {
                 events += windowed_ingest(&store, input)?;
+            }
+            if warm_after.is_some() {
+                // Rotation already demotes as it goes; one more sweep
+                // catches keys idle since the last advance, so the
+                // snapshot stores them compressed.
+                store.demote_idle();
             }
             save_windowed(&store, out_path)?;
             println!(
@@ -442,8 +586,23 @@ fn run_store_window(args: &[String]) -> Result<(), ToolError> {
             print_stats(&store);
             Ok(())
         }
+        "stats" => {
+            let (_, positional) = parse_options(rest, &[])?;
+            let [input] = positional.as_slice() else {
+                return Err(ToolError::Usage(
+                    "store window stats needs exactly one snapshot file".into(),
+                ));
+            };
+            let store = load_windowed(Path::new(input))?;
+            println!("keys\t{}", store.key_count());
+            println!("epoch\t{}", store.current_epoch());
+            println!("epochs\t{}", store.epoch_window());
+            println!("memory_bytes\t{}", store.memory_bytes());
+            print_tier_stats(&store.tier_stats());
+            Ok(())
+        }
         other => Err(ToolError::Usage(format!(
-            "unknown store window subcommand {other}; try ingest | advance | query"
+            "unknown store window subcommand {other}; try ingest | advance | query | stats"
         ))),
     }
 }
@@ -463,18 +622,29 @@ fn print_help() {
          \x20 compress --out FILE IN                      entropy-coded copy\n\
          \x20 inspect  FILE...                            state diagnostics\n\n\
          keyed store (key<TAB>element lines; `ELLK` snapshot files):\n\
-         \x20 store ingest  --out FILE [--shards N] [--t T --d D --p P] [--threads N] [FILE...|-]\n\
+         \x20 store ingest  --out FILE [--shards N] [--t T --d D --p P] [--threads N]\n\
+         \x20               [--warm-after N] [--cold-after N --spill DIR] [FILE...|-]\n\
+         \x20                                             (tiering: each input = one clock tick;\n\
+         \x20                                             idle keys demote before the snapshot)\n\
          \x20 store query   FILE [KEY...] [--merged]      per-key (or union) estimates\n\
+         \x20 store stats   FILE [--entropy]              key count, resident bytes, tier\n\
+         \x20                                             breakdown (+ per-key entropy bits)\n\
+         \x20 store tiers   FILE [--warm-after N] [--cold-after N --spill DIR] [--out FILE]\n\
+         \x20                                             demote everything idle, report the\n\
+         \x20                                             memory saved (optionally persist)\n\
          \x20 store snapshot FILE --out DIR               export per-key sketch files + manifest\n\
          \x20 store restore DIR --out FILE                rebuild a snapshot from an export\n\n\
          windowed store (key<TAB>epoch<TAB>element lines; `ELLW` snapshot files):\n\
          \x20 store window ingest  --out FILE [--epochs E] [--shards N] [--t T --d D --p P]\n\
-         \x20                       [FILE...|-]           per-epoch ingest (auto-advances)\n\
+         \x20                       [--warm-after N] [FILE...|-]\n\
+         \x20                                             per-epoch ingest (auto-advances;\n\
+         \x20                                             idle rings demote to compressed form)\n\
          \x20 store window advance FILE --epoch N [--out FILE]\n\
          \x20                                             rotate the window forward\n\
          \x20 store window query   FILE [KEY...] [--last K] [--all-time] [--stats]\n\
          \x20                                             trailing-window estimates\n\
-         \x20                                             (--stats: suffix-cache counters)\n\n\
+         \x20                                             (--stats: suffix-cache counters)\n\
+         \x20 store window stats   FILE                   epoch, resident bytes, tier breakdown\n\n\
          algorithms for count --algo:\n\
          \x20 {}",
         ell_baselines::ALGORITHMS.join(", ")

@@ -23,7 +23,7 @@
 
 use ell_core::{Sketch, SketchError};
 use ell_hash::{Hasher64, WyHash};
-use ell_store::EllStore;
+use ell_store::{EllStore, TierConfig};
 use exaloglog::compress::{compress, decompress, state_entropy_bits};
 use exaloglog::{AdaptiveExaLogLog, EllConfig, EllError, ExaLogLog, TokenSet};
 use std::io::BufRead;
@@ -387,6 +387,65 @@ pub fn config_from_options(
         parse(d, 20, "d")?,
         parse(p, 12, "p")?,
     )?)
+}
+
+/// Builds a [`TierConfig`] from the shared tiering options
+/// (`--warm-after N`, `--cold-after N`, `--spill DIR`). Returns `None`
+/// when no tiering option is present so callers can skip configuration
+/// entirely.
+///
+/// # Errors
+///
+/// [`ToolError::Usage`] on a non-positive threshold, `--cold-after`
+/// without `--spill` (cold demotion needs a segment file to write to),
+/// `--spill` without `--cold-after` (it would never be used), or
+/// thresholds ordered cold-before-warm.
+pub fn tier_config_from_options(
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<Option<TierConfig>, ToolError> {
+    let parse = |name: &str| -> Result<Option<u64>, ToolError> {
+        opts.get(name)
+            .map(|v| {
+                v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    ToolError::Usage(format!("--{name} expects a positive tick count"))
+                })
+            })
+            .transpose()
+    };
+    let warm = parse("warm-after")?;
+    let cold = parse("cold-after")?;
+    let spill = opts.get("spill");
+    if warm.is_none() && cold.is_none() {
+        if spill.is_some() {
+            return Err(ToolError::Usage(
+                "--spill does nothing without --cold-after".into(),
+            ));
+        }
+        return Ok(None);
+    }
+    if cold.is_some() && spill.is_none() {
+        return Err(ToolError::Usage(
+            "--cold-after needs --spill DIR for the segment file".into(),
+        ));
+    }
+    if let (Some(w), Some(c)) = (warm, cold) {
+        if c < w {
+            return Err(ToolError::Usage(
+                "--cold-after must be >= --warm-after (keys cool hot -> warm -> cold)".into(),
+            ));
+        }
+    }
+    let mut cfg = TierConfig::new();
+    if let Some(w) = warm {
+        cfg = cfg.warm_after(w);
+    }
+    if let Some(c) = cold {
+        cfg = cfg.cold_after(c);
+    }
+    if let Some(dir) = spill {
+        cfg = cfg.spill_dir(dir);
+    }
+    Ok(Some(cfg))
 }
 
 /// Writes a sketch in the plain format.
@@ -784,6 +843,69 @@ mod tests {
             (rel.jaccard - 1.0 / 3.0).abs() < 0.1,
             "jaccard {}",
             rel.jaccard
+        );
+    }
+
+    #[test]
+    fn tier_options_validate() {
+        let parse = |pairs: &[(&str, &str)]| {
+            let map: std::collections::HashMap<String, String> = pairs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect();
+            tier_config_from_options(&map)
+        };
+        assert!(parse(&[]).unwrap().is_none());
+        let cfg = parse(&[("warm-after", "3")]).unwrap().unwrap();
+        assert_eq!(cfg.warm_threshold(), Some(3));
+        assert_eq!(cfg.cold_threshold(), None);
+        let cfg = parse(&[
+            ("warm-after", "2"),
+            ("cold-after", "5"),
+            ("spill", "/tmp/x"),
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.cold_threshold(), Some(5));
+        assert!(cfg.spill_directory().is_some());
+        assert!(parse(&[("warm-after", "0")]).is_err()); // non-positive
+        assert!(parse(&[("cold-after", "4")]).is_err()); // no --spill
+        assert!(parse(&[("spill", "/tmp/x")]).is_err()); // spill alone
+                                                         // cold sooner than warm makes the lifecycle unreachable
+        assert!(parse(&[
+            ("warm-after", "5"),
+            ("cold-after", "2"),
+            ("spill", "/tmp/x")
+        ])
+        .is_err());
+    }
+
+    /// `ell store stats --entropy` reports `state_entropy_bits`, the
+    /// information-theoretic bound the warm tier's range coder works
+    /// against: the ELLZ payload for the same state must land within a
+    /// small constant plus ~10% of `ceil(bits / 8)` past its 16-byte
+    /// header. This pins the stat to what demotion actually buys.
+    #[test]
+    fn store_entropy_pins_compressed_payload_size() {
+        let cfg = EllConfig::new(2, 16, 8).unwrap();
+        let store = EllStore::new(4, cfg).unwrap();
+        let mut sketch = ExaLogLog::new(cfg);
+        for i in 0..4000u64 {
+            let h = ell_hash::mix64(i);
+            store.insert("k", h);
+            sketch.insert_hash(h);
+        }
+        let bits = store.state_entropy_bits("k").unwrap();
+        assert!(bits > 0.0);
+        let payload = compress(&sketch).len() as f64 - 16.0; // header excluded
+        let predicted = (bits / 8.0).ceil();
+        assert!(
+            payload >= predicted - 2.0,
+            "coder beat the entropy bound: {payload} < {predicted}"
+        );
+        assert!(
+            payload <= predicted * 1.1 + 8.0,
+            "coder overhead too large: {payload} vs {predicted}"
         );
     }
 

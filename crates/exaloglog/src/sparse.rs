@@ -141,6 +141,28 @@ impl SparseExaLogLog {
         }
     }
 
+    /// Whether the sketch has recorded no element at all (in either
+    /// phase).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        match &self.phase {
+            Phase::Sparse(tokens) => tokens.is_empty(),
+            Phase::Dense(sketch) => sketch.is_empty(),
+        }
+    }
+
+    /// Resets the sketch to the empty state while keeping its backing
+    /// allocations: a sparse phase clears its token vector (capacity
+    /// retained), a dense phase zeroes its register array in place and
+    /// stays dense. Merging a reset dense sketch costs one word-level
+    /// zero scan, so reused delta buffers stay cheap either way.
+    pub fn reset(&mut self) {
+        match &mut self.phase {
+            Phase::Sparse(tokens) => tokens.clear(),
+            Phase::Dense(sketch) => sketch.clear(),
+        }
+    }
+
     /// The ML distinct-count estimate (token ML while sparse, register ML
     /// with bias correction when dense).
     #[must_use]

@@ -131,6 +131,14 @@ impl TokenSet {
         self.tokens.is_empty()
     }
 
+    /// Removes every token while keeping the backing allocation, so a
+    /// buffer that is filled and drained repeatedly (delta-sketch reuse
+    /// in the store's ingest sessions) stops reallocating once it has
+    /// reached its working-set size.
+    pub fn clear(&mut self) {
+        self.tokens.clear();
+    }
+
     /// Bulk-builds a token set from hashes: encode, sort, deduplicate.
     /// Much faster than repeated [`TokenSet::insert_hash`] for large
     /// batches (O(n log n) instead of O(n²) worst case).
