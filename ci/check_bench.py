@@ -22,6 +22,15 @@ For every file the script enforces, in order:
    2.0: compressing the idle tail must at least halve resident memory),
    and ``hot_ingest_ratio`` must be ``<= --max-hot-ratio`` (default
    1.10: demoted neighbors must not tax the hot path).
+5. **Kernel gates.** When the file carries ``kernel_equivalence`` (the
+   registers bench), it must be ``"ok"`` — every scan kernel produced
+   bytes identical to the scalar reference — and
+   ``swar_merge_speedup_min`` must be ``>= --min-kernel-speedup``
+   (default 1.2: the portable SWAR kernel must beat the scalar scan on
+   the gated overlap/sparse merge shapes; the SWAR gate is used because
+   it is portable and reliable even on a one-core CI machine, while
+   AVX2 rows stay informational — emulated AVX2 can be slower than
+   scalar).
 
 One summary line is printed per file; the exit status is non-zero if any
 check failed anywhere.
@@ -38,7 +47,11 @@ MIN_PARALLELISM = 4
 
 
 def check_file(
-    path: str, min_scaling: float, min_warm_reduction: float, max_hot_ratio: float
+    path: str,
+    min_scaling: float,
+    min_warm_reduction: float,
+    max_hot_ratio: float,
+    min_kernel_speedup: float,
 ) -> bool:
     try:
         with open(path, encoding="utf-8") as fh:
@@ -110,6 +123,27 @@ def check_file(
             if hot_ratio is not None:
                 tier_note += f", hot ratio {hot_ratio:.3f} (gate {max_hot_ratio:.2f})"
 
+    kernel_note = ""
+    kernel_equivalence = data.get("kernel_equivalence")
+    if kernel_equivalence is not None:
+        if kernel_equivalence != "ok":
+            failures.append(
+                f'kernel_equivalence is "{kernel_equivalence}", expected "ok"'
+            )
+        swar_min = data.get("swar_merge_speedup_min")
+        if swar_min is None:
+            failures.append("kernel_equivalence present but swar_merge_speedup_min missing")
+        elif swar_min < min_kernel_speedup:
+            failures.append(
+                f"swar_merge_speedup_min {swar_min:.3f} is below "
+                f"the {min_kernel_speedup:.2f} gate"
+            )
+        else:
+            kernel_note = (
+                f"kernel equivalence ok, SWAR >= {swar_min:.2f}x "
+                f"(gate {min_kernel_speedup:.2f})"
+            )
+
     name = data.get("bench", "?")
     if failures:
         print(f"FAIL {path} (bench {name}): " + "; ".join(failures))
@@ -121,6 +155,8 @@ def check_file(
     if flatness is not None:
         bound = data.get("query_flatness_bound", "?")
         summary += f", query flatness {flatness:.2f}x (bound {bound}x)"
+    if kernel_note:
+        summary += f"; {kernel_note}"
     if tier_note:
         summary += f"; {tier_note}"
     if scaling_note:
@@ -135,11 +171,16 @@ def main() -> int:
     parser.add_argument("--min-scaling", type=float, default=2.0)
     parser.add_argument("--min-warm-reduction", type=float, default=2.0)
     parser.add_argument("--max-hot-ratio", type=float, default=1.10)
+    parser.add_argument("--min-kernel-speedup", type=float, default=1.2)
     opts = parser.parse_args()
     ok = True
     for path in opts.files:
         ok &= check_file(
-            path, opts.min_scaling, opts.min_warm_reduction, opts.max_hot_ratio
+            path,
+            opts.min_scaling,
+            opts.min_warm_reduction,
+            opts.max_hot_ratio,
+            opts.min_kernel_speedup,
         )
     return 0 if ok else 1
 

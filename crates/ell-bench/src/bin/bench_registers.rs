@@ -6,9 +6,10 @@
 //!
 //! ```text
 //! bench_registers [--quick] [--out FILE] [--hashes N] [--reps N] [--p P]
+//!                 [--kernel scalar|swar|avx2]
 //! ```
 //!
-//! Three comparisons per configuration:
+//! Four comparisons per configuration:
 //!
 //! * **insert** — `insert_hashes` on width-specialized register storage
 //!   versus the same sketch pinned to the generic shifted-window path
@@ -20,6 +21,12 @@
 //! * **estimate** — repeated single-insert-then-estimate through the
 //!   incrementally cached ML coefficients versus re-running the
 //!   Algorithm 3 register scan per estimate.
+//! * **kernels** — the steady-state word-run merge scan under each scan
+//!   kernel the hardware supports (SWAR and AVX2) versus the scalar
+//!   reference kernel, on the scan-dominated shapes (sparse incoming,
+//!   mostly-overlapping fold, self-merge). The JSON records
+//!   `kernel_equivalence` and the minimum SWAR speedup over the gated
+//!   shapes so CI can require both.
 //!
 //! Every comparison asserts that both paths produce bit-identical
 //! serialized state / estimates; the JSON records the verdict under
@@ -27,6 +34,7 @@
 //! is what lets CI gate on it.
 
 use ell_bench::hashes;
+use exaloglog::kernels::{self, Kernel};
 use exaloglog::theory::bias_correction_c;
 use exaloglog::{ml, EllConfig, ExaLogLog};
 use std::time::Instant;
@@ -88,6 +96,10 @@ fn parse_args() -> Args {
                 });
                 i += 2;
             }
+            "--kernel" => {
+                ell_bench::force_kernel_or_exit("bench_registers", &need(&argv, i, "--kernel"));
+                i += 2;
+            }
             other => {
                 eprintln!("bench_registers: unknown option {other}");
                 std::process::exit(2);
@@ -114,6 +126,17 @@ fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
         .collect();
     times.sort_by(f64::total_cmp);
     times[reps / 2]
+}
+
+/// Minimum wall time of `reps` runs of `f`, in seconds.
+fn min_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// The scan-based reference estimate (the pre-cache behavior): one full
@@ -189,10 +212,82 @@ fn bench_merge_shape(
     )
 }
 
+/// One kernel-comparison measurement: the *steady-state* word-run merge
+/// (`base ∪ incoming` already folded in, so repeated merges are pure
+/// scan-and-skip work — exactly the cost the kernels vectorize) under
+/// each supported kernel versus the scalar reference kernel. Verifies
+/// that every kernel produces bytes identical to the scalar merge, and
+/// returns the JSON row plus the SWAR speedup.
+fn bench_kernel_shape(
+    label: &str,
+    base: &ExaLogLog,
+    incoming: &ExaLogLog,
+    reps: usize,
+    iters: usize,
+    kernel_ok: &mut bool,
+) -> (String, f64) {
+    // Equivalence: each kernel's merge of the *original* shape must match
+    // the scalar kernel's, bit for bit.
+    let mut scalar_merged = base.clone();
+    scalar_merged
+        .merge_from_with_kernel(incoming, Kernel::Scalar)
+        .unwrap();
+    for kernel in kernels::available() {
+        let mut merged = base.clone();
+        merged.merge_from_with_kernel(incoming, kernel).unwrap();
+        if merged.to_bytes() != scalar_merged.to_bytes() {
+            eprintln!(
+                "bench_registers: kernel equivalence MISMATCH in shape {label} (kernel {})",
+                kernel.name()
+            );
+            *kernel_ok = false;
+        }
+    }
+
+    let per_op = 1e9 / iters as f64;
+    let mut fields = Vec::new();
+    let mut swar_speedup = f64::NAN;
+    let mut scalar_ns = f64::NAN;
+    for kernel in kernels::available() {
+        // Steady state: after the first merge the accumulator already
+        // contains the union, so every further merge is scan-only.
+        // Minimum over reps, not median: on a busy single-core machine
+        // the minimum is the least noise-contaminated estimate, and the
+        // speedup gate needs run-to-run stability.
+        let mut acc = scalar_merged.clone();
+        let ns = min_secs(reps.max(5), || {
+            for _ in 0..iters {
+                acc.merge_from_with_kernel(incoming, kernel).unwrap();
+                std::hint::black_box(&acc);
+            }
+        }) * per_op;
+        let name = kernel.name();
+        fields.push(format!("\"{name}_ns\": {ns:.1}"));
+        match kernel {
+            Kernel::Scalar => scalar_ns = ns,
+            Kernel::Swar => {
+                swar_speedup = scalar_ns / ns;
+                fields.push(format!("\"swar_speedup\": {swar_speedup:.3}"));
+            }
+            Kernel::Avx2 => {
+                fields.push(format!("\"avx2_speedup\": {:.3}", scalar_ns / ns));
+            }
+        }
+        println!("    kernel/{label:<18} {name:<6} {ns:10.1} ns");
+    }
+    (
+        format!("        \"{label}\": {{{}}}", fields.join(", ")),
+        swar_speedup,
+    )
+}
+
 fn main() {
     let args = parse_args();
     let stream = hashes(args.hashes, 0x5EED_CAFE);
     let mut ok = true;
+    let mut kernel_ok = true;
+    // Minimum SWAR speedup over the gated scan-dominated shapes.
+    let mut swar_min = f64::INFINITY;
 
     let configs: Vec<(&str, EllConfig)> = vec![
         ("ull8", EllConfig::ull(args.p).unwrap()),
@@ -299,6 +394,59 @@ fn main() {
             ),
         ];
 
+        // ---- scan kernels: swar/avx2 vs the scalar reference ---------
+        // The kernel rows measure *scan* cost, so they use a register
+        // array large enough (>= 2^12 registers) for the word scan to
+        // dominate the handful of boundary register merges; at tiny m
+        // the fixed per-merge overhead drowns the signal.
+        let kernel_cfg = EllConfig::new(cfg.t(), cfg.d(), cfg.p().max(13)).unwrap();
+        let kdense = {
+            let mut s = ExaLogLog::new(kernel_cfg);
+            s.insert_hashes(&stream);
+            s
+        };
+        // Sparse incoming: a handful of isolated nonzero registers, so
+        // the steady-state merge is dominated by the word scan (zero and
+        // equal runs) rather than by per-register boundary merges, which
+        // cost the same under every kernel.
+        let ksparse = {
+            let mut s = ExaLogLog::new(kernel_cfg);
+            s.insert_hashes(&hashes(8, 0xB0A7));
+            s
+        };
+        let koverlap = {
+            let mut s = kdense.clone();
+            s.insert_hashes(&hashes(args.hashes / 100, 0xF01D));
+            s
+        };
+        let kernel_iters = if args.quick { 600 } else { 3000 };
+        let (row_sparse, su_sparse) = bench_kernel_shape(
+            "sparse_into_dense",
+            &kdense,
+            &ksparse,
+            args.reps,
+            kernel_iters,
+            &mut kernel_ok,
+        );
+        let (row_overlap, su_overlap) = bench_kernel_shape(
+            "overlap_fold",
+            &kdense,
+            &koverlap,
+            args.reps,
+            kernel_iters,
+            &mut kernel_ok,
+        );
+        let (row_self, _) = bench_kernel_shape(
+            "self_merge",
+            &kdense,
+            &kdense.clone(),
+            args.reps,
+            kernel_iters,
+            &mut kernel_ok,
+        );
+        swar_min = swar_min.min(su_sparse).min(su_overlap);
+        let kernel_rows = [row_sparse, row_overlap, row_self];
+
         // ---- estimate: cached coefficients vs per-call scan ----------
         let est_iters = if args.quick { 2000 } else { 10_000 };
         let est_stream = hashes(est_iters, 0xE57);
@@ -341,22 +489,35 @@ fn main() {
              \"register_width\": {},\n      \"insert\": {{\"specialized_ns_per_op\": {spec_ns:.3}, \
              \"generic_ns_per_op\": {gen_ns:.3}, \"speedup\": {insert_speedup:.3}}},\n      \
              \"merge\": {{\n{}\n      }},\n      \
+             \"kernels\": {{\n{}\n      }},\n      \
              \"estimate\": {{\"cached_ns_per_op\": {cached_ns:.1}, \"scan_ns_per_op\": {scan_ns:.1}, \
              \"speedup\": {est_speedup:.3}}}\n    }}",
             cfg.register_width(),
-            merge_rows.join(",\n")
+            merge_rows.join(",\n"),
+            kernel_rows.join(",\n")
         ));
     }
 
+    let kernels_available: Vec<String> = kernels::available()
+        .iter()
+        .map(|k| format!("\"{}\"", k.name()))
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"registers\",\n  \"mode\": \"{}\",\n  \"precision_p\": {},\n  \
          \"hashes_per_run\": {},\n  \"reps\": {},\n  \"unit\": \"ns_per_op\",\n  \
-         \"equivalence\": \"{}\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+         \"kernel\": \"{}\",\n  \"kernels_available\": [{}],\n  \"kernel_precision_p\": {},\n  \
+         \"equivalence\": \"{}\",\n  \"kernel_equivalence\": \"{}\",\n  \
+         \"swar_merge_speedup_min\": {:.3},\n  \"configs\": [\n{}\n  ]\n}}\n",
         if args.quick { "quick" } else { "full" },
         args.p,
         args.hashes,
         args.reps,
+        ell_bench::active_kernel_name(),
+        kernels_available.join(", "),
+        args.p.max(13),
         if ok { "ok" } else { "mismatch" },
+        if kernel_ok { "ok" } else { "mismatch" },
+        swar_min,
         blocks.join(",\n")
     );
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
@@ -366,6 +527,10 @@ fn main() {
     println!("wrote {}", args.out);
     if !ok {
         eprintln!("bench_registers: specialized-vs-generic equivalence self-check FAILED");
+        std::process::exit(1);
+    }
+    if !kernel_ok {
+        eprintln!("bench_registers: kernel-vs-scalar equivalence self-check FAILED");
         std::process::exit(1);
     }
 }

@@ -8,6 +8,7 @@
 //! bench_window [--quick] [--out FILE] [--rounds N] [--epochs E]
 //!              [--keys N] [--events N] [--zipf S] [--drift D]
 //!              [--shards N] [--threads LIST] [--queries N]
+//!              [--kernel scalar|swar|avx2]
 //! ```
 //!
 //! The workload is the drifting Zipf [`WindowedStream`]: `--rounds`
@@ -37,7 +38,14 @@
 //! * `queries_allocation_free` — a counting global allocator observes
 //!   **zero** heap allocations across the timed query loop (the
 //!   scratch-reuse guarantee: window queries of any k ≤ E never
-//!   allocate, including lazy suffix-chain extensions).
+//!   allocate, including lazy suffix-chain extensions);
+//! * `late_equivalence_ok` — after a late-arrival batch lands in an
+//!   already-sealed epoch (invalidating the suffix chains the query
+//!   phase built), re-queries are still bit-identical to the offline
+//!   per-register merge;
+//! * `late_invalidations_nonzero` — the late batch really exercised
+//!   the dirty-invalidation path (`dirty_invalidations > 0` in the
+//!   suffix-cache counters).
 //!
 //! One more verdict is a *perf gate* rather than a law:
 //! `query_flat_vs_k` is true when the max/min ns-per-query ratio
@@ -195,6 +203,10 @@ fn parse_args() -> Args {
                     .split(',')
                     .map(|part| parse_or_die(part.to_string(), "--threads"))
                     .collect();
+                i += 2;
+            }
+            "--kernel" => {
+                ell_bench::force_kernel_or_exit("bench_window", &need(&argv, i, "--kernel"));
                 i += 2;
             }
             other => {
@@ -459,6 +471,58 @@ fn main() {
         args.epochs,
         if query_flat_vs_k { "ok" } else { "EXCEEDED" }
     );
+    // ---- late events: out-of-order ingest into a sealed epoch --------
+    // Arrivals for epoch `current - 1` land after the query phase built
+    // suffix chains covering that epoch, so every probe key's chain must
+    // be dirty-invalidated; the next query per key pays the lazy rebuild
+    // and must still be bit-identical to the offline per-register merge.
+    // This is the only workload phase that exercises
+    // `dirty_invalidations` (in-order ingest never touches sealed
+    // epochs).
+    let late_epoch = current.saturating_sub(1);
+    let late_per_key = 16usize;
+    let late_pool = ell_bench::hashes(probe.len() * late_per_key, 0x1A7E);
+    let late_batch: Vec<(&str, u64)> = probe
+        .iter()
+        .enumerate()
+        .flat_map(|(i, key)| {
+            late_pool[i * late_per_key..(i + 1) * late_per_key]
+                .iter()
+                .map(move |&h| (key.as_str(), h))
+        })
+        .collect();
+    let t0 = Instant::now();
+    store.ingest(late_epoch, &late_batch);
+    let late_ingest_ns = t0.elapsed().as_secs_f64() * 1e9 / late_batch.len() as f64;
+    let mut late_equivalent = true;
+    let t0 = Instant::now();
+    let mut late_queries = 0usize;
+    for key in &probe {
+        for k in 1..=args.epochs {
+            let mut offline = ExaLogLog::new(cfg);
+            for e in current.saturating_sub(k as u64 - 1)..=current {
+                if let Some(sub) = store.epoch_sketch(key, e) {
+                    offline
+                        .merge_from_per_register(&sub)
+                        .expect("shared configuration");
+                }
+            }
+            let windowed = store.estimate_window(key, k).expect("known key");
+            late_queries += 1;
+            if windowed.to_bits() != offline.estimate().to_bits() {
+                late_equivalent = false;
+                eprintln!("bench_window: late-event {key} k={k}: {windowed} != offline");
+            }
+        }
+    }
+    let late_requery_ns = t0.elapsed().as_secs_f64() * 1e9 / late_queries.max(1) as f64;
+    println!(
+        "late    {} events into sealed epoch {late_epoch}   {late_ingest_ns:.1} ns/event   \
+         requery {late_requery_ns:.1} ns/query   equivalence {}",
+        late_batch.len(),
+        if late_equivalent { "ok" } else { "MISMATCH" }
+    );
+
     let cache = store.window_stats();
     println!(
         "suffix cache: {} hits, {} lazy rebuilds ({} entries built), {} dirty invalidations",
@@ -467,6 +531,10 @@ fn main() {
         cache.suffix_entries_built,
         cache.dirty_invalidations
     );
+    let late_invalidated = cache.dirty_invalidations > 0;
+    if !late_invalidated {
+        eprintln!("bench_window: late-event phase produced no dirty invalidations!");
+    }
 
     // ---- rotation cost ----------------------------------------------
     // Advance the restored copy through E further epochs: every step
@@ -484,7 +552,7 @@ fn main() {
         rotation_secs * 1e3
     );
 
-    if !deterministic || !equivalent || !roundtrip_ok || !allocation_free {
+    if !deterministic || !equivalent || !roundtrip_ok || !allocation_free || !late_equivalent {
         eprintln!("bench_window: windowed-store law violated (see above)");
         std::process::exit(1);
     }
@@ -500,6 +568,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"window\",\n  \"mode\": \"{}\",\n  \"config\": \"{cfg}\",\n  \
+         \"kernel\": \"{}\",\n  \
          \"epoch_ring\": {},\n  \"rounds\": {},\n  \"events_per_epoch\": {},\n  \
          \"key_universe\": {},\n  \"zipf_s\": {},\n  \"drift_per_epoch\": {},\n  \
          \"shards\": {},\n  \"queries_per_k\": {},\n  \"available_parallelism\": {cores},\n  \
@@ -515,10 +584,15 @@ fn main() {
          \"query_flat_vs_k\": {query_flat_vs_k},\n  \
          \"query_flatness_ratio\": {flatness_ratio:.3},\n  \
          \"query_flatness_bound\": {flatness_bound},\n  \
+         \"late_equivalence_ok\": {late_equivalent},\n  \
+         \"late_invalidations_nonzero\": {late_invalidated},\n  \
+         \"late_ingest\": {{\"epoch\": {late_epoch}, \"events\": {}, \
+         \"ns_per_event\": {late_ingest_ns:.1}, \"requery_ns_per_query\": {late_requery_ns:.1}}},\n  \
          \"suffix_cache\": {{\"hits\": {}, \"lazy_rebuilds\": {}, \
          \"entries_built\": {}, \"dirty_invalidations\": {}}},\n  \
          \"ingest\": [\n{}\n  ],\n  \"window_queries\": [\n{}\n  ]\n}}\n",
         if args.quick { "quick" } else { "full" },
+        ell_bench::active_kernel_name(),
         args.epochs,
         args.rounds,
         args.events,
@@ -529,6 +603,7 @@ fn main() {
         args.queries,
         snapshot.len(),
         if equivalent { "ok" } else { "MISMATCH" },
+        late_batch.len(),
         cache.suffix_hits,
         cache.lazy_rebuilds,
         cache.suffix_entries_built,

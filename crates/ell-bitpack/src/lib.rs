@@ -27,12 +27,16 @@
 //! and equality/hashing ignore it. [`PackedArray::new_generic`] forces
 //! the fallback path so benchmarks and tests can compare both.
 //!
-//! # Bulk word accessors
+//! # Bulk word accessors and kernels
 //!
-//! [`PackedArray::word`] exposes the buffer as zero-padded 64-bit
-//! little-endian words. Sketch hot paths use them to skip whole runs of
-//! empty or identical registers per comparison instead of per field — see
-//! [`PackedArray::for_each_nonzero`].
+//! [`PackedArray::words`] exposes the buffer as a borrowed view of
+//! zero-padded 64-bit little-endian words ([`kernels::WordView`]).
+//! Sketch hot paths use it to skip whole runs of empty or identical
+//! registers per comparison instead of per field — see
+//! [`PackedArray::for_each_nonzero`]. The run classification itself is
+//! performed by the runtime-dispatched scan kernels in [`kernels`]
+//! (scalar reference, portable SWAR, AVX2), all property-tested
+//! bit-identical.
 //!
 //! # Example
 //!
@@ -48,10 +52,16 @@
 //! assert_eq!(regs.get(1), 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 intrinsics in `kernels::avx2`
+// carry a scoped `#![allow(unsafe_code)]`; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use core::fmt;
+
+pub mod kernels;
+
+use kernels::{Kernel, WordView, ZeroRuns};
 
 /// Maximum supported field width in bits.
 pub const MAX_WIDTH: u32 = 64;
@@ -442,10 +452,11 @@ impl PackedArray {
         self.bits.fill(0);
     }
 
-    /// Returns true if every field is zero.
+    /// Returns true if every field is zero, scanning 32 bytes per step
+    /// through the active word kernel (see [`kernels::active`]).
     #[must_use]
     pub fn is_all_zero(&self) -> bool {
-        self.bits.iter().all(|&b| b == 0)
+        kernels::is_all_zero(&self.bits, kernels::active())
     }
 
     /// Number of 64-bit words covering the buffer (the last word is
@@ -454,6 +465,16 @@ impl PackedArray {
     #[must_use]
     pub fn word_count(&self) -> usize {
         self.bits.len().div_ceil(8)
+    }
+
+    /// Borrowed view of the buffer as zero-padded 64-bit little-endian
+    /// words — the input shape of the scan kernels in [`kernels`]. Each
+    /// access is one bounds check plus an unaligned load, replacing the
+    /// historical per-call byte-copy of [`PackedArray::word`].
+    #[inline]
+    #[must_use]
+    pub fn words(&self) -> WordView<'_> {
+        WordView::new(&self.bits)
     }
 
     /// Reads the `w`-th 64-bit little-endian word of the buffer. Bytes
@@ -467,36 +488,65 @@ impl PackedArray {
     #[inline]
     #[must_use]
     pub fn word(&self, w: usize) -> u64 {
-        let start = w * 8;
-        let end = self.bits.len().min(start + 8);
-        let mut buf = [0u8; 8];
-        buf[..end - start].copy_from_slice(&self.bits[start..end]);
-        u64::from_le_bytes(buf)
+        self.words().word(w)
     }
 
     /// Calls `visit(i, value)` for every nonzero field, in index order,
-    /// scanning the buffer one 64-bit word at a time so that runs of
-    /// empty fields cost one comparison per 64 bits instead of one
-    /// decode per field.
+    /// using the active scan kernel (see [`kernels::active`]).
+    pub fn for_each_nonzero(&self, visit: impl FnMut(usize, u64)) {
+        self.for_each_nonzero_with(kernels::active(), visit);
+    }
+
+    /// [`PackedArray::for_each_nonzero`] under an explicit [`Kernel`], so
+    /// benchmarks and property tests can compare kernels in one process.
     ///
-    /// Fields that straddle the boundary of a zero word are still decoded
-    /// individually (their other word may carry bits), so the visit set is
-    /// exact for every width.
-    pub fn for_each_nonzero(&self, mut visit: impl FnMut(usize, u64)) {
+    /// Widths dividing 64 never straddle a word boundary, so nonzero
+    /// words decode by mask-and-`trailing_zeros` lane extraction and runs
+    /// of empty fields cost one block comparison. Other widths classify
+    /// zero/nonzero word runs through the kernel and decode fields
+    /// straddling a run boundary individually (their other word may carry
+    /// bits), so the visit set is exact for every width.
+    pub fn for_each_nonzero_with(&self, kernel: Kernel, mut visit: impl FnMut(usize, u64)) {
         let width = self.width as usize;
-        let n_words = self.word_count();
-        // Next field index not yet classified by the word scan.
-        let mut next = 0usize;
-        let mut w = 0usize;
-        while w < n_words {
-            let zero = self.word(w) == 0;
-            let mut e = w + 1;
-            while e < n_words && (self.word(e) == 0) == zero {
-                e += 1;
+        let view = self.words();
+        if self.width <= 32 && 64 % width == 0 {
+            // Lane-extraction path: fields are word-aligned lanes.
+            let lanes_per_word = 64 / width;
+            for run in ZeroRuns::new(view, kernel) {
+                if run.zero {
+                    continue;
+                }
+                for w in run.start..run.end {
+                    let base = w * lanes_per_word;
+                    kernels::for_each_nonzero_lane(view.word(w), self.width, |lane, v| {
+                        debug_assert!(base + lane < self.len, "nonzero padding lane");
+                        visit(base + lane, v);
+                    });
+                }
             }
-            let start_bit = w * 64;
-            let end_bit = e * 64;
-            if zero {
+            return;
+        }
+        if self.width == 64 {
+            for run in ZeroRuns::new(view, kernel) {
+                if run.zero {
+                    continue;
+                }
+                for w in run.start..run.end {
+                    let v = view.word(w);
+                    if v != 0 {
+                        visit(w, v);
+                    }
+                }
+            }
+            return;
+        }
+        // Generic path: fields may straddle word boundaries. `next` is
+        // the first field index not yet classified by the run scan.
+        let mut next = 0usize;
+        for run in ZeroRuns::new(view, kernel) {
+            let start_bit = run.start * 64;
+            let end_bit = run.end * 64;
+            if run.zero {
                 // Skip fields lying fully inside [start_bit, end_bit);
                 // fields straddling into the run from the left are decoded
                 // here, ones straddling out of it by the next run.
@@ -519,7 +569,6 @@ impl PackedArray {
                 }
                 next = next.max(hi);
             }
-            w = e;
         }
         for i in next..self.len {
             let v = self.get(i);

@@ -279,6 +279,7 @@ fn run_store(args: &[String]) -> Result<(), ToolError> {
             let store = load_store(Path::new(input))?;
             println!("keys\t{}", store.key_count());
             println!("memory_bytes\t{}", store.memory_bytes());
+            println!("scan_kernel\t{}", exaloglog::kernels::active().name());
             print_tier_stats(&store.tier_stats());
             if opts.contains_key("entropy") {
                 // `state_entropy_bits` reads through warm/cold payloads
@@ -598,6 +599,7 @@ fn run_store_window(args: &[String]) -> Result<(), ToolError> {
             println!("epoch\t{}", store.current_epoch());
             println!("epochs\t{}", store.epoch_window());
             println!("memory_bytes\t{}", store.memory_bytes());
+            println!("scan_kernel\t{}", exaloglog::kernels::active().name());
             print_tier_stats(&store.tier_stats());
             Ok(())
         }

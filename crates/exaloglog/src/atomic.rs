@@ -163,9 +163,10 @@ impl AtomicExaLogLog {
     }
 
     /// Calls `f(index, value)` for every currently nonzero register,
-    /// skipping empty words with one comparison per 64 bits.
+    /// skipping empty words with one comparison per 64 bits and
+    /// extracting the set lanes of nonzero words by
+    /// mask-and-`trailing_zeros` instead of decoding every lane.
     fn for_each_nonzero<F: FnMut(usize, u64)>(&self, mut f: F) {
-        let field = ell_bitpack::mask(self.width);
         let m = self.cfg.m();
         for (w, word) in self.words.iter().enumerate() {
             let bits = word.load(Ordering::Acquire);
@@ -173,13 +174,12 @@ impl AtomicExaLogLog {
                 continue;
             }
             let base = w * self.regs_per_word;
-            let lanes = self.regs_per_word.min(m - base);
-            for lane in 0..lanes {
-                let v = (bits >> (lane as u32 * self.width)) & field;
-                if v != 0 {
-                    f(base + lane, v);
-                }
-            }
+            // Padding lanes (beyond regs_per_word, or past m in the final
+            // word) are never written, so extraction cannot visit them.
+            ell_bitpack::kernels::for_each_nonzero_lane(bits, self.width, |lane, v| {
+                debug_assert!(base + lane < m, "nonzero padding lane");
+                f(base + lane, v);
+            });
         }
     }
 

@@ -73,6 +73,7 @@ pub mod token;
 
 pub use adaptive::AdaptiveExaLogLog;
 pub use config::{EllConfig, EllError};
+pub use ell_bitpack::kernels;
 pub use ell_core::{DistinctCounter, Sketch, SketchError};
 pub use martingale::{MartingaleEstimator, MartingaleExaLogLog};
 pub use sketch::{ExaLogLog, RegisterChange};

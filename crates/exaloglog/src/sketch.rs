@@ -18,6 +18,7 @@ use crate::config::{EllConfig, EllError};
 use crate::ml::{self, MlCoefficients};
 use crate::registers;
 use crate::theory;
+use ell_bitpack::kernels::{self, Kernel, RunClass};
 use ell_bitpack::{mask, PackedArray};
 use ell_hash::Hasher64;
 
@@ -310,62 +311,82 @@ impl ExaLogLog {
     /// element multisets. Requires identical (t, d, p); for sketches that
     /// differ in d or p use [`ExaLogLog::merged_with`].
     ///
-    /// The merge scans the two register arrays as 64-bit words and skips
-    /// whole runs that cannot change `self` — words that are zero in
-    /// `other` (nothing to contribute) or bit-identical in both sketches
+    /// The merge scans the two register arrays as 64-bit words through
+    /// the active scan kernel (see [`kernels::active`]) and skips whole
+    /// runs that cannot change `self` — words that are zero in `other`
+    /// (nothing to contribute) or bit-identical in both sketches
     /// (register merge is idempotent) — before falling back to
-    /// [`registers::merge`] per remaining register. Merging a sparse
-    /// sketch into a dense one, or a sketch into itself, therefore runs
-    /// at near-`memcmp` speed. Registers straddling the boundary between
-    /// differently-classified word runs are always merged individually,
-    /// which keeps the scan exact for non-word-aligned register widths
-    /// (property-tested against [`ExaLogLog::merge_from_per_register`]).
+    /// [`registers::merge`] per remaining register. For register widths
+    /// dividing 64, differing runs batch-decode a whole incoming word at
+    /// a time (mask-and-`trailing_zeros` lane extraction) instead of one
+    /// `get` per register. Merging a sparse sketch into a dense one, or a
+    /// sketch into itself, therefore runs at near-`memcmp` speed.
+    /// Registers straddling the boundary between differently-classified
+    /// word runs are always merged individually, which keeps the scan
+    /// exact for non-word-aligned register widths (property-tested
+    /// against [`ExaLogLog::merge_from_per_register`]).
     pub fn merge_from(&mut self, other: &Self) -> Result<(), EllError> {
+        self.merge_from_with_kernel(other, kernels::active())
+    }
+
+    /// [`ExaLogLog::merge_from`] under an explicit scan [`Kernel`].
+    ///
+    /// Every kernel produces a bit-identical merged sketch (enforced by
+    /// property tests); this entry point exists so benchmarks and the
+    /// kernel test matrix can compare kernels within one process.
+    pub fn merge_from_with_kernel(&mut self, other: &Self, kernel: Kernel) -> Result<(), EllError> {
         if self.cfg != other.cfg {
             return Err(EllError::IncompatibleSketches {
                 reason: format!("{} vs {}", self.cfg, other.cfg),
             });
         }
-        /// Word-run classes: `Skip*` runs cannot affect fields lying
-        /// fully inside them; `Diff` runs are merged register-wise.
-        #[derive(PartialEq, Clone, Copy)]
-        enum Class {
-            SkipEqual,
-            SkipZero,
-            Diff,
-        }
-        #[inline]
-        fn classify(ours: u64, theirs: u64) -> Class {
-            if ours == theirs {
-                Class::SkipEqual
-            } else if theirs == 0 {
-                Class::SkipZero
-            } else {
-                Class::Diff
-            }
-        }
         let width = self.cfg.register_width() as usize;
         let m = self.cfg.m();
-        let n_words = self.regs.word_count();
+        // Registers are word-aligned lanes when the width divides 64;
+        // only then can a differing run batch-decode whole words.
+        let lanes_per_word = if 64 % width == 0 {
+            Some(64 / width)
+        } else {
+            None
+        };
         // `next` = first register index not yet merged or proven
-        // unaffected. Earlier runs may mutate `self`'s words, which only
-        // tightens later skip decisions (a word that became equal holds
-        // already-merged registers).
+        // unaffected. Earlier runs may mutate `self`'s words; the cursor
+        // may then classify a later word from a stale load, which is
+        // harmless: a skip decision is justified per register (equal
+        // registers are untouched by neighbouring-register writes, and
+        // zero incoming registers contribute nothing), and a stale `Diff`
+        // only re-merges idempotently.
         let mut next = 0usize;
-        let mut w = 0usize;
-        while w < n_words {
-            let class = classify(self.regs.word(w), other.regs.word(w));
-            let mut e = w + 1;
-            while e < n_words && classify(self.regs.word(e), other.regs.word(e)) == class {
-                e += 1;
-            }
-            let start_bit = w * 64;
-            let end_bit = e * 64;
-            if class == Class::Diff {
+        let mut cursor = kernels::RunCursor::new(kernel);
+        while let Some(run) = cursor.next_run(self.regs.words(), other.regs.words()) {
+            let start_bit = run.start * 64;
+            let end_bit = run.end * 64;
+            if run.class == RunClass::Diff {
                 // Merge every register starting before the run's end.
                 let hi = end_bit.div_ceil(width).min(m);
-                for i in next..hi {
-                    self.merge_register_at(i, other);
+                if let Some(lanes) = lanes_per_word {
+                    // Aligned widths: run boundaries are register
+                    // boundaries, so the run is exactly registers
+                    // [next, hi) and each incoming word decodes by lane
+                    // extraction; zero incoming lanes merge as no-ops and
+                    // are skipped outright.
+                    debug_assert_eq!(next.min(m), (start_bit / width).min(m));
+                    let theirs = other.regs.words();
+                    let width = width as u32;
+                    for w in run.start..run.end {
+                        let base = w * lanes;
+                        if base >= m {
+                            break;
+                        }
+                        kernels::for_each_nonzero_lane(theirs.word(w), width, |lane, incoming| {
+                            debug_assert!(base + lane < m, "nonzero padding lane");
+                            self.merge_register_value(base + lane, incoming);
+                        });
+                    }
+                } else {
+                    for i in next..hi {
+                        self.merge_register_at(i, other);
+                    }
                 }
                 next = next.max(hi);
             } else {
@@ -379,7 +400,6 @@ impl ExaLogLog {
                 }
                 next = next.max(lo).max((end_bit / width).min(m));
             }
-            w = e;
         }
         for i in next..m {
             self.merge_register_at(i, other);

@@ -130,13 +130,12 @@ impl SparseExaLogLog {
         }
     }
 
-    /// Forces conversion to the dense representation.
+    /// Forces conversion to the dense representation, replaying the
+    /// recorded hashes through the batched (unrolled) insert path.
     pub fn densify(&mut self) {
         if let Phase::Sparse(tokens) = &self.phase {
             let mut dense = ExaLogLog::new(self.cfg);
-            for h in tokens.hashes() {
-                dense.insert_hash(h);
-            }
+            dense.extend_hashes(tokens.hashes());
             self.phase = Phase::Dense(dense);
         }
     }
