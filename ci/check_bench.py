@@ -16,7 +16,10 @@ For every file the script enforces, in order:
    ``>= --min-scaling`` (default 2.0) — but only when the measurement is
    trustworthy: ``available_parallelism >= 4`` and ``unreliable`` is not
    set. Otherwise the gate is skipped with a printed notice, so runs on
-   small machines degrade loudly instead of failing or lying.
+   small machines degrade loudly instead of failing or lying. A report
+   that carries ``scaling_factor`` but is missing (or mis-types)
+   ``available_parallelism`` or ``scaling_threads`` is **malformed and
+   fails** — a half-written report must never skip a gate silently.
 4. **Tiering gates.** When the file carries ``warm_bytes_reduction``
    (the tiers bench), it must be ``>= --min-warm-reduction`` (default
    2.0: compressing the idle tail must at least halve resident memory),
@@ -44,6 +47,21 @@ import sys
 INFORMATIONAL = {"unreliable"}
 
 MIN_PARALLELISM = 4
+
+
+def _number(data: dict, key: str, failures: list) -> float | None:
+    """Returns data[key] as a float, recording a failure on a bad type.
+
+    ``bool`` is rejected explicitly: it is an ``int`` subclass, and a
+    bench that writes ``"scaling_factor": true`` is broken, not passing.
+    """
+    value = data.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        failures.append(f"{key} is {value!r}, expected a number")
+        return None
+    return float(value)
 
 
 def check_file(
@@ -79,12 +97,32 @@ def check_file(
         failures.append(f'equivalence is "{equivalence}", expected "ok"')
 
     scaling_note = ""
-    factor = data.get("scaling_factor")
+    factor = _number(data, "scaling_factor", failures)
     if factor is not None:
-        cores = data.get("available_parallelism", 0)
-        unreliable = bool(data.get("unreliable", False))
-        threads = data.get("scaling_threads", "?")
-        if unreliable:
+        # A scaling report without its provenance fields is malformed:
+        # treating a missing core count as 0 would silently skip the
+        # gate, which is exactly how a broken bench sneaks past CI.
+        cores = data.get("available_parallelism")
+        if isinstance(cores, bool) or not isinstance(cores, int):
+            failures.append(
+                f"scaling_factor present but available_parallelism is "
+                f"{cores!r}, expected an integer"
+            )
+            cores = None
+        threads = data.get("scaling_threads")
+        if isinstance(threads, bool) or not isinstance(threads, int):
+            failures.append(
+                f"scaling_factor present but scaling_threads is "
+                f"{threads!r}, expected an integer"
+            )
+            threads = None
+        unreliable = data.get("unreliable", False)
+        if not isinstance(unreliable, bool):
+            failures.append(f"unreliable is {unreliable!r}, expected a boolean")
+            unreliable = False
+        if cores is None or threads is None:
+            pass  # already failed above; no gate decision to make
+        elif unreliable:
             scaling_note = (
                 f"scaling gate SKIPPED: marked unreliable "
                 f"(thread counts clamped, {cores} cores)"
@@ -103,9 +141,9 @@ def check_file(
             scaling_note = f"scaling {factor:.2f}x at {threads} threads (gate {min_scaling:.1f})"
 
     tier_note = ""
-    warm_reduction = data.get("warm_bytes_reduction")
+    warm_reduction = _number(data, "warm_bytes_reduction", failures)
     if warm_reduction is not None:
-        hot_ratio = data.get("hot_ingest_ratio")
+        hot_ratio = _number(data, "hot_ingest_ratio", failures)
         if warm_reduction < min_warm_reduction:
             failures.append(
                 f"warm_bytes_reduction {warm_reduction:.2f} is below "
@@ -130,9 +168,13 @@ def check_file(
             failures.append(
                 f'kernel_equivalence is "{kernel_equivalence}", expected "ok"'
             )
-        swar_min = data.get("swar_merge_speedup_min")
+        swar_min = _number(data, "swar_merge_speedup_min", failures)
         if swar_min is None:
-            failures.append("kernel_equivalence present but swar_merge_speedup_min missing")
+            # Bad type already failed in _number; absence fails here.
+            if "swar_merge_speedup_min" not in data:
+                failures.append(
+                    "kernel_equivalence present but swar_merge_speedup_min missing"
+                )
         elif swar_min < min_kernel_speedup:
             failures.append(
                 f"swar_merge_speedup_min {swar_min:.3f} is below "

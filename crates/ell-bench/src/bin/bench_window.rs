@@ -76,22 +76,39 @@ struct CountingAllocator;
 static COUNTING: AtomicBool = AtomicBool::new(false);
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: `GlobalAlloc` is an unsafe trait; this impl upholds its
+// contract trivially by delegating every operation to `System`
+// unchanged — the counter bump neither allocates nor observes the
+// returned pointer.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ordering: Relaxed — single-threaded bench instrumentation; the
+        // counter is read only after `count_allocations` returns, on the
+        // same thread. A lost cross-thread bump would skew a diagnostic
+        // number, never correctness.
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `layout` is forwarded unmodified from our caller, who
+        // guarantees it per the GlobalAlloc contract.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from a prior `alloc`/`realloc` of
+        // this allocator, which always returned `System` memory.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // ordering: Relaxed — same single-threaded diagnostic counter as
+        // `alloc` above.
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr` is a live `System` allocation of `layout` per
+        // the caller's GlobalAlloc obligations; arguments forwarded
+        // unmodified.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -102,10 +119,16 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 /// Runs `f` with the allocation counter armed; returns its heap
 /// allocation count.
 fn count_allocations(f: impl FnOnce()) -> u64 {
+    // ordering: SeqCst — arm/disarm toggles around the measured region.
+    // All on one thread, so Relaxed would be correct too; SeqCst is
+    // deliberate belt-and-braces so the toggle can never be reordered
+    // around `f()` even if a future workload spawns threads, and the
+    // cost is irrelevant at two toggles per bench round.
     ALLOCATIONS.store(0, Ordering::SeqCst);
     COUNTING.store(true, Ordering::SeqCst);
     f();
     COUNTING.store(false, Ordering::SeqCst);
+    // ordering: SeqCst — see the toggle justification above.
     ALLOCATIONS.load(Ordering::SeqCst)
 }
 

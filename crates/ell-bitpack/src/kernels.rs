@@ -35,7 +35,9 @@
 //! fastest supported kernel by default (`avx2` where detected, else
 //! `swar`), overridable with the `ELL_KERNEL=scalar|swar|avx2` environment
 //! variable. Requesting `avx2` on hardware without it silently degrades to
-//! `swar`, so test matrices can set it unconditionally. Benchmarks and
+//! `swar`, so test matrices can set it unconditionally — but an
+//! *unrecognized* name panics on first use, so a typo fails the run
+//! instead of quietly measuring the default kernel. Benchmarks and
 //! tests can instead pass an explicit [`Kernel`] to the `*_with` entry
 //! points to compare kernels inside one process.
 
@@ -159,16 +161,23 @@ pub fn force(kernel: Kernel) -> Result<Kernel, Kernel> {
 
 fn select_from_env() -> Kernel {
     match std::env::var("ELL_KERNEL") {
-        Ok(name) => match Kernel::parse(&name) {
-            Some(k) => k.normalize(),
-            None => {
-                eprintln!(
-                    "ELL_KERNEL={name:?} is not one of scalar|swar|avx2; using the default kernel"
-                );
-                default_kernel()
-            }
-        },
+        Ok(name) => kernel_from_env_name(&name).normalize(),
         Err(_) => default_kernel(),
+    }
+}
+
+/// Resolves an `ELL_KERNEL` value to a kernel.
+///
+/// # Panics
+///
+/// Panics on an unrecognized name: a misconfigured run (a CI matrix
+/// typo, a stale script) must fail loudly rather than silently measure
+/// the default kernel, which is what the warn-and-continue fallback
+/// this replaced allowed.
+fn kernel_from_env_name(name: &str) -> Kernel {
+    match Kernel::parse(name) {
+        Some(k) => k,
+        None => panic!("ELL_KERNEL={name:?} is not one of scalar|swar|avx2"),
     }
 }
 
@@ -286,6 +295,16 @@ mod avx2 {
     /// `b[j] == 0`.
     #[inline]
     pub(super) fn pair_masks(a: &[u8], b: &[u8], byte0: usize) -> (u32, u32) {
+        // The intrinsics below read exactly the 32 bytes holding words
+        // [byte0/8, byte0/8 + 4) of both `WordView`s; the dispatcher
+        // must never hand us a block that overhangs either buffer.
+        debug_assert!(
+            byte0 + 32 <= a.len() && byte0 + 32 <= b.len(),
+            "AVX2 block read [{byte0}, {}) exceeds a WordView byte length ({}, {})",
+            byte0 + 32,
+            a.len(),
+            b.len()
+        );
         let a32: &[u8; 32] = a[byte0..byte0 + 32].try_into().expect("32-byte block");
         let b32: &[u8; 32] = b[byte0..byte0 + 32].try_into().expect("32-byte block");
         // SAFETY: both pointers reference 32 in-bounds bytes (checked by
@@ -307,6 +326,14 @@ mod avx2 {
     /// Per-word zero mask for one 4-word block: bit `j` is `v[j] == 0`.
     #[inline]
     pub(super) fn zero_mask(v: &[u8], byte0: usize) -> u32 {
+        // Same contract as `pair_masks`: the load covers exactly the 32
+        // bytes of one in-bounds 4-word block of the `WordView`.
+        debug_assert!(
+            byte0 + 32 <= v.len(),
+            "AVX2 block read [{byte0}, {}) exceeds the WordView byte length ({})",
+            byte0 + 32,
+            v.len()
+        );
         let v32: &[u8; 32] = v[byte0..byte0 + 32].try_into().expect("32-byte block");
         // SAFETY: 32 in-bounds bytes; unaligned load; AVX2 guaranteed by
         // kernel normalization.
@@ -780,6 +807,19 @@ mod tests {
         assert!(Kernel::Swar.is_supported());
         assert!(available().contains(&Kernel::Swar));
         assert_eq!(Kernel::Swar.normalize(), Kernel::Swar);
+    }
+
+    #[test]
+    fn env_kernel_resolves_known_names() {
+        assert_eq!(kernel_from_env_name("scalar"), Kernel::Scalar);
+        assert_eq!(kernel_from_env_name("swar"), Kernel::Swar);
+        assert_eq!(kernel_from_env_name("avx2"), Kernel::Avx2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ELL_KERNEL=\"sse9\" is not one of scalar|swar|avx2")]
+    fn env_kernel_unknown_name_fails_loudly() {
+        let _ = kernel_from_env_name("sse9");
     }
 
     #[test]

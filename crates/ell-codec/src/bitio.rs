@@ -103,6 +103,7 @@ impl<'a> BitReader<'a> {
         if byte >= self.bytes.len() {
             return Err(CodecError::UnexpectedEnd);
         }
+        // cast: pos % 8 < 8, always representable.
         let bit = (self.bytes[byte] >> (7 - (self.pos % 8) as u32)) & 1 == 1;
         self.pos += 1;
         Ok(bit)

@@ -127,6 +127,7 @@ pub fn read_delta(r: &mut BitReader<'_>) -> Result<u64, CodecError> {
             reason: "delta bit length outside 1..=64",
         });
     }
+    // cast: bits ≤ 64, validated by the range check above.
     let bits = bits as u32;
     let rest = r.read_bits(bits - 1)?;
     Ok(if bits == 64 {

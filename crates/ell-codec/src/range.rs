@@ -48,16 +48,22 @@ impl RangeEncoder {
     }
 
     fn shift_low(&mut self) {
+        // cast: deliberate truncations — the range coder keeps `low` as
+        // 32 fraction bits plus a carry bit in bit 32; `low as u32`
+        // selects the fraction, `low >> 32` isolates the carry (≤ 1).
         if (self.low as u32) < 0xff00_0000 || (self.low >> 32) != 0 {
+            // cast: carry bit, value is 0 or 1.
             let carry = (self.low >> 32) as u8;
             self.out.push(self.cache.wrapping_add(carry));
             for _ in 1..self.cache_size {
                 self.out.push(0xffu8.wrapping_add(carry));
             }
+            // cast: top fraction byte (bits 24..32) emitted to the stream.
             self.cache = (self.low >> 24) as u8;
             self.cache_size = 0;
         }
         self.cache_size += 1;
+        // cast: shift the fraction left one byte, dropping the emitted top.
         self.low = u64::from((self.low as u32) << 8);
     }
 
@@ -181,6 +187,7 @@ impl AdaptiveBitModel {
     #[must_use]
     pub fn new() -> Self {
         AdaptiveBitModel {
+            // cast: PROB_ONE / 2 = 2^15, within u16.
             prob1: (PROB_ONE / 2) as u16,
         }
     }
@@ -190,6 +197,7 @@ impl AdaptiveBitModel {
     #[must_use]
     pub fn with_probability(p1: u32) -> Self {
         AdaptiveBitModel {
+            // cast: clamped to 1..=PROB_ONE-1 < 2^16, within u16.
             prob1: p1.clamp(1, PROB_ONE - 1) as u16,
         }
     }
@@ -205,8 +213,10 @@ impl AdaptiveBitModel {
     #[inline]
     pub fn update(&mut self, bit: bool) {
         if bit {
+            // cast: (PROB_ONE - prob1) < 2^16, so the shifted step fits u16.
             self.prob1 += ((PROB_ONE - self.prob1()) >> ADAPT_SHIFT) as u16;
         } else {
+            // cast: prob1 < 2^16, so the shifted step fits u16.
             self.prob1 -= (self.prob1() >> ADAPT_SHIFT) as u16;
         }
     }

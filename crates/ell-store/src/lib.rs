@@ -89,6 +89,7 @@
 
 mod session;
 mod store;
+mod sync;
 mod tiers;
 mod window;
 mod window_wire;

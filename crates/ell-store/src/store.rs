@@ -1,6 +1,8 @@
 //! The sharded keyed store proper: slot lifecycle, batched ingest,
 //! tiered residency, and per-key / merged estimation.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Mutex, RwLock, TryLockError};
 use crate::tiers::{SpillStore, Tier, TierConfig, TierCounters, TierStats};
 use ell_hash::{Hasher64, WyHash};
 use exaloglog::adaptive::AdaptiveExaLogLog;
@@ -8,8 +10,6 @@ use exaloglog::atomic::AtomicExaLogLog;
 use exaloglog::compress::{compress, decompress};
 use exaloglog::{EllConfig, EllError, ExaLogLog};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
 
 /// Seed of the key-partitioning hash. Fixed so that shard assignment —
 /// and therefore snapshot layout — is stable across processes.
@@ -259,21 +259,28 @@ impl EllStore {
     /// interval, a batch boundary, an epoch) — idle age is measured in
     /// these units.
     pub fn tick(&self) -> u64 {
+        // ordering: Relaxed — the access clock is a coarse monotone
+        // counter feeding the idle-age heuristic; only the atomicity of
+        // the increment matters, never its order against slot data.
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Advances the access clock by `ticks` at once.
     pub fn advance_clock(&self, ticks: u64) -> u64 {
+        // ordering: Relaxed — same contract as `tick`.
         self.clock.fetch_add(ticks, Ordering::Relaxed) + ticks
     }
 
     /// The current access-clock value.
     #[must_use]
     pub fn clock(&self) -> u64 {
+        // ordering: Relaxed — a stale clock read only skews idle ages by
+        // a tick; no data is published through the clock.
         self.clock.load(Ordering::Relaxed)
     }
 
     fn now(&self) -> u64 {
+        // ordering: Relaxed — same contract as `clock`.
         self.clock.load(Ordering::Relaxed)
     }
 
@@ -377,6 +384,12 @@ impl EllStore {
                     Some(slot) => match &slot.state {
                         SlotState::Hot(a) => {
                             a.insert_hash(hash);
+                            // ordering: Relaxed — idle-age stamp raced by
+                            // other readers; `demote_idle` reads it under
+                            // the shard write lock, whose acquire already
+                            // orders it after every stamp made under a
+                            // read lock. Worst case a lost race delays a
+                            // demotion by one sweep.
                             slot.touched.store(now, Ordering::Relaxed);
                         }
                         _ => leftover.push((key, hash)),
@@ -404,6 +417,8 @@ impl EllStore {
                     if !slot.state.is_resident() {
                         self.promote_slot(slot);
                     }
+                    // ordering: Relaxed — idle-age stamp under the write
+                    // lock; see the hot-path stamp above.
                     slot.touched.store(now, Ordering::Relaxed);
                     match &mut slot.state {
                         // Another thread may have upgraded the slot
@@ -459,9 +474,9 @@ impl EllStore {
             Some(self.shards[si].write().expect("shard lock poisoned"))
         } else {
             match self.shards[si].try_write() {
-                Ok(guard) => Some(guard),
-                Err(std::sync::TryLockError::WouldBlock) => None,
-                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+                Err(TryLockError::WouldBlock) => None,
+                // Poison propagates like the blocking path's expect.
+                other => Some(other.expect("shard lock poisoned")),
             }
         };
         match guard {
@@ -521,9 +536,9 @@ impl EllStore {
             self.shards[si].write().expect("shard lock poisoned")
         } else {
             match self.shards[si].try_write() {
-                Ok(guard) => guard,
-                Err(std::sync::TryLockError::WouldBlock) => return,
-                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+                Err(TryLockError::WouldBlock) => return,
+                // Poison propagates like the blocking path's expect.
+                other => other.expect("shard lock poisoned"),
             }
         };
         self.drain_queue_into(si, &mut map);
@@ -644,6 +659,10 @@ impl EllStore {
                 if !slot.state.is_resident() {
                     self.promote_slot(slot);
                 }
+                // ordering: Relaxed — idle-age stamp; the demote sweep
+                // reads it under the same shard write lock, which is the
+                // happens-before edge. See CONCURRENCY.md § "Tier
+                // demote vs promote".
                 slot.touched.store(self.now(), Ordering::Relaxed);
                 match &mut slot.state {
                     SlotState::Hot(a) => sketch.merge_into_atomic(a)?,
@@ -708,6 +727,12 @@ impl EllStore {
             match map.get(key) {
                 None => return None,
                 Some(slot) if slot.state.is_resident() => {
+                    // ordering: Relaxed — idle-age stamp written under
+                    // the read lock; a stamp racing the demote sweep
+                    // only shifts which sweep tick sees the access, it
+                    // never corrupts state (the sweep re-checks
+                    // residency under the write lock). See
+                    // CONCURRENCY.md § "Tier demote vs promote".
                     slot.touched.store(self.now(), Ordering::Relaxed);
                     return Some(slot.state.estimate_resident());
                 }
@@ -720,6 +745,8 @@ impl EllStore {
         if !slot.state.is_resident() {
             self.promote_slot(slot);
         }
+        // ordering: Relaxed — idle-age stamp under the shard write
+        // lock; the lock is the happens-before edge to the sweep.
         slot.touched.store(self.now(), Ordering::Relaxed);
         Some(slot.state.estimate_resident())
     }
@@ -769,6 +796,11 @@ impl EllStore {
         for shard in &self.shards {
             let mut map = shard.write().expect("shard lock poisoned");
             for slot in map.values_mut() {
+                // ordering: Relaxed — idle-age read under the shard
+                // write lock, which orders it after every stamp written
+                // under the read lock (release of read → acquire of
+                // write). A stale stamp only delays demotion by one
+                // sweep. See CONCURRENCY.md § "Tier demote vs promote".
                 let idle = now.saturating_sub(slot.touched.load(Ordering::Relaxed));
                 match &mut slot.state {
                     SlotState::Adaptive(_) | SlotState::Hot(_) => {

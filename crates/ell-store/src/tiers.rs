@@ -24,11 +24,11 @@
 //! promoted keys in any order holds *bit-identical* per-key states to a
 //! store that never tiered at all.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Residency tier of one key (see [`crate::EllStore::key_tier`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,10 +188,12 @@ pub(crate) struct TierCounters {
 
 impl TierCounters {
     pub(crate) fn count(cell: &AtomicU64) {
+        // ordering: Relaxed — monitoring counter, no data published.
         cell.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn get(cell: &AtomicU64) -> u64 {
+        // ordering: Relaxed — monitoring read; approximate by design.
         cell.load(Ordering::Relaxed)
     }
 }

@@ -94,14 +94,14 @@
 //! ```
 
 use crate::store::HANDOFF_SOFT_CAPACITY;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Mutex, RwLock, TryLockError};
 use crate::tiers::{TierCounters, TierStats};
 use ell_hash::{Hasher64, WyHash};
 use exaloglog::adaptive::AdaptiveExaLogLog;
 use exaloglog::compress::{compress, decompress};
 use exaloglog::{EllConfig, EllError, ExaLogLog};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
 
 /// Key-partitioning hash seed, shared with the flat store so the two
 /// layers shard identically for the same key space.
@@ -249,21 +249,27 @@ struct WindowStatCells {
 
 impl WindowStatCells {
     fn hit(&self) {
+        // ordering: Relaxed — monitoring counter, no data published.
         self.suffix_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     fn rebuild(&self, entries_built: usize) {
+        // ordering: Relaxed — monitoring counters, no data published.
         self.lazy_rebuilds.fetch_add(1, Ordering::Relaxed);
         self.suffix_entries_built
             .fetch_add(entries_built as u64, Ordering::Relaxed);
     }
 
     fn invalidate(&self) {
+        // ordering: Relaxed — monitoring counter, no data published.
         self.dirty_invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> WindowStats {
         WindowStats {
+            // ordering: Relaxed (×4) — monitoring reads; each counter is
+            // independently approximate, the snapshot need not be a
+            // consistent cut.
             suffix_hits: self.suffix_hits.load(Ordering::Relaxed),
             lazy_rebuilds: self.lazy_rebuilds.load(Ordering::Relaxed),
             suffix_entries_built: self.suffix_entries_built.load(Ordering::Relaxed),
@@ -459,6 +465,10 @@ impl WindowedStore {
                 // lazily rather than paying E merges per key up front.
                 ring.valid = 0;
                 if let Some(after) = self.warm_after {
+                    // ordering: Relaxed — idle-age read under the shard
+                    // write lock, which already orders it after every
+                    // stamp made under a read lock; staleness only shifts
+                    // a demotion by one sweep.
                     let idle = epoch.saturating_sub(ring.touched.load(Ordering::Relaxed));
                     if idle >= after {
                         let warm = self.demote_ring(epoch, ring);
@@ -489,6 +499,8 @@ impl WindowedStore {
                 let WindowSlot::Live(ring) = entry else {
                     continue;
                 };
+                // ordering: Relaxed — same contract as the rotation
+                // sweep's idle read above.
                 let idle = current.saturating_sub(ring.touched.load(Ordering::Relaxed));
                 if idle >= after {
                     let warm = self.demote_ring(*current, ring);
@@ -692,6 +704,8 @@ impl WindowedStore {
                     *entry = WindowSlot::Warm(warm);
                     TierCounters::count(&self.counters.demotions_warm);
                 } else {
+                    // ordering: Relaxed — idle-age stamp; read only by
+                    // the demotion sweeps under the shard write lock.
                     ring.touched.store(current, Ordering::Relaxed);
                 }
             }
@@ -732,8 +746,9 @@ impl WindowedStore {
         } else {
             match self.shards[si].try_write() {
                 Ok(guard) => Some(guard),
-                Err(std::sync::TryLockError::WouldBlock) => None,
-                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+                Err(TryLockError::WouldBlock) => None,
+                // Poison propagates like the blocking path's expect.
+                other => Some(other.expect("shard lock poisoned")),
             }
         };
         match guard {
@@ -791,8 +806,9 @@ impl WindowedStore {
         } else {
             match self.shards[si].try_write() {
                 Ok(guard) => guard,
-                Err(std::sync::TryLockError::WouldBlock) => return,
-                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+                Err(TryLockError::WouldBlock) => return,
+                // Poison propagates like the blocking path's expect.
+                other => other.expect("shard lock poisoned"),
             }
         };
         self.drain_queue_into(si, &mut map, *current);
@@ -854,6 +870,8 @@ impl WindowedStore {
                     self.stats.invalidate();
                 }
                 if epoch == current {
+                    // ordering: Relaxed — idle-age stamp; read only by
+                    // the demotion sweeps under the shard write lock.
                     ring.touched.store(current, Ordering::Relaxed);
                 }
             }
@@ -958,6 +976,11 @@ impl WindowedStore {
             if let WindowSlot::Live(ring) = map.get(key)? {
                 if ring.valid >= needed {
                     self.stats.hit();
+                    // ordering: Relaxed — idle-age stamp raced by other
+                    // query threads under the read lock; the demotion
+                    // sweeps read it under the write lock, whose acquire
+                    // orders it after every read-lock stamp. A lost race
+                    // at worst delays one demotion.
                     ring.touched.store(*current, Ordering::Relaxed);
                     return Some(finish(si, ring, *current));
                 }
@@ -973,6 +996,7 @@ impl WindowedStore {
         let WindowSlot::Live(ring) = entry else {
             unreachable!("promote_slot leaves a live ring");
         };
+        // ordering: Relaxed — idle-age stamp under the write lock.
         ring.touched.store(*current, Ordering::Relaxed);
         if ring.valid < needed {
             let built = self.extend_suffixes(ring, *current, needed);
@@ -1294,6 +1318,7 @@ impl WindowedStore {
             let map = shard.read().expect("shard lock poisoned");
             for entry in map.values() {
                 if let WindowSlot::Live(ring) = entry {
+                    // ordering: Relaxed — idle-age stamp on restore.
                     ring.touched.store(epoch, Ordering::Relaxed);
                 }
             }

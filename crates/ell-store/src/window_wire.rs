@@ -64,7 +64,8 @@ fn push_sketch(out: &mut Vec<u8>, sketch: &ExaLogLog) {
         out.extend_from_slice(&0u32.to_le_bytes());
     } else {
         let payload = sketch.to_bytes();
-        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let len = u32::try_from(payload.len()).expect("sketch payload exceeds u32 wire field");
+        out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(&payload);
     }
 }
@@ -85,12 +86,16 @@ impl WindowedStore {
         out.push(VERSION);
         let cfg = self.config();
         out.extend_from_slice(&[cfg.t(), cfg.d(), cfg.p()]);
-        out.extend_from_slice(&(self.epoch_window() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.shard_count() as u32).to_le_bytes());
+        let window =
+            u32::try_from(self.epoch_window()).expect("epoch window exceeds u32 wire field");
+        out.extend_from_slice(&window.to_le_bytes());
+        let shards = u32::try_from(self.shard_count()).expect("shard count exceeds u32 wire field");
+        out.extend_from_slice(&shards.to_le_bytes());
         out.extend_from_slice(&self.current_epoch().to_le_bytes());
         out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
         for (key, entry) in &entries {
-            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            let key_len = u32::try_from(key.len()).expect("key length exceeds u32 wire field");
+            out.extend_from_slice(&key_len.to_le_bytes());
             out.extend_from_slice(key.as_bytes());
             match entry {
                 WireRing::Live { retired, slots } => {
@@ -104,15 +109,21 @@ impl WindowedStore {
                     out.push(TIER_WARM);
                     match retired {
                         Some(payload) => {
-                            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                            let len = u32::try_from(payload.len())
+                                .expect("warm payload exceeds u32 wire field");
+                            out.extend_from_slice(&len.to_le_bytes());
                             out.extend_from_slice(payload);
                         }
                         None => out.extend_from_slice(&0u32.to_le_bytes()),
                     }
-                    out.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+                    let slot_count =
+                        u32::try_from(slots.len()).expect("slot count exceeds u32 wire field");
+                    out.extend_from_slice(&slot_count.to_le_bytes());
                     for (epoch, payload) in slots {
                         out.extend_from_slice(&epoch.to_le_bytes());
-                        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                        let len = u32::try_from(payload.len())
+                            .expect("warm payload exceeds u32 wire field");
+                        out.extend_from_slice(&len.to_le_bytes());
                         out.extend_from_slice(payload);
                     }
                 }

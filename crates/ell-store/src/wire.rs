@@ -56,13 +56,17 @@ impl EllStore {
         out.push(VERSION);
         let cfg = self.config();
         out.extend_from_slice(&[cfg.t(), cfg.d(), cfg.p()]);
-        out.push(self.token_parameter() as u8); // v ≤ 58 by construction
-        out.extend_from_slice(&(self.shard_count() as u32).to_le_bytes());
+        out.push(self.token_parameter() as u8); // cast: v ≤ 58 by construction (checked in with_token_parameter)
+        let shards = u32::try_from(self.shard_count()).expect("shard count exceeds u32 wire field");
+        out.extend_from_slice(&shards.to_le_bytes());
         out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
         for (key, payload) in &entries {
-            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            let key_len = u32::try_from(key.len()).expect("key length exceeds u32 wire field");
+            out.extend_from_slice(&key_len.to_le_bytes());
             out.extend_from_slice(key.as_bytes());
-            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            let payload_len =
+                u32::try_from(payload.len()).expect("payload length exceeds u32 wire field");
+            out.extend_from_slice(&payload_len.to_le_bytes());
             out.extend_from_slice(payload);
         }
         out

@@ -30,6 +30,8 @@ fn spill_dir() -> std::path::PathBuf {
     std::env::temp_dir().join(format!(
         "ell-proptest-tiers-{}-{}",
         std::process::id(),
+        // ordering: Relaxed — uniqueness counter; only atomicity of the
+        // increment matters, no other memory is published through it.
         NEXT.fetch_add(1, Ordering::Relaxed)
     ))
 }

@@ -36,6 +36,46 @@ fn stress_threads() -> Vec<usize> {
     }
 }
 
+/// Deliberately tiny: the `sanitizers` CI job runs `cargo test smoke`
+/// under ThreadSanitizer and Miri, where every access is instrumented.
+/// Two racing sessions plus a demote sweep over a small workload cover
+/// the shard-lock, handoff-queue, and tier protocols the full-size
+/// tests stress at scale.
+#[test]
+fn smoke_sessions_race_demote_sweep() {
+    let store = EllStore::new(2, EllConfig::new(2, 16, 4).unwrap()).unwrap();
+    let events = workload(300, 99);
+    let (left, right) = events.split_at(events.len() / 2);
+    std::thread::scope(|scope| {
+        for part in [left, right] {
+            let store = &store;
+            scope.spawn(move || {
+                let mut session = store.session().with_auto_flush(16);
+                for (key, hash) in part {
+                    session.insert(key, *hash);
+                }
+            });
+        }
+        let store = &store;
+        scope.spawn(move || {
+            store.advance_clock(1);
+            store.demote_idle()
+        });
+    });
+
+    let reference = EllStore::new(2, EllConfig::new(2, 16, 4).unwrap()).unwrap();
+    for (key, hash) in &events {
+        reference.insert(key, *hash);
+    }
+    for key in reference.keys() {
+        assert_eq!(
+            store.estimate(&key),
+            reference.estimate(&key),
+            "key {key} diverged under racing sessions + demote"
+        );
+    }
+}
+
 fn ingest_with_threads(events: &[(String, u64)], threads: usize) -> EllStore {
     let store = EllStore::new(8, EllConfig::new(2, 16, 6).unwrap()).unwrap();
     let chunk = events.len().div_ceil(threads);

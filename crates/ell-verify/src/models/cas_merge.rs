@@ -1,0 +1,77 @@
+//! Protocol 1: atomic register CAS merge vs concurrent insert.
+//!
+//! The real code: `AtomicExaLogLog::insert_hash` and
+//! `AtomicExaLogLog::merge_from` both funnel into `rmw_register`, a
+//! Relaxed CAS loop over a word packing several registers. Two lanes in
+//! one word already exhibit every distinct race: two writers on the
+//! same lane (CAS retry path) and writers on different lanes of the
+//! same word (false-sharing path, where each CAS rewrites the *whole*
+//! word and must not clobber the neighbor lane).
+//!
+//! Invariant: whatever the interleaving, the final word equals the
+//! sequential join of all contributions — the monotone-merge
+//! order-freedom claim the store's exactness argument rests on
+//! (CONCURRENCY.md § "CAS register merge").
+
+use exaloglog::registers;
+use shuttle::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use super::{lane, rmw_lane};
+
+/// Register shape: ELL d = 2 (update values carry two indicator bits),
+/// 16-bit lanes — two lanes of one packed word.
+const D: u8 = 2;
+const WIDTH: u32 = 16;
+
+/// One run of the model; explore with [`shuttle::explore`].
+pub fn model() {
+    let word = Arc::new(AtomicU64::new(0));
+
+    // Thread A: two inserts landing on both lanes (update values k=5
+    // then k=3, the Algorithm-2 register update).
+    let w = Arc::clone(&word);
+    let inserter = shuttle::thread::spawn(move || {
+        rmw_lane(&w, 0, WIDTH, |r| registers::update(r, 5, D));
+        rmw_lane(&w, WIDTH, WIDTH, |r| registers::update(r, 3, D));
+    });
+
+    // Thread B: merges a two-register delta sketch into the same word
+    // (the Algorithm-5 register merge), overlapping lane 0.
+    let delta0 = registers::update(registers::update(0, 5, D), 2, D);
+    let delta1 = registers::update(0, 7, D);
+    let w = Arc::clone(&word);
+    let merger = shuttle::thread::spawn(move || {
+        rmw_lane(&w, 0, WIDTH, |r| registers::merge(r, delta0, D));
+        rmw_lane(&w, WIDTH, WIDTH, |r| registers::merge(r, delta1, D));
+    });
+
+    inserter.join().expect("inserter");
+    merger.join().expect("merger");
+
+    // Sequential reference: the join of every contribution, per lane.
+    let want0 = registers::merge(
+        registers::update(0, 5, D),
+        registers::merge(0, delta0, D),
+        D,
+    );
+    let want1 = registers::merge(
+        registers::update(0, 3, D),
+        registers::merge(0, delta1, D),
+        D,
+    );
+
+    // ordering: Relaxed — final read after both joins; the join edges
+    // already order it (and the model scheduler is SeqCst anyway).
+    let bits = word.load(Ordering::Relaxed);
+    assert_eq!(
+        lane(bits, 0, WIDTH),
+        want0,
+        "lane 0 diverged from the sequential join"
+    );
+    assert_eq!(
+        lane(bits, WIDTH, WIDTH),
+        want1,
+        "lane 1 diverged from the sequential join (neighbor clobbered?)"
+    );
+}

@@ -1,0 +1,118 @@
+//! Protocol 3: suffix-chain double-checked rebuild vs racing queries.
+//!
+//! The real code: `WindowedStore::with_suffixes` serves windowed unions
+//! from a precomputed suffix-union chain. Queries take the epoch-ring
+//! read lock and check a `chain_valid` watermark; if the chain covers
+//! the request it is served directly, otherwise the query drops the
+//! read lock, takes the write lock, **re-checks** the watermark (another
+//! query may have rebuilt in the gap), rebuilds, and serves. Late
+//! writes into ring slots truncate the watermark so no query ever sees
+//! a chain that predates a slot it summarizes.
+//!
+//! The model is a three-slot ring of `u64` bit-union "sketches" with a
+//! two-entry chain (`suffix[i] = slots[i] | … | slots[2]`). One writer
+//! ingests two deltas (each invalidates); two queriers race the
+//! double-checked rebuild against it and against each other.
+//!
+//! Invariant: *every* answer served from the chain equals direct
+//! recomputation from the slots **under the same lock guard** — i.e.
+//! the chain is never stale relative to the locked ring state it was
+//! served with (CONCURRENCY.md § "Suffix-chain rebuild").
+
+use shuttle::sync::RwLock;
+use std::sync::Arc;
+
+struct Ring {
+    slots: [u64; 3],
+    /// Suffix unions; entry `i` covers `slots[i..]`.
+    suffix: [u64; 3],
+    /// Double-checked watermark: chain entries are trustworthy iff set.
+    chain_valid: bool,
+}
+
+impl Ring {
+    fn recompute(&self, i: usize) -> u64 {
+        self.slots[i..].iter().fold(0, |u, s| u | s)
+    }
+
+    fn rebuild(&mut self) {
+        let mut acc = 0;
+        for i in (0..3).rev() {
+            acc |= self.slots[i];
+            self.suffix[i] = acc;
+        }
+        self.chain_valid = true;
+    }
+}
+
+/// Port of the `with_suffixes` double-checked read path: serve from the
+/// chain when valid, else upgrade, re-check, rebuild. Returns the
+/// served answer; the staleness assert runs under the serving guard.
+fn query(ring: &RwLock<Ring>, i: usize) -> u64 {
+    {
+        let r = ring.read().expect("ring");
+        if r.chain_valid {
+            let served = r.suffix[i];
+            assert_eq!(
+                served,
+                r.recompute(i),
+                "chain served a stale suffix union for slot {i} (fast path)"
+            );
+            return served;
+        }
+    }
+    // Upgrade: the read guard is gone, so a writer or another query may
+    // run before we get the write lock — hence the re-check.
+    let mut r = ring.write().expect("ring");
+    if !r.chain_valid {
+        r.rebuild();
+    }
+    let served = r.suffix[i];
+    assert_eq!(
+        served,
+        r.recompute(i),
+        "chain served a stale suffix union for slot {i} (rebuild path)"
+    );
+    served
+}
+
+/// One run of the model; explore with [`shuttle::explore`].
+pub fn model() {
+    let ring = Arc::new(RwLock::new(Ring {
+        slots: [0b0001, 0b0010, 0b0100],
+        suffix: [0; 3],
+        chain_valid: false,
+    }));
+
+    // Writer: two late ingests into different slots, each truncating
+    // the watermark (the rotation/ingest path).
+    let r = Arc::clone(&ring);
+    let writer = shuttle::thread::spawn(move || {
+        for (slot, delta) in [(1usize, 0b1000u64), (2, 0b1_0000)] {
+            let mut g = r.write().expect("ring");
+            g.slots[slot] |= delta;
+            g.chain_valid = false;
+        }
+    });
+
+    // Two racing queriers exercising both chain entries; each answer is
+    // self-checked against recomputation inside `query`.
+    let r = Arc::clone(&ring);
+    let q0 = shuttle::thread::spawn(move || {
+        query(&r, 0);
+        query(&r, 1);
+    });
+    let r = Arc::clone(&ring);
+    let q1 = shuttle::thread::spawn(move || {
+        query(&r, 1);
+        query(&r, 0);
+    });
+
+    writer.join().expect("writer");
+    q0.join().expect("query 0");
+    q1.join().expect("query 1");
+
+    // Quiescent check: a final query sees every delta.
+    let full = query(&ring, 0);
+    assert_eq!(full, 0b1_1111, "final suffix union lost an ingested delta");
+}

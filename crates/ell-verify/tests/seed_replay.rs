@@ -1,0 +1,90 @@
+//! Satellite gate: a deliberately racy model must (a) fail under
+//! exploration, (b) print a replay token, and (c) reproduce the same
+//! failure deterministically when the token is fed back — for both the
+//! DFS (`dfs:…`) and seeded-random (`rand:…`) token forms.
+
+use ell_verify::Config;
+use shuttle::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The classic lost update: load-modify-store with no CAS. Two
+/// incrementers racing means some interleaving ends at 1, not 2.
+fn racy_counter() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let c = Arc::clone(&counter);
+            shuttle::thread::spawn(move || {
+                // ordering: Relaxed — the bug is the non-atomic RMW
+                // split, not the memory order; the model runs SeqCst.
+                let v = c.load(Ordering::Relaxed);
+                c.store(v + 1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("incrementer");
+    }
+    // ordering: Relaxed — read after joins.
+    let total = counter.load(Ordering::Relaxed);
+    assert_eq!(total, 2, "lost update: counter = {total}");
+}
+
+fn assert_replays(token: &str, expect_in_message: &str) {
+    for attempt in 0..3 {
+        let v = ell_verify::replay(token, racy_counter)
+            .unwrap_or_else(|| panic!("replay {token:?} attempt {attempt} did not fail"));
+        assert!(
+            v.message.contains(expect_in_message),
+            "replay {token:?} reproduced a different failure: {}",
+            v.message
+        );
+        assert_eq!(
+            v.replay, token,
+            "replay produced a different token than it was given"
+        );
+    }
+}
+
+#[test]
+fn dfs_finds_the_race_and_the_token_replays_it() {
+    let report = ell_verify::explore(&Config::default().max_interleavings(2_000), racy_counter);
+    let v = report
+        .violation
+        .expect("DFS must find the seeded lost update");
+    assert!(
+        v.replay.starts_with("dfs:"),
+        "DFS-found violation carries a dfs token, got {:?}",
+        v.replay
+    );
+    assert!(v.message.contains("lost update"), "{}", v.message);
+    assert_replays(&v.replay, "lost update");
+}
+
+#[test]
+fn random_schedules_find_the_race_and_the_seed_replays_it() {
+    let report = ell_verify::explore(
+        &Config::default().random_only(5_000).seed(0xDECAF),
+        racy_counter,
+    );
+    let v = report
+        .violation
+        .expect("random schedules must find the seeded lost update");
+    assert!(
+        v.replay.starts_with("rand:"),
+        "random-found violation carries a rand token, got {:?}",
+        v.replay
+    );
+    assert_replays(&v.replay, "lost update");
+}
+
+#[test]
+fn replay_token_is_printed_in_display() {
+    let report = ell_verify::explore(&Config::default().max_interleavings(500), racy_counter);
+    let v = report.violation.expect("race found");
+    let shown = v.to_string();
+    assert!(
+        shown.contains(&v.replay),
+        "Display must include the replay token; got {shown:?}"
+    );
+}

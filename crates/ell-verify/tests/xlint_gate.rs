@@ -1,0 +1,43 @@
+//! Ties the `ci/xlint.rs` static pass into the ordinary test suite: a
+//! plain `cargo test` fails on any new unjustified Ordering, stray
+//! `unsafe`, facade bypass, narrowing decode cast, or library panic —
+//! not just the CI job.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+#[test]
+fn xlint_reports_zero_findings() {
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let src = repo_root.join("ci/xlint.rs");
+    let bin = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("xlint");
+
+    let compile = Command::new("rustc")
+        .args(["--edition", "2021", "-O"])
+        .arg(&src)
+        .arg("-o")
+        .arg(&bin)
+        .output()
+        .expect("rustc must be runnable");
+    assert!(
+        compile.status.success(),
+        "ci/xlint.rs failed to compile:\n{}",
+        String::from_utf8_lossy(&compile.stderr)
+    );
+
+    let run = Command::new(&bin)
+        .arg(&repo_root)
+        // Findings report lands next to the binary, not in the repo.
+        .current_dir(env!("CARGO_TARGET_TMPDIR"))
+        .output()
+        .expect("xlint must be runnable");
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(run.status.success(), "xlint found violations:\n{stderr}");
+    assert!(
+        stderr.contains("xlint: clean"),
+        "xlint did not report a clean scan:\n{stderr}"
+    );
+}

@@ -41,7 +41,7 @@
 use crate::config::{EllConfig, EllError};
 use crate::registers;
 use crate::sketch::ExaLogLog;
-use core::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use ell_hash::Hasher64;
 
 /// A thread-safe ExaLogLog with lock-free inserts, supporting every
@@ -98,6 +98,8 @@ impl AtomicExaLogLog {
         let (w, shift) = self.locate(i);
         let field = ell_bitpack::mask(self.width);
         let word = &self.words[w];
+        // ordering: Relaxed — this load only seeds the CAS loop; a stale
+        // value costs one extra iteration, never correctness.
         let mut current = word.load(Ordering::Relaxed);
         loop {
             let old = (current >> shift) & field;
@@ -106,6 +108,13 @@ impl AtomicExaLogLog {
                 return false;
             }
             let updated = (current & !(field << shift)) | (new << shift);
+            // ordering: Relaxed/Relaxed — the register word is the entire
+            // payload (no other memory is published through it) and the
+            // update is a monotone join, so every interleaving of Relaxed
+            // CASes yields the same final word. Cross-thread visibility of
+            // the finished sketch is established by whoever joins the
+            // ingest threads or takes the store's shard lock, not here.
+            // See CONCURRENCY.md § "CAS register merge".
             match word.compare_exchange_weak(current, updated, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return true,
@@ -169,7 +178,15 @@ impl AtomicExaLogLog {
     fn for_each_nonzero<F: FnMut(usize, u64)>(&self, mut f: F) {
         let m = self.cfg.m();
         for (w, word) in self.words.iter().enumerate() {
-            let bits = word.load(Ordering::Acquire);
+            // ordering: Relaxed — each word load is individually atomic
+            // (no torn registers) and registers are monotone, so any
+            // combination of per-word values the scan observes equals the
+            // state of some legal prefix of the insert stream; there is no
+            // dependent non-atomic data for an Acquire to order. This was
+            // Acquire before the PR-10 audit; with Relaxed CAS writers it
+            // paired with nothing and bought nothing (see CONCURRENCY.md
+            // § "Snapshot during hot ingest").
+            let bits = word.load(Ordering::Relaxed);
             if bits == 0 {
                 continue;
             }
@@ -250,6 +267,41 @@ mod tests {
     use super::*;
     use ell_hash::{mix64, SplitMix64};
     use std::sync::Arc;
+
+    #[test]
+    fn smoke_concurrent_insert_and_snapshot() {
+        // Deliberately tiny: the `sanitizers` CI job runs `cargo test
+        // smoke` under ThreadSanitizer and Miri, where every memory
+        // access costs orders of magnitude more. Two threads, a few
+        // hundred inserts, one snapshot race — enough to let the tools
+        // see every atomic protocol (CAS insert, merge, racing
+        // snapshot) without a multi-hour run.
+        let cfg = EllConfig::new(2, 16, 4).unwrap();
+        let atomic = Arc::new(AtomicExaLogLog::new(cfg));
+        let hashes: Vec<u64> = (0..200u64).map(mix64).collect();
+        let (left, right) = hashes.split_at(100);
+        std::thread::scope(|s| {
+            let a = Arc::clone(&atomic);
+            s.spawn(move || {
+                for &h in left {
+                    a.insert_hash(h);
+                }
+            });
+            let a = Arc::clone(&atomic);
+            s.spawn(move || {
+                for &h in right {
+                    a.insert_hash(h);
+                }
+            });
+            let a = Arc::clone(&atomic);
+            s.spawn(move || a.snapshot());
+        });
+        let mut sequential = ExaLogLog::new(cfg);
+        for &h in &hashes {
+            sequential.insert_hash(h);
+        }
+        assert_eq!(atomic.snapshot(), sequential);
+    }
 
     #[test]
     fn accepts_every_register_width() {

@@ -68,6 +68,8 @@ pub mod registers;
 pub mod sketch;
 pub mod sparse;
 pub mod specialized;
+#[doc(hidden)]
+pub mod sync;
 pub mod theory;
 pub mod token;
 

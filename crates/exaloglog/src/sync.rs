@@ -1,0 +1,22 @@
+//! Synchronization facade: the one place this crate touches atomics.
+//!
+//! Every module imports atomic types from here instead of
+//! `core::sync::atomic` (enforced by `ci/xlint.rs`). A normal build
+//! re-exports the real types at zero cost; a build with
+//! `RUSTFLAGS="--cfg ell_verify"` swaps in the vendored `shuttle`
+//! shims, whose operations are scheduler decision points — that is what
+//! lets `ell-verify` enumerate interleavings of [`crate::atomic`]'s CAS
+//! protocol instead of sampling them.
+//!
+//! Outside a model-checked execution the shims fall back to plain
+//! `std`/`core` behavior, so an `ell_verify` build still passes the
+//! ordinary test suite.
+
+/// Atomic integer types and memory orderings.
+pub mod atomic {
+    #[cfg(not(ell_verify))]
+    pub use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(ell_verify)]
+    pub use shuttle::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+}

@@ -98,8 +98,8 @@ pub fn mvp_martingale_compressed(t: u8, d: u8) -> f64 {
 /// configuration per process. `0` marks "not yet computed" (c is always
 /// strictly positive, so no computed value collides with the sentinel);
 /// relaxed ordering suffices because racing writers store the same bits.
-static BIAS_C_CACHE: [[core::sync::atomic::AtomicU64; 59]; 7] =
-    [const { [const { core::sync::atomic::AtomicU64::new(0) }; 59] }; 7];
+static BIAS_C_CACHE: [[crate::sync::atomic::AtomicU64; 59]; 7] =
+    [const { [const { crate::sync::atomic::AtomicU64::new(0) }; 59] }; 7];
 
 /// The first-order bias-correction constant c of equation (4):
 ///
@@ -110,12 +110,15 @@ static BIAS_C_CACHE: [[core::sync::atomic::AtomicU64; 59]; 7] =
 /// free.
 #[must_use]
 pub fn bias_correction_c(t: u8, d: u8) -> f64 {
-    use core::sync::atomic::Ordering::Relaxed;
+    use crate::sync::atomic::Ordering;
     let slot = BIAS_C_CACHE
         .get(usize::from(t))
         .and_then(|row| row.get(usize::from(d)));
     if let Some(slot) = slot {
-        let bits = slot.load(Relaxed);
+        // ordering: Relaxed — memo-cache read; 0 means "recompute", and
+        // any racing writer stores the identical bit pattern, so there
+        // is no ordering to establish.
+        let bits = slot.load(Ordering::Relaxed);
         if bits != 0 {
             return f64::from_bits(bits);
         }
@@ -125,7 +128,10 @@ pub fn bias_correction_c(t: u8, d: u8) -> f64 {
     let z3 = hurwitz_zeta(3.0, 1.0 + tau);
     let c = ln_b(t) * (1.0 + 2.0 * tau * z3 / (z2 * z2));
     if let Some(slot) = slot {
-        slot.store(c.to_bits(), Relaxed);
+        // ordering: Relaxed — memo-cache publish of a value every racing
+        // writer computes identically; readers that miss it just
+        // recompute. No dependent data is guarded by this store.
+        slot.store(c.to_bits(), Ordering::Relaxed);
     }
     c
 }

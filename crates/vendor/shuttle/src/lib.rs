@@ -1,0 +1,430 @@
+//! Offline stand-in for the `shuttle`/`loom` deterministic-scheduling
+//! model checkers (API-compatible subset).
+//!
+//! The workspace's lock-free serving layer — the CAS word-packed
+//! [`AtomicExaLogLog`], the per-shard handoff queues, the suffix-chain
+//! rebuilds — is correct because every structure is a *monotone join
+//! semilattice*: merges are idempotent, commutative, and associative,
+//! so any interleaving of inserts, flushes, and drains must produce the
+//! same final state. Stress tests sample a handful of interleavings per
+//! run; this crate instead runs a model closure under a deterministic
+//! scheduler and **enumerates** interleavings:
+//!
+//! ```
+//! use shuttle::sync::atomic::{AtomicU64, Ordering};
+//! use shuttle::{explore, Config};
+//!
+//! let report = explore(&Config::default().max_interleavings(500), || {
+//!     let word = std::sync::Arc::new(AtomicU64::new(0));
+//!     let w = std::sync::Arc::clone(&word);
+//!     let t = shuttle::thread::spawn(move || {
+//!         // ordering: model code — the scheduler is SeqCst regardless.
+//!         w.fetch_max(3, Ordering::Relaxed);
+//!     });
+//!     // ordering: model code — the scheduler is SeqCst regardless.
+//!     word.fetch_max(2, Ordering::Relaxed);
+//!     t.join().expect("child");
+//!     // ordering: model code — the scheduler is SeqCst regardless.
+//!     assert_eq!(word.load(Ordering::Relaxed), 3);
+//! });
+//! report.assert_clean(1);
+//! ```
+//!
+//! Exploration is exhaustive DFS over scheduling decisions with a
+//! bounded number of preemptions (the CHESS insight: most concurrency
+//! bugs need very few), optionally topped up with seeded-random
+//! schedules to reach a target interleaving count. A violation —
+//! assertion failure, panic, or deadlock — is reported with a replay
+//! token that reruns the exact failing schedule deterministically.
+//!
+//! Vendored offline like the workspace's `proptest`/`criterion`
+//! stand-ins: no registry dependencies, `std` only.
+//!
+//! [`AtomicExaLogLog`]: https://example.invalid/exaloglog-rs
+
+mod runtime;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+use runtime::{run_once, Policy, RunOutcome};
+
+/// Exploration parameters. The defaults satisfy the repo's acceptance
+/// gate of ≥ 10 000 explored interleavings per protocol model.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Keep exploring (random top-up after DFS exhaustion) until at
+    /// least this many interleavings have run.
+    pub min_interleavings: u64,
+    /// Stop DFS early once this many interleavings have run.
+    pub max_interleavings: u64,
+    /// Maximum preemptive context switches per schedule explored by
+    /// DFS; `None` removes the bound.
+    pub preemption_bound: Option<usize>,
+    /// Base seed for the random top-up phase.
+    pub seed: u64,
+    /// When `false`, skip DFS entirely and explore random schedules
+    /// only (useful for large models where DFS cannot finish a level).
+    pub dfs: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            min_interleavings: 10_000,
+            max_interleavings: 12_000,
+            preemption_bound: Some(3),
+            seed: 0x5EED_CAFE,
+            dfs: true,
+        }
+    }
+}
+
+impl Config {
+    /// Sets both the minimum and maximum interleaving counts.
+    #[must_use]
+    pub fn max_interleavings(mut self, n: u64) -> Self {
+        self.max_interleavings = n;
+        self.min_interleavings = self.min_interleavings.min(n);
+        self
+    }
+
+    /// Sets the random-phase base seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables DFS: random schedules only, `n` of them.
+    #[must_use]
+    pub fn random_only(mut self, n: u64) -> Self {
+        self.dfs = false;
+        self.min_interleavings = n;
+        self.max_interleavings = n;
+        self
+    }
+}
+
+/// A failing schedule: what went wrong and how to rerun it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The model's panic message (or deadlock description).
+    pub message: String,
+    /// Replay token accepted by [`replay`]: `"dfs:i,i,…"` (decision
+    /// indices) or `"rand:SEED"`.
+    pub replay: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} — replay with token {:?} (shuttle::replay)",
+            self.message, self.replay
+        )
+    }
+}
+
+/// Outcome of [`explore`].
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of schedules executed (DFS schedules are all distinct;
+    /// the random top-up may repeat).
+    pub interleavings: u64,
+    /// Whether DFS enumerated the *entire* bounded-preemption schedule
+    /// space before hitting `max_interleavings`.
+    pub dfs_exhausted: bool,
+    /// The first failing schedule, if any (exploration stops at it).
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// Panics (with the replay token) on any violation, or when fewer
+    /// than `min` interleavings were explored.
+    pub fn assert_clean(&self, min: u64) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "model violation after {} interleaving(s): {v}",
+                self.interleavings
+            );
+        }
+        assert!(
+            self.interleavings >= min,
+            "explored only {} interleaving(s), expected at least {min}",
+            self.interleavings
+        );
+    }
+}
+
+fn format_dfs_token(outcome: &RunOutcome) -> String {
+    let indices: Vec<String> = outcome
+        .choices
+        .iter()
+        .map(|c| c.index.to_string())
+        .collect();
+    format!("dfs:{}", indices.join(","))
+}
+
+/// Computes the forced prefix of the next DFS schedule, or `None` when
+/// the (bounded) schedule space is exhausted.
+fn next_dfs_prefix(outcome: &RunOutcome) -> Option<Vec<usize>> {
+    let mut choices = outcome.choices.clone();
+    while let Some(last) = choices.last().copied() {
+        if last.index + 1 < last.enabled {
+            let mut forced: Vec<usize> = choices[..choices.len() - 1]
+                .iter()
+                .map(|c| c.index)
+                .collect();
+            forced.push(last.index + 1);
+            return Some(forced);
+        }
+        choices.pop();
+    }
+    None
+}
+
+/// Explores schedules of `f` per `cfg` and reports the result. The
+/// closure is run once per interleaving and must create all of its
+/// state internally (sharing across runs breaks determinism).
+pub fn explore<F>(cfg: &Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut ran = 0u64;
+    let mut dfs_exhausted = false;
+
+    if cfg.dfs {
+        let mut forced: Vec<usize> = Vec::new();
+        loop {
+            if ran >= cfg.max_interleavings {
+                break;
+            }
+            let outcome = run_once(Policy::Dfs, forced.clone(), cfg.preemption_bound, &f);
+            ran += 1;
+            if let Some(message) = outcome.failure.clone() {
+                return Report {
+                    interleavings: ran,
+                    dfs_exhausted: false,
+                    violation: Some(Violation {
+                        replay: format_dfs_token(&outcome),
+                        message,
+                    }),
+                };
+            }
+            match next_dfs_prefix(&outcome) {
+                Some(next) => forced = next,
+                None => {
+                    dfs_exhausted = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Random top-up: reach the configured minimum even when the DFS
+    // space is smaller, so "≥ N interleavings" is a hard guarantee.
+    let mut offset = 0u64;
+    while ran < cfg.min_interleavings && ran < cfg.max_interleavings.max(cfg.min_interleavings) {
+        let seed = cfg.seed.wrapping_add(offset);
+        offset += 1;
+        let outcome = run_once(Policy::Random(seed), Vec::new(), cfg.preemption_bound, &f);
+        ran += 1;
+        if let Some(message) = outcome.failure.clone() {
+            return Report {
+                interleavings: ran,
+                dfs_exhausted,
+                violation: Some(Violation {
+                    replay: format!("rand:{seed}"),
+                    message,
+                }),
+            };
+        }
+    }
+
+    Report {
+        interleavings: ran,
+        dfs_exhausted,
+        violation: None,
+    }
+}
+
+/// Reruns the single schedule identified by a [`Violation::replay`]
+/// token. Returns the violation it reproduces, or `None` when the run
+/// passes (which means the model is nondeterministic — a bug in the
+/// model, not the scheduler).
+pub fn replay<F>(token: &str, f: F) -> Option<Violation>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let outcome = if let Some(list) = token.strip_prefix("dfs:") {
+        let forced: Vec<usize> = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().expect("malformed dfs replay token"))
+            .collect();
+        run_once(Policy::Dfs, forced, None, &f)
+    } else if let Some(seed) = token.strip_prefix("rand:") {
+        let seed: u64 = seed.parse().expect("malformed rand replay token");
+        run_once(Policy::Random(seed), Vec::new(), None, &f)
+    } else {
+        panic!("unknown replay token {token:?}; expected dfs:… or rand:…");
+    };
+    outcome.failure.map(|message| Violation {
+        message,
+        replay: token.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Mutex, RwLock, TryLockError};
+    use super::*;
+
+    #[test]
+    fn shims_behave_like_std_outside_models() {
+        let a = AtomicU64::new(1);
+        // ordering: test-only — plain std semantics outside a model.
+        a.store(7, Ordering::Release);
+        // ordering: test-only — plain std semantics outside a model.
+        assert_eq!(a.load(Ordering::Acquire), 7);
+        let m = Mutex::new(3);
+        *m.lock().expect("lock") += 1;
+        assert_eq!(*m.lock().expect("lock"), 4);
+        let rw = RwLock::new(5);
+        assert_eq!(*rw.read().expect("read"), 5);
+        {
+            let mut w = rw.try_write().expect("try_write");
+            *w = 6;
+            assert!(matches!(rw.try_write(), Err(TryLockError::WouldBlock)));
+        }
+        assert_eq!(*rw.write().expect("write"), 6);
+    }
+
+    #[test]
+    fn dfs_enumerates_all_interleavings_of_two_increments() {
+        // Two threads each do a single atomic fetch_add: with the
+        // preemption bound removed there are exactly C(ops) schedules
+        // and the final value is always 2.
+        let report = explore(
+            &Config {
+                min_interleavings: 1,
+                max_interleavings: 10_000,
+                preemption_bound: None,
+                seed: 1,
+                dfs: true,
+            },
+            || {
+                let a = std::sync::Arc::new(AtomicU64::new(0));
+                let a2 = std::sync::Arc::clone(&a);
+                let t = thread::spawn(move || {
+                    // ordering: model code — scheduler is SeqCst regardless.
+                    a2.fetch_add(1, Ordering::Relaxed);
+                });
+                // ordering: model code — scheduler is SeqCst regardless.
+                a.fetch_add(1, Ordering::Relaxed);
+                t.join().expect("child");
+                // ordering: model code — scheduler is SeqCst regardless.
+                assert_eq!(a.load(Ordering::Relaxed), 2);
+            },
+        );
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.dfs_exhausted);
+        assert!(report.interleavings >= 2);
+    }
+
+    fn racy_read_modify_write() {
+        // Deliberate race: load-then-store increment instead of
+        // fetch_add. Some interleaving loses an update.
+        let a = std::sync::Arc::new(AtomicU64::new(0));
+        let a2 = std::sync::Arc::clone(&a);
+        let t = thread::spawn(move || {
+            // ordering: model code — scheduler is SeqCst regardless.
+            let v = a2.load(Ordering::Relaxed);
+            // ordering: model code — scheduler is SeqCst regardless.
+            a2.store(v + 1, Ordering::Relaxed);
+        });
+        // ordering: model code — scheduler is SeqCst regardless.
+        let v = a.load(Ordering::Relaxed);
+        // ordering: model code — scheduler is SeqCst regardless.
+        a.store(v + 1, Ordering::Relaxed);
+        t.join().expect("child");
+        // ordering: model code — scheduler is SeqCst regardless.
+        assert_eq!(a.load(Ordering::Relaxed), 2, "lost update");
+    }
+
+    #[test]
+    fn dfs_finds_lost_update_and_replays_it() {
+        let report = explore(
+            &Config {
+                min_interleavings: 1,
+                max_interleavings: 10_000,
+                preemption_bound: Some(2),
+                seed: 1,
+                dfs: true,
+            },
+            racy_read_modify_write,
+        );
+        let v = report.violation.expect("the race must be found");
+        assert!(v.message.contains("lost update"), "{}", v.message);
+        let again =
+            replay(&v.replay, racy_read_modify_write).expect("replay must reproduce the violation");
+        assert_eq!(again.message, v.message);
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        let report = explore(
+            &Config {
+                min_interleavings: 1,
+                max_interleavings: 2_000,
+                preemption_bound: None,
+                seed: 1,
+                dfs: true,
+            },
+            || {
+                let a = std::sync::Arc::new(Mutex::new(()));
+                let b = std::sync::Arc::new(Mutex::new(()));
+                let (a2, b2) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let _ga = a2.lock().expect("a");
+                    let _gb = b2.lock().expect("b");
+                });
+                let _gb = b.lock().expect("b");
+                let _ga = a.lock().expect("a");
+                drop((_gb, _ga));
+                t.join().expect("child");
+            },
+        );
+        let v = report
+            .violation
+            .expect("the lock-order deadlock must be found");
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers_in_model() {
+        let report = explore(
+            &Config {
+                min_interleavings: 1,
+                max_interleavings: 5_000,
+                preemption_bound: None,
+                seed: 1,
+                dfs: true,
+            },
+            || {
+                let rw = std::sync::Arc::new(RwLock::new(41));
+                let rw2 = std::sync::Arc::clone(&rw);
+                let t = thread::spawn(move || *rw2.read().expect("read"));
+                let mine = *rw.read().expect("read");
+                let theirs = t.join().expect("child");
+                assert_eq!(mine + theirs, 82);
+            },
+        );
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+}

@@ -1,0 +1,511 @@
+//! The deterministic scheduler at the heart of the model checker.
+//!
+//! One **execution** runs the model closure once under full scheduling
+//! control: every model thread is a real OS thread, but at every
+//! synchronization operation (atomic access, lock acquire, spawn, join)
+//! it parks on a condvar and hands a scheduling token back to the
+//! controller. The controller — running on the caller's thread — picks
+//! exactly one runnable thread at each such *decision point*, so the
+//! entire interleaving is a deterministic function of the sequence of
+//! choices. Exploration strategies (exhaustive DFS with bounded
+//! preemption, seeded-random) live in `lib.rs`; this module only knows
+//! how to run one execution for a given choice policy and record the
+//! decisions taken, which is also exactly what replay needs.
+//!
+//! The model is *sequentially consistent*: operations execute atomically
+//! at decision points in the chosen order. Weak-memory reorderings are
+//! **not** modeled (same trade-off as the real `shuttle` crate); the
+//! workspace covers orderings separately via the `xlint` justification
+//! audit and the ThreadSanitizer CI leg.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+thread_local! {
+    /// Set in every model thread: the runtime it belongs to and its
+    /// logical thread id. `None` in ordinary threads, which makes every
+    /// shim fall back to plain `std` behavior.
+    static CURRENT: RefCell<Option<(Arc<Runtime>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Returns the runtime/thread-id pair when the calling OS thread is a
+/// model thread of an execution in progress.
+pub(crate) fn current() -> Option<(Arc<Runtime>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Runtime>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// Panic payload used to unwind model threads when an execution is torn
+/// down after a failure or deadlock; swallowed by the thread wrapper.
+struct Cancelled;
+
+/// How the controller picks among enabled threads once the forced
+/// replay prefix is exhausted.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Policy {
+    /// Always pick the first enabled thread (DFS leftmost descent).
+    Dfs,
+    /// Pick pseudo-randomly from the given seed (splitmix64 stream).
+    Random(u64),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WaitKind {
+    Lock { id: u64, exclusive: bool },
+    Join { target: usize },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Parked at a decision point, able to run.
+    Ready,
+    /// Currently holds the scheduling token.
+    Running,
+    /// Parked waiting for a lock or a join; enabled only when the
+    /// resource is available.
+    Blocked(WaitKind),
+    Finished,
+}
+
+#[derive(Default)]
+struct LockState {
+    writer: bool,
+    readers: usize,
+}
+
+/// One scheduling decision: how many threads were enabled and which
+/// index was chosen. The index sequence is the replayable schedule.
+#[derive(Clone, Copy)]
+pub(crate) struct Choice {
+    pub(crate) enabled: usize,
+    pub(crate) index: usize,
+}
+
+struct State {
+    threads: Vec<TState>,
+    active: Option<usize>,
+    last_ran: Option<usize>,
+    locks: HashMap<u64, LockState>,
+    choices: Vec<Choice>,
+    forced: Vec<usize>,
+    policy: Policy,
+    rng: u64,
+    preemption_bound: Option<usize>,
+    preemptions: usize,
+    failure: Option<String>,
+    kill: bool,
+}
+
+pub(crate) struct Runtime {
+    s: Mutex<State>,
+    cv: Condvar,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Everything `explore`/`replay` need to know about one finished run.
+pub(crate) struct RunOutcome {
+    pub(crate) choices: Vec<Choice>,
+    pub(crate) failure: Option<String>,
+}
+
+/// Hard cap on decisions per execution; exceeding it means the model
+/// itself loops without converging and is reported as a failure rather
+/// than hanging the test suite.
+const MAX_STEPS: usize = 1_000_000;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked with a non-string payload".to_string()
+    }
+}
+
+impl Runtime {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A model thread cancelled while holding this mutex poisons it;
+        // the state is still consistent (mutations are complete before
+        // any panic), so recover unconditionally.
+        self.s.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, g: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(TState::Ready);
+        s.threads.len() - 1
+    }
+
+    /// Parks until the controller hands this thread the token for the
+    /// first time. Returns `false` when the execution was killed before
+    /// the thread ever ran.
+    fn wait_first_activation(&self, tid: usize) -> bool {
+        let mut s = self.lock();
+        loop {
+            if s.kill {
+                return false;
+            }
+            if s.active == Some(tid) {
+                s.threads[tid] = TState::Running;
+                return true;
+            }
+            s = self.wait(s);
+        }
+    }
+
+    /// The universal decision point: give the token back and park until
+    /// chosen again. Called by every shim before its operation executes.
+    pub(crate) fn yield_point(self: &Arc<Self>, tid: usize) {
+        let mut s = self.lock();
+        debug_assert_eq!(s.active, Some(tid));
+        s.threads[tid] = TState::Ready;
+        s.active = None;
+        self.cv.notify_all();
+        loop {
+            if s.kill {
+                drop(s);
+                panic::panic_any(Cancelled);
+            }
+            if s.active == Some(tid) {
+                s.threads[tid] = TState::Running;
+                return;
+            }
+            s = self.wait(s);
+        }
+    }
+
+    /// Registers `id` lazily and acquires it in shared or exclusive
+    /// mode, parking as `Blocked` while it is unavailable. The caller
+    /// must already have passed a `yield_point`.
+    pub(crate) fn lock_acquire(self: &Arc<Self>, tid: usize, id: u64, exclusive: bool) {
+        let mut s = self.lock();
+        loop {
+            if s.kill {
+                drop(s);
+                panic::panic_any(Cancelled);
+            }
+            let ls = s.locks.entry(id).or_default();
+            let free = if exclusive {
+                !ls.writer && ls.readers == 0
+            } else {
+                !ls.writer
+            };
+            if free {
+                if exclusive {
+                    ls.writer = true;
+                } else {
+                    ls.readers += 1;
+                }
+                return;
+            }
+            s.threads[tid] = TState::Blocked(WaitKind::Lock { id, exclusive });
+            s.active = None;
+            self.cv.notify_all();
+            loop {
+                if s.kill {
+                    drop(s);
+                    panic::panic_any(Cancelled);
+                }
+                if s.active == Some(tid) {
+                    s.threads[tid] = TState::Running;
+                    break;
+                }
+                s = self.wait(s);
+            }
+        }
+    }
+
+    /// Non-blocking exclusive acquire; the caller must already have
+    /// passed a `yield_point`. Returns whether the lock was taken.
+    pub(crate) fn lock_try_acquire_exclusive(self: &Arc<Self>, id: u64) -> bool {
+        let mut s = self.lock();
+        let ls = s.locks.entry(id).or_default();
+        if ls.writer || ls.readers > 0 {
+            false
+        } else {
+            ls.writer = true;
+            true
+        }
+    }
+
+    /// Releases a logical lock. Not a decision point: the next yield of
+    /// the running thread re-enables any waiters.
+    pub(crate) fn lock_release(self: &Arc<Self>, id: u64, exclusive: bool) {
+        let mut s = self.lock();
+        let ls = s.locks.entry(id).or_default();
+        if exclusive {
+            debug_assert!(ls.writer);
+            ls.writer = false;
+        } else {
+            debug_assert!(ls.readers > 0);
+            ls.readers -= 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Parks until `target` finishes. The caller must already have
+    /// passed a `yield_point`.
+    pub(crate) fn join_wait(self: &Arc<Self>, tid: usize, target: usize) {
+        let mut s = self.lock();
+        loop {
+            if s.kill {
+                drop(s);
+                panic::panic_any(Cancelled);
+            }
+            if s.threads[target] == TState::Finished {
+                return;
+            }
+            s.threads[tid] = TState::Blocked(WaitKind::Join { target });
+            s.active = None;
+            self.cv.notify_all();
+            loop {
+                if s.kill {
+                    drop(s);
+                    panic::panic_any(Cancelled);
+                }
+                if s.active == Some(tid) {
+                    s.threads[tid] = TState::Running;
+                    break;
+                }
+                s = self.wait(s);
+            }
+        }
+    }
+
+    fn finish_thread(&self, tid: usize, failure: Option<String>) {
+        let mut s = self.lock();
+        s.threads[tid] = TState::Finished;
+        if let Some(msg) = failure {
+            if s.failure.is_none() {
+                s.failure = Some(msg);
+            }
+            s.kill = true;
+        }
+        if s.active == Some(tid) {
+            s.active = None;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Spawns a model thread: registers a logical tid, launches the OS
+    /// thread (parked until first activation), and tracks its handle so
+    /// the controller can reap it at the end of the execution.
+    pub(crate) fn spawn_model_thread(
+        self: &Arc<Self>,
+        body: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let tid = self.register_thread();
+        let rt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("shuttle-model-{tid}"))
+            .spawn(move || model_thread_main(rt, tid, body))
+            .expect("spawning a model OS thread failed");
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        tid
+    }
+
+    /// Allocates a fresh logical lock id, unique within the process.
+    pub(crate) fn next_lock_id() -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        // ordering: Relaxed — a unique-id counter; only atomicity of the
+        // increment matters, never ordering against other memory.
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+fn model_thread_main(rt: Arc<Runtime>, tid: usize, body: impl FnOnce()) {
+    set_current(Some((Arc::clone(&rt), tid)));
+    if rt.wait_first_activation(tid) {
+        let result = panic::catch_unwind(AssertUnwindSafe(body));
+        let failure = match result {
+            Ok(()) => None,
+            Err(payload) if payload.downcast_ref::<Cancelled>().is_some() => None,
+            Err(payload) => Some(payload_to_string(payload)),
+        };
+        rt.finish_thread(tid, failure);
+    } else {
+        rt.finish_thread(tid, None);
+    }
+    set_current(None);
+}
+
+/// Runs the model closure once under the given policy, with `forced`
+/// replayed verbatim as the leading decisions. Returns the full choice
+/// record and the failure message, if any.
+pub(crate) fn run_once(
+    policy: Policy,
+    forced: Vec<usize>,
+    preemption_bound: Option<usize>,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let rng = match policy {
+        Policy::Random(seed) => seed ^ 0x6A09_E667_F3BC_C909,
+        Policy::Dfs => 0,
+    };
+    let rt = Arc::new(Runtime {
+        s: Mutex::new(State {
+            threads: Vec::new(),
+            active: None,
+            last_ran: None,
+            locks: HashMap::new(),
+            choices: Vec::new(),
+            forced,
+            policy,
+            rng,
+            preemption_bound,
+            preemptions: 0,
+            failure: None,
+            kill: false,
+        }),
+        cv: Condvar::new(),
+        os_handles: Mutex::new(Vec::new()),
+    });
+
+    let root_f = Arc::clone(f);
+    rt.spawn_model_thread(move || root_f());
+
+    // Controller loop: wait for quiescence, pick the next thread, hand
+    // over the token, repeat until every thread has finished.
+    loop {
+        let mut s = rt.lock();
+        while s.active.is_some() {
+            s = rt.wait(s);
+        }
+        if s.kill {
+            while !s.threads.iter().all(|t| *t == TState::Finished) {
+                rt.cv.notify_all();
+                s = rt.wait(s);
+            }
+            break;
+        }
+        if s.threads.iter().all(|t| *t == TState::Finished) {
+            break;
+        }
+
+        let mut enabled: Vec<usize> = Vec::new();
+        for (tid, t) in s.threads.iter().enumerate() {
+            match *t {
+                TState::Ready => enabled.push(tid),
+                TState::Blocked(WaitKind::Lock { id, exclusive }) => {
+                    let free = match s.locks.get(&id) {
+                        Some(ls) => {
+                            if exclusive {
+                                !ls.writer && ls.readers == 0
+                            } else {
+                                !ls.writer
+                            }
+                        }
+                        None => true,
+                    };
+                    if free {
+                        enabled.push(tid);
+                    }
+                }
+                TState::Blocked(WaitKind::Join { target }) => {
+                    if s.threads[target] == TState::Finished {
+                        enabled.push(tid);
+                    }
+                }
+                TState::Running | TState::Finished => {}
+            }
+        }
+
+        if enabled.is_empty() {
+            let blocked = s
+                .threads
+                .iter()
+                .filter(|t| matches!(t, TState::Blocked(_)))
+                .count();
+            s.failure = Some(format!(
+                "deadlock: {blocked} thread(s) blocked with no enabled thread \
+                 after {} decision(s)",
+                s.choices.len()
+            ));
+            s.kill = true;
+            rt.cv.notify_all();
+            continue;
+        }
+        if s.choices.len() >= MAX_STEPS {
+            s.failure = Some(format!(
+                "schedule exceeded {MAX_STEPS} decisions; the model does not converge"
+            ));
+            s.kill = true;
+            rt.cv.notify_all();
+            continue;
+        }
+
+        // Bounded preemption: once the budget is spent, a thread that
+        // could continue (still Ready) is never switched away from.
+        if let (Some(bound), Some(prev)) = (s.preemption_bound, s.last_ran) {
+            if s.preemptions >= bound
+                && s.threads.get(prev) == Some(&TState::Ready)
+                && enabled.contains(&prev)
+            {
+                enabled = vec![prev];
+            }
+        }
+
+        let step = s.choices.len();
+        let index = if step < s.forced.len() {
+            s.forced[step].min(enabled.len() - 1)
+        } else {
+            match s.policy {
+                Policy::Dfs => 0,
+                Policy::Random(_) => {
+                    let r = splitmix64(&mut s.rng);
+                    (r % enabled.len() as u64) as usize
+                }
+            }
+        };
+        let chosen = enabled[index];
+        if let Some(prev) = s.last_ran {
+            if prev != chosen && s.threads.get(prev) == Some(&TState::Ready) {
+                s.preemptions += 1;
+            }
+        }
+        s.choices.push(Choice {
+            enabled: enabled.len(),
+            index,
+        });
+        s.last_ran = Some(chosen);
+        s.active = Some(chosen);
+        rt.cv.notify_all();
+    }
+
+    // Reap the OS threads; by now every logical thread is Finished, so
+    // the joins return promptly.
+    let handles = std::mem::take(&mut *rt.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in handles {
+        // Model panics are caught inside the thread wrapper; a join
+        // error would mean the wrapper itself unwound, which it cannot.
+        let _ = h.join();
+    }
+
+    let s = rt.lock();
+    RunOutcome {
+        choices: s.choices.clone(),
+        failure: s.failure.clone(),
+    }
+}

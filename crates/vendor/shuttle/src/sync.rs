@@ -1,0 +1,460 @@
+//! Drop-in replacements for the `std::sync` subset the workspace uses.
+//!
+//! Every type here has two behaviors:
+//!
+//! * **Inside a model thread** (spawned by [`crate::explore`] /
+//!   [`crate::thread::spawn`]): each operation is a scheduler decision
+//!   point — the thread parks, the controller picks who runs next, and
+//!   the operation then executes atomically. Locks are *logical*: the
+//!   scheduler tracks reader/writer state so blocked threads are simply
+//!   not schedulable, which is what makes deadlocks detectable and
+//!   schedules replayable.
+//! * **Outside a model** the shims delegate to the real `std` types
+//!   with the caller's requested semantics, so a workspace built with
+//!   `--cfg ell_verify` still behaves normally in ordinary tests.
+
+use crate::runtime::current;
+
+/// Shimmed atomic integers. `Ordering` is re-exported from `std`; under
+/// the scheduler every operation is sequentially consistent (the model
+/// explores interleavings, not weak-memory reorderings).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::runtime::current;
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            /// Model-checked stand-in for the `std` atomic of the same
+            /// name; see the module docs for the two behaviors.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic (usable in `static` initializers).
+                #[must_use]
+                pub const fn new(v: $int) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                /// Consumes the atomic and returns the contained value.
+                #[must_use]
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+
+                /// Returns a mutable reference to the underlying value.
+                pub fn get_mut(&mut self) -> &mut $int {
+                    self.inner.get_mut()
+                }
+
+                fn at_op(&self) {
+                    if let Some((rt, tid)) = current() {
+                        rt.yield_point(tid);
+                    }
+                }
+
+                fn eff(&self, order: Ordering) -> Ordering {
+                    if current().is_some() {
+                        Ordering::SeqCst
+                    } else {
+                        order
+                    }
+                }
+
+                fn eff_load(&self, order: Ordering) -> Ordering {
+                    // Release/AcqRel are invalid for loads (and the
+                    // mirror case for stores); keep std's panic behavior
+                    // outside models but never request them in-model.
+                    if current().is_some() {
+                        Ordering::SeqCst
+                    } else {
+                        order
+                    }
+                }
+
+                /// Loads the value.
+                pub fn load(&self, order: Ordering) -> $int {
+                    self.at_op();
+                    self.inner.load(self.eff_load(order))
+                }
+
+                /// Stores a value.
+                pub fn store(&self, val: $int, order: Ordering) {
+                    self.at_op();
+                    self.inner.store(val, self.eff(order));
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, val: $int, order: Ordering) -> $int {
+                    self.at_op();
+                    self.inner.swap(val, self.eff(order))
+                }
+
+                /// Adds to the value, returning the previous one.
+                pub fn fetch_add(&self, val: $int, order: Ordering) -> $int {
+                    self.at_op();
+                    self.inner.fetch_add(val, self.eff(order))
+                }
+
+                /// Bitwise-ors the value, returning the previous one.
+                pub fn fetch_or(&self, val: $int, order: Ordering) -> $int {
+                    self.at_op();
+                    self.inner.fetch_or(val, self.eff(order))
+                }
+
+                /// Stores the maximum, returning the previous value.
+                pub fn fetch_max(&self, val: $int, order: Ordering) -> $int {
+                    self.at_op();
+                    self.inner.fetch_max(val, self.eff(order))
+                }
+
+                /// Compare-and-exchange; one atomic decision point.
+                ///
+                /// # Errors
+                ///
+                /// Returns the observed value when it differs from
+                /// `currentv`.
+                pub fn compare_exchange(
+                    &self,
+                    currentv: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    self.at_op();
+                    if current().is_some() {
+                        self.inner.compare_exchange(
+                            currentv,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                    } else {
+                        self.inner.compare_exchange(currentv, new, success, failure)
+                    }
+                }
+
+                /// Like [`Self::compare_exchange`]; the shim never fails
+                /// spuriously (determinism beats emulating weak CAS).
+                ///
+                /// # Errors
+                ///
+                /// Returns the observed value when it differs from
+                /// `currentv`.
+                pub fn compare_exchange_weak(
+                    &self,
+                    currentv: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    self.compare_exchange(currentv, new, success, failure)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+}
+
+pub use std::sync::Arc;
+pub use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc as StdArc;
+
+use crate::runtime::Runtime;
+
+/// Lazily-registered logical lock identity, unique per lock instance.
+#[derive(Debug, Default)]
+struct LockId(std::sync::OnceLock<u64>);
+
+impl LockId {
+    const fn new() -> Self {
+        Self(std::sync::OnceLock::new())
+    }
+
+    fn get(&self) -> u64 {
+        *self.0.get_or_init(Runtime::next_lock_id)
+    }
+}
+
+fn recover<G>(r: Result<G, TryLockError<G>>) -> G {
+    match r {
+        Ok(g) => g,
+        // The logical lock guarantees exclusivity, so the underlying
+        // std lock is free; poison can only come from a cancelled model
+        // thread of the same execution, and the data it guarded is
+        // discarded with the execution.
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            unreachable!("std lock contended under logical exclusivity")
+        }
+    }
+}
+
+/// Model-checked stand-in for [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: LockId,
+    data: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the logical lock on drop.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    ctl: Option<(StdArc<Runtime>, u64)>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(t: T) -> Self {
+        Self {
+            id: LockId::new(),
+            data: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates std's poison error outside models.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+
+    /// Acquires the mutex, parking at a scheduler decision point first
+    /// when called from a model thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates std's poison error outside models; inside a model the
+    /// result is always `Ok` (poisoned executions are torn down whole).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((rt, tid)) = current() {
+            rt.yield_point(tid);
+            let id = self.id.get();
+            rt.lock_acquire(tid, id, true);
+            let inner = recover(self.data.try_lock());
+            Ok(MutexGuard {
+                inner: Some(inner),
+                ctl: Some((rt, id)),
+            })
+        } else {
+            match self.data.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    ctl: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    ctl: None,
+                })),
+            }
+        }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((rt, id)) = self.ctl.take() {
+            rt.lock_release(id, true);
+        }
+    }
+}
+
+/// Model-checked stand-in for [`std::sync::RwLock`].
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    id: LockId,
+    data: std::sync::RwLock<T>,
+}
+
+/// Shared-mode guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    ctl: Option<(StdArc<Runtime>, u64)>,
+}
+
+/// Exclusive-mode guard returned by [`RwLock::write`] / [`RwLock::try_write`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    ctl: Option<(StdArc<Runtime>, u64)>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(t: T) -> Self {
+        Self {
+            id: LockId::new(),
+            data: std::sync::RwLock::new(t),
+        }
+    }
+
+    /// Consumes the lock and returns the inner value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates std's poison error outside models.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+
+    /// Acquires the lock in shared mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates std's poison error outside models; always `Ok` inside.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let Some((rt, tid)) = current() {
+            rt.yield_point(tid);
+            let id = self.id.get();
+            rt.lock_acquire(tid, id, false);
+            let inner = recover(self.data.try_read());
+            Ok(RwLockReadGuard {
+                inner: Some(inner),
+                ctl: Some((rt, id)),
+            })
+        } else {
+            match self.data.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    inner: Some(g),
+                    ctl: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    inner: Some(p.into_inner()),
+                    ctl: None,
+                })),
+            }
+        }
+    }
+
+    /// Acquires the lock in exclusive mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates std's poison error outside models; always `Ok` inside.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let Some((rt, tid)) = current() {
+            rt.yield_point(tid);
+            let id = self.id.get();
+            rt.lock_acquire(tid, id, true);
+            let inner = recover_write(self.data.try_write());
+            Ok(RwLockWriteGuard {
+                inner: Some(inner),
+                ctl: Some((rt, id)),
+            })
+        } else {
+            match self.data.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    inner: Some(g),
+                    ctl: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    inner: Some(p.into_inner()),
+                    ctl: None,
+                })),
+            }
+        }
+    }
+
+    /// Attempts exclusive acquisition without blocking; still a
+    /// scheduler decision point inside a model (the opportunistic
+    /// `try_write` is exactly the racy edge worth exploring).
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when the lock is held; poison outside models.
+    pub fn try_write(&self) -> TryLockResult<RwLockWriteGuard<'_, T>> {
+        if let Some((rt, tid)) = current() {
+            rt.yield_point(tid);
+            let id = self.id.get();
+            if rt.lock_try_acquire_exclusive(id) {
+                let inner = recover_write(self.data.try_write());
+                Ok(RwLockWriteGuard {
+                    inner: Some(inner),
+                    ctl: Some((rt, id)),
+                })
+            } else {
+                Err(TryLockError::WouldBlock)
+            }
+        } else {
+            match self.data.try_write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    inner: Some(g),
+                    ctl: None,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(p)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(RwLockWriteGuard {
+                        inner: Some(p.into_inner()),
+                        ctl: None,
+                    })))
+                }
+            }
+        }
+    }
+}
+
+fn recover_write<G>(r: Result<G, TryLockError<G>>) -> G {
+    recover(r)
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((rt, id)) = self.ctl.take() {
+            rt.lock_release(id, false);
+        }
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((rt, id)) = self.ctl.take() {
+            rt.lock_release(id, true);
+        }
+    }
+}

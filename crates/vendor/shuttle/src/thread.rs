@@ -1,0 +1,72 @@
+//! Model-checked stand-in for the `std::thread` spawn/join subset.
+
+use std::sync::{Arc, Mutex};
+
+use crate::runtime::current;
+
+type Slot<T> = Arc<Mutex<Option<T>>>;
+
+enum Inner<T> {
+    Os(std::thread::JoinHandle<T>),
+    Model { tid: usize, slot: Slot<T> },
+}
+
+/// Handle to a spawned thread; API-compatible with
+/// [`std::thread::JoinHandle`] for the operations the workspace uses.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Outside a model, propagates the child's panic payload like std.
+    /// Inside a model a child panic aborts the whole execution before
+    /// `join` can observe it, so the error arm is unreachable there.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Os(h) => h.join(),
+            Inner::Model { tid, slot } => {
+                let (rt, me) =
+                    current().expect("a model JoinHandle must be joined from a model thread");
+                rt.yield_point(me);
+                rt.join_wait(me, tid);
+                match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("model thread finished without a value")),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model this registers a schedulable logical
+/// thread whose every sync operation is controlled by the scheduler;
+/// outside it delegates to [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((rt, _tid)) = current() {
+        let slot: Slot<T> = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        let tid = rt.spawn_model_thread(move || {
+            let v = f();
+            *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+        });
+        JoinHandle(Inner::Model { tid, slot })
+    } else {
+        JoinHandle(Inner::Os(std::thread::spawn(f)))
+    }
+}
+
+/// Yields execution: a bare scheduler decision point inside a model, a
+/// plain [`std::thread::yield_now`] outside.
+pub fn yield_now() {
+    if let Some((rt, tid)) = current() {
+        rt.yield_point(tid);
+    } else {
+        std::thread::yield_now();
+    }
+}
